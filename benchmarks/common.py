@@ -1,0 +1,141 @@
+"""Shared machinery for the figure-regeneration benchmark harness.
+
+Every benchmark module asks the session-wide :class:`ExperimentCache`
+for results; identical configurations are simulated once and reused
+across figures (the Figure 7 sweep feeds Figures 6 and 8 and the
+Section VI-B/VI-C claims).  Cached entries are slimmed to
+:class:`BenchRecord` summaries so the cache stays small.
+
+Figure output is written to ``benchmarks/output/*.txt`` (and echoed to
+stdout) so the regenerated tables survive pytest's capture.
+"""
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.experiment import run_experiment
+from repro.errors import OutOfMemoryError
+from repro.jvm.components import Component
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: All sixteen benchmark names in Figure 5 order.
+SPECJVM98 = (
+    "_201_compress", "_202_jess", "_209_db", "_213_javac",
+    "_222_mpegaudio", "_227_mtrt", "_228_jack",
+)
+DACAPO = ("antlr", "fop", "jython", "pmd", "ps")
+JGF = ("euler", "moldyn", "raytracer", "search")
+ALL_BENCHMARKS = SPECJVM98 + DACAPO + JGF
+
+#: Heap ladders (paper Sections IV-A and VI-E).
+JIKES_HEAPS = (32, 48, 64, 80, 96, 112, 128)
+PXA_HEAPS = (12, 16, 20, 24, 28, 32)
+
+#: Set REPRO_BENCH_FAST=1 to run a thinner grid while iterating.
+FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+if FAST:
+    JIKES_HEAPS = (32, 48, 128)
+    PXA_HEAPS = (12, 20, 32)
+
+SEED = 42
+
+
+@dataclass
+class BenchRecord:
+    """Slim summary of one experiment."""
+
+    benchmark: str
+    vm: str
+    platform: str
+    collector: str
+    heap_mb: int
+    oom: bool = False
+    duration_s: float = 0.0
+    cpu_j: float = 0.0
+    mem_j: float = 0.0
+    edp: float = float("inf")
+    fractions: dict = field(default_factory=dict)   # Component -> frac
+    jvm_fraction: float = 0.0
+    mem_ratio: float = 0.0
+    avg_power: dict = field(default_factory=dict)   # Component -> W
+    peak_power: dict = field(default_factory=dict)
+    ipc: dict = field(default_factory=dict)
+    l2_miss: dict = field(default_factory=dict)
+    gc_collections: int = 0
+
+    def frac(self, component):
+        return self.fractions.get(Component(component), 0.0)
+
+
+def summarize(result):
+    """Fold an ExperimentResult into a :class:`BenchRecord`."""
+    cfg = result.config
+    profiles = result.profiles()
+    return BenchRecord(
+        benchmark=cfg.benchmark,
+        vm=cfg.vm,
+        platform=cfg.platform,
+        collector=result.run.collector_name,
+        heap_mb=cfg.heap_mb,
+        duration_s=result.duration_s,
+        cpu_j=result.cpu_energy_j,
+        mem_j=result.mem_energy_j,
+        edp=result.edp,
+        fractions={
+            comp: result.breakdown.fraction(comp)
+            for comp in Component
+        },
+        jvm_fraction=result.breakdown.jvm_fraction(),
+        mem_ratio=result.breakdown.mem_to_cpu_ratio(),
+        avg_power={c: p.avg_power_w for c, p in profiles.items()},
+        peak_power={c: p.peak_power_w for c, p in profiles.items()},
+        ipc={c: p.ipc for c, p in profiles.items()},
+        l2_miss={c: p.l2_miss_rate for c, p in profiles.items()},
+        gc_collections=result.run.gc_stats.collections,
+    )
+
+
+class ExperimentCache:
+    """Runs experiments at most once per configuration."""
+
+    def __init__(self):
+        self._records = {}
+
+    def get(self, benchmark, vm="jikes", platform="p6",
+            collector=None, heap_mb=64, input_scale=1.0, seed=SEED):
+        key = (benchmark, vm, platform, collector, heap_mb,
+               input_scale, seed)
+        if key not in self._records:
+            try:
+                result = run_experiment(
+                    benchmark, vm=vm, platform=platform,
+                    collector=collector, heap_mb=heap_mb,
+                    input_scale=input_scale, seed=seed,
+                )
+                self._records[key] = summarize(result)
+            except OutOfMemoryError:
+                self._records[key] = BenchRecord(
+                    benchmark=benchmark, vm=vm, platform=platform,
+                    collector=collector or "?", heap_mb=heap_mb,
+                    oom=True,
+                )
+        return self._records[key]
+
+    def __len__(self):
+        return len(self._records)
+
+
+def emit(name, text):
+    """Write a regenerated figure to disk and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)
+    return path
+
+
+def pct(x):
+    return f"{100.0 * x:5.1f}"

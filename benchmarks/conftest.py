@@ -1,0 +1,21 @@
+"""Session fixtures for the figure-regeneration harness."""
+
+import pytest
+
+from benchmarks.common import ExperimentCache
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """One experiment cache shared by every figure module."""
+    return ExperimentCache()
+
+
+def once(benchmark_fixture, fn):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    The harness regenerates whole figures; re-running them for timing
+    statistics would multiply hours of simulation, so each figure is
+    timed as a single round.
+    """
+    return benchmark_fixture.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,111 @@
+"""Ablation: write-barrier cost and the `_209_db` crossover.
+
+Section VI-B explains SemiSpace's 5 % EDP win over GenCopy on `_209_db`
+at 128 MB as compacted-mutator locality minus "a slight performance
+overhead of write barriers".  This ablation dials the modeled barrier
+overhead and shows the crossover is *caused* by it: with a free barrier
+GenCopy keeps its generational advantage; at the calibrated ~1.5 %
+overhead (and beyond) SemiSpace wins at large heaps.
+"""
+
+import pytest
+
+from benchmarks.common import emit
+from benchmarks.conftest import once
+from repro.hardware.platform import make_platform
+from repro.jvm.gc.generational import GenCopy
+from repro.jvm.vm import JikesRVM
+from repro.workloads import get_benchmark
+
+BARRIER_OVERHEADS = (0.0, 0.015, 0.04)
+HEAP_MB = 128
+
+
+def run_gencopy(barrier_overhead):
+    class _Barrier(GenCopy):
+        pass
+
+    _Barrier.barrier_overhead = barrier_overhead
+
+    class _VM(JikesRVM):
+        def _make_collector(self, rng):
+            return _Barrier(self.heap_bytes, rng)
+
+    platform = make_platform("p6")
+    vm = _VM(platform, collector="GenCopy", heap_mb=HEAP_MB, seed=42)
+    run = vm.run(get_benchmark("_209_db"), input_scale=0.6)
+    import numpy as np
+
+    from repro.measurement.daq import DAQ
+
+    trace = DAQ(platform, np.random.default_rng(7)).acquire(
+        run.timeline
+    )
+    energy = trace.cpu_energy_j() + trace.mem_energy_j()
+    return run.duration_s, energy * run.duration_s
+
+
+def run_semispace():
+    platform = make_platform("p6")
+    vm = JikesRVM(platform, collector="SemiSpace", heap_mb=HEAP_MB,
+                  seed=42)
+    run = vm.run(get_benchmark("_209_db"), input_scale=0.6)
+    import numpy as np
+
+    from repro.measurement.daq import DAQ
+
+    trace = DAQ(platform, np.random.default_rng(7)).acquire(
+        run.timeline
+    )
+    energy = trace.cpu_energy_j() + trace.mem_energy_j()
+    return run.duration_s, energy * run.duration_s
+
+
+def build():
+    ss_time, ss_edp = run_semispace()
+    rows = []
+    for overhead in BARRIER_OVERHEADS:
+        time, edp = run_gencopy(overhead)
+        rows.append({
+            "overhead": overhead,
+            "time_s": time,
+            "edp": edp,
+            "ss_advantage": 1 - ss_edp / edp,
+        })
+    return ss_edp, rows
+
+
+def test_ablation_write_barrier(benchmark):
+    ss_edp, rows = once(benchmark, build)
+
+    lines = [
+        f"Ablation: GenCopy write-barrier overhead "
+        f"(_209_db @ {HEAP_MB} MB, 0.6 input)",
+        "",
+        f"SemiSpace EDP: {ss_edp:.1f} Js",
+        "",
+        f"{'barrier %':>10s} {'GenCopy s':>10s} {'GenCopy EDP':>12s} "
+        f"{'SS advantage':>13s}",
+        "-" * 48,
+    ]
+    for r in rows:
+        lines.append(
+            f"{100 * r['overhead']:10.1f} {r['time_s']:10.2f} "
+            f"{r['edp']:12.1f} {100 * r['ss_advantage']:12.1f}%"
+        )
+    lines.append("")
+    lines.append(
+        "the _209_db crossover (paper: SemiSpace ~5% better at "
+        "128 MB) appears once the barrier costs ~1.5% of mutator "
+        "instructions, and widens with barrier cost"
+    )
+    emit("ablation_barrier", "\n".join(lines))
+
+    # EDP grows monotonically with barrier overhead.
+    edps = [r["edp"] for r in rows]
+    assert edps == sorted(edps)
+    # At the calibrated overhead SemiSpace holds a small advantage.
+    calibrated = rows[1]
+    assert calibrated["ss_advantage"] > 0.0
+    # With a free barrier the advantage shrinks markedly or reverses.
+    assert rows[0]["ss_advantage"] < calibrated["ss_advantage"]

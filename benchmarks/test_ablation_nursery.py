@@ -1,0 +1,93 @@
+"""Ablation: bounded-nursery size (a design choice behind GenCopy/GenMS).
+
+The simulator uses the classic bounded nursery (heap/8 clamped to
+[1 MB, 4 MB]).  This ablation sweeps nursery sizes on a fixed heap and
+shows the classic GC trade-off the default sits on top of:
+
+* tiny nurseries collect constantly and promote prematurely
+  (higher survival per collection -> more copying);
+* huge nurseries steal space from the mature generation, forcing
+  full-heap collections at small total heaps.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit
+from benchmarks.conftest import once
+from repro.hardware.platform import make_platform
+from repro.jvm.gc.generational import GenCopy
+from repro.jvm.vm import JikesRVM
+from repro.units import MB
+from repro.workloads import get_benchmark
+
+NURSERY_MB = (0.5, 1, 2, 4, 8)
+HEAP_MB = 48
+
+
+class _NurseryVM(JikesRVM):
+    """Jikes RVM with an explicit nursery size (uses the VM's
+    collector-construction hook)."""
+
+    def __init__(self, platform, nursery_bytes, **kwargs):
+        super().__init__(platform, collector="GenCopy", **kwargs)
+        self._nursery_bytes = nursery_bytes
+
+    def _make_collector(self, rng):
+        return GenCopy(self.heap_bytes, rng,
+                       nursery_bytes=self._nursery_bytes)
+
+
+def build():
+    rows = []
+    for nursery_mb in NURSERY_MB:
+        platform = make_platform("p6")
+        vm = _NurseryVM(
+            platform, nursery_bytes=int(nursery_mb * MB),
+            heap_mb=HEAP_MB, seed=42,
+        )
+        run = vm.run(get_benchmark("_213_javac"), input_scale=0.5)
+        stats = run.gc_stats
+        rows.append({
+            "nursery_mb": nursery_mb,
+            "duration_s": run.duration_s,
+            "minors": stats.minor_collections,
+            "fulls": stats.full_collections,
+            "copied_mb": stats.copied_bytes / MB,
+            "nepotism_mb": stats.nepotism_bytes / MB,
+        })
+    return rows
+
+
+def test_ablation_nursery(benchmark):
+    rows = once(benchmark, build)
+
+    lines = [
+        f"Ablation: GenCopy nursery size (javac, {HEAP_MB} MB heap, "
+        f"half input)",
+        "",
+        f"{'nursery':>8s} {'time s':>8s} {'minors':>7s} {'fulls':>6s} "
+        f"{'copied MB':>10s} {'nepotism MB':>12s}",
+        "-" * 56,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['nursery_mb']:7.1f}M {r['duration_s']:8.2f} "
+            f"{r['minors']:7d} {r['fulls']:6d} {r['copied_mb']:10.1f} "
+            f"{r['nepotism_mb']:12.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "small nurseries collect constantly; large nurseries squeeze "
+        "the mature semispaces — the bounded default (4 MB at this "
+        "heap) sits near the sweet spot"
+    )
+    emit("ablation_nursery", "\n".join(lines))
+
+    by_nursery = {r["nursery_mb"]: r for r in rows}
+    # Minor-collection count decreases monotonically with nursery size.
+    minors = [r["minors"] for r in rows]
+    assert minors == sorted(minors, reverse=True)
+    # The tiny nursery is not the fastest configuration.
+    fastest = min(rows, key=lambda r: r["duration_s"])
+    assert fastest["nursery_mb"] > 0.5

@@ -1,0 +1,100 @@
+"""Extension: memory-boundness DVFS governing (Section VII, refs
+[34]-[36]).
+
+Compares a governed run against a fixed-frequency run on a
+memory-bound benchmark (`_209_db`) and a compute-bound one
+(`_222_mpegaudio`): the governor should find downscaling opportunity
+in the former and stay at full speed in the latter.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit
+from benchmarks.conftest import once
+from repro.extensions.dvfs_governor import (
+    MemoryBoundGovernor,
+    governed_vm,
+)
+from repro.hardware.platform import make_platform
+from repro.jvm.vm import JikesRVM
+from repro.measurement.daq import DAQ
+from repro.workloads import get_benchmark
+
+
+def measure(run, platform):
+    trace = DAQ(platform, np.random.default_rng(5)).acquire(
+        run.timeline
+    )
+    energy = trace.cpu_energy_j() + trace.mem_energy_j()
+    return run.duration_s, energy
+
+
+def run_pair(benchmark):
+    plain_platform = make_platform("p6")
+    plain_vm = JikesRVM(plain_platform, collector="GenCopy",
+                        heap_mb=64, seed=42)
+    plain = measure(
+        plain_vm.run(get_benchmark(benchmark), input_scale=0.5),
+        plain_platform,
+    )
+
+    governor = MemoryBoundGovernor()
+    gov_platform = make_platform("p6")
+    gov = governed_vm(JikesRVM, gov_platform, governor,
+                      collector="GenCopy", heap_mb=64, seed=42)
+    governed = measure(
+        gov.run(get_benchmark(benchmark), input_scale=0.5),
+        gov_platform,
+    )
+    return plain, governed, governor.residency
+
+
+def build():
+    return {
+        name: run_pair(name)
+        for name in ("_209_db", "_222_mpegaudio")
+    }
+
+
+def test_ext_dvfs_governor(benchmark):
+    results = once(benchmark, build)
+
+    lines = [
+        "Extension: memory-boundness DVFS governor "
+        "('Process Cruise Control' style, paper ref [36])",
+        "",
+        f"{'benchmark':16s} {'mode':10s} {'time s':>8s} "
+        f"{'energy J':>9s} {'EDP Js':>9s}",
+        "-" * 56,
+    ]
+    for name, (plain, governed, residency) in results.items():
+        for mode, (t, e) in (("fixed", plain), ("governed",
+                                                governed)):
+            lines.append(
+                f"{name:16s} {mode:10s} {t:8.2f} {e:9.1f} "
+                f"{e * t:9.1f}"
+            )
+        res_text = ", ".join(
+            f"{scale:.2f}x:{100 * frac:.0f}%"
+            for scale, frac in residency.items()
+        )
+        lines.append(f"{'':16s} residency: {res_text}")
+    lines.append("")
+    lines.append(
+        "the governor downclocks the memory-bound benchmark (low-IPC "
+        "phases) for an energy saving at modest slowdown, and leaves "
+        "the compute-bound benchmark at full speed"
+    )
+    emit("ext_dvfs_governor", "\n".join(lines))
+
+    db_plain, db_governed, db_res = results["_209_db"]
+    mp_plain, mp_governed, mp_res = results["_222_mpegaudio"]
+
+    # Memory-bound: meaningful time at reduced frequency, energy saved.
+    assert db_res.get(1.0, 0.0) < 0.9
+    assert db_governed[1] < db_plain[1]
+    # Compute-bound: the governor keeps (nearly) full speed, so both
+    # time and energy stay within a couple percent of fixed-frequency.
+    assert mp_res.get(1.0, 0.0) > 0.8
+    assert mp_governed[0] < mp_plain[0] * 1.08

@@ -1,0 +1,81 @@
+"""Extension: Kaffe interpreter vs JIT (paper Section IV-A / ref [20]).
+
+The paper runs Kaffe in JIT mode but notes the interpreter
+configuration exists; Farkas et al. (the paper's reference [20])
+measured exactly this trade on a pocket computer.  This study runs
+both configurations on the PXA255 and reports the energy cost of
+interpretation: no JIT-compilation energy, but several times the
+execution time — and therefore several times the energy.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit
+from benchmarks.conftest import once
+from repro.hardware.platform import make_platform
+from repro.jvm.components import Component
+from repro.jvm.vm import KaffeVM
+from repro.measurement.daq import DAQ
+from repro.core.decomposition import decompose
+from repro.workloads import get_benchmark
+
+BENCHES = ("_201_compress", "_202_jess", "_228_jack")
+
+
+def run(benchmark, mode):
+    platform = make_platform("pxa255")
+    vm = KaffeVM(platform, mode=mode, heap_mb=16, seed=42)
+    result = vm.run(get_benchmark(benchmark), input_scale=0.1)
+    trace = DAQ(platform, np.random.default_rng(5)).acquire(
+        result.timeline
+    )
+    breakdown = decompose(trace, "kaffe")
+    return {
+        "time_s": result.duration_s,
+        "energy_j": trace.cpu_energy_j() + trace.mem_energy_j(),
+        "jit_frac": breakdown.fraction(Component.JIT),
+        "jit_compiles": result.jit_compiles,
+    }
+
+
+def build():
+    return {
+        name: {mode: run(name, mode) for mode in ("jit", "interp")}
+        for name in BENCHES
+    }
+
+
+def test_ext_interpreter(benchmark):
+    results = once(benchmark, build)
+
+    lines = [
+        "Extension: Kaffe interpreter vs JIT on the PXA255 "
+        "(-s10, 16 MB)",
+        "",
+        f"{'benchmark':16s} {'mode':8s} {'time s':>8s} "
+        f"{'energy J':>9s} {'JIT %':>6s}",
+        "-" * 52,
+    ]
+    for name, modes in results.items():
+        for mode, r in modes.items():
+            lines.append(
+                f"{name:16s} {mode:8s} {r['time_s']:8.1f} "
+                f"{r['energy_j']:9.2f} {100 * r['jit_frac']:6.1f}"
+            )
+    lines.append("")
+    lines.append(
+        "interpretation spends no energy compiling but several times "
+        "more executing — the reason the paper (and Farkas et al.) "
+        "measure the JIT configuration"
+    )
+    emit("ext_interpreter", "\n".join(lines))
+
+    for name, modes in results.items():
+        jit, interp = modes["jit"], modes["interp"]
+        # No JIT component in interpreter mode.
+        assert interp["jit_compiles"] == 0
+        assert interp["jit_frac"] == 0.0
+        # Interpretation costs 2-6x the time and energy.
+        assert interp["time_s"] > 2.0 * jit["time_s"], name
+        assert interp["energy_j"] > 1.8 * jit["energy_j"], name

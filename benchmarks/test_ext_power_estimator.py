@@ -1,0 +1,74 @@
+"""Extension: counter-based runtime power estimation (Section VII,
+reference [37]).
+
+Fits the linear counters->power model on one benchmark and evaluates it
+across others and across collectors — the generalization a deployable
+runtime estimator needs.
+"""
+
+import pytest
+
+from benchmarks.common import emit
+from benchmarks.conftest import once
+from repro.extensions.power_estimator import (
+    evaluate_power_model,
+    fit_power_model,
+)
+from repro.hardware.platform import make_platform
+from repro.jvm.vm import JikesRVM
+from repro.workloads import get_benchmark
+
+TRAIN = "_202_jess"
+EVAL = ("_201_compress", "_209_db", "_213_javac", "euler")
+
+
+def run(benchmark, collector="GenCopy", seed=42):
+    vm = JikesRVM(make_platform("p6"), collector=collector,
+                  heap_mb=64, seed=seed)
+    return vm.run(get_benchmark(benchmark), input_scale=0.5)
+
+
+def build():
+    training = run(TRAIN)
+    model = fit_power_model(training.timeline, "p6")
+    rows = []
+    for name in EVAL:
+        for collector in ("GenCopy", "SemiSpace"):
+            result = run(name, collector=collector)
+            mae, relative = evaluate_power_model(
+                model, result.timeline
+            )
+            rows.append((name, collector, mae, relative))
+    return model, rows
+
+
+def test_ext_power_estimator(benchmark):
+    model, rows = once(benchmark, build)
+
+    lines = [
+        "Extension: HPM-counter power estimation "
+        "(Contreras & Martonosi, ISLPED'05 / paper ref [37])",
+        "",
+        f"model (trained on {TRAIN}): {model.describe()}",
+        "",
+        f"{'benchmark':16s} {'collector':10s} {'MAE mW':>8s} "
+        f"{'rel err %':>10s}",
+        "-" * 48,
+    ]
+    for name, collector, mae, relative in rows:
+        lines.append(
+            f"{name:16s} {collector:10s} {1000 * mae:8.0f} "
+            f"{100 * relative:10.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "counter-derived power tracks true power within a few percent "
+        "across unseen benchmarks and collectors — the enabling "
+        "mechanism for the power-aware scheduling the paper proposes"
+    )
+    emit("ext_power_estimator", "\n".join(lines))
+
+    assert model.c1 > 0  # utilization correlation learned
+    assert model.training_error_w < 0.8
+    # Generalizes: every evaluation point within 8 % relative error.
+    assert all(relative < 0.08 for *_, relative in rows)

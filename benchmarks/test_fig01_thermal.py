@@ -1,0 +1,56 @@
+"""Figure 1: temperature behavior under repetitive `_222_mpegaudio`.
+
+Paper: with the fan enabled the die holds roughly 60 C; with the fan
+disabled it climbs to the 99 C trip point after about 240 seconds and
+enters emergency throttling (50 % duty cycle), "proportionally
+decreasing performance".
+"""
+
+from benchmarks.common import emit
+from benchmarks.conftest import once
+from repro.analysis.thermal import thermal_experiment
+
+
+def run_fig01():
+    fan_on = thermal_experiment(repetitions=30, fan_enabled=True)
+    fan_off = thermal_experiment(repetitions=55, fan_enabled=False)
+    return fan_on, fan_off
+
+
+def test_fig01_thermal(benchmark):
+    (res_on, trace_on), (res_off, trace_off) = once(benchmark,
+                                                    run_fig01)
+
+    t99 = trace_off.time_to(99.0)
+    lines = [
+        "Figure 1: Pentium M running repetitive _222_mpegaudio "
+        "(Jikes RVM, GenCopy)",
+        "",
+        f"{'scenario':14s} {'steady/peak C':>14s} {'t(99C) s':>10s} "
+        f"{'throttled':>10s} {'run s':>8s}",
+        "-" * 62,
+        f"{'fan enabled':14s} {trace_on.steady_c:14.1f} "
+        f"{'-':>10s} {str(trace_on.ever_throttled):>10s} "
+        f"{res_on.duration_s:8.1f}",
+        f"{'fan disabled':14s} {trace_off.peak_c:14.1f} "
+        f"{'never' if t99 is None else str(round(t99)):>10s} "
+        f"{str(trace_off.ever_throttled):>10s} "
+        f"{res_off.duration_s:8.1f}",
+        "",
+        "paper: fan on ~60 C steady; fan off reaches 99 C after "
+        "~240 s, then 50% duty-cycle throttling engages",
+    ]
+    emit("fig01_thermal", "\n".join(lines))
+
+    # Shape assertions.
+    assert not trace_on.ever_throttled
+    assert 50.0 < trace_on.steady_c < 70.0
+    assert trace_off.ever_throttled
+    assert t99 is not None and 120.0 < t99 < 400.0
+    assert trace_off.peak_c <= 101.0  # throttling caps the ramp
+    # Throttling feedback stretched the fan-off run's wall time
+    # (only the post-trip tail runs at 50% duty, so the average
+    # per-repetition stretch is a few percent).
+    per_rep_on = res_on.duration_s / 30
+    per_rep_off = res_off.duration_s / 55
+    assert per_rep_off > per_rep_on * 1.02

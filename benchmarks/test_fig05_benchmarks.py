@@ -1,0 +1,25 @@
+"""Figure 5: the benchmark table (suite, name, description)."""
+
+from benchmarks.common import emit
+from benchmarks.conftest import once
+from repro.core.report import render_table
+from repro.workloads import all_benchmarks
+
+
+def build_table():
+    rows = [
+        [spec.suite, spec.name, spec.description]
+        for spec in all_benchmarks()
+    ]
+    return render_table(
+        ["Suite", "Benchmark", "Description"], rows,
+        title="Figure 5: benchmark selection",
+    )
+
+
+def test_fig05_benchmark_table(benchmark):
+    text = once(benchmark, build_table)
+    emit("fig05_benchmarks", text)
+    assert "_222_mpegaudio" in text
+    assert "DaCapo" in text
+    assert text.count("\n") >= 17  # 16 benchmarks + header rows

@@ -1,0 +1,98 @@
+"""Figure 6: energy decomposition under Jikes RVM + SemiSpace.
+
+Paper: the JVM can consume up to ~60 % of total energy (javac, 32 MB);
+GC averages 37 % at 32 MB falling to 10 % at 128 MB on SpecJVM98, and
+32 % -> 11 % (48 -> 128 MB) on DaCapo.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    ALL_BENCHMARKS,
+    DACAPO,
+    JGF,
+    SPECJVM98,
+    emit,
+    pct,
+)
+from benchmarks.conftest import once
+from repro.jvm.components import Component
+
+SMALL_HEAP = {"SpecJVM98": 32, "DaCapo": 48, "JGF": 32}
+
+
+def suite_of(name):
+    if name in SPECJVM98:
+        return "SpecJVM98"
+    if name in DACAPO:
+        return "DaCapo"
+    return "JGF"
+
+
+def build(cache):
+    records = {}
+    for name in ALL_BENCHMARKS:
+        for heap in (SMALL_HEAP[suite_of(name)], 128):
+            records[(name, heap)] = cache.get(
+                name, collector="SemiSpace", heap_mb=heap
+            )
+    return records
+
+
+def test_fig06_energy_decomposition(benchmark, cache):
+    records = once(benchmark, lambda: build(cache))
+
+    lines = [
+        "Figure 6: energy decomposition, Jikes RVM + SemiSpace",
+        "",
+        f"{'benchmark':16s} {'heap':>5s} {'Opt%':>6s} {'Base%':>6s} "
+        f"{'CL%':>6s} {'GC%':>6s} {'App%':>6s} {'JVM%':>6s}",
+        "-" * 62,
+    ]
+    gc_sums = {}
+    for (name, heap), rec in records.items():
+        app = 1.0 - rec.jvm_fraction
+        lines.append(
+            f"{name:16s} {heap:5d} {pct(rec.frac(Component.OPT))} "
+            f"{pct(rec.frac(Component.BASE))} "
+            f"{pct(rec.frac(Component.CL))} "
+            f"{pct(rec.frac(Component.GC))} {pct(app)} "
+            f"{pct(rec.jvm_fraction)}"
+        )
+        key = (suite_of(name), heap)
+        gc_sums.setdefault(key, []).append(rec.frac(Component.GC))
+    lines.append("")
+    for (suite, heap), fracs in sorted(gc_sums.items()):
+        avg = sum(fracs) / len(fracs)
+        lines.append(
+            f"suite avg GC energy: {suite:10s} @ {heap:3d} MB = "
+            f"{pct(avg)}%"
+        )
+    lines.append("")
+    lines.append(
+        "paper: SpecJVM98 GC avg 37% @32 -> 10% @128; DaCapo 32% @48 "
+        "-> 11% @128; JVM max ~60% (_213_javac @32)"
+    )
+    emit("fig06_energy_decomposition", "\n".join(lines))
+
+    # Shape assertions.
+    spec_small = gc_sums[("SpecJVM98", 32)]
+    spec_large = gc_sums[("SpecJVM98", 128)]
+    assert sum(spec_small) / 7 > 0.20
+    assert sum(spec_large) / 7 < 0.12
+    assert sum(spec_small) > 3 * sum(spec_large)
+
+    dacapo_small = sum(gc_sums[("DaCapo", 48)]) / 5
+    dacapo_large = sum(gc_sums[("DaCapo", 128)]) / 5
+    assert 0.2 < dacapo_small < 0.45
+    assert 0.05 < dacapo_large < 0.18
+
+    javac = records[("_213_javac", 32)]
+    assert javac.jvm_fraction > 0.45  # the "up to 60 %" headline
+    assert javac.jvm_fraction == max(
+        r.jvm_fraction for r in records.values()
+    )
+
+    # Base compiler is a sub-percent consumer nearly everywhere.
+    base_fracs = [r.frac(Component.BASE) for r in records.values()]
+    assert sum(base_fracs) / len(base_fracs) < 0.01

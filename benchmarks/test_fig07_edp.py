@@ -1,0 +1,106 @@
+"""Figure 7: energy-delay product vs heap size, all four collectors.
+
+Paper: generational collectors offer the best EDP; non-generational
+collectors approach them as the heap grows; EDP falls steeply with heap
+size where the GC dominates ("quadratic effect").
+"""
+
+import math
+
+import pytest
+
+from benchmarks.common import (
+    ALL_BENCHMARKS,
+    DACAPO,
+    JIKES_HEAPS,
+    emit,
+)
+from benchmarks.conftest import once
+
+COLLECTORS = ("SemiSpace", "MarkSweep", "GenCopy", "GenMS")
+
+
+def heaps_for(name):
+    # DaCapo sweeps start at 48 MB in the paper's figures.
+    if name in DACAPO:
+        return tuple(h for h in JIKES_HEAPS if h >= 48)
+    return JIKES_HEAPS
+
+
+def build(cache):
+    grid = {}
+    for name in ALL_BENCHMARKS:
+        for collector in COLLECTORS:
+            for heap in heaps_for(name):
+                grid[(name, collector, heap)] = cache.get(
+                    name, collector=collector, heap_mb=heap
+                )
+    return grid
+
+
+def test_fig07_edp(benchmark, cache):
+    grid = once(benchmark, lambda: build(cache))
+
+    lines = ["Figure 7: EDP (joule-seconds) vs heap size, Jikes RVM",
+             ""]
+    for name in ALL_BENCHMARKS:
+        heaps = heaps_for(name)
+        lines.append(name)
+        header = f"  {'collector':10s}" + "".join(
+            f"{h:>9d}" for h in heaps
+        )
+        lines.append(header)
+        for collector in COLLECTORS:
+            cells = []
+            for heap in heaps:
+                rec = grid[(name, collector, heap)]
+                cells.append(
+                    f"{'OOM':>9s}" if rec.oom else f"{rec.edp:9.0f}"
+                )
+            lines.append(f"  {collector:10s}" + "".join(cells))
+        lines.append("")
+    lines.append(
+        "paper: generational collectors give the best EDP; "
+        "non-generational efficiency approaches generational as the "
+        "heap grows"
+    )
+    emit("fig07_edp", "\n".join(lines))
+
+    # Shape assertions (ignoring OOM cells).
+    def edp(name, collector, heap):
+        rec = grid[(name, collector, heap)]
+        return math.inf if rec.oom else rec.edp
+
+    small = heaps_for("_213_javac")[0]
+    large = heaps_for("_213_javac")[-1]
+
+    # 1. Generational collectors win at the smallest heap for the
+    #    allocation-heavy benchmarks.
+    for name in ("_213_javac", "_202_jess", "_227_mtrt", "jython"):
+        h = heaps_for(name)[0]
+        best_gen = min(edp(name, "GenCopy", h), edp(name, "GenMS", h))
+        worst_nongen = max(
+            edp(name, "SemiSpace", h), edp(name, "MarkSweep", h)
+        )
+        assert best_gen < worst_nongen, name
+
+    # 2. The gap closes at the largest heap: SemiSpace comes within
+    #    ~20 % of GenCopy for most benchmarks.
+    close = 0
+    for name in ALL_BENCHMARKS:
+        h = heaps_for(name)[-1]
+        if edp(name, "SemiSpace", h) <= 1.2 * edp(name, "GenCopy", h):
+            close += 1
+    assert close >= 12
+
+    # 3. EDP is non-increasing (within noise) with heap size for
+    #    SemiSpace on GC-bound benchmarks.
+    for name in ("_213_javac", "_227_mtrt", "jython", "pmd"):
+        series = [edp(name, "SemiSpace", h) for h in heaps_for(name)]
+        finite = [v for v in series if math.isfinite(v)]
+        assert finite[0] == max(finite)
+        assert finite[-1] == min(finite)
+
+    # 4. Every configuration that the paper plots actually ran.
+    ran = sum(0 if rec.oom else 1 for rec in grid.values())
+    assert ran == len(grid)

@@ -1,0 +1,86 @@
+"""Figure 8: average and peak power per component (Jikes + GenCopy).
+
+Paper: the GC is one of the least power-hungry components; component
+power varies little from benchmark to benchmark; for most benchmarks
+the *application* sets the peak power — `_209_db` excepted, where the
+GC peaks at 17.5 W.
+"""
+
+import pytest
+
+from benchmarks.common import ALL_BENCHMARKS, emit
+from benchmarks.conftest import once
+from repro.jvm.components import Component
+
+HEAP = 64
+
+
+def build(cache):
+    return {
+        name: cache.get(name, collector="GenCopy", heap_mb=HEAP)
+        for name in ALL_BENCHMARKS
+    }
+
+
+def test_fig08_power(benchmark, cache):
+    records = once(benchmark, lambda: build(cache))
+
+    lines = [
+        f"Figure 8: component power, Jikes RVM + GenCopy @ {HEAP} MB",
+        "",
+        f"{'benchmark':16s} {'avgApp':>7s} {'avgGC':>7s} {'avgCL':>7s}"
+        f" {'pkApp':>7s} {'pkGC':>7s} {'pkCL':>7s} {'peak by':>8s}",
+        "-" * 70,
+    ]
+    peak_by_app = 0
+    db_gc_peak = None
+    for name, rec in records.items():
+        avg = rec.avg_power
+        peak = rec.peak_power
+
+        def g(table, comp):
+            return table.get(comp, float("nan"))
+
+        peak_comp = max(peak, key=peak.get)
+        if peak_comp == Component.APP:
+            peak_by_app += 1
+        if name == "_209_db":
+            db_gc_peak = peak.get(Component.GC)
+        lines.append(
+            f"{name:16s} {g(avg, Component.APP):7.2f} "
+            f"{g(avg, Component.GC):7.2f} "
+            f"{g(avg, Component.CL):7.2f} "
+            f"{g(peak, Component.APP):7.2f} "
+            f"{g(peak, Component.GC):7.2f} "
+            f"{g(peak, Component.CL):7.2f} "
+            f"{peak_comp.short_name:>8s}"
+        )
+    lines.append("")
+    lines.append(
+        "paper: GC is the least power-hungry component; peak power is "
+        "set by the application except _209_db (GC peak 17.5 W)"
+    )
+    emit("fig08_power", "\n".join(lines))
+
+    # GC draws less average power than the app on nearly every bench.
+    cooler = sum(
+        1 for rec in records.values()
+        if Component.GC in rec.avg_power
+        and rec.avg_power[Component.GC]
+        < rec.avg_power[Component.APP]
+    )
+    assert cooler >= 13
+
+    # Component power varies little benchmark to benchmark.
+    gc_powers = [
+        rec.avg_power[Component.GC] for rec in records.values()
+        if Component.GC in rec.avg_power
+    ]
+    assert max(gc_powers) - min(gc_powers) < 2.5
+
+    # Peak power comes from the application for most benchmarks...
+    assert peak_by_app >= 10
+    # ...but _209_db's GC sets the envelope, near the paper's 17.5 W.
+    db = records["_209_db"]
+    assert db.peak_power[Component.GC] > db.peak_power[Component.APP]
+    assert 15.0 < db_gc_peak < 20.0

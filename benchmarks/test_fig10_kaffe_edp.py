@@ -1,0 +1,53 @@
+"""Figure 10: Kaffe EDP vs heap size on the Pentium M.
+
+Paper: "EDP changes little when increasing the heap size" — the GC is
+such a small share of Kaffe's runtime that larger heaps barely help.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.common import ALL_BENCHMARKS, JIKES_HEAPS, emit
+from benchmarks.conftest import once
+
+
+def build(cache):
+    grid = {}
+    for name in ALL_BENCHMARKS:
+        for heap in JIKES_HEAPS:
+            grid[(name, heap)] = cache.get(
+                name, vm="kaffe", heap_mb=heap
+            )
+    return grid
+
+
+def test_fig10_kaffe_edp(benchmark, cache):
+    grid = once(benchmark, lambda: build(cache))
+
+    lines = [
+        "Figure 10: Kaffe EDP (joule-seconds) vs heap size on P6",
+        "",
+        f"{'benchmark':16s}" + "".join(f"{h:>9d}" for h in JIKES_HEAPS),
+        "-" * (16 + 9 * len(JIKES_HEAPS)),
+    ]
+    spreads = {}
+    for name in ALL_BENCHMARKS:
+        series = [grid[(name, h)].edp for h in JIKES_HEAPS]
+        spreads[name] = (max(series) - min(series)) / max(series)
+        lines.append(
+            f"{name:16s}" + "".join(f"{v:9.0f}" for v in series)
+        )
+    lines.append("")
+    lines.append(
+        "relative spread (max-min)/max per benchmark: "
+        + ", ".join(f"{n}={s:.2f}" for n, s in spreads.items())
+    )
+    lines.append("paper: nearly constant EDP across heap sizes")
+    emit("fig10_kaffe_edp", "\n".join(lines))
+
+    # Flatness: median spread well under the Jikes equivalents (which
+    # routinely halve or quarter EDP when the heap grows).
+    assert statistics.median(spreads.values()) < 0.35
+    flat = sum(1 for s in spreads.values() if s < 0.45)
+    assert flat >= 12

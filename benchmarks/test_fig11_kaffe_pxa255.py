@@ -1,0 +1,90 @@
+"""Figure 11: Kaffe on the Intel XScale PXA255 (SpecJVM98 -s10).
+
+Paper: the class loader becomes the largest JVM energy consumer (18 %
+average over the five benchmarks); GC and JIT average about 5 % each.
+The GC is the most power-hungry component (~270 mW, ~7 % above the
+application); the class loader draws the least power.
+"""
+
+import pytest
+
+from benchmarks.common import PXA_HEAPS, emit, pct
+from benchmarks.conftest import once
+from repro.jvm.components import Component
+from repro.workloads.specjvm98 import (
+    PXA255_BENCHMARKS,
+    S10_INPUT_SCALE,
+)
+
+HEAP = 16
+
+
+def build(cache):
+    records = {}
+    for name in PXA255_BENCHMARKS:
+        records[name] = cache.get(
+            name, vm="kaffe", platform="pxa255", heap_mb=HEAP,
+            input_scale=S10_INPUT_SCALE,
+        )
+    # Heap sweep for one benchmark to mirror the reduced ladder.
+    sweep = {
+        heap: cache.get(
+            "_213_javac", vm="kaffe", platform="pxa255",
+            heap_mb=heap, input_scale=S10_INPUT_SCALE,
+        )
+        for heap in PXA_HEAPS
+    }
+    return records, sweep
+
+
+def test_fig11_kaffe_pxa255(benchmark, cache):
+    records, sweep = once(benchmark, lambda: build(cache))
+
+    lines = [
+        f"Figure 11: Kaffe on the PXA255 (-s10, {HEAP} MB heap)",
+        "",
+        f"{'benchmark':16s} {'GC%':>6s} {'CL%':>6s} {'JIT%':>6s} "
+        f"{'P.app mW':>9s} {'P.gc mW':>8s} {'P.cl mW':>8s}",
+        "-" * 60,
+    ]
+    cl_fracs, gc_fracs, jit_fracs = [], [], []
+    for name, rec in records.items():
+        cl_fracs.append(rec.frac(Component.CL))
+        gc_fracs.append(rec.frac(Component.GC))
+        jit_fracs.append(rec.frac(Component.JIT))
+        lines.append(
+            f"{name:16s} {pct(rec.frac(Component.GC))} "
+            f"{pct(rec.frac(Component.CL))} "
+            f"{pct(rec.frac(Component.JIT))} "
+            f"{1000 * rec.avg_power.get(Component.APP, 0):9.0f} "
+            f"{1000 * rec.avg_power.get(Component.GC, 0):8.0f} "
+            f"{1000 * rec.avg_power.get(Component.CL, 0):8.0f}"
+        )
+    n = len(records)
+    lines.append("")
+    lines.append(
+        f"averages: CL {pct(sum(cl_fracs) / n)}% (paper 18%), GC "
+        f"{pct(sum(gc_fracs) / n)}% (paper 5%), JIT "
+        f"{pct(sum(jit_fracs) / n)}% (paper 5%)"
+    )
+    lines.append("")
+    lines.append("javac EDP vs heap (reduced ladder): " + ", ".join(
+        f"{h}MB={sweep[h].edp:.1f}" for h in PXA_HEAPS
+    ))
+    emit("fig11_kaffe_pxa255", "\n".join(lines))
+
+    # CL is the dominant JVM component on the embedded platform.
+    assert sum(cl_fracs) / n > 0.10
+    assert sum(cl_fracs) > sum(gc_fracs)
+    assert sum(cl_fracs) > sum(jit_fracs)
+    assert 0.01 < sum(gc_fracs) / n < 0.10
+    assert 0.01 < sum(jit_fracs) / n < 0.10
+
+    # The GC draws the most power; the class loader the least.
+    for rec in records.values():
+        gc_p = rec.avg_power[Component.GC]
+        cl_p = rec.avg_power[Component.CL]
+        app_p = rec.avg_power[Component.APP]
+        assert gc_p > app_p
+        assert cl_p < app_p
+        assert 0.2 < gc_p < 0.35  # ~270 mW in the paper

@@ -1,0 +1,82 @@
+"""Section IV: methodology-level measurements.
+
+Regenerates the paper's stated instrumentation facts — idle power levels
+(Section IV-D), sampling periods, and instrumentation perturbation — and
+adds the validation the paper could not do on real hardware: measured
+per-component energy vs simulated ground truth as a function of the DAQ
+sampling period.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit
+from benchmarks.conftest import once
+from repro.analysis.validation import attribution_error
+from repro.hardware.platform import make_platform
+from repro.jvm.vm import JikesRVM
+from repro.workloads import get_benchmark
+
+
+def build():
+    p6 = make_platform("p6")
+    pxa = make_platform("pxa255")
+    vm = JikesRVM(p6, collector="GenCopy", heap_mb=64, seed=42)
+    run = vm.run(get_benchmark("_202_jess"))
+    reports = {
+        period: attribution_error(run, p6, sample_period_s=period)
+        for period in (40e-6, 200e-6, 1e-3, 10e-3)
+    }
+    return p6, pxa, run, reports
+
+
+def test_sec4_methodology(benchmark):
+    p6, pxa, run, reports = once(benchmark, build)
+
+    lines = [
+        "Section IV: measurement methodology",
+        "",
+        "idle power (paper: P6 CPU 4.5 W / RAM 250 mW; PXA255 CPU "
+        "~70 mW / RAM ~5 mW):",
+        f"  P6     CPU {p6.idle_cpu_power_w():6.3f} W   RAM "
+        f"{1000 * p6.idle_mem_power_w():6.1f} mW",
+        f"  PXA255 CPU {pxa.idle_cpu_power_w():6.3f} W   RAM "
+        f"{1000 * pxa.idle_mem_power_w():6.1f} mW",
+        "",
+        f"HPM sampling: P6 {p6.hpm_period_s * 1000:.0f} ms, PXA255 "
+        f"{pxa.hpm_period_s * 1000:.0f} ms (paper: 1 ms / 10 ms)",
+        "",
+        "instrumentation perturbation (parallel-port component-ID "
+        "writes):",
+        f"  port writes: {run.port_writes}, cycles: "
+        f"{run.perturbation_cycles} "
+        f"({100 * run.perturbation_cycles / run.timeline.total_cycles:.3f}"
+        f"% of the run)",
+        "",
+        "attribution error vs DAQ sampling period (energy credited to "
+        "the wrong component):",
+    ]
+    for period, report in sorted(reports.items()):
+        lines.append(
+            f"  {period * 1e6:7.0f} us: "
+            f"{100 * report.total_misattribution_fraction():6.2f}%"
+        )
+    lines.append("")
+    lines.append(
+        "paper: 40 us sampling 'accurately captures all important "
+        "behavior' since component durations are 100s of us"
+    )
+    emit("sec4_methodology", "\n".join(lines))
+
+    assert p6.idle_cpu_power_w() == pytest.approx(4.5)
+    assert pxa.idle_cpu_power_w() == pytest.approx(0.070)
+    # Low perturbation: well under 1 % of cycles.
+    assert run.perturbation_cycles / run.timeline.total_cycles < 0.01
+    # 40 us sampling attributes energy accurately...
+    assert reports[40e-6].total_misattribution_fraction() < 0.05
+    # ...and error grows monotonically with the sampling period.
+    errors = [
+        reports[p].total_misattribution_fraction()
+        for p in (40e-6, 200e-6, 1e-3, 10e-3)
+    ]
+    assert errors[0] < errors[-1]

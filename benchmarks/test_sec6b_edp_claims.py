@@ -1,0 +1,104 @@
+"""Section VI-B: the specific energy-efficiency comparisons.
+
+Paper numbers checked for shape:
+
+* GenMS over SemiSpace improves javac's EDP by as much as 70 % @32 MB;
+* `_209_db`: SemiSpace beats the best GenCopy point by ~5 % @128 MB;
+* growing 32 -> 48 MB cuts SemiSpace EDP by 56/50/27 % on
+  javac/mtrt/euler, versus only 20/2/3 % for GenCopy;
+* memory energy is ~7 % (SpecJVM98), ~5 % (DaCapo), ~8 % (JGF) of CPU
+  energy.
+"""
+
+import pytest
+
+from benchmarks.common import DACAPO, JGF, SPECJVM98, emit
+from benchmarks.conftest import once
+from repro.jvm.components import Component
+
+
+def build(cache):
+    drops = {}
+    for name in ("_213_javac", "_227_mtrt", "euler"):
+        for collector in ("SemiSpace", "GenCopy"):
+            a = cache.get(name, collector=collector, heap_mb=32)
+            b = cache.get(name, collector=collector, heap_mb=48)
+            drops[(name, collector)] = 1 - b.edp / a.edp
+    genms = cache.get("_213_javac", collector="GenMS", heap_mb=32)
+    ss = cache.get("_213_javac", collector="SemiSpace", heap_mb=32)
+    genms_gain = 1 - genms.edp / ss.edp
+
+    db_ss = cache.get("_209_db", collector="SemiSpace", heap_mb=128)
+    db_gc = cache.get("_209_db", collector="GenCopy", heap_mb=128)
+    db_gain = 1 - db_ss.edp / db_gc.edp
+
+    mem_ratio = {}
+    for suite, names, heap in (("SpecJVM98", SPECJVM98, 32),
+                               ("DaCapo", DACAPO, 48),
+                               ("JGF", JGF, 32)):
+        recs = [
+            cache.get(n, collector="SemiSpace", heap_mb=heap)
+            for n in names
+        ]
+        mem_ratio[suite] = sum(r.mem_ratio for r in recs) / len(recs)
+    return drops, genms_gain, db_gain, mem_ratio
+
+
+def test_sec6b_edp_claims(benchmark, cache):
+    drops, genms_gain, db_gain, mem_ratio = once(
+        benchmark, lambda: build(cache)
+    )
+
+    paper_ss = {"_213_javac": 0.56, "_227_mtrt": 0.50, "euler": 0.27}
+    paper_gen = {"_213_javac": 0.20, "_227_mtrt": 0.02, "euler": 0.03}
+    lines = [
+        "Section VI-B: EDP comparisons",
+        "",
+        "EDP reduction when growing the heap 32 -> 48 MB:",
+        f"{'benchmark':12s} {'SemiSpace':>10s} {'paper':>7s} "
+        f"{'GenCopy':>9s} {'paper':>7s}",
+        "-" * 48,
+    ]
+    for name in ("_213_javac", "_227_mtrt", "euler"):
+        lines.append(
+            f"{name:12s} {100 * drops[(name, 'SemiSpace')]:9.1f}% "
+            f"{100 * paper_ss[name]:6.0f}% "
+            f"{100 * drops[(name, 'GenCopy')]:8.1f}% "
+            f"{100 * paper_gen[name]:6.0f}%"
+        )
+    lines += [
+        "",
+        f"GenMS vs SemiSpace EDP @32 MB (javac): "
+        f"{100 * genms_gain:.1f}% better (paper: ~70%)",
+        f"_209_db @128 MB: SemiSpace beats GenCopy by "
+        f"{100 * db_gain:.1f}% (paper: ~5%)",
+        "",
+        "memory energy / CPU energy by suite "
+        "(paper: 7% / 5% / 8%):",
+    ] + [
+        f"  {suite:10s} {100 * ratio:5.1f}%"
+        for suite, ratio in mem_ratio.items()
+    ]
+    emit("sec6b_edp_claims", "\n".join(lines))
+
+    # SemiSpace drops are large and ordered javac > mtrt > euler.
+    assert drops[("_213_javac", "SemiSpace")] > 0.40
+    assert drops[("_227_mtrt", "SemiSpace")] > 0.35
+    assert 0.10 < drops[("euler", "SemiSpace")] < 0.45
+    assert (
+        drops[("_213_javac", "SemiSpace")]
+        > drops[("_227_mtrt", "SemiSpace")]
+        > drops[("euler", "SemiSpace")]
+    )
+    # GenCopy is far flatter than SemiSpace on every one of them.
+    for name in ("_213_javac", "_227_mtrt", "euler"):
+        assert (
+            drops[(name, "GenCopy")]
+            < drops[(name, "SemiSpace")] * 0.75
+        )
+    # Generational advantage at 32 MB, db crossover at 128 MB.
+    assert genms_gain > 0.4
+    assert 0.0 < db_gain < 0.25
+    # Memory energy ratios in the paper's band.
+    for suite, ratio in mem_ratio.items():
+        assert 0.02 < ratio < 0.15, suite

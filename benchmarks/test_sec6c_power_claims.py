@@ -1,0 +1,103 @@
+"""Section VI-C: power/utilization correlation claims.
+
+Paper numbers checked for shape:
+
+* average GC power by collector: GenCopy 12.8 W, SemiSpace 12.3 W,
+  GenMS 12.7 W, MarkSweep 11.7 W — non-generational collectors draw
+  less power on average (more stall time), but run longer;
+* GC L2 miss rate ~54-56 % vs class loader 12-21 %;
+* application IPC ~0.8, GC IPC ~0.55;
+* class loader / compilers draw more power than the GC but less than
+  the application.
+"""
+
+import pytest
+
+from benchmarks.common import emit
+from benchmarks.conftest import once
+from repro.jvm.components import Component
+
+BENCHES = ("_202_jess", "_209_db", "_213_javac", "_227_mtrt")
+COLLECTORS = ("GenCopy", "SemiSpace", "GenMS", "MarkSweep")
+PAPER_GC_POWER = {
+    "GenCopy": 12.8, "SemiSpace": 12.3, "GenMS": 12.7,
+    "MarkSweep": 11.7,
+}
+
+
+def build(cache):
+    by_collector = {}
+    for collector in COLLECTORS:
+        recs = [
+            cache.get(name, collector=collector, heap_mb=64)
+            for name in BENCHES
+        ]
+        gc_p = [r.avg_power[Component.GC] for r in recs
+                if Component.GC in r.avg_power]
+        by_collector[collector] = {
+            "gc_power": sum(gc_p) / len(gc_p),
+            "gc_seconds_proxy": sum(r.duration_s for r in recs),
+        }
+    # Microarchitectural table from the GenCopy runs.
+    micro = {}
+    for name in BENCHES:
+        rec = cache.get(name, collector="GenCopy", heap_mb=64)
+        micro[name] = rec
+    return by_collector, micro
+
+
+def test_sec6c_power_claims(benchmark, cache):
+    by_collector, micro = once(benchmark, lambda: build(cache))
+
+    lines = [
+        "Section VI-C: power and utilization",
+        "",
+        "average GC power by collector (paper values in parens):",
+    ]
+    for collector in COLLECTORS:
+        lines.append(
+            f"  {collector:10s} "
+            f"{by_collector[collector]['gc_power']:6.2f} W "
+            f"({PAPER_GC_POWER[collector]:.1f} W)"
+        )
+    lines += [
+        "",
+        "per-component microarchitecture (Jikes + GenCopy @ 64 MB):",
+        f"{'benchmark':14s} {'appIPC':>7s} {'gcIPC':>7s} "
+        f"{'appL2%':>7s} {'gcL2%':>7s} {'clL2%':>7s}",
+        "-" * 52,
+    ]
+    for name, rec in micro.items():
+        lines.append(
+            f"{name:14s} {rec.ipc.get(Component.APP, 0):7.2f} "
+            f"{rec.ipc.get(Component.GC, 0):7.2f} "
+            f"{100 * rec.l2_miss.get(Component.APP, 0):7.1f} "
+            f"{100 * rec.l2_miss.get(Component.GC, 0):7.1f} "
+            f"{100 * rec.l2_miss.get(Component.CL, 0):7.1f}"
+        )
+    lines.append("")
+    lines.append(
+        "paper: app IPC ~0.8 / L2 miss ~11%; GC IPC ~0.55 / L2 miss "
+        "54-56%; CL L2 miss 12-21%"
+    )
+    emit("sec6c_power_claims", "\n".join(lines))
+
+    powers = {c: by_collector[c]["gc_power"] for c in COLLECTORS}
+    # Within a watt of every paper value.
+    for collector, value in powers.items():
+        assert value == pytest.approx(PAPER_GC_POWER[collector],
+                                      abs=1.0), collector
+    # MarkSweep is the least power-hungry collector; generational
+    # collectors draw more than their non-generational counterparts.
+    assert powers["MarkSweep"] == min(powers.values())
+    assert powers["GenCopy"] > powers["SemiSpace"]
+    assert powers["GenMS"] > powers["MarkSweep"]
+
+    # Microarchitecture: averaged over the GC-heavy benchmarks.
+    app_ipc = sum(r.ipc[Component.APP] for r in micro.values()) / 4
+    gc_ipc = sum(r.ipc[Component.GC] for r in micro.values()) / 4
+    gc_miss = sum(r.l2_miss[Component.GC] for r in micro.values()) / 4
+    assert 0.6 < app_ipc < 1.0
+    assert 0.4 < gc_ipc < 0.7
+    assert gc_ipc < app_ipc
+    assert 0.40 < gc_miss < 0.70

@@ -1,0 +1,63 @@
+"""Runtime power estimation from performance counters (Section VII).
+
+The paper's closing future-work item cites the authors' own ISLPED'05
+technique (reference [37]): estimate processor power at run time as a
+linear function of hardware-performance-counter rates, so that a
+power-aware scheduler needs no sense resistors.
+
+This example trains the model on one benchmark, then predicts the
+power of different benchmarks — and of different *collectors* — from
+counters alone, reporting the estimation error against the simulator's
+ground truth.
+
+Run with::
+
+    python examples/counter_power_model.py
+"""
+
+from repro.core.report import render_table
+from repro.extensions.power_estimator import (
+    evaluate_power_model,
+    fit_power_model,
+)
+from repro.hardware.platform import make_platform
+from repro.jvm.vm import JikesRVM
+from repro.workloads import get_benchmark
+
+
+def run(benchmark, collector="GenCopy"):
+    vm = JikesRVM(make_platform("p6"), collector=collector,
+                  heap_mb=64, seed=42)
+    return vm.run(get_benchmark(benchmark), input_scale=0.4)
+
+
+def main():
+    print("Training on _202_jess (Jikes RVM, GenCopy, 64 MB) ...")
+    training = run("_202_jess")
+    model = fit_power_model(training.timeline, "p6")
+    print(f"  {model.describe()}\n")
+
+    rows = []
+    for name in ("_201_compress", "_209_db", "_222_mpegaudio",
+                 "moldyn"):
+        for collector in ("GenCopy", "MarkSweep"):
+            result = run(name, collector)
+            mae, relative = evaluate_power_model(
+                model, result.timeline
+            )
+            rows.append([name, collector, 1000 * mae,
+                         100 * relative])
+    print(render_table(
+        ["benchmark", "collector", "MAE mW", "relative %"], rows,
+        title="Prediction error on unseen workloads:",
+        float_fmt="{:.1f}",
+    ))
+    print(
+        "\nA two-counter linear model (IPC + memory rate) tracks true "
+        "power within a few percent — accurate enough to drive DVFS "
+        "or thermal policies without measurement hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Dynamic voltage/frequency scaling exploration (paper Section VII).
+
+The paper lists DVFS as future work: "a very effective tool in
+leveraging energy for performance."  The simulated Pentium M supports
+DVFS operating points, so this example runs the same benchmark across
+a frequency ladder and reports the energy/performance trade-off —
+including the energy-delay product, which identifies the operating
+point where slowing down stops paying.
+
+Run with::
+
+    python examples/dvfs_exploration.py [benchmark]
+"""
+
+import sys
+
+from repro import run_experiment
+from repro.core.report import render_table
+
+FREQ_SCALES = (1.0, 0.85, 0.7, 0.55, 0.4)
+
+
+def main(benchmark="_227_mtrt"):
+    print(f"DVFS ladder for {benchmark} (Jikes RVM, GenCopy, 64 MB, "
+          f"half input):\n")
+    rows = []
+    baseline = None
+    for scale in FREQ_SCALES:
+        result = run_experiment(
+            benchmark, collector="GenCopy", heap_mb=64,
+            input_scale=0.5, dvfs_freq_scale=scale,
+        )
+        duration = result.duration_s
+        energy = result.total_energy_j
+        edp = result.edp
+        if baseline is None:
+            baseline = (duration, energy)
+        rows.append([
+            f"{scale:.2f}",
+            1.6 * scale,
+            duration,
+            energy,
+            edp,
+            100 * (1 - energy / baseline[1]),
+            100 * (duration / baseline[0] - 1),
+        ])
+    print(render_table(
+        ["f scale", "GHz", "time s", "energy J", "EDP Js",
+         "energy saved %", "slowdown %"],
+        rows,
+    ))
+    best = min(rows, key=lambda r: r[4])
+    print(
+        f"\nLowest EDP at {best[1]:.2f} GHz: below that point the "
+        f"slowdown outweighs the energy saved (idle power and memory "
+        f"energy accrue with time)."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "_227_mtrt")

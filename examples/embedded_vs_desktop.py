@@ -1,0 +1,88 @@
+"""Kaffe on a desktop CPU vs an embedded CPU (Sections VI-D and VI-E).
+
+Runs the same benchmarks under Kaffe on both simulated platforms — the
+1.6 GHz Pentium M board and the 400 MHz PXA255 board (with the paper's
+reduced -s10 inputs and 16 MB heap) — and contrasts:
+
+* which JVM component dominates energy (the class loader takes over on
+  the embedded platform), and
+* the component power ordering (the GC flips from the least power-
+  hungry component on the P6 to the most power-hungry on the XScale).
+
+Run with::
+
+    python examples/embedded_vs_desktop.py
+"""
+
+from repro import run_experiment
+from repro.core.report import render_table
+from repro.jvm.components import Component
+
+BENCHMARKS = ("_201_compress", "_202_jess", "_213_javac")
+
+
+def run_platform(platform, heap_mb, input_scale):
+    rows = []
+    power_rows = []
+    for name in BENCHMARKS:
+        result = run_experiment(
+            name, vm="kaffe", platform=platform, heap_mb=heap_mb,
+            input_scale=input_scale,
+        )
+        b = result.breakdown
+        rows.append([
+            name,
+            100 * b.fraction(Component.GC),
+            100 * b.fraction(Component.CL),
+            100 * b.fraction(Component.JIT),
+            result.duration_s,
+        ])
+        avg = result.power.component_avg_power_w()
+        power_rows.append([
+            name,
+            1000 * avg.get(int(Component.APP), 0),
+            1000 * avg.get(int(Component.GC), 0),
+            1000 * avg.get(int(Component.CL), 0),
+            1000 * avg.get(int(Component.JIT), 0),
+        ])
+    return rows, power_rows
+
+
+def main():
+    print("Kaffe on the P6 platform (full inputs, 64 MB heap):")
+    rows, power = run_platform("p6", heap_mb=64, input_scale=1.0)
+    print(render_table(
+        ["benchmark", "GC %", "CL %", "JIT %", "time s"], rows,
+        float_fmt="{:.1f}",
+    ))
+    print(render_table(
+        ["benchmark", "App mW", "GC mW", "CL mW", "JIT mW"], power,
+        float_fmt="{:.0f}",
+        title="\ncomponent power (the GC draws the LEAST here):",
+    ))
+
+    print("\nKaffe on the DBPXA255 board (-s10 inputs, 16 MB heap):")
+    rows, power = run_platform("pxa255", heap_mb=16, input_scale=0.1)
+    print(render_table(
+        ["benchmark", "GC %", "CL %", "JIT %", "time s"], rows,
+        float_fmt="{:.1f}",
+    ))
+    print(render_table(
+        ["benchmark", "App mW", "GC mW", "CL mW", "JIT mW"], power,
+        float_fmt="{:.0f}",
+        title="\ncomponent power (the GC draws the MOST here, the "
+              "class loader the least):",
+    ))
+
+    print(
+        "\nTakeaway (Section VI-E): on the embedded platform the "
+        "class loader becomes the dominant JVM energy consumer — "
+        "Kaffe lazily loads system classes through a slow storage "
+        "path while the short -s10 runs give it little application "
+        "time to amortize against.  Improving class loading is the "
+        "top energy lever for embedded JVMs."
+    )
+
+
+if __name__ == "__main__":
+    main()

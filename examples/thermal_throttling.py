@@ -1,0 +1,80 @@
+"""Thermal emergency on fan failure (the paper's Figure 1).
+
+Runs repetitive `_222_mpegaudio` under the Jikes RVM (GenCopy) on the
+simulated Pentium M board, once with the fan enabled and once with it
+disabled, and plots the die temperature as ASCII art.  With the fan
+disabled the die crosses the 99 C trip point after a few minutes and
+the processor halves its clock duty cycle.
+
+Run with::
+
+    python examples/thermal_throttling.py [--fast]
+"""
+
+import sys
+
+from repro.analysis.thermal import thermal_experiment
+
+
+def ascii_plot(trace, height=12, width=72):
+    """Render a temperature trace as an ASCII line chart."""
+    temps = trace.temperature_c
+    times = trace.times_s
+    t_min, t_max = 30.0, 105.0
+    lines = []
+    step = max(1, len(temps) // width)
+    samples = temps[::step][:width]
+    throttles = trace.throttled[::step][:width]
+    for row in range(height, -1, -1):
+        level = t_min + (t_max - t_min) * row / height
+        cells = []
+        for temp, throttled in zip(samples, throttles):
+            if abs(temp - level) <= (t_max - t_min) / (2 * height):
+                cells.append("#" if throttled else "*")
+            elif abs(level - 99.0) < 1.0:
+                cells.append("-")  # the trip line
+            else:
+                cells.append(" ")
+        lines.append(f"{level:5.0f}C |" + "".join(cells))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        0s{'':{width - 12}s}{times[-1]:.0f}s")
+    return "\n".join(lines)
+
+
+def main(fast=False):
+    reps_on, reps_off = (10, 18) if fast else (30, 55)
+
+    print("Scenario 1: fan enabled")
+    result_on, trace_on = thermal_experiment(
+        repetitions=reps_on, fan_enabled=True
+    )
+    print(ascii_plot(trace_on))
+    print(f"steady state {trace_on.steady_c:.1f} C, throttled: "
+          f"{trace_on.ever_throttled}\n")
+
+    print("Scenario 2: fan disabled ('#' marks throttled samples)")
+    result_off, trace_off = thermal_experiment(
+        repetitions=reps_off, fan_enabled=False
+    )
+    print(ascii_plot(trace_off))
+    t99 = trace_off.time_to(99.0)
+    print(
+        f"peak {trace_off.peak_c:.1f} C, reached 99 C after "
+        f"{'never' if t99 is None else f'{t99:.0f} s'}, throttled: "
+        f"{trace_off.ever_throttled}"
+    )
+    if trace_off.ever_throttled:
+        stretch = (
+            (result_off.duration_s / reps_off)
+            / (result_on.duration_s / reps_on)
+            - 1.0
+        )
+        print(
+            f"emergency throttling (50% duty cycle) stretched the "
+            f"average repetition by {100 * stretch:.1f}% — the "
+            f"performance cost of the thermal response"
+        )
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv)

@@ -1,0 +1,136 @@
+"""Calibration dashboard (development tooling).
+
+Prints the paper's headline quantities for quick iteration while tuning
+model constants.  The canonical regeneration targets with assertions
+live under ``benchmarks/``; the canonical paper-vs-measured record is
+``EXPERIMENTS.md``.
+
+Run targeted sections with::
+
+    python scripts/calibrate.py fig6      # energy decomposition
+    python scripts/calibrate.py power     # Section VI-C power/IPC table
+    python scripts/calibrate.py kaffe     # Figures 9-11
+    python scripts/calibrate.py edp       # Section VI-B EDP claims
+"""
+
+import sys
+import time
+
+from repro import run_experiment
+from repro.jvm.components import Component
+from repro.workloads import all_benchmarks
+
+
+def fig6():
+    print("== Fig 6: Jikes + SemiSpace energy decomposition ==")
+    print(f"{'bench':16s} {'heap':>5s} {'GC%':>6s} {'CL%':>6s} "
+          f"{'Base%':>6s} {'Opt%':>6s} {'JVM%':>6s} {'time':>7s} "
+          f"{'#gc':>5s} {'mem%':>6s}")
+    for suite, heaps in (("SpecJVM98", (32, 128)), ("DaCapo", (48, 128)),
+                         ("JGF", (32, 128))):
+        gc_sum = {h: 0.0 for h in heaps}
+        n = 0
+        for spec in all_benchmarks(suite):
+            n += 1
+            for h in heaps:
+                r = run_experiment(spec.name, collector="SemiSpace",
+                                   heap_mb=h)
+                b = r.breakdown
+                gc_sum[h] += b.fraction(Component.GC)
+                print(f"{spec.name:16s} {h:5d} "
+                      f"{100*b.fraction(Component.GC):6.1f} "
+                      f"{100*b.fraction(Component.CL):6.1f} "
+                      f"{100*b.fraction(Component.BASE):6.1f} "
+                      f"{100*b.fraction(Component.OPT):6.1f} "
+                      f"{100*b.jvm_fraction():6.1f} "
+                      f"{r.duration_s:7.2f} "
+                      f"{r.run.gc_stats.collections:5d} "
+                      f"{100*b.mem_to_cpu_ratio():6.1f}")
+        for h in heaps:
+            print(f"  {suite} avg GC% @ {h} MB: {100*gc_sum[h]/n:.1f}")
+
+
+def power():
+    print("== Sec VI-C: per-component power/IPC (Jikes, GenCopy, 64MB) ==")
+    for name in ("_213_javac", "_209_db", "_201_compress", "_227_mtrt"):
+        r = run_experiment(name, collector="GenCopy", heap_mb=64)
+        profs = r.profiles()
+        print(name)
+        for comp, p in sorted(profs.items(), key=lambda kv: kv[0]):
+            print(f"  {comp.short_name:10s} avgP {p.avg_power_w:6.2f} W "
+                  f"peak {p.peak_power_w:6.2f} W ipc {p.ipc:5.2f} "
+                  f"l2miss {100*p.l2_miss_rate:5.1f}% "
+                  f"E% {100*p.energy_fraction:5.1f}")
+    print("-- collector avg GC power across benchmarks (targets: "
+          "GenCopy 12.8, SemiSpace 12.3, GenMS 12.7, MarkSweep 11.7) --")
+    for gc in ("GenCopy", "SemiSpace", "GenMS", "MarkSweep"):
+        tot, n = 0.0, 0
+        for name in ("_202_jess", "_213_javac", "_227_mtrt", "_209_db"):
+            r = run_experiment(name, collector=gc, heap_mb=64)
+            avg = r.power.component_avg_power_w().get(int(Component.GC))
+            if avg:
+                tot += avg
+                n += 1
+        print(f"  {gc:10s} {tot/max(n,1):6.2f} W")
+
+
+def kaffe():
+    print("== Fig 9: Kaffe on P6 ==")
+    for name in ("_201_compress", "_202_jess", "_209_db", "_213_javac",
+                 "_228_jack", "antlr", "euler"):
+        r = run_experiment(name, vm="kaffe", heap_mb=64)
+        b = r.breakdown
+        print(f"  {name:16s} GC {100*b.fraction(Component.GC):5.1f}% "
+              f"CL {100*b.fraction(Component.CL):5.1f}% "
+              f"JIT {100*b.fraction(Component.JIT):5.1f}% "
+              f"time {r.duration_s:7.2f}s")
+    print("== Fig 11: Kaffe on PXA255 (s10, 16MB) ==")
+    for name in ("_201_compress", "_202_jess", "_209_db", "_213_javac",
+                 "_228_jack"):
+        r = run_experiment(name, vm="kaffe", platform="pxa255",
+                           heap_mb=16, input_scale=0.1)
+        b = r.breakdown
+        avg = r.power.component_avg_power_w()
+        print(f"  {name:16s} GC {100*b.fraction(Component.GC):5.1f}% "
+              f"CL {100*b.fraction(Component.CL):5.1f}% "
+              f"JIT {100*b.fraction(Component.JIT):5.1f}% "
+              f"time {r.duration_s:7.1f}s | P(mW): "
+              f"app {1000*avg.get(0,0):4.0f} gc {1000*avg.get(1,0):4.0f} "
+              f"cl {1000*avg.get(2,0):4.0f} jit {1000*avg.get(5,0):4.0f}")
+
+
+def edp_claims():
+    print("== Sec VI-B EDP claims ==")
+    for name in ("_213_javac", "_227_mtrt", "euler"):
+        out = {}
+        for gc in ("SemiSpace", "GenCopy", "GenMS"):
+            for h in (32, 48, 128):
+                r = run_experiment(name, collector=gc, heap_mb=h)
+                out[(gc, h)] = r.edp
+        ss_drop = 1 - out[("SemiSpace", 48)] / out[("SemiSpace", 32)]
+        gen_drop = 1 - out[("GenCopy", 48)] / out[("GenCopy", 32)]
+        genms_vs_ss = 1 - out[("GenMS", 32)] / out[("SemiSpace", 32)]
+        print(f"  {name:12s} SS 32->48 drop {100*ss_drop:5.1f}% "
+              f"(paper: javac 56/mtrt 50/euler 27) | GenCopy drop "
+              f"{100*gen_drop:5.1f}% (paper: 20/2/3) | GenMS vs SS @32 "
+              f"{100*genms_vs_ss:5.1f}% (paper javac ~70)")
+    # _209_db crossover at 128 MB.
+    db_ss = run_experiment("_209_db", collector="SemiSpace", heap_mb=128)
+    db_gc = run_experiment("_209_db", collector="GenCopy", heap_mb=128)
+    print(f"  _209_db @128: SemiSpace EDP {db_ss.edp:.1f} vs GenCopy "
+          f"{db_gc.edp:.1f} -> SS better by "
+          f"{100*(1-db_ss.edp/db_gc.edp):.1f}% (paper ~5%)")
+
+
+if __name__ == "__main__":
+    which = sys.argv[1] if len(sys.argv) > 1 else "all"
+    t0 = time.time()
+    if which in ("fig6", "all"):
+        fig6()
+    if which in ("power", "all"):
+        power()
+    if which in ("kaffe", "all"):
+        kaffe()
+    if which in ("edp", "all"):
+        edp_claims()
+    print(f"[{time.time()-t0:.1f}s]")

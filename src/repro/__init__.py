@@ -1,0 +1,52 @@
+"""repro — reproduction of "Techniques for Real-System Characterization of
+Java Virtual Machine Energy and Power Behavior" (Contreras & Martonosi,
+IISWC 2006).
+
+The package simulates the paper's entire experimental stack:
+
+* two hardware platforms (a Pentium M development board and an Intel
+  PXA255/XScale development board) with cache, power, and thermal models,
+* two Java virtual machines (a Jikes-RVM-like adaptive VM and a
+  Kaffe-like JIT VM) with real garbage collectors, class loading, and
+  compilation subsystems operating on a simulated object heap,
+* the paper's physical measurement infrastructure (sense resistors, a
+  40 microsecond DAQ, a component-ID I/O port, and timer-sampled hardware
+  performance counters), and
+* the offline analysis that decomposes energy/power per JVM component.
+
+Quickstart::
+
+    from repro import run_experiment
+
+    result = run_experiment(benchmark="_213_javac", vm="jikes",
+                            collector="SemiSpace", heap_mb=32)
+    print(result.summary())
+"""
+
+from repro.core.experiment import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.core.metrics import EnergyBreakdown, edp
+from repro.hardware.platform import Platform, make_platform
+from repro.jvm.components import Component
+from repro.workloads import all_benchmarks, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Component",
+    "EnergyBreakdown",
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Platform",
+    "all_benchmarks",
+    "edp",
+    "get_benchmark",
+    "make_platform",
+    "run_experiment",
+    "__version__",
+]

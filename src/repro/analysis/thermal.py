@@ -1,0 +1,100 @@
+"""The Figure 1 thermal experiment.
+
+"Temperature behavior for a 1.6 GHz Pentium M processor running repetitive
+runs of `_222_mpegaudio` on the Jikes RVM using a generational copying
+collector.  When the processor reaches 99 C it enters emergency throttling
+as a way to reduce chip temperature."
+
+:func:`thermal_experiment` runs the repetitive workload with the fan
+enabled or disabled and returns the die-temperature trace.  The throttle
+feedback is live during execution (the scheduler couples every segment
+into the platform's thermal model and refreshes the CPU's duty cycle);
+:func:`thermal_replay` reconstructs the temperature *trace* offline from
+the completed timeline, stepping an identical RC model over the recorded
+power draws.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.experiment import run_experiment
+from repro.hardware.thermal import PENTIUM_M_THERMAL, ThermalModel
+
+
+@dataclass
+class ThermalTrace:
+    """Die temperature over a run."""
+
+    times_s: np.ndarray
+    temperature_c: np.ndarray
+    throttled: np.ndarray  # bool per sample
+    fan_enabled: bool
+
+    @property
+    def peak_c(self):
+        return float(self.temperature_c.max())
+
+    @property
+    def steady_c(self):
+        """Mean temperature over the final quarter of the trace."""
+        tail = self.temperature_c[3 * len(self.temperature_c) // 4:]
+        return float(tail.mean())
+
+    def time_to(self, threshold_c):
+        """First time the die reaches ``threshold_c`` (None if never)."""
+        idx = np.argmax(self.temperature_c >= threshold_c)
+        if self.temperature_c[idx] < threshold_c:
+            return None
+        return float(self.times_s[idx])
+
+    @property
+    def ever_throttled(self):
+        return bool(self.throttled.any())
+
+
+def thermal_replay(timeline, spec=PENTIUM_M_THERMAL, fan_enabled=True,
+                   max_points=20000):
+    """Reconstruct the temperature trace from a completed timeline."""
+    model = ThermalModel(spec, fan_enabled=fan_enabled)
+    n = len(timeline)
+    stride = max(1, n // max_points)
+    times, temps, throttled = [], [], []
+    t = 0.0
+    for i, seg in enumerate(timeline):
+        dt = seg.duration_s(timeline.clock_hz)
+        model.step(seg.cpu_power_w, dt, record=False)
+        t += dt
+        if i % stride == 0:
+            times.append(t)
+            temps.append(model.temperature_c)
+            throttled.append(model.throttled)
+    return ThermalTrace(
+        times_s=np.asarray(times),
+        temperature_c=np.asarray(temps),
+        throttled=np.asarray(throttled, dtype=bool),
+        fan_enabled=fan_enabled,
+    )
+
+
+def thermal_experiment(benchmark="_222_mpegaudio", collector="GenCopy",
+                       heap_mb=64, repetitions=40, fan_enabled=True,
+                       seed=42):
+    """Run the Figure 1 scenario; returns (ExperimentResult, ThermalTrace).
+
+    The run executes with live throttle feedback (a fan-off run slows
+    down once the 99 C trip point engages); the returned trace replays
+    the recorded power profile through the same RC model.
+    """
+    result = run_experiment(
+        benchmark,
+        collector=collector,
+        heap_mb=heap_mb,
+        repetitions=repetitions,
+        fan_enabled=fan_enabled,
+        seed=seed,
+    )
+    trace = thermal_replay(
+        result.run.timeline, fan_enabled=fan_enabled
+    )
+    return result, trace

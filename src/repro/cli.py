@@ -1,0 +1,298 @@
+"""Command-line interface.
+
+Provides the workflows a user of the paper's infrastructure would run
+day to day::
+
+    repro list                             # benchmarks and platforms
+    repro run _213_javac --collector SemiSpace --heap 32
+    repro sweep _213_javac --heaps 32 48 128
+    repro thermal --fan-off --repetitions 40
+    repro validate --periods 40 200 1000
+    repro pauses _213_javac --heap 48
+    repro workload _209_db
+    repro export _202_jess --output results/jess
+
+(Equivalently ``python -m repro ...``.)
+"""
+
+import argparse
+import sys
+
+from repro.core.experiment import run_experiment
+from repro.core.report import render_series, render_table
+from repro.jvm.components import Component
+from repro.workloads import all_benchmarks
+
+
+def _add_experiment_args(parser):
+    parser.add_argument("--vm", default="jikes",
+                        choices=("jikes", "kaffe"))
+    parser.add_argument("--platform", default="p6",
+                        choices=("p6", "pxa255"))
+    parser.add_argument("--collector", default=None,
+                        help="SemiSpace|MarkSweep|GenCopy|GenMS "
+                             "(jikes) or KaffeGC (kaffe)")
+    parser.add_argument("--heap", type=int, default=64,
+                        help="heap size in MB")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--input-scale", type=float, default=1.0,
+                        help="input size factor (0.1 approximates "
+                             "SpecJVM98 -s10)")
+    parser.add_argument("--dvfs", type=float, default=None,
+                        help="fixed DVFS frequency scale in (0.1, 1]")
+
+
+def cmd_list(args):
+    rows = [
+        [spec.suite, spec.name,
+         f"{spec.alloc_bytes / 2**20:.0f}", spec.description]
+        for spec in all_benchmarks()
+    ]
+    print(render_table(
+        ["Suite", "Benchmark", "Alloc MB", "Description"], rows,
+        title="Available benchmarks (the paper's Figure 5):",
+    ))
+    print("\nPlatforms: p6 (Pentium M 1.6 GHz development board), "
+          "pxa255 (Intel DBPXA255 board)")
+    return 0
+
+
+def cmd_run(args):
+    result = run_experiment(
+        args.benchmark,
+        vm=args.vm,
+        platform=args.platform,
+        collector=args.collector,
+        heap_mb=args.heap,
+        seed=args.seed,
+        input_scale=args.input_scale,
+        dvfs_freq_scale=args.dvfs,
+    )
+    print(result.summary())
+    print()
+    rows = []
+    for comp, profile in sorted(result.profiles().items()):
+        rows.append([
+            comp.short_name,
+            profile.seconds,
+            profile.energy_j,
+            100.0 * profile.energy_fraction,
+            profile.avg_power_w,
+            profile.peak_power_w,
+            profile.ipc,
+            100.0 * profile.l2_miss_rate,
+        ])
+    print(render_table(
+        ["component", "time s", "energy J", "energy %", "avg W",
+         "peak W", "IPC", "L2 miss %"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_sweep(args):
+    series = {}
+    for collector in args.collectors:
+        points = []
+        for heap in args.heaps:
+            result = run_experiment(
+                args.benchmark,
+                vm=args.vm,
+                platform=args.platform,
+                collector=collector,
+                heap_mb=heap,
+                seed=args.seed,
+                input_scale=args.input_scale,
+            )
+            points.append((heap, result.edp))
+        series[collector] = points
+    print(f"EDP (joule-seconds) for {args.benchmark}:")
+    print(render_series(series, x_label="heap MB", y_fmt="{:.0f}"))
+    return 0
+
+
+def cmd_thermal(args):
+    from repro.analysis.thermal import thermal_experiment
+
+    result, trace = thermal_experiment(
+        benchmark=args.benchmark,
+        repetitions=args.repetitions,
+        fan_enabled=not args.fan_off,
+    )
+    t99 = trace.time_to(99.0)
+    print(
+        f"{args.benchmark} x{args.repetitions}, fan "
+        f"{'off' if args.fan_off else 'on'}: steady "
+        f"{trace.steady_c:.1f} C, peak {trace.peak_c:.1f} C, "
+        f"99 C reached "
+        f"{'never' if t99 is None else f'after {t99:.0f} s'}, "
+        f"throttled: {trace.ever_throttled}"
+    )
+    return 0
+
+
+def cmd_workload(args):
+    from repro.workloads import get_benchmark
+    from repro.workloads.characterize import (
+        characterize,
+        render_profile,
+    )
+
+    spec = get_benchmark(args.benchmark)
+    profile = characterize(spec, seed=args.seed)
+    print(render_profile(profile, spec))
+    return 0
+
+
+def cmd_pauses(args):
+    from repro.analysis.pauses import mmu_curve, pause_stats
+    from repro.hardware.platform import make_platform
+    from repro.jvm.vm import make_vm
+
+    platform = make_platform(args.platform)
+    vm = make_vm(args.vm, platform, collector=args.collector,
+                 heap_mb=args.heap, seed=args.seed)
+    run = vm.run(args.benchmark, input_scale=args.input_scale)
+    stats = pause_stats(run.timeline)
+    print(f"{args.benchmark} ({run.collector_name}, {args.heap} MB): "
+          f"{stats.describe()}")
+    rows = [
+        [f"{1000 * w:.0f}", u]
+        for w, u in mmu_curve(run.timeline)
+    ]
+    print(render_table(
+        ["window ms", "MMU"], rows,
+        title="minimum mutator utilization:",
+    ))
+    return 0
+
+
+def cmd_export(args):
+    from repro.export import power_trace_to_csv, result_to_json
+
+    result = run_experiment(
+        args.benchmark,
+        vm=args.vm,
+        platform=args.platform,
+        collector=args.collector,
+        heap_mb=args.heap,
+        seed=args.seed,
+        input_scale=args.input_scale,
+    )
+    json_path = result_to_json(result, args.output + ".json")
+    csv_path = power_trace_to_csv(result.power, args.output + ".csv")
+    print(f"wrote {json_path} (summary) and {csv_path} "
+          f"({result.power.n_samples} power samples)")
+    return 0
+
+
+def cmd_validate(args):
+    import numpy as np
+
+    from repro.analysis.validation import attribution_error
+    from repro.hardware.platform import make_platform
+    from repro.jvm.vm import make_vm
+
+    platform = make_platform(args.platform)
+    vm = make_vm(args.vm, platform, collector=args.collector,
+                 heap_mb=args.heap, seed=args.seed)
+    run = vm.run(args.benchmark, input_scale=args.input_scale)
+    rows = []
+    for period_us in args.periods:
+        report = attribution_error(
+            run, platform, sample_period_s=period_us * 1e-6
+        )
+        rows.append([
+            f"{period_us:.0f}",
+            100 * report.total_misattribution_fraction(),
+            100 * report.relative_error(Component.GC),
+        ])
+    print(render_table(
+        ["period us", "misattributed %", "GC error %"], rows,
+        title="Attribution error vs DAQ sampling period:",
+    ))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JVM energy/power characterization "
+                    "(IISWC 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and platforms")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("benchmark")
+    _add_experiment_args(p_run)
+
+    p_sweep = sub.add_parser("sweep", help="EDP heap sweep")
+    p_sweep.add_argument("benchmark")
+    _add_experiment_args(p_sweep)
+    p_sweep.add_argument(
+        "--heaps", type=int, nargs="+",
+        default=[32, 48, 64, 80, 96, 112, 128],
+    )
+    p_sweep.add_argument(
+        "--collectors", nargs="+",
+        default=["SemiSpace", "MarkSweep", "GenCopy", "GenMS"],
+    )
+
+    p_thermal = sub.add_parser("thermal",
+                               help="Figure 1 thermal experiment")
+    p_thermal.add_argument("--benchmark", default="_222_mpegaudio")
+    p_thermal.add_argument("--repetitions", type=int, default=30)
+    p_thermal.add_argument("--fan-off", action="store_true")
+
+    p_val = sub.add_parser(
+        "validate", help="attribution error vs sampling period"
+    )
+    p_val.add_argument("--benchmark", default="_202_jess")
+    _add_experiment_args(p_val)
+    p_val.add_argument("--periods", type=float, nargs="+",
+                       default=[40.0, 200.0, 1000.0, 10000.0])
+
+    p_pauses = sub.add_parser(
+        "pauses", help="GC pause statistics and MMU curve"
+    )
+    p_pauses.add_argument("benchmark")
+    _add_experiment_args(p_pauses)
+
+    p_export = sub.add_parser(
+        "export", help="run one experiment and export JSON + CSV"
+    )
+    p_export.add_argument("benchmark")
+    _add_experiment_args(p_export)
+    p_export.add_argument("--output", default="experiment",
+                          help="output path prefix")
+
+    p_workload = sub.add_parser(
+        "workload", help="characterize a benchmark's memory behavior"
+    )
+    p_workload.add_argument("benchmark")
+    p_workload.add_argument("--seed", type=int, default=42)
+
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "sweep": cmd_sweep,
+    "thermal": cmd_thermal,
+    "validate": cmd_validate,
+    "pauses": cmd_pauses,
+    "export": cmd_export,
+    "workload": cmd_workload,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""The end-to-end experiment runner.
+
+One :class:`Experiment` reproduces one cell of the paper's result matrix:
+a benchmark, on a VM, with a collector and heap size, on a platform.  The
+runner follows the paper's protocol (Section V): a warm-up pass before
+measurement (modeled as warm OS caches for class loading), then the
+measured run, power acquired by the 40 us DAQ and performance by the
+timer-driven HPM sampler, then offline decomposition.
+
+The simulator is deterministic, so — unlike the paper, which needed
+separate power and performance runs on the same physical machine — both
+traces are acquired over the *same* execution; this removes run-to-run
+variation without changing what either instrument observes.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.decomposition import component_profiles, decompose
+from repro.core.metrics import edp
+from repro.errors import ConfigurationError
+from repro.hardware.platform import make_platform
+from repro.jvm.components import Component
+from repro.jvm.vm import make_vm
+from repro.measurement.daq import DAQ
+from repro.measurement.hpm_sampler import HPMSampler
+from repro.units import DAQ_SAMPLE_PERIOD_S
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full description of one measurement run."""
+
+    benchmark: str
+    vm: str = "jikes"
+    platform: str = "p6"
+    collector: Optional[str] = None
+    heap_mb: int = 64
+    seed: int = 42
+    input_scale: float = 1.0
+    warmup: bool = True
+    repetitions: int = 1
+    fan_enabled: bool = True
+    n_slices: int = 160
+    daq_period_s: float = DAQ_SAMPLE_PERIOD_S
+    dvfs_freq_scale: Optional[float] = None
+
+    def __post_init__(self):
+        if self.heap_mb <= 0:
+            raise ConfigurationError("heap_mb must be positive")
+        if self.input_scale <= 0:
+            raise ConfigurationError("input_scale must be positive")
+        if self.repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    config: ExperimentConfig
+    run: object              # RunResult (ground truth side)
+    power: object            # PowerTrace (measured)
+    perf: object             # PerfTrace (measured)
+    breakdown: object        # EnergyBreakdown (measured)
+
+    # -- headline metrics (measured) ---------------------------------
+
+    @property
+    def duration_s(self):
+        return self.power.duration_s
+
+    @property
+    def cpu_energy_j(self):
+        return self.power.cpu_energy_j()
+
+    @property
+    def mem_energy_j(self):
+        return self.power.mem_energy_j()
+
+    @property
+    def total_energy_j(self):
+        return self.cpu_energy_j + self.mem_energy_j
+
+    @property
+    def edp(self):
+        """Energy-delay product over CPU + memory energy."""
+        return edp(self.total_energy_j, self.duration_s)
+
+    def gc_energy_fraction(self):
+        return self.breakdown.fraction(Component.GC)
+
+    def jvm_energy_fraction(self):
+        return self.breakdown.jvm_fraction()
+
+    def profiles(self):
+        """Merged per-component power/performance profiles."""
+        return component_profiles(self.power, self.perf, self.config.vm)
+
+    def summary(self):
+        """Human-readable one-paragraph result."""
+        cfg = self.config
+        fracs = self.breakdown.as_fractions()
+        frac_text = ", ".join(
+            f"{name} {100 * f:.1f}%" for name, f in fracs.items()
+        )
+        return (
+            f"{cfg.benchmark} | {cfg.vm}/{cfg.platform} | "
+            f"{self.run.collector_name} @ {cfg.heap_mb} MB: "
+            f"time {self.duration_s:.2f} s, CPU {self.cpu_energy_j:.1f} J, "
+            f"mem {self.mem_energy_j:.2f} J, "
+            f"EDP {self.edp:.1f} Js | energy share: {frac_text}"
+        )
+
+
+class Experiment:
+    """Runs one configured measurement end to end."""
+
+    def __init__(self, config):
+        self.config = config
+
+    def run(self):
+        """Execute the experiment; returns an :class:`ExperimentResult`."""
+        cfg = self.config
+        platform = make_platform(cfg.platform, fan_enabled=cfg.fan_enabled)
+        vm = make_vm(
+            cfg.vm,
+            platform,
+            collector=cfg.collector,
+            heap_mb=cfg.heap_mb,
+            seed=cfg.seed,
+            n_slices=cfg.n_slices,
+            dvfs_freq_scale=cfg.dvfs_freq_scale,
+        )
+        run = vm.run(
+            cfg.benchmark,
+            input_scale=cfg.input_scale,
+            warm=cfg.warmup,
+            repetitions=cfg.repetitions,
+        )
+        measurement_rng = np.random.default_rng(cfg.seed + 7919)
+        daq = DAQ(platform, measurement_rng,
+                  sample_period_s=cfg.daq_period_s)
+        power = daq.acquire(run.timeline)
+        perf = HPMSampler(platform).sample(run.timeline)
+        breakdown = decompose(power, cfg.vm)
+        return ExperimentResult(
+            config=cfg,
+            run=run,
+            power=power,
+            perf=perf,
+            breakdown=breakdown,
+        )
+
+
+def run_experiment(benchmark, **kwargs):
+    """Convenience one-call API: build the config, run, return the result.
+
+    Example::
+
+        result = run_experiment("_213_javac", collector="SemiSpace",
+                                heap_mb=32)
+        print(result.summary())
+    """
+    config = ExperimentConfig(benchmark=benchmark, **kwargs)
+    return Experiment(config).run()

@@ -1,0 +1,102 @@
+"""Energy/power/performance metrics (paper Section III-A).
+
+* **Energy** (joules) — the integral of power over the run.
+* **Power** (watts) — average and peak matter for different reasons:
+  energy budgets vs thermal/reliability envelopes.
+* **Energy-delay product** (EDP, joule-seconds) — the combined
+  energy-performance figure of merit the paper adopts from Gonzalez &
+  Horowitz: low energy *and* low execution time are rewarded.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.jvm.components import Component
+
+
+def edp(energy_j, time_s):
+    """Energy-delay product in joule-seconds."""
+    if energy_j < 0 or time_s < 0:
+        raise ConfigurationError("energy and time must be non-negative")
+    return energy_j * time_s
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy decomposition of one run.
+
+    ``cpu_energy_j`` maps :class:`~repro.jvm.components.Component` IDs to
+    measured CPU energy; anything not positively identified as a JVM
+    service counts as application energy, following the paper's
+    convention ("the rest of the energy consumed by the benchmark is
+    classified as application energy" — Section VI).
+    """
+
+    cpu_energy_j: dict
+    mem_energy_j: dict
+    seconds: dict
+    jvm_components: tuple
+
+    @property
+    def total_cpu_j(self):
+        return sum(self.cpu_energy_j.values())
+
+    @property
+    def total_mem_j(self):
+        return sum(self.mem_energy_j.values())
+
+    @property
+    def total_seconds(self):
+        return sum(self.seconds.values())
+
+    def fraction(self, component):
+        """Share of total CPU energy attributed to *component*."""
+        total = self.total_cpu_j
+        if total <= 0:
+            return 0.0
+        return self.cpu_energy_j.get(int(component), 0.0) / total
+
+    def jvm_energy_j(self):
+        """Energy of the monitored JVM services combined."""
+        return sum(
+            self.cpu_energy_j.get(int(c), 0.0) for c in self.jvm_components
+        )
+
+    def jvm_fraction(self):
+        """JVM services' share of total CPU energy (paper: up to 60 %)."""
+        total = self.total_cpu_j
+        if total <= 0:
+            return 0.0
+        return self.jvm_energy_j() / total
+
+    def app_fraction(self):
+        return 1.0 - self.jvm_fraction() - self._other_fraction()
+
+    def _other_fraction(self):
+        """Idle/scheduler residue not classed as JVM or App."""
+        total = self.total_cpu_j
+        if total <= 0:
+            return 0.0
+        other = sum(
+            e
+            for cid, e in self.cpu_energy_j.items()
+            if cid not in (int(Component.APP),)
+            and cid not in {int(c) for c in self.jvm_components}
+        )
+        return other / total
+
+    def mem_to_cpu_ratio(self):
+        """Memory energy relative to CPU energy (paper: 5-8 %)."""
+        total = self.total_cpu_j
+        if total <= 0:
+            return 0.0
+        return self.total_mem_j / total
+
+    def as_fractions(self):
+        """``{component_name: fraction}`` over all observed components."""
+        total = self.total_cpu_j
+        out = {}
+        for cid, energy in sorted(self.cpu_energy_j.items()):
+            name = Component.from_port_value(cid).short_name
+            out[name] = energy / total if total > 0 else 0.0
+        return out

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by the simulator with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, platform, or VM was configured inconsistently."""
+
+
+class OutOfMemoryError(ReproError):
+    """The simulated heap cannot satisfy an allocation even after a full
+    garbage collection.
+
+    Mirrors ``java.lang.OutOfMemoryError``: raised when the live data of the
+    running benchmark no longer fits in the configured fixed-size heap.
+    """
+
+    def __init__(self, requested_bytes, heap_bytes, live_bytes):
+        self.requested_bytes = requested_bytes
+        self.heap_bytes = heap_bytes
+        self.live_bytes = live_bytes
+        super().__init__(
+            f"cannot allocate {requested_bytes} bytes: "
+            f"heap={heap_bytes} bytes, live={live_bytes} bytes"
+        )
+
+
+class SpaceExhausted(ReproError):
+    """Internal signal: an allocation space is full and a collection is
+    required before the allocation can be retried.
+
+    Raised by allocators, caught by the VM, never surfaced to users.
+    """
+
+
+class UnknownBenchmarkError(ReproError, KeyError):
+    """The requested benchmark name is not in the workload registry."""
+
+
+class UnknownCollectorError(ReproError, KeyError):
+    """The requested garbage collector name is not supported by the VM."""
+
+
+class MeasurementError(ReproError):
+    """The measurement infrastructure was used incorrectly (for example,
+    reading a trace before any samples were acquired)."""
+
+
+class TimelineError(ReproError):
+    """An execution timeline invariant was violated (overlapping or
+    out-of-order segments)."""

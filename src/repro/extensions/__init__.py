@@ -1,0 +1,40 @@
+"""Extensions implementing the paper's Section VII future work.
+
+The paper closes with three research directions, all of which this
+package implements on top of the simulated stack:
+
+* :mod:`repro.extensions.power_estimator` — runtime power estimation
+  from hardware performance counters (the paper's reference [37] is the
+  authors' own ISLPED'05 model for the XScale: a linear combination of
+  counter-derived rates);
+* :mod:`repro.extensions.dvfs_governor` — event-driven dynamic
+  voltage/frequency scaling driven by memory-boundness (in the spirit
+  of reference [36], "Process Cruise Control");
+* :mod:`repro.extensions.thermal_policy` — a thermal-aware VM that
+  schedules garbage collection as a cool-down mechanism when the die
+  approaches its thermal envelope (the Section VI-C suggestion);
+* :mod:`repro.extensions.heap_sizing` — adaptive heap growth driven by
+  GC overhead (the research direction of the paper's reference [1]).
+"""
+
+from repro.extensions.dvfs_governor import (
+    GovernedScheduler,
+    MemoryBoundGovernor,
+    governed_vm,
+)
+from repro.extensions.heap_sizing import AdaptiveHeapVM
+from repro.extensions.power_estimator import (
+    CounterPowerModel,
+    fit_power_model,
+)
+from repro.extensions.thermal_policy import ThermalAwareVM
+
+__all__ = [
+    "AdaptiveHeapVM",
+    "CounterPowerModel",
+    "GovernedScheduler",
+    "MemoryBoundGovernor",
+    "ThermalAwareVM",
+    "fit_power_model",
+    "governed_vm",
+]

@@ -1,0 +1,44 @@
+"""Simulated hardware platforms.
+
+The paper measures two physical systems; this package models both:
+
+* **P6** — a 1.6 GHz Pentium M development board with 512 MB of SDRAM
+  (32 KB L1 I/D caches, 1 MB on-die L2, out-of-order core, idle CPU power
+  about 4.5 W, idle memory power about 250 mW), and
+* **DBPXA255** — an Intel PXA255 (XScale) development board at 400 MHz
+  (32 KB 32-way L1 I/D caches, no L2, single-issue in-order core, idle CPU
+  power about 70 mW, idle memory power about 5 mW).
+
+The models are mechanistic rather than cycle-accurate: execution is
+accounted in *activities* (instruction counts plus memory-reference
+behavior), converted to cycles through a CPI model whose stall terms come
+from analytic cache-miss estimates fed by the actual data footprints the
+JVM touches, and converted to power through a utilization-based power model
+— the same utilization/power correlation the paper leans on (Section VI-C).
+"""
+
+from repro.hardware.activity import Activity, ExecutionModel
+from repro.hardware.cache import AnalyticCacheModel, SetAssociativeCache
+from repro.hardware.cpu import CPU, CPUSpec, PENTIUM_M, PXA255
+from repro.hardware.memory import MemoryModel, MemorySpec
+from repro.hardware.platform import Platform, make_platform
+from repro.hardware.power import CPUPowerModel
+from repro.hardware.thermal import ThermalModel, ThermalSpec
+
+__all__ = [
+    "Activity",
+    "AnalyticCacheModel",
+    "CPU",
+    "CPUPowerModel",
+    "CPUSpec",
+    "ExecutionModel",
+    "MemoryModel",
+    "MemorySpec",
+    "PENTIUM_M",
+    "PXA255",
+    "Platform",
+    "SetAssociativeCache",
+    "ThermalModel",
+    "ThermalSpec",
+    "make_platform",
+]

@@ -1,0 +1,193 @@
+"""CPU specifications and dynamic CPU state (DVFS, thermal throttling).
+
+Two presets mirror the paper's platforms (Section IV-B):
+
+* :data:`PENTIUM_M` — the P6 development board's 1.6 GHz Pentium M,
+* :data:`PXA255` — the DBPXA255 board's 400 MHz Intel PXA255 (XScale).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.units import KB, MB
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and access cost of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    hit_cycles: int
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ConfigurationError("cache sizes must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ConfigurationError(
+                "cache size must be a multiple of line_bytes * associativity"
+            )
+
+    @property
+    def num_lines(self):
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self):
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Static description of a processor.
+
+    ``base_cpi`` is the no-stall CPI of the core on typical JVM code;
+    ``miss_overlap`` is the fraction of a miss's latency the core hides
+    through out-of-order execution (0 for in-order cores).  ``ipc_ref`` is
+    the IPC at which the utilization-based power model saturates, and
+    ``power_exponent`` shapes the utilization→power curve (power is not
+    linear in IPC on real cores: clock distribution and structural
+    activity persist during stalls).
+    """
+
+    name: str
+    clock_hz: float
+    issue_width: int
+    in_order: bool
+    l1i: CacheSpec
+    l1d: CacheSpec
+    l2: Optional[CacheSpec]
+    mem_latency_cycles: int
+    base_cpi: float
+    miss_overlap: float
+    ipc_ref: float
+    idle_power_w: float
+    max_power_w: float
+    power_exponent: float
+    nominal_voltage_v: float
+
+    def __post_init__(self):
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock_hz must be positive")
+        if not (0.0 <= self.miss_overlap < 1.0):
+            raise ConfigurationError("miss_overlap must be in [0, 1)")
+        if self.max_power_w <= self.idle_power_w:
+            raise ConfigurationError("max power must exceed idle power")
+
+    @property
+    def has_l2(self):
+        return self.l2 is not None
+
+
+#: The P6 platform's Pentium M 1.6 GHz (Section IV-B).  32 KB L1 I and D
+#: caches, 1 MB on-die L2, out-of-order core.  Idle power 4.5 W (Section
+#: IV-D); the maximum power level is set so that the utilization model
+#: reproduces the paper's measured component powers (about 11.7-12.8 W for
+#: garbage collectors and 13-15 W for applications).
+PENTIUM_M = CPUSpec(
+    name="pentium-m-1600",
+    clock_hz=1.6e9,
+    issue_width=3,
+    in_order=False,
+    l1i=CacheSpec(size_bytes=32 * KB, associativity=8, line_bytes=64,
+                  hit_cycles=1),
+    l1d=CacheSpec(size_bytes=32 * KB, associativity=8, line_bytes=64,
+                  hit_cycles=3),
+    l2=CacheSpec(size_bytes=1 * MB, associativity=8, line_bytes=64,
+                 hit_cycles=10),
+    mem_latency_cycles=180,
+    base_cpi=0.85,
+    miss_overlap=0.45,
+    ipc_ref=1.6,
+    idle_power_w=4.5,
+    max_power_w=17.0,
+    power_exponent=0.40,
+    nominal_voltage_v=1.35,
+)
+
+#: The DBPXA255 platform's Intel PXA255 (XScale) at 400 MHz (Section IV-B).
+#: 32-way 32 KB L1 caches, *no* L2 cache, single-issue in-order core.  Idle
+#: power about 70 mW (Section IV-D).
+PXA255 = CPUSpec(
+    name="pxa255-400",
+    clock_hz=400e6,
+    issue_width=1,
+    in_order=True,
+    l1i=CacheSpec(size_bytes=32 * KB, associativity=32, line_bytes=32,
+                  hit_cycles=1),
+    l1d=CacheSpec(size_bytes=32 * KB, associativity=32, line_bytes=32,
+                  hit_cycles=1),
+    l2=None,
+    mem_latency_cycles=90,
+    base_cpi=1.35,
+    miss_overlap=0.0,
+    ipc_ref=0.75,
+    idle_power_w=0.070,
+    max_power_w=0.411,
+    power_exponent=0.75,
+    nominal_voltage_v=1.3,
+)
+
+
+@dataclass
+class DVFSState:
+    """Dynamic voltage/frequency operating point relative to nominal."""
+
+    freq_scale: float = 1.0
+    voltage_scale: float = 1.0
+
+
+class CPU:
+    """A processor instance: static spec plus dynamic DVFS/throttle state.
+
+    Thermal throttling models the Pentium M's emergency response described
+    in the paper's Figure 1: when the die temperature crosses the trip
+    point, the clock duty cycle drops to 50 %, proportionally decreasing
+    performance (and dynamic power).
+    """
+
+    THROTTLE_DUTY = 0.5
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.dvfs = DVFSState()
+        self.throttled = False
+
+    @property
+    def duty_cycle(self):
+        return self.THROTTLE_DUTY if self.throttled else 1.0
+
+    @property
+    def effective_clock_hz(self):
+        """Clock delivered to execution after DVFS and duty-cycle modulation."""
+        return self.spec.clock_hz * self.dvfs.freq_scale * self.duty_cycle
+
+    def set_dvfs(self, freq_scale, voltage_scale=None):
+        """Set a DVFS operating point.
+
+        If ``voltage_scale`` is omitted, voltage is assumed to track
+        frequency (the classical near-linear f-V relation).
+        """
+        if not (0.1 <= freq_scale <= 1.0):
+            raise ConfigurationError(
+                f"freq_scale must be in [0.1, 1.0], got {freq_scale}"
+            )
+        if voltage_scale is None:
+            # Simple linear f-V tracking with a voltage floor.
+            voltage_scale = 0.6 + 0.4 * freq_scale
+        self.dvfs = DVFSState(freq_scale=freq_scale,
+                              voltage_scale=voltage_scale)
+
+    def reset(self):
+        """Return to nominal frequency/voltage, not throttled."""
+        self.dvfs = DVFSState()
+        self.throttled = False
+
+    def cycles_to_seconds(self, cycles):
+        """Wall time for *cycles* at the current effective clock."""
+        return cycles / self.effective_clock_hz
+
+    def seconds_to_cycles(self, seconds):
+        return int(round(seconds * self.effective_clock_hz))

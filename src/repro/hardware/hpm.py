@@ -1,0 +1,103 @@
+"""Hardware performance monitors (HPM).
+
+The paper obtains its performance measurements from the processors'
+hardware performance counters, read by a custom API driven from the OS
+timer (Section IV-E).  This module models the counter hardware itself: a
+set of free-running event counters that the execution engine increments as
+segments retire, and that software can snapshot.
+
+Platform fidelity: the XScale PMU can monitor only **two** configurable
+events at a time (plus the clock counter), whereas the Pentium M exposes
+enough counters for our event set; :class:`PerformanceCounters` enforces
+the per-platform limit when events are programmed.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, MeasurementError
+
+
+class Event(enum.Enum):
+    """Countable microarchitectural events."""
+
+    CYCLES = "cycles"
+    INSTRUCTIONS = "instructions"
+    L2_ACCESSES = "l2_accesses"
+    L2_MISSES = "l2_misses"
+    MEM_ACCESSES = "mem_accesses"
+    STALL_CYCLES = "stall_cycles"
+
+
+@dataclass
+class CounterSnapshot:
+    """Immutable copy of all programmed counters at one instant."""
+
+    cycle: int
+    values: dict
+
+    def delta(self, earlier):
+        """Per-event difference between this snapshot and an earlier one."""
+        return {
+            ev: self.values[ev] - earlier.values.get(ev, 0)
+            for ev in self.values
+        }
+
+
+class PerformanceCounters:
+    """A bank of event counters with a platform-specific width limit.
+
+    ``max_programmable`` models counter-register scarcity:  CYCLES is
+    always available (dedicated clock counter); every other event consumes
+    one programmable register.
+    """
+
+    def __init__(self, max_programmable=4):
+        if max_programmable < 1:
+            raise ConfigurationError("need at least one programmable counter")
+        self.max_programmable = max_programmable
+        self._events = [Event.CYCLES]
+        self._values = {Event.CYCLES: 0}
+
+    def program(self, events):
+        """Select which events (besides CYCLES) are monitored.
+
+        Raises :class:`MeasurementError` if more events are requested than
+        the PMU has programmable registers for — the real constraint that
+        forces multiplexing on the XScale.
+        """
+        events = [e for e in events if e is not Event.CYCLES]
+        if len(events) > self.max_programmable:
+            raise MeasurementError(
+                f"PMU has {self.max_programmable} programmable counters; "
+                f"{len(events)} events requested"
+            )
+        self._events = [Event.CYCLES] + list(events)
+        self._values = {ev: 0 for ev in self._events}
+
+    @property
+    def programmed_events(self):
+        return tuple(self._events)
+
+    def record_segment(self, segment):
+        """Accumulate a retired execution segment into the counters."""
+        increments = {
+            Event.CYCLES: segment.cycles,
+            Event.INSTRUCTIONS: segment.instructions,
+            Event.L2_ACCESSES: segment.l2_accesses,
+            Event.L2_MISSES: segment.l2_misses,
+            Event.MEM_ACCESSES: segment.mem_accesses,
+            Event.STALL_CYCLES: max(
+                0, segment.cycles - segment.instructions
+            ),
+        }
+        for ev in self._events:
+            self._values[ev] += increments.get(ev, 0)
+
+    def snapshot(self, cycle):
+        """Read all programmed counters atomically."""
+        return CounterSnapshot(cycle=cycle, values=dict(self._values))
+
+    def reset(self):
+        for ev in self._values:
+            self._values[ev] = 0

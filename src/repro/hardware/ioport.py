@@ -1,0 +1,107 @@
+"""Component-ID I/O ports.
+
+The instrumented JVMs publish the identity of the running component by
+writing it to a memory-mapped I/O register that the DAQ samples alongside
+the power channels (Section IV-C):
+
+* on the P6 platform the **parallel port** is used (no user-accessible GPIO
+  pins); parallel-port writes are slow legacy-I/O transactions, so each
+  write costs on the order of a microsecond — this is the main source of
+  measurement perturbation on x86;
+* on the DBPXA255 board, general-purpose **GPIO pins** are driven directly,
+  which costs only a handful of cycles.
+
+The port latches the last value written.  A complete write history is kept
+(cycle, value) so the DAQ can recover the latched value at any sample
+instant, and so tests can quantify instrumentation perturbation.
+"""
+
+from bisect import bisect_right
+
+from repro.errors import ConfigurationError
+
+
+class ComponentIDPort:
+    """A latched output register with a per-write cycle cost.
+
+    ``width_bits`` bounds representable IDs (8 data bits on a parallel
+    port).  ``write_cost_cycles`` is charged to the writing component by
+    the VM's scheduler — making the perturbation of the methodology itself
+    measurable.
+    """
+
+    def __init__(self, name, width_bits, write_cost_cycles):
+        if width_bits < 1:
+            raise ConfigurationError("port width must be >= 1 bit")
+        if write_cost_cycles < 0:
+            raise ConfigurationError("write cost cannot be negative")
+        self.name = name
+        self.width_bits = width_bits
+        self.write_cost_cycles = int(write_cost_cycles)
+        self._cycles = [0]
+        self._values = [0]
+
+    @property
+    def max_value(self):
+        return (1 << self.width_bits) - 1
+
+    def write(self, cycle, value):
+        """Latch ``value`` at ``cycle``.  Values are masked to the port
+        width, exactly as extra bits would be lost on real hardware."""
+        value = int(value) & self.max_value
+        if cycle < self._cycles[-1]:
+            raise ConfigurationError(
+                f"port writes must be in time order (got cycle {cycle} "
+                f"after {self._cycles[-1]})"
+            )
+        if cycle == self._cycles[-1]:
+            # Same-cycle rewrite: the later write wins (last store visible).
+            self._values[-1] = value
+            return
+        self._cycles.append(int(cycle))
+        self._values.append(value)
+
+    def read(self, cycle):
+        """Value latched on the port at ``cycle``."""
+        i = bisect_right(self._cycles, cycle) - 1
+        return self._values[max(i, 0)]
+
+    @property
+    def write_count(self):
+        """Number of distinct latch updates (excluding the power-on zero)."""
+        return len(self._cycles) - 1
+
+    def total_perturbation_cycles(self):
+        """Cycles spent executing port writes over the whole run."""
+        return self.write_count * self.write_cost_cycles
+
+    def history(self):
+        """The full latch history as ``[(cycle, value), ...]``."""
+        return list(zip(self._cycles, self._values))
+
+    def history_arrays(self):
+        """Latch history as NumPy arrays ``(cycles, values)`` for
+        vectorized sampling by the DAQ."""
+        import numpy as np
+
+        return (
+            np.asarray(self._cycles, dtype=np.int64),
+            np.asarray(self._values, dtype=np.int16),
+        )
+
+    def reset(self):
+        self._cycles = [0]
+        self._values = [0]
+
+
+def parallel_port():
+    """The P6 platform's parallel port: 8 data bits, ~1 us per OUT
+    instruction at 1.6 GHz (legacy I/O transaction)."""
+    return ComponentIDPort(
+        name="parallel-port", width_bits=8, write_cost_cycles=1600
+    )
+
+
+def gpio_pins():
+    """The DBPXA255 board's GPIO pins: fast memory-mapped writes."""
+    return ComponentIDPort(name="gpio", width_bits=4, write_cost_cycles=6)

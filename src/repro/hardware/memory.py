@@ -1,0 +1,71 @@
+"""Main-memory (SDRAM) timing and power model.
+
+The paper measures DRAM power with a sense resistor on the memory supply
+rail (Section IV-D): idle memory power is about 250 mW on the P6 platform
+and about 5 mW on the DBPXA255 board.  Dynamic memory power scales with the
+access rate; we charge a fixed energy per cache-line transfer (activate +
+read/write + precharge, amortized).
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Static description of a main-memory subsystem."""
+
+    name: str
+    capacity_bytes: int
+    idle_power_w: float
+    energy_per_access_j: float
+    line_bytes: int
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("memory capacity must be positive")
+        if self.idle_power_w < 0 or self.energy_per_access_j < 0:
+            raise ConfigurationError("memory power terms must be >= 0")
+
+
+#: 512 MB SDRAM of the P6 platform.  250 mW idle (Section IV-D); roughly
+#: 220 nJ per 64-byte line transfer, which puts average memory energy near
+#: the paper's 5-8 % of CPU energy for the studied suites.
+P6_SDRAM = MemorySpec(
+    name="p6-sdram-512",
+    capacity_bytes=512 * MB,
+    idle_power_w=0.250,
+    energy_per_access_j=150e-9,
+    line_bytes=64,
+)
+
+#: 64 MB SDRAM of the DBPXA255 board.  About 5 mW idle (Section IV-D);
+#: low-power mobile SDRAM with much smaller per-access energy.
+PXA255_SDRAM = MemorySpec(
+    name="pxa255-sdram-64",
+    capacity_bytes=64 * MB,
+    idle_power_w=0.005,
+    energy_per_access_j=18e-9,
+    line_bytes=32,
+)
+
+
+class MemoryModel:
+    """Converts an access rate into instantaneous memory power."""
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def power_w(self, accesses, seconds):
+        """Average memory power while ``accesses`` line transfers happen
+        over ``seconds`` of wall time."""
+        if seconds <= 0:
+            return self.spec.idle_power_w
+        dynamic = self.spec.energy_per_access_j * (accesses / seconds)
+        return self.spec.idle_power_w + dynamic
+
+    def energy_j(self, accesses, seconds):
+        """Total memory energy over an interval."""
+        return self.power_w(accesses, seconds) * seconds

@@ -1,0 +1,104 @@
+"""Platform bundles: CPU + memory + power + thermal + instrumentation.
+
+A :class:`Platform` groups everything the VM and the measurement
+infrastructure need about one hardware system.  Two factory configurations
+mirror the paper (Section IV-B):
+
+* ``make_platform("p6")`` — the Pentium M development board,
+* ``make_platform("pxa255")`` — the Intel DBPXA255 development board.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware import ioport
+from repro.hardware.activity import ExecutionModel
+from repro.hardware.cpu import CPU, PENTIUM_M, PXA255
+from repro.hardware.hpm import PerformanceCounters
+from repro.hardware.memory import (
+    MemoryModel,
+    P6_SDRAM,
+    PXA255_SDRAM,
+)
+from repro.hardware.power import CPUPowerModel
+from repro.hardware.thermal import (
+    PENTIUM_M_THERMAL,
+    PXA255_THERMAL,
+    ThermalModel,
+)
+from repro.units import HPM_PERIOD_P6_S, HPM_PERIOD_PXA255_S
+
+
+@dataclass
+class Platform:
+    """One complete system under test."""
+
+    name: str
+    cpu: CPU
+    memory: MemoryModel
+    power_model: CPUPowerModel
+    thermal: ThermalModel
+    port: ioport.ComponentIDPort
+    counters: PerformanceCounters
+    hpm_period_s: float
+
+    @property
+    def execution_model(self):
+        """Execution model bound to this platform's components."""
+        return ExecutionModel(self.cpu, self.memory, self.power_model)
+
+    @property
+    def clock_hz(self):
+        return self.cpu.spec.clock_hz
+
+    def idle_cpu_power_w(self):
+        """Idle CPU power (paper Section IV-D: ~4.5 W on P6, ~70 mW on
+        the PXA255)."""
+        return self.power_model.idle_power_w()
+
+    def idle_mem_power_w(self):
+        """Idle memory power (~250 mW on P6, ~5 mW on the PXA255)."""
+        return self.memory.spec.idle_power_w
+
+    def reset(self):
+        """Restore power-on state (between experiment runs)."""
+        self.cpu.reset()
+        self.thermal.reset()
+        self.port.reset()
+        self.counters.reset()
+
+
+def make_platform(name, fan_enabled=True):
+    """Build a fresh platform instance by name (``"p6"`` or ``"pxa255"``).
+
+    Each call returns independent state, so concurrent experiments never
+    share latches or thermal state.
+    """
+    key = name.lower()
+    if key in ("p6", "pentium-m", "pentium_m"):
+        cpu = CPU(PENTIUM_M)
+        return Platform(
+            name="p6",
+            cpu=cpu,
+            memory=MemoryModel(P6_SDRAM),
+            power_model=CPUPowerModel(PENTIUM_M),
+            thermal=ThermalModel(PENTIUM_M_THERMAL, fan_enabled=fan_enabled),
+            port=ioport.parallel_port(),
+            counters=PerformanceCounters(max_programmable=4),
+            hpm_period_s=HPM_PERIOD_P6_S,
+        )
+    if key in ("pxa255", "dbpxa255", "xscale"):
+        cpu = CPU(PXA255)
+        return Platform(
+            name="pxa255",
+            cpu=cpu,
+            memory=MemoryModel(PXA255_SDRAM),
+            power_model=CPUPowerModel(PXA255),
+            thermal=ThermalModel(PXA255_THERMAL, fan_enabled=fan_enabled),
+            port=ioport.gpio_pins(),
+            counters=PerformanceCounters(max_programmable=2),
+            hpm_period_s=HPM_PERIOD_PXA255_S,
+        )
+    raise ConfigurationError(
+        f"unknown platform {name!r}; expected 'p6' or 'pxa255'"
+    )

@@ -1,0 +1,25 @@
+"""Simulated Java virtual machines and their service components.
+
+Subpackages:
+
+* :mod:`repro.jvm.gc` — garbage collectors (SemiSpace, MarkSweep, GenCopy,
+  GenMS, and Kaffe's incremental tri-color mark-sweep),
+* :mod:`repro.jvm.compiler` — baseline/optimizing/JIT compilers and the
+  adaptive optimization system,
+
+Modules:
+
+* :mod:`repro.jvm.components` — component IDs written to the I/O port,
+* :mod:`repro.jvm.objects` / :mod:`repro.jvm.heap` — the simulated object
+  heap that the collectors operate on,
+* :mod:`repro.jvm.classloader` — lazy class loading,
+* :mod:`repro.jvm.scheduler` — component-ID instrumentation and thread
+  interleaving,
+* :mod:`repro.jvm.vm` — the integrated :class:`~repro.jvm.vm.JikesRVM` and
+  :class:`~repro.jvm.vm.KaffeVM`.
+"""
+
+from repro.jvm.components import Component
+from repro.jvm.vm import JikesRVM, KaffeVM, RunResult, make_vm
+
+__all__ = ["Component", "JikesRVM", "KaffeVM", "RunResult", "make_vm"]

@@ -1,0 +1,26 @@
+"""Runtime compilation subsystems.
+
+* :mod:`repro.jvm.compiler.method` — the unit of compilation,
+* :mod:`repro.jvm.compiler.baseline` — Jikes' fast baseline compiler,
+* :mod:`repro.jvm.compiler.optimizing` — Jikes' optimizing compiler
+  (three optimization levels),
+* :mod:`repro.jvm.compiler.adaptive` — the adaptive optimization system
+  (sample-driven hotness estimation and cost/benefit recompilation),
+* :mod:`repro.jvm.compiler.kaffe_jit` — Kaffe's compile-on-first-use JIT.
+"""
+
+from repro.jvm.compiler.adaptive import AdaptiveOptimizationSystem
+from repro.jvm.compiler.baseline import BaselineCompiler
+from repro.jvm.compiler.kaffe_jit import KaffeJIT
+from repro.jvm.compiler.method import JavaMethod, MethodTable
+from repro.jvm.compiler.optimizing import OPT_LEVELS, OptimizingCompiler
+
+__all__ = [
+    "AdaptiveOptimizationSystem",
+    "BaselineCompiler",
+    "JavaMethod",
+    "KaffeJIT",
+    "MethodTable",
+    "OPT_LEVELS",
+    "OptimizingCompiler",
+]

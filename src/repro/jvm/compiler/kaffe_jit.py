@@ -1,0 +1,61 @@
+"""Kaffe's just-in-time compiler.
+
+"Kaffe JIT translates opcodes to native instructions without performing
+extensive code optimizations.  This creates longer execution times for
+benchmarks causing it to consume larger amounts of energy" (Section VI-D).
+
+Every method is JIT-compiled on first invocation — there is no tiering
+and no recompilation.  The produced code quality is *below* the Jikes
+baseline (0.85), which is the mechanism behind Kaffe's 2-3x longer
+benchmark runtimes and correspondingly diluted JVM-component energy
+shares in Figure 9.
+"""
+
+from repro.hardware.activity import Activity
+from repro.hardware.cache import MemoryBehavior
+from repro.jvm.components import Component
+from repro.jvm.compiler.method import QUALITY_KAFFE_JIT
+from repro.jvm.profiles import profile_for
+
+#: Instructions per bytecode byte translated (single pass + peephole).
+JIT_INSTR_PER_BYTE = 110
+
+#: Fixed per-method overhead.
+JIT_FIXED_INSTR = 18_000
+
+
+class KaffeJIT:
+    """Compile-on-first-use JIT with fixed (modest) code quality."""
+
+    tier = "jit"
+
+    def __init__(self, platform_name):
+        self.platform_name = platform_name
+        self.methods_compiled = 0
+        self.bytes_compiled = 0
+
+    def compile(self, method):
+        """JIT-compile *method*; return the compilation activity."""
+        method.quality = QUALITY_KAFFE_JIT
+        method.tier = self.tier
+        method.compile_count += 1
+        self.methods_compiled += 1
+        self.bytes_compiled += method.bytecode_bytes
+
+        instr = method.bytecode_bytes * JIT_INSTR_PER_BYTE + JIT_FIXED_INSTR
+        profile = profile_for(self.platform_name, "jit")
+        return Activity(
+            component=Component.JIT,
+            instructions=instr,
+            behavior=MemoryBehavior(
+                footprint_bytes=max(method.bytecode_bytes * 8, 64 * 1024),
+                hot_bytes=profile.hot_bytes,
+                locality=profile.locality,
+                spatial_factor=profile.spatial,
+            ),
+            refs_per_instr=profile.refs_per_instr,
+            l1_miss_rate=profile.l1_miss_rate,
+            mix_factor=profile.mix,
+            cpi_scale=profile.cpi_scale,
+            tag=f"jit-compile:{method.name}",
+        )

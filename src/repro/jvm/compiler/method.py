@@ -1,0 +1,99 @@
+"""Methods: the unit of compilation and of execution-time accounting.
+
+A method's ``weight`` is its share of total application bytecode
+execution; weights across a benchmark's method table sum to 1.  Execution
+speed depends on the *code quality* of the tier that most recently
+compiled the method: the application's effective instructions-per-bytecode
+is the base cost divided by the method's quality.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Native instructions needed to execute one bytecode at quality 1.0
+#: (Jikes baseline-compiled code).
+INSTR_PER_BYTECODE = 6.5
+
+#: Code-quality levels by tier.
+QUALITY_BASELINE = 1.0
+QUALITY_KAFFE_JIT = 0.85   # Kaffe JIT does no extensive optimization
+QUALITY_INTERPRETER = 0.22  # bytecode dispatch costs ~4-5x JIT'd code
+
+
+@dataclass
+class JavaMethod:
+    """One compilable method."""
+
+    name: str
+    bytecode_bytes: int
+    weight: float
+    quality: float = 0.0      # 0.0 = not yet compiled (not executable)
+    tier: str = "none"        # none | baseline | jit | opt0 | opt1 | opt2
+    compile_count: int = 0
+    samples: int = 0
+
+    def __post_init__(self):
+        if self.bytecode_bytes <= 0:
+            raise ConfigurationError("method bytecode size must be positive")
+        if self.weight < 0:
+            raise ConfigurationError("method weight cannot be negative")
+
+    @property
+    def compiled(self):
+        return self.quality > 0.0
+
+    def instructions_per_bytecode(self):
+        """Native instructions per bytecode at the current tier."""
+        if not self.compiled:
+            raise ConfigurationError(
+                f"method {self.name} executed before compilation"
+            )
+        return INSTR_PER_BYTECODE / self.quality
+
+
+class MethodTable:
+    """The benchmark's methods with a normalized weight distribution.
+
+    Provides the aggregate the VM's inner loop needs: the effective
+    instructions-per-bytecode across currently compiled tiers, weighted by
+    each method's execution share.  As the adaptive system upgrades hot
+    methods, this aggregate drops and the application speeds up — the
+    mechanism behind Jikes' performance advantage over Kaffe.
+    """
+
+    def __init__(self, methods):
+        if not methods:
+            raise ConfigurationError("a method table cannot be empty")
+        total = sum(m.weight for m in methods)
+        if total <= 0:
+            raise ConfigurationError("method weights must sum to > 0")
+        for m in methods:
+            m.weight = m.weight / total
+        self.methods = list(methods)
+
+    def __len__(self):
+        return len(self.methods)
+
+    def __iter__(self):
+        return iter(self.methods)
+
+    def effective_instr_per_bytecode(self):
+        """Weight-averaged instructions per bytecode over compiled
+        methods (uncompiled methods don't execute yet and are skipped)."""
+        num = 0.0
+        den = 0.0
+        for m in self.methods:
+            if m.compiled:
+                num += m.weight * m.instructions_per_bytecode()
+                den += m.weight
+        if den == 0.0:
+            return INSTR_PER_BYTECODE
+        return num / den
+
+    def hottest(self, n):
+        """The *n* highest-weight methods."""
+        return sorted(self.methods, key=lambda m: -m.weight)[:n]
+
+    def total_bytecode_bytes(self):
+        return sum(m.bytecode_bytes for m in self.methods)

@@ -1,0 +1,81 @@
+"""JVM component identifiers.
+
+The paper instruments each virtual machine so that the identity of the
+currently executing JVM service is visible to the measurement hardware: the
+VM writes a small integer to a memory-mapped I/O register (the parallel port
+on the Pentium M platform, GPIO pins on the DBPXA255 board).  The DAQ samples
+this register together with the power channels and attributes each power
+sample to the component whose ID is latched at the sample instant.
+
+This module defines those IDs.  The numeric values are what travels over the
+simulated port, so they are part of the measurement wire format.
+"""
+
+import enum
+
+
+class Component(enum.IntEnum):
+    """Identifier of a JVM software component (or the application).
+
+    The paper studies four Jikes RVM components — garbage collection (GC),
+    class loading (CL), baseline compilation (Base) and optimizing
+    compilation (Opt) — and three Kaffe components (GC, CL, JIT).  Everything
+    else is attributed to the application (``APP``).  ``IDLE`` marks the
+    processor idle loop and exists so idle-power experiments can use the same
+    attribution machinery.
+    """
+
+    APP = 0
+    GC = 1
+    CL = 2
+    BASE = 3
+    OPT = 4
+    JIT = 5
+    SCHEDULER = 6
+    IDLE = 7
+
+    @property
+    def short_name(self):
+        """Abbreviation used in the paper's figures."""
+        return _SHORT_NAMES[self]
+
+    @classmethod
+    def from_port_value(cls, value):
+        """Decode a raw port value into a :class:`Component`.
+
+        Unknown values (possible on a real port due to electrical glitches)
+        are attributed to ``APP``, matching the paper's convention that
+        anything not positively identified as a JVM service belongs to the
+        application.
+        """
+        try:
+            return cls(int(value))
+        except ValueError:
+            return cls.APP
+
+
+_SHORT_NAMES = {
+    Component.APP: "App",
+    Component.GC: "GC",
+    Component.CL: "CL",
+    Component.BASE: "base_comp",
+    Component.OPT: "opt_comp",
+    Component.JIT: "JIT",
+    Component.SCHEDULER: "sched",
+    Component.IDLE: "idle",
+}
+
+#: Components reported for the Jikes RVM (Section VI, first paragraph).
+JIKES_COMPONENTS = (
+    Component.GC,
+    Component.CL,
+    Component.BASE,
+    Component.OPT,
+)
+
+#: Components reported for Kaffe (Section VI, first paragraph).
+KAFFE_COMPONENTS = (
+    Component.GC,
+    Component.CL,
+    Component.JIT,
+)

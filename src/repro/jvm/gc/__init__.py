@@ -1,0 +1,62 @@
+"""Garbage collectors.
+
+The paper's Figure 3 taxonomy:
+
+* non-generational: :class:`~repro.jvm.gc.semispace.SemiSpace` (copying)
+  and :class:`~repro.jvm.gc.marksweep.MarkSweep`;
+* generational: :class:`~repro.jvm.gc.generational.GenCopy` (copying
+  nursery + semispace mature) and
+  :class:`~repro.jvm.gc.generational.GenMS` (copying nursery + mark-sweep
+  mature).
+
+Kaffe's incremental tri-color conservative mark-sweep collector is in
+:class:`~repro.jvm.gc.kaffe_gc.KaffeGC`.
+
+Use :func:`make_collector` to instantiate by the names the paper uses.
+"""
+
+from repro.errors import UnknownCollectorError
+from repro.jvm.gc.base import CollectionReport, Collector, GCStats
+from repro.jvm.gc.generational import GenCopy, GenMS
+from repro.jvm.gc.kaffe_gc import KaffeGC
+from repro.jvm.gc.marksweep import MarkSweep
+from repro.jvm.gc.semispace import SemiSpace
+
+#: Collector registry keyed by the names used in the paper's figures.
+COLLECTORS = {
+    "SemiSpace": SemiSpace,
+    "MarkSweep": MarkSweep,
+    "GenCopy": GenCopy,
+    "GenMS": GenMS,
+    "KaffeGC": KaffeGC,
+}
+
+#: The four Jikes RVM collectors studied in Figures 6-8.
+JIKES_COLLECTORS = ("SemiSpace", "MarkSweep", "GenCopy", "GenMS")
+
+
+def make_collector(name, heap_bytes, rng):
+    """Instantiate a collector by paper name over a ``heap_bytes`` heap."""
+    try:
+        cls = COLLECTORS[name]
+    except KeyError:
+        raise UnknownCollectorError(
+            f"unknown collector {name!r}; expected one of "
+            f"{sorted(COLLECTORS)}"
+        ) from None
+    return cls(heap_bytes, rng)
+
+
+__all__ = [
+    "COLLECTORS",
+    "CollectionReport",
+    "Collector",
+    "GCStats",
+    "GenCopy",
+    "GenMS",
+    "JIKES_COLLECTORS",
+    "KaffeGC",
+    "MarkSweep",
+    "SemiSpace",
+    "make_collector",
+]

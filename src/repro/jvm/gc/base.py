@@ -1,0 +1,153 @@
+"""Collector interface and shared accounting.
+
+A collector owns the heap's spaces and allocators.  The VM drives it
+through a narrow protocol:
+
+* :meth:`Collector.allocate` — place a new object; raises
+  :class:`~repro.errors.SpaceExhausted` when a collection is needed;
+* :meth:`Collector.collect` — perform the collection(s) required to make
+  progress, returning one :class:`CollectionReport` per collection phase
+  (a generational collector may report a minor collection followed by a
+  full-heap collection);
+* :meth:`Collector.record_mutation` — the write-barrier hook, called by
+  the VM for tracked pointer stores.
+
+Reports carry the *work done in bytes* (traced, copied, swept) so the
+cost model (:mod:`repro.jvm.gc.cost`) can convert collections into
+microarchitectural activities.
+"""
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass
+class CollectionReport:
+    """What one collection actually did (ground truth, in bytes)."""
+
+    kind: str                 # "minor" or "full"
+    collector: str
+    traced_bytes: int = 0     # live bytes visited by the trace
+    traced_objects: int = 0   # cohorts visited
+    edges: int = 0            # reference edges traversed
+    copied_bytes: int = 0     # bytes evacuated/promoted
+    swept_bytes: int = 0      # address-space extent walked by sweep
+    freed_bytes: int = 0      # bytes reclaimed
+    live_bytes_after: int = 0
+    promoted_bytes: int = 0   # minor collections: bytes tenured
+    nepotism_bytes: int = 0   # dead bytes tenured via stale remset entries
+    footprint_bytes: int = 0  # data footprint for the cache model
+
+    @property
+    def survival_rate(self):
+        """Fraction of the collected region that survived."""
+        denom = self.freed_bytes + self.copied_bytes
+        if self.kind == "full" and self.copied_bytes == 0:
+            denom = self.freed_bytes + self.traced_bytes
+        if denom <= 0:
+            return 0.0
+        numer = self.copied_bytes if self.copied_bytes else self.traced_bytes
+        return numer / denom
+
+
+@dataclass
+class GCStats:
+    """Cumulative collector statistics over a run."""
+
+    collections: int = 0
+    minor_collections: int = 0
+    full_collections: int = 0
+    traced_bytes: int = 0
+    copied_bytes: int = 0
+    swept_bytes: int = 0
+    freed_bytes: int = 0
+    promoted_bytes: int = 0
+    nepotism_bytes: int = 0
+    write_barrier_entries: int = 0
+
+    def absorb(self, report):
+        """Fold one :class:`CollectionReport` into the totals."""
+        self.collections += 1
+        if report.kind == "minor":
+            self.minor_collections += 1
+        else:
+            self.full_collections += 1
+        self.traced_bytes += report.traced_bytes
+        self.copied_bytes += report.copied_bytes
+        self.swept_bytes += report.swept_bytes
+        self.freed_bytes += report.freed_bytes
+        self.promoted_bytes += report.promoted_bytes
+        self.nepotism_bytes += report.nepotism_bytes
+
+
+class Collector(ABC):
+    """Base class for all collectors."""
+
+    #: Paper name ("SemiSpace", "GenMS", ...); set by subclasses.
+    name = "abstract"
+    #: Whether the collector segregates young from old objects.
+    is_generational = False
+    #: Additive adjustment to the application's locality parameter.
+    #: Copying collectors compact live data, improving mutator locality
+    #: (the paper's `_209_db` discussion, Section VI-B); free-list
+    #: collectors scatter it slightly.
+    mutator_locality_delta = 0.0
+    #: Fractional instruction overhead the write barrier imposes on the
+    #: mutator (zero for non-generational collectors).
+    barrier_overhead = 0.0
+
+    def __init__(self, heap_bytes, rng):
+        self.heap_bytes = int(heap_bytes)
+        self.rng = rng
+        self.stats = GCStats()
+
+    # -- allocation --------------------------------------------------
+
+    @abstractmethod
+    def allocate(self, size, birth, death):
+        """Allocate an object; raise SpaceExhausted if a GC is needed."""
+
+    # -- collection --------------------------------------------------
+
+    @abstractmethod
+    def collect(self, roots, now):
+        """Collect until allocation can proceed; return list of reports."""
+
+    # -- write barrier ------------------------------------------------
+
+    def record_mutation(self, young_obj):
+        """Write-barrier hook for a tracked pointer store whose target is
+        *young_obj*.  Non-generational collectors ignore it."""
+
+    # -- adaptive sizing -------------------------------------------------
+
+    #: Whether :meth:`grow` is implemented.
+    supports_growth = False
+
+    def grow(self, additional_bytes):
+        """Extend the heap at run time (adaptive heap sizing; the
+        research direction of the paper's reference [1]).  Collectors
+        that cannot grow raise :class:`ConfigurationError`."""
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"{self.name} does not support heap growth"
+        )
+
+    # -- introspection -------------------------------------------------
+
+    @abstractmethod
+    def used_bytes(self):
+        """Bytes currently occupied in the collector's spaces."""
+
+    @abstractmethod
+    def usable_heap_bytes(self):
+        """Bytes of the heap actually available for application data
+        (half for semispace disciplines, nearly all for mark-sweep)."""
+
+    def describe(self):
+        """One-line human description used in reports."""
+        return (
+            f"{self.name} (heap {self.heap_bytes // (1024 * 1024)} MB, "
+            f"usable {self.usable_heap_bytes() // (1024 * 1024)} MB)"
+        )

@@ -1,0 +1,176 @@
+"""Microarchitectural profiles of JVM components.
+
+Every component activity needs a fine-grained locality description (memory
+references per instruction, L1 miss rate, instruction mix) before the
+execution model can account it.  These numbers are component-intrinsic
+calibration constants; the *coarse-grained* cache behavior (L2/working-set
+misses) is computed mechanistically from the actual data footprints the
+simulated JVM produces, so heap size and collector effects emerge rather
+than being baked in.
+
+The values are calibrated so the P6 platform reproduces the paper's
+Section VI-C measurements (application IPC about 0.8 and L2 miss rate
+about 11 %; GC IPC about 0.55 with L2 miss rates above 50 %; class loader
+L2 miss 12-21 %), and the PXA255 overrides reproduce the inverted ordering
+of Section VI-E (GC is the *most* power-hungry component on the XScale,
+the class loader the least, stalled on instruction fetch and data
+dependencies).
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MicroProfile:
+    """Fine-grained execution character of one component activity."""
+
+    refs_per_instr: float
+    l1_miss_rate: float
+    locality: float       # fraction of refs to the hot working set
+    hot_bytes: int        # size of that hot set
+    spatial: float        # new-line fraction of cold references
+    mix: float = 1.0      # instruction-mix power weighting
+    cpi_scale: float = 1.0
+
+    def tweaked(self, **overrides):
+        """Return a copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Baseline (P6) profiles.
+_P6 = {
+    # Application code: decent locality, moderate memory intensity.
+    "app": MicroProfile(
+        refs_per_instr=0.35,
+        l1_miss_rate=0.050,
+        locality=0.80,
+        hot_bytes=384 * 1024,
+        spatial=0.55,
+        mix=1.00,
+    ),
+    # GC trace/mark: pointer chasing over the live set.
+    "gc_trace": MicroProfile(
+        refs_per_instr=0.45,
+        l1_miss_rate=0.040,
+        locality=0.12,
+        hot_bytes=256 * 1024,
+        spatial=0.78,
+        mix=0.98,
+    ),
+    # GC copy/evacuate: streaming reads + writes.
+    "gc_copy": MicroProfile(
+        refs_per_instr=0.55,
+        l1_miss_rate=0.036,
+        locality=0.08,
+        hot_bytes=128 * 1024,
+        spatial=0.72,
+        mix=1.05,
+    ),
+    # GC sweep: walking side metadata (bitmaps / block headers).
+    "gc_sweep": MicroProfile(
+        refs_per_instr=0.40,
+        l1_miss_rate=0.055,
+        locality=0.30,
+        hot_bytes=128 * 1024,
+        spatial=0.85,
+        mix=0.82,
+    ),
+    # Class loader: parsing + installing metadata; mostly resident.
+    "classloader": MicroProfile(
+        refs_per_instr=0.38,
+        l1_miss_rate=0.035,
+        locality=0.58,
+        hot_bytes=192 * 1024,
+        spatial=0.62,
+        mix=0.98,
+        cpi_scale=1.38,
+    ),
+    # Baseline compiler: fast single-pass translation, hot tables.
+    "baseline": MicroProfile(
+        refs_per_instr=0.32,
+        l1_miss_rate=0.025,
+        locality=0.85,
+        hot_bytes=128 * 1024,
+        spatial=0.40,
+        mix=1.00,
+        cpi_scale=1.30,
+    ),
+    # Optimizing compiler: IR transformation, high ILP, mostly resident.
+    "optimizing": MicroProfile(
+        refs_per_instr=0.34,
+        l1_miss_rate=0.028,
+        locality=0.80,
+        hot_bytes=256 * 1024,
+        spatial=0.40,
+        mix=1.02,
+        cpi_scale=1.25,
+    ),
+    # Kaffe's JIT: simple translation similar to the baseline compiler.
+    "jit": MicroProfile(
+        refs_per_instr=0.32,
+        l1_miss_rate=0.026,
+        locality=0.85,
+        hot_bytes=128 * 1024,
+        spatial=0.40,
+        mix=1.00,
+        cpi_scale=1.30,
+    ),
+    # VM boot / miscellaneous runtime.
+    "boot": MicroProfile(
+        refs_per_instr=0.35,
+        l1_miss_rate=0.040,
+        locality=0.75,
+        hot_bytes=256 * 1024,
+        spatial=0.50,
+        mix=1.00,
+    ),
+}
+
+#: PXA255 (XScale) overrides.  The in-order core exposes different
+#: bottlenecks: the JIT'd application code is dependency-stall-bound
+#: (Kaffe performs no extensive optimization), the class loader is
+#: fetch-stall-bound (Section VI-E), and the GC — small heaps, short
+#: 32-byte lines, streaming access — sustains the *highest* relative IPC.
+_PXA255 = {
+    "app": _P6["app"].tweaked(cpi_scale=1.30, l1_miss_rate=0.055,
+                              mix=1.04),
+    "gc_trace": _P6["gc_trace"].tweaked(cpi_scale=1.00,
+                                        l1_miss_rate=0.030, mix=0.98),
+    "gc_copy": _P6["gc_copy"].tweaked(cpi_scale=1.00, l1_miss_rate=0.030,
+                                      mix=1.00),
+    "gc_sweep": _P6["gc_sweep"].tweaked(cpi_scale=1.05,
+                                        l1_miss_rate=0.035, mix=1.02),
+    "classloader": _P6["classloader"].tweaked(cpi_scale=2.60,
+                                              l1_miss_rate=0.050,
+                                              mix=0.92),
+    "jit": _P6["jit"].tweaked(cpi_scale=1.45),
+    "baseline": _P6["baseline"].tweaked(cpi_scale=1.45),
+    "optimizing": _P6["optimizing"].tweaked(cpi_scale=1.50),
+    "boot": _P6["boot"].tweaked(cpi_scale=1.40),
+}
+
+_BY_PLATFORM = {
+    "p6": _P6,
+    "pxa255": _PXA255,
+}
+
+
+def profile_for(platform_name, key, **overrides):
+    """Look up the :class:`MicroProfile` for a component activity.
+
+    ``platform_name`` is the :class:`~repro.hardware.platform.Platform`
+    name; unknown platforms fall back to the P6 profile set.  Keyword
+    overrides produce a tweaked copy (used by per-benchmark adjustments).
+    """
+    table = _BY_PLATFORM.get(platform_name, _P6)
+    profile = table.get(key)
+    if profile is None:
+        profile = _P6[key]
+    if overrides:
+        profile = profile.tweaked(**overrides)
+    return profile
+
+
+def profile_keys():
+    """All known profile keys (for validation and tests)."""
+    return tuple(_P6.keys())

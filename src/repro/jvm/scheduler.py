@@ -1,0 +1,183 @@
+"""Component-ID instrumentation and execution scheduling.
+
+This is the software half of the paper's Section IV-C: the VM must make
+the identity of the running component visible at the I/O port so the DAQ
+can attribute power samples.  The two VMs are instrumented differently:
+
+* **Kaffe** brackets each component with *entry and exit* port writes —
+  nested calls (e.g. the class loader invoked from the JIT) restore the
+  caller's ID on exit, so a component stack is maintained;
+* **Jikes RVM** runs services such as the optimizing compiler on separate
+  threads, so the identification call lives in the *thread scheduler*: one
+  port write per context switch, no nesting.
+
+Every port write costs real cycles (about a microsecond per parallel-port
+OUT on the P6 platform); the scheduler charges that cost to the entered
+component as an explicit "perturbation" segment, making the methodology's
+own overhead a measurable quantity.
+
+The scheduler is also where execution meets the thermal model: each
+emitted segment advances die temperature, and the CPU's throttle latch is
+refreshed so that a thermal emergency (Figure 1) halves the duty cycle of
+everything that follows.
+"""
+
+from repro.errors import ConfigurationError
+from repro.jvm.components import Component
+from repro.timeline import ExecutionTimeline, Segment
+
+#: Instructions attributed to one port write (the OUT plus marshalling).
+PORT_WRITE_INSTR = 30
+
+#: Relative power during a legacy-I/O write (bus wait, core mostly idle).
+PORT_WRITE_POWER_FACTOR = 1.15
+
+
+class InstrumentedScheduler:
+    """Runs activities on a platform, emitting an instrumented timeline."""
+
+    #: Default chunking bound: long activities are split so that thermal
+    #: coupling and measurement see at most ~50 ms of uniform behavior.
+    DEFAULT_CHUNK_S = 0.05
+
+    def __init__(self, platform, style="jikes", max_chunk_s=None):
+        if style not in ("jikes", "kaffe"):
+            raise ConfigurationError(
+                f"instrumentation style must be 'jikes' or 'kaffe', "
+                f"got {style!r}"
+            )
+        self.platform = platform
+        self.style = style
+        self.exec_model = platform.execution_model
+        self.timeline = ExecutionTimeline(platform.clock_hz)
+        self._cycle = 0
+        self._stack = [int(Component.APP)]
+        self._latched = None
+        self.max_chunk_cycles = int(
+            (max_chunk_s or self.DEFAULT_CHUNK_S) * platform.clock_hz
+        )
+        self.port_writes = 0
+
+    @property
+    def now_cycle(self):
+        return self._cycle
+
+    @property
+    def now_s(self):
+        """Wall time elapsed so far."""
+        return self.timeline.duration_s
+
+    @property
+    def current_component(self):
+        return self._stack[-1]
+
+    # -- component identification ------------------------------------
+
+    def _write_port(self, component):
+        """Latch *component* on the port and charge the write cost."""
+        if self._latched == component:
+            return
+        port = self.platform.port
+        port.write(self._cycle, component)
+        self._latched = component
+        self.port_writes += 1
+        cost = port.write_cost_cycles
+        if cost > 0:
+            duration_s = cost / self.platform.cpu.effective_clock_hz
+            seg = Segment(
+                start_cycle=self._cycle,
+                end_cycle=self._cycle + cost,
+                component=component,
+                instructions=PORT_WRITE_INSTR,
+                cpu_power_w=(
+                    self.platform.power_model.idle_power_w()
+                    * PORT_WRITE_POWER_FACTOR
+                ),
+                mem_power_w=self.platform.memory.power_w(0, duration_s),
+                wall_s=duration_s,
+                tag="port-write",
+            )
+            self._append(seg)
+
+    def enter(self, component):
+        """Kaffe-style component entry: push and latch."""
+        component = int(component)
+        self._stack.append(component)
+        self._write_port(component)
+
+    def exit(self):
+        """Kaffe-style component exit: pop and restore the caller's ID."""
+        if len(self._stack) <= 1:
+            raise ConfigurationError("component stack underflow")
+        self._stack.pop()
+        # Kaffe rewrites the port on exit even if an outer frame has the
+        # same ID; Jikes-style scheduling has no exits.
+        self._write_port(self._stack[-1])
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, activity):
+        """Run *activity*: latch its component, account its chunks."""
+        component = int(activity.component)
+        if self.style == "kaffe" and component != self.current_component:
+            self.enter(activity.component)
+            self._emit_chunks(activity)
+            self.exit()
+        else:
+            self._write_port(component)
+            self._emit_chunks(activity)
+
+    def _emit_chunks(self, activity):
+        total = activity.instructions
+        if total <= 0:
+            return
+        # Estimate cycles to pick a chunk count, then split instructions.
+        est_cycles, *_ = self.exec_model.cost(activity)
+        n_chunks = max(1, -(-est_cycles // self.max_chunk_cycles))
+        base = total // n_chunks
+        remainder = total - base * n_chunks
+        for i in range(int(n_chunks)):
+            instr = base + (1 if i < remainder else 0)
+            if instr <= 0:
+                continue
+            chunk = _with_instructions(activity, instr)
+            seg = self.exec_model.run(chunk, self._cycle)
+            seg.wall_s = seg.cycles / self.platform.cpu.effective_clock_hz
+            self._append(seg)
+
+    def idle(self, seconds, component=Component.IDLE):
+        """Account an idle interval (e.g. between repetitive runs)."""
+        if seconds <= 0:
+            return
+        self._write_port(int(component))
+        remaining = self.platform.cpu.seconds_to_cycles(seconds)
+        while remaining > 0:
+            cycles = min(remaining, self.max_chunk_cycles)
+            seg = self.exec_model.idle(int(component), self._cycle, cycles)
+            seg.wall_s = cycles / self.platform.cpu.effective_clock_hz
+            self._append(seg)
+            remaining -= cycles
+
+    def _append(self, seg):
+        self.timeline.append(seg)
+        if seg.cycles > 0:
+            self._cycle = seg.end_cycle
+            self.platform.counters.record_segment(seg)
+            # Thermal coupling: temperature integrates the power the
+            # segment actually drew; the throttle latch feeds back into
+            # the CPU's duty cycle for subsequent segments.
+            thermal = self.platform.thermal
+            thermal.step(seg.cpu_power_w, seg.duration_s(
+                self.timeline.clock_hz), record=False)
+            self.platform.cpu.throttled = thermal.throttled
+
+    def finish(self):
+        """Final bookkeeping; returns the completed timeline."""
+        return self.timeline
+
+
+def _with_instructions(activity, instructions):
+    """Copy *activity* with a different instruction count."""
+    from dataclasses import replace
+
+    return replace(activity, instructions=instructions)

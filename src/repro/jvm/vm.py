@@ -1,0 +1,577 @@
+"""The integrated virtual machines.
+
+:class:`JikesRVM` models the IBM Jikes RVM 2.4.1 (Section IV-A): system
+classes merged into the boot image, a fast baseline compiler on first
+invocation, an adaptive optimization system recompiling hot methods with
+the optimizing compiler on its own thread, and a choice of four garbage
+collectors.  Component IDs are written by the thread scheduler.
+
+:class:`KaffeVM` models Kaffe 1.1.4: a clean-room portable VM configured
+with JIT compilation and Unix threads, lazy class loading of both user
+*and* system classes, and an incremental conservative mark-sweep
+collector.  Component IDs are written at component entry and exit.
+
+A VM executes a :class:`~repro.workloads.generator.WorkloadRun` slice by
+slice; everything it does — class loads, compilations, application
+execution, allocation, and the collections allocation forces — flows
+through the instrumented scheduler into a ground-truth timeline that the
+measurement infrastructure then samples.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    OutOfMemoryError,
+    SpaceExhausted,
+    UnknownCollectorError,
+)
+from repro.hardware.activity import Activity
+from repro.hardware.cache import MemoryBehavior
+from repro.jvm.classloader import KAFFE_LOADER_FACTOR, ClassLoader
+from repro.jvm.compiler import (
+    AdaptiveOptimizationSystem,
+    BaselineCompiler,
+    KaffeJIT,
+    OptimizingCompiler,
+)
+from repro.jvm.components import Component
+from repro.jvm.gc import JIKES_COLLECTORS, make_collector
+from repro.jvm.gc.cost import GCBurstProfile, GCCostModel
+from repro.jvm.objects import ReferenceFactory, RootSet
+from repro.jvm.profiles import profile_for
+from repro.jvm.scheduler import InstrumentedScheduler
+from repro.units import MB
+from repro.workloads import get_benchmark
+from repro.workloads.generator import WorkloadRun
+
+#: How many just-allocated objects are candidates for tracked mutations.
+MUTATION_RING = 16
+
+#: Application data footprint relative to the live set (fragmentation,
+#: stacks, code).
+APP_FOOTPRINT_FACTOR = 1.3
+
+
+@dataclass
+class RunResult:
+    """Everything a completed VM run produced (ground truth side)."""
+
+    benchmark: str
+    vm_name: str
+    platform_name: str
+    collector_name: str
+    heap_mb: int
+    seed: int
+    timeline: object
+    gc_stats: object
+    collector: object
+    classloader: object
+    workload: object
+    port_writes: int
+    perturbation_cycles: int
+    repetitions: int = 1
+    opt_compiles: int = 0
+    base_compiles: int = 0
+    jit_compiles: int = 0
+
+    @property
+    def duration_s(self):
+        """Ground-truth wall-clock duration of the run."""
+        return self.timeline.duration_s
+
+    def component_seconds(self):
+        return self.timeline.component_seconds()
+
+    def cpu_energy_j(self):
+        return self.timeline.cpu_energy_j()
+
+    def mem_energy_j(self):
+        return self.timeline.mem_energy_j()
+
+    def summary(self):
+        """One-paragraph human-readable description."""
+        comp_s = self.component_seconds()
+        total_s = self.duration_s
+        parts = []
+        for cid in sorted(comp_s, key=lambda c: -comp_s[c]):
+            name = Component.from_port_value(cid).short_name
+            parts.append(f"{name} {100 * comp_s[cid] / total_s:.1f}%")
+        return (
+            f"{self.benchmark} on {self.vm_name}/{self.platform_name} "
+            f"({self.collector_name}, {self.heap_mb} MB): "
+            f"{total_s:.2f} s, {self.cpu_energy_j():.1f} J CPU, "
+            f"{self.mem_energy_j():.2f} J memory; time share "
+            + ", ".join(parts)
+        )
+
+
+class BaseVM:
+    """Shared machinery of both virtual machines."""
+
+    name = "base"
+    style = "jikes"
+    lazy_system_classes = False
+    loader_factor = 1.0
+    supported_collectors = ()
+    default_collector = None
+    #: Heap bytes reserved for the VM's own data (boot image, compiled
+    #: code, VM structures) and unavailable to the application.
+    vm_reserved_bytes = 6 * MB
+    #: Instruction cost of VM bootstrap.
+    boot_instructions = 350_000_000
+
+    def __init__(self, platform, collector=None, heap_mb=64, seed=42,
+                 n_slices=160, dvfs_freq_scale=None,
+                 initial_temperature_c=None):
+        collector = collector or self.default_collector
+        if collector not in self.supported_collectors:
+            raise UnknownCollectorError(
+                f"{self.name} supports {self.supported_collectors}, "
+                f"got {collector!r}"
+            )
+        heap_bytes = int(heap_mb * MB) - self.vm_reserved_bytes
+        if heap_bytes < 2 * MB:
+            raise ConfigurationError(
+                f"heap of {heap_mb} MB leaves no room after the VM's "
+                f"{self.vm_reserved_bytes // MB} MB reservation"
+            )
+        self.platform = platform
+        self.collector_name = collector
+        self.heap_mb = int(heap_mb)
+        self.heap_bytes = heap_bytes
+        self.seed = seed
+        self.n_slices = n_slices
+        #: Optional fixed DVFS operating point (paper Section VII lists
+        #: DVFS as future work; the platform supports it natively).
+        self.dvfs_freq_scale = dvfs_freq_scale
+        #: Optional warm-start die temperature (long-running servers
+        #: operate at steady temperature, not at ambient).
+        self.initial_temperature_c = initial_temperature_c
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, benchmark, input_scale=1.0, warm=True, repetitions=1,
+            idle_between_s=0.5):
+        """Execute *benchmark* to completion; return a :class:`RunResult`.
+
+        ``input_scale`` shrinks the input (e.g. 0.1 for SpecJVM98 -s10);
+        ``warm`` models the paper's warm-up run (OS file caches hot);
+        ``repetitions`` re-runs the workload back-to-back with idle gaps
+        (used by the Figure 1 thermal experiment).
+        """
+        rng = np.random.default_rng(self.seed)
+        self.platform.reset()
+        if self.dvfs_freq_scale is not None:
+            self.platform.cpu.set_dvfs(self.dvfs_freq_scale)
+        if self.initial_temperature_c is not None:
+            self.platform.thermal.reset(self.initial_temperature_c)
+        if isinstance(benchmark, WorkloadRun):
+            # Pre-built workload (e.g. an allocation-trace replay).
+            workload = benchmark
+            spec = workload.spec
+        else:
+            spec = (
+                get_benchmark(benchmark) if isinstance(benchmark, str)
+                else benchmark
+            )
+            workload = WorkloadRun(spec, rng, input_scale=input_scale,
+                                   n_slices=self.n_slices)
+        collector = self._make_collector(rng)
+        sched = self._make_scheduler()
+        roots = RootSet()
+        refs = ReferenceFactory(rng)
+        classloader = ClassLoader(
+            self.platform.name,
+            lazy_system_classes=self.lazy_system_classes,
+            loader_factor=self.loader_factor,
+        )
+        gc_cost = GCCostModel(
+            self.platform.name,
+            burst=GCBurstProfile(
+                fraction=spec.gc_burst.fraction,
+                cpi_scale=spec.gc_burst.cpi_scale,
+                mix=spec.gc_burst.mix,
+            ),
+        )
+        state = _RunState(
+            spec=workload.spec,
+            workload=workload,
+            collector=collector,
+            sched=sched,
+            roots=roots,
+            refs=refs,
+            classloader=classloader,
+            gc_cost=gc_cost,
+            warm=warm,
+            app_profile=profile_for(
+                self.platform.name, "app", **workload.spec.app_overrides
+            ),
+        )
+        self._setup_compilers(state)
+        self._boot(state)
+        for rep in range(repetitions):
+            if rep > 0 and idle_between_s > 0:
+                sched.idle(idle_between_s)
+            for sl in workload.slices:
+                self._run_slice(state, sl)
+        return RunResult(
+            benchmark=workload.spec.name,
+            vm_name=self.name,
+            platform_name=self.platform.name,
+            collector_name=self.collector_name,
+            heap_mb=self.heap_mb,
+            seed=self.seed,
+            timeline=sched.finish(),
+            gc_stats=collector.stats,
+            collector=collector,
+            classloader=classloader,
+            workload=workload,
+            port_writes=sched.port_writes,
+            perturbation_cycles=(
+                self.platform.port.total_perturbation_cycles()
+            ),
+            repetitions=repetitions,
+            opt_compiles=getattr(state.opt, "methods_compiled", 0)
+            if state.opt else 0,
+            base_compiles=getattr(state.base, "methods_compiled", 0)
+            if state.base else 0,
+            jit_compiles=getattr(state.jit, "methods_compiled", 0)
+            if state.jit else 0,
+        )
+
+    # -- hooks implemented by subclasses ----------------------------
+
+    def _make_collector(self, rng):
+        """Build the run's collector.  Overridable for ablation
+        studies (e.g. custom nursery sizes)."""
+        return make_collector(self.collector_name, self.heap_bytes, rng)
+
+    def _make_scheduler(self):
+        """Build the run's instrumented scheduler.  Overridable for
+        extensions that interpose on execution (e.g. DVFS governors)."""
+        return InstrumentedScheduler(self.platform, style=self.style)
+
+    def _setup_compilers(self, state):
+        raise NotImplementedError
+
+    def _boot(self, state):
+        raise NotImplementedError
+
+    def _compile_on_first_call(self, state, method):
+        raise NotImplementedError
+
+    def _post_slice(self, state, sl):
+        """Subclass hook after each slice (Jikes runs the AOS here)."""
+
+    # -- slice execution -------------------------------------------------
+
+    def _run_slice(self, state, sl):
+        for cls in sl.class_loads:
+            act = state.classloader.load(cls, warm=state.warm)
+            if act is not None:
+                state.sched.execute(act)
+        for method in sl.method_calls:
+            if not method.compiled:
+                self._compile_on_first_call(state, method)
+        state.roots.expire(state.now)
+        self._run_app_phase(state, sl)
+        self._post_slice(state, sl)
+
+    def _run_app_phase(self, state, sl):
+        sizes, deaths = state.workload.draw_cohort_batch(
+            state.now, sl.alloc_bytes
+        )
+        total_alloc = sum(sizes)
+        emitted_frac = 0.0
+        allocated = 0
+        mutations_left = sl.mutations
+        stride = max(1, len(sizes) // (sl.mutations + 1)) if sizes else 1
+        ring = state.mutation_ring
+
+        for i, (size, death) in enumerate(zip(sizes, deaths)):
+            death = max(death, state.now + 1.0)
+            try:
+                obj = state.collector.allocate(size, state.now, death)
+            except SpaceExhausted:
+                frac = allocated / total_alloc if total_alloc else 1.0
+                self._emit_app(
+                    state, sl, sl.bytecodes * (frac - emitted_frac)
+                )
+                emitted_frac = frac
+                obj = self._collect_and_retry(state, size, death)
+            state.roots.add(obj)
+            state.refs.wire(obj)
+            state.now += size
+            allocated += size
+            ring.append(obj)
+            if len(ring) > MUTATION_RING:
+                ring.pop(0)
+            if mutations_left > 0 and i % stride == stride - 1:
+                target = state.workload.mutation_target(ring)
+                if target is not None:
+                    state.collector.record_mutation(target)
+                    mutations_left -= 1
+        self._emit_app(state, sl, sl.bytecodes * (1.0 - emitted_frac))
+
+    def _collect_and_retry(self, state, size, death):
+        state.roots.expire(state.now)
+        try:
+            reports = state.collector.collect(state.roots, state.now)
+        except SpaceExhausted:
+            raise OutOfMemoryError(
+                size, self.heap_bytes, state.roots.live_bytes()
+            ) from None
+        for report in reports:
+            for act in state.gc_cost.activities(report):
+                state.sched.execute(act)
+        try:
+            return state.collector.allocate(size, state.now, death)
+        except SpaceExhausted:
+            raise OutOfMemoryError(
+                size, self.heap_bytes, state.roots.live_bytes()
+            ) from None
+
+    def _emit_app(self, state, sl, bytecodes):
+        if bytecodes <= 0:
+            return
+        profile = state.app_profile
+        collector = state.collector
+        ipb = state.workload.method_table.effective_instr_per_bytecode()
+        instr = int(bytecodes * ipb * (1.0 + collector.barrier_overhead))
+        if instr <= 0:
+            return
+        locality = min(
+            max(profile.locality + collector.mutator_locality_delta, 0.0),
+            1.0,
+        )
+        act = Activity(
+            component=Component.APP,
+            instructions=instr,
+            behavior=MemoryBehavior(
+                footprint_bytes=int(
+                    state.spec.live_bytes * APP_FOOTPRINT_FACTOR
+                ),
+                hot_bytes=profile.hot_bytes,
+                locality=locality,
+                spatial_factor=profile.spatial,
+            ),
+            refs_per_instr=profile.refs_per_instr,
+            l1_miss_rate=profile.l1_miss_rate,
+            mix_factor=profile.mix * sl.mix_jitter,
+            cpi_scale=profile.cpi_scale * sl.cpi_jitter,
+            tag=f"app:slice{sl.index}",
+        )
+        before = state.sched.timeline.duration_s
+        state.sched.execute(act)
+        state.app_seconds += state.sched.timeline.duration_s - before
+
+
+@dataclass
+class _RunState:
+    """Mutable per-run state threaded through the slice loop."""
+
+    spec: object
+    workload: object
+    collector: object
+    sched: object
+    roots: object
+    refs: object
+    classloader: object
+    gc_cost: object
+    warm: bool
+    app_profile: object
+    now: float = 0.0
+    app_seconds: float = 0.0
+    aos_mark_s: float = 0.0
+    base: Optional[object] = None
+    opt: Optional[object] = None
+    jit: Optional[object] = None
+    aos: Optional[object] = None
+    mutation_ring: list = field(default_factory=list)
+
+
+class JikesRVM(BaseVM):
+    """The high-performance adaptive VM (Jikes RVM 2.4.1 model)."""
+
+    name = "jikes"
+    style = "jikes"
+    lazy_system_classes = False
+    loader_factor = 1.0
+    supported_collectors = JIKES_COLLECTORS
+    default_collector = "GenCopy"
+    vm_reserved_bytes = 6 * MB
+    boot_instructions = 350_000_000
+
+    def _setup_compilers(self, state):
+        state.base = BaselineCompiler(self.platform.name)
+        state.opt = OptimizingCompiler(self.platform.name)
+        state.aos = AdaptiveOptimizationSystem(
+            state.workload.method_table,
+            rng=state.workload.rng,
+            app_instr_per_second=self.platform.clock_hz * 0.7,
+        )
+
+    def _boot(self, state):
+        # System classes ship in the boot image: no dynamic loads.
+        state.classloader.preload_system(state.workload.classes)
+        profile = profile_for(self.platform.name, "boot")
+        state.sched.execute(
+            Activity(
+                component=Component.APP,
+                instructions=self.boot_instructions,
+                behavior=MemoryBehavior(
+                    footprint_bytes=8 * MB,
+                    hot_bytes=profile.hot_bytes,
+                    locality=profile.locality,
+                    spatial_factor=profile.spatial,
+                ),
+                refs_per_instr=profile.refs_per_instr,
+                l1_miss_rate=profile.l1_miss_rate,
+                mix_factor=profile.mix,
+                cpi_scale=profile.cpi_scale,
+                tag="boot",
+            )
+        )
+
+    def _compile_on_first_call(self, state, method):
+        state.sched.execute(state.base.compile(method))
+
+    #: Controller-thread work per processed sample (bookkeeping) and
+    #: per epoch (organizer wakeup).  Sized so the controller stays
+    #: under 1 % of execution, matching the paper's side measurement
+    #: ("its execution time accounted for less than 1 % of the total
+    #: benchmark execution time", Section VI).
+    CONTROLLER_INSTR_PER_SAMPLE = 900
+    CONTROLLER_FIXED_INSTR = 40_000
+
+    def _post_slice(self, state, sl):
+        """The adaptive optimization system's epoch: sample, decide,
+        drain the compile queue on the optimizing-compiler thread, and
+        account the controller thread's own work."""
+        elapsed = state.app_seconds - state.aos_mark_s
+        state.aos_mark_s = state.app_seconds
+        n_samples = state.aos.take_samples(elapsed)
+        state.aos.consider_recompilation()
+        job = state.aos.next_job()
+        while job is not None:
+            if job.level.quality > job.method.quality:
+                state.sched.execute(
+                    state.opt.compile(job.method, job.level)
+                )
+            job = state.aos.next_job()
+        self._run_controller_thread(state, n_samples)
+
+    def _run_controller_thread(self, state, n_samples):
+        """The AOS controller thread: wakes each epoch, processes the
+        sample buffer, and runs the cost/benefit organizer."""
+        profile = profile_for(self.platform.name, "boot")
+        instr = (
+            self.CONTROLLER_FIXED_INSTR
+            + n_samples * self.CONTROLLER_INSTR_PER_SAMPLE
+        )
+        state.sched.execute(
+            Activity(
+                component=Component.SCHEDULER,
+                instructions=instr,
+                behavior=MemoryBehavior(
+                    footprint_bytes=512 * 1024,
+                    hot_bytes=profile.hot_bytes,
+                    locality=profile.locality,
+                    spatial_factor=profile.spatial,
+                ),
+                refs_per_instr=profile.refs_per_instr,
+                l1_miss_rate=profile.l1_miss_rate,
+                mix_factor=profile.mix,
+                cpi_scale=profile.cpi_scale,
+                tag="aos-controller",
+            )
+        )
+
+
+class KaffeVM(BaseVM):
+    """The portable embedded-friendly VM (Kaffe 1.1.4 model).
+
+    "Kaffe can be configured as an interpreter machine, or with
+    Just-In-Time (JIT) compiler support.  ...  For this work we use the
+    JIT version of Kaffe" (Section IV-A).  Both configurations are
+    available here via ``mode``: ``"jit"`` (the paper's setting) or
+    ``"interp"`` (pure bytecode interpretation — no JIT component, far
+    lower code quality; the configuration Farkas et al., the paper's
+    reference [20], compared against JIT mode on a pocket computer).
+    """
+
+    name = "kaffe"
+    style = "kaffe"
+    lazy_system_classes = True
+    loader_factor = KAFFE_LOADER_FACTOR
+    supported_collectors = ("KaffeGC",)
+    default_collector = "KaffeGC"
+    vm_reserved_bytes = 2 * MB
+    boot_instructions = 60_000_000
+
+    def __init__(self, platform, mode="jit", **kwargs):
+        if mode not in ("jit", "interp"):
+            raise ConfigurationError(
+                f"Kaffe mode must be 'jit' or 'interp', got {mode!r}"
+            )
+        super().__init__(platform, **kwargs)
+        self.mode = mode
+
+    def _setup_compilers(self, state):
+        if self.mode == "jit":
+            state.jit = KaffeJIT(self.platform.name)
+
+    def _boot(self, state):
+        profile = profile_for(self.platform.name, "boot")
+        state.sched.execute(
+            Activity(
+                component=Component.APP,
+                instructions=self.boot_instructions,
+                behavior=MemoryBehavior(
+                    footprint_bytes=2 * MB,
+                    hot_bytes=profile.hot_bytes,
+                    locality=profile.locality,
+                    spatial_factor=profile.spatial,
+                ),
+                refs_per_instr=profile.refs_per_instr,
+                l1_miss_rate=profile.l1_miss_rate,
+                mix_factor=profile.mix,
+                cpi_scale=profile.cpi_scale,
+                tag="boot",
+            )
+        )
+
+    def _compile_on_first_call(self, state, method):
+        if self.mode == "jit":
+            state.sched.execute(state.jit.compile(method))
+        else:
+            # The interpreter executes bytecodes directly: no compile
+            # activity, but dreadful code quality from then on.
+            from repro.jvm.compiler.method import QUALITY_INTERPRETER
+
+            method.quality = QUALITY_INTERPRETER
+            method.tier = "interp"
+
+
+#: VM registry keyed by the names used throughout the package.
+VMS = {
+    "jikes": JikesRVM,
+    "kaffe": KaffeVM,
+}
+
+
+def make_vm(vm_name, platform, collector=None, heap_mb=64, seed=42,
+            n_slices=160, dvfs_freq_scale=None):
+    """Instantiate a VM by name (``"jikes"`` or ``"kaffe"``)."""
+    try:
+        cls = VMS[vm_name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown VM {vm_name!r}; expected one of {sorted(VMS)}"
+        ) from None
+    return cls(platform, collector=collector, heap_mb=heap_mb, seed=seed,
+               n_slices=n_slices, dvfs_freq_scale=dvfs_freq_scale)

@@ -1,0 +1,32 @@
+"""The physical measurement infrastructure (simulated).
+
+Mirrors the paper's Section IV:
+
+* :mod:`repro.measurement.sense` — precision sense resistors in series
+  with the CPU and memory supply rails; power is reconstructed from the
+  measured voltage drop (P = V * I), with sensor noise;
+* :mod:`repro.measurement.daq` — the high-speed data acquisition system
+  sampling the power channels and the component-ID port every 40 us;
+* :mod:`repro.measurement.hpm_sampler` — OS-timer-driven sampling of the
+  hardware performance monitors (1 ms on P6, 10 ms on the DBPXA255);
+* :mod:`repro.measurement.traces` — the acquired traces and their
+  per-component aggregation.
+
+Everything here observes the VM's ground-truth timeline *imperfectly* —
+through the sampling window, latched-ID attribution, and noise — exactly
+as the paper's hardware observed the real systems.
+"""
+
+from repro.measurement.daq import DAQ
+from repro.measurement.hpm_sampler import HPMSampler
+from repro.measurement.sense import SenseChannel, SenseResistor
+from repro.measurement.traces import PerfTrace, PowerTrace
+
+__all__ = [
+    "DAQ",
+    "HPMSampler",
+    "PerfTrace",
+    "PowerTrace",
+    "SenseChannel",
+    "SenseResistor",
+]

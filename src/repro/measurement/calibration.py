@@ -1,0 +1,81 @@
+"""Sense-channel calibration.
+
+Every physical measurement chain carries systematic error — here, the
+sense resistor's manufacturing tolerance appears as a hidden gain error
+on reconstructed power.  The lab procedure is standard: drive the rail
+with known reference loads, average many readings at each, fit the
+gain/offset, and correct subsequent measurements.
+
+:func:`calibrate_channel` reproduces that procedure against a
+:class:`~repro.measurement.sense.SenseChannel` and returns a
+:class:`CalibratedChannel` wrapper whose residual gain error is limited
+by the reference accuracy and the averaging depth, not the resistor
+tolerance.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted correction for one channel."""
+
+    gain: float      # multiply raw readings by this
+    offset_w: float  # then add this
+    residual_w: float
+
+    def correct(self, readings):
+        return self.gain * np.asarray(readings) + self.offset_w
+
+
+class CalibratedChannel:
+    """A sense channel with a calibration correction applied."""
+
+    def __init__(self, channel, calibration):
+        self.channel = channel
+        self.calibration = calibration
+        self.name = f"{channel.name}+cal"
+
+    def measure(self, true_power_w):
+        raw = self.channel.measure(true_power_w)
+        return np.maximum(self.calibration.correct(raw), 0.0)
+
+    @property
+    def gain_error(self):
+        """Residual gain error after correction."""
+        return (1.0 + self.channel.gain_error) * \
+            self.calibration.gain - 1.0
+
+
+def calibrate_channel(channel, reference_loads_w, samples_per_load=4000):
+    """Fit a gain/offset correction from known reference loads.
+
+    ``reference_loads_w`` are the true powers of the calibration loads
+    (e.g. precision resistive dummies).  Returns a
+    :class:`CalibrationResult`; wrap the channel with
+    :class:`CalibratedChannel` to apply it.
+    """
+    loads = np.asarray(reference_loads_w, dtype=np.float64)
+    if len(loads) < 2:
+        raise MeasurementError(
+            "need at least two reference loads to fit gain and offset"
+        )
+    if samples_per_load < 16:
+        raise MeasurementError("averaging depth too small")
+    measured = np.array([
+        channel.measure(np.full(samples_per_load, load)).mean()
+        for load in loads
+    ])
+    # Least-squares fit: true = gain * measured + offset.
+    design = np.column_stack([measured, np.ones_like(measured)])
+    (gain, offset), *_ = np.linalg.lstsq(design, loads, rcond=None)
+    residual = float(
+        np.abs(gain * measured + offset - loads).max()
+    )
+    return CalibrationResult(
+        gain=float(gain), offset_w=float(offset), residual_w=residual
+    )

@@ -1,0 +1,145 @@
+"""Acquired measurement traces and their per-component aggregation.
+
+A :class:`PowerTrace` is what the DAQ produces: one row per 40 us sample
+with CPU power, memory power, and the component ID latched on the I/O
+port at the sample instant.  A :class:`PerfTrace` is what the HPM sampler
+produces: per-sample counter deltas attributed to the component running
+at the timer tick.
+
+Both offer the offline analyses the paper's Section VI is built from:
+per-component energy, average and peak power, execution-time shares, and
+per-component microarchitectural rates (IPC, L2 miss rate).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass
+class PowerTrace:
+    """DAQ output: sampled power channels + component attribution."""
+
+    times_s: np.ndarray
+    cpu_power_w: np.ndarray
+    mem_power_w: np.ndarray
+    component: np.ndarray
+    sample_period_s: float
+
+    def __post_init__(self):
+        if len(self.times_s) == 0:
+            raise MeasurementError("empty power trace")
+
+    @property
+    def n_samples(self):
+        return len(self.times_s)
+
+    @property
+    def duration_s(self):
+        return self.n_samples * self.sample_period_s
+
+    def components_present(self):
+        """Distinct component IDs observed in the trace."""
+        return sorted(int(c) for c in np.unique(self.component))
+
+    # -- energy ------------------------------------------------------
+
+    def cpu_energy_j(self):
+        """Total measured CPU energy (sum of P * dt)."""
+        return float(self.cpu_power_w.sum() * self.sample_period_s)
+
+    def mem_energy_j(self):
+        """Total measured memory energy."""
+        return float(self.mem_power_w.sum() * self.sample_period_s)
+
+    def component_cpu_energy_j(self):
+        """Measured CPU energy attributed to each component ID."""
+        return self._component_sum(self.cpu_power_w)
+
+    def component_mem_energy_j(self):
+        """Measured memory energy attributed to each component ID."""
+        return self._component_sum(self.mem_power_w)
+
+    def _component_sum(self, values):
+        out = {}
+        for cid in np.unique(self.component):
+            mask = self.component == cid
+            out[int(cid)] = float(
+                values[mask].sum() * self.sample_period_s
+            )
+        return out
+
+    # -- power -----------------------------------------------------------
+
+    def component_avg_power_w(self):
+        """Average CPU power per component (mean over its samples)."""
+        out = {}
+        for cid in np.unique(self.component):
+            mask = self.component == cid
+            out[int(cid)] = float(self.cpu_power_w[mask].mean())
+        return out
+
+    def component_peak_power_w(self):
+        """Peak CPU power per component (max over its samples)."""
+        out = {}
+        for cid in np.unique(self.component):
+            mask = self.component == cid
+            out[int(cid)] = float(self.cpu_power_w[mask].max())
+        return out
+
+    def avg_power_w(self):
+        return float(self.cpu_power_w.mean())
+
+    def peak_power_w(self):
+        return float(self.cpu_power_w.max())
+
+    # -- time --------------------------------------------------------------
+
+    def component_seconds(self):
+        """Wall time attributed to each component."""
+        out = {}
+        for cid in np.unique(self.component):
+            out[int(cid)] = float(
+                (self.component == cid).sum() * self.sample_period_s
+            )
+        return out
+
+
+@dataclass
+class PerfTrace:
+    """HPM sampler output, already aggregated per component."""
+
+    sample_period_s: float
+    n_samples: int
+    component_samples: dict     # cid -> tick count
+    component_cycles: dict      # cid -> cycles
+    component_instructions: dict
+    component_l2_accesses: dict
+    component_l2_misses: dict
+
+    def component_ipc(self):
+        """Measured IPC per component."""
+        out = {}
+        for cid, cycles in self.component_cycles.items():
+            instr = self.component_instructions.get(cid, 0)
+            out[cid] = instr / cycles if cycles > 0 else 0.0
+        return out
+
+    def component_l2_miss_rate(self):
+        """Measured L2 miss rate per component."""
+        out = {}
+        for cid, acc in self.component_l2_accesses.items():
+            miss = self.component_l2_misses.get(cid, 0)
+            out[cid] = miss / acc if acc > 0 else 0.0
+        return out
+
+    def component_time_share(self):
+        """Fraction of timer ticks landing in each component."""
+        total = sum(self.component_samples.values())
+        if total == 0:
+            raise MeasurementError("perf trace contains no samples")
+        return {
+            cid: n / total for cid, n in self.component_samples.items()
+        }

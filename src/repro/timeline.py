@@ -1,0 +1,276 @@
+"""Ground-truth execution timeline.
+
+A VM run produces an :class:`ExecutionTimeline`: an ordered, gap-free
+sequence of :class:`Segment` objects, each describing an interval of CPU
+cycles during which exactly one JVM component was executing, together with
+the microarchitectural activity (instructions, cache behavior) and the
+power draw the hardware model computed for that interval.
+
+Cycles vs wall time: segments are accounted in *core cycles*; the wall
+duration of a segment depends on the clock actually delivered while it ran
+(DVFS operating point, thermal-throttle duty cycle).  The scheduler stamps
+each segment with its wall duration (``wall_s``); when absent, the nominal
+clock is used.
+
+The timeline is the *ground truth* that the simulated measurement
+infrastructure (:mod:`repro.measurement`) observes imperfectly — through a
+40 microsecond DAQ window, sensor noise, and timer-driven HPM sampling —
+exactly as the paper's physical infrastructure observed the real machines.
+Keeping ground truth and measurement separate lets the test suite quantify
+attribution error, something the paper could only argue qualitatively.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TimelineError
+
+
+@dataclass
+class Segment:
+    """One contiguous interval of execution by a single component.
+
+    Cycle bounds are half-open: ``[start_cycle, end_cycle)``.
+
+    ``cpu_power_w`` / ``mem_power_w`` are the average draws over the
+    segment as computed by the platform power model; the DAQ adds
+    sampling-window effects and sensor noise on top when the segment is
+    "measured".
+    """
+
+    start_cycle: int
+    end_cycle: int
+    component: int
+    instructions: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    mem_accesses: int = 0
+    cpu_power_w: float = 0.0
+    mem_power_w: float = 0.0
+    wall_s: Optional[float] = None
+    tag: str = ""
+
+    @property
+    def cycles(self):
+        """Number of core cycles covered by this segment."""
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def ipc(self):
+        """Instructions per cycle achieved during the segment."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def l2_miss_rate(self):
+        """L2 misses per L2 access (0.0 when the segment made none)."""
+        if self.l2_accesses <= 0:
+            return 0.0
+        return self.l2_misses / self.l2_accesses
+
+    def duration_s(self, clock_hz):
+        """Wall-clock duration; prefers the stamped wall time."""
+        if self.wall_s is not None:
+            return self.wall_s
+        return self.cycles / float(clock_hz)
+
+    def cpu_energy_j(self, clock_hz):
+        """CPU energy consumed during the segment."""
+        return self.cpu_power_w * self.duration_s(clock_hz)
+
+    def mem_energy_j(self, clock_hz):
+        """Main-memory energy consumed during the segment."""
+        return self.mem_power_w * self.duration_s(clock_hz)
+
+
+@dataclass
+class TimelineArrays:
+    """Vectorized (NumPy) view of a timeline, used by the samplers.
+
+    ``starts_s`` / ``ends_s`` are wall-time segment bounds (seconds from
+    run start); the cycle bounds are retained for counter work.
+    """
+
+    starts_s: np.ndarray
+    ends_s: np.ndarray
+    start_cycles: np.ndarray
+    end_cycles: np.ndarray
+    components: np.ndarray
+    cpu_power: np.ndarray
+    mem_power: np.ndarray
+    instructions: np.ndarray
+    l2_accesses: np.ndarray
+    l2_misses: np.ndarray
+    mem_accesses: np.ndarray
+    clock_hz: float
+
+
+class ExecutionTimeline:
+    """Append-only, gap-free sequence of execution segments.
+
+    Segments must be appended in execution order; each segment must begin
+    exactly where the previous one ended (in cycles).  The VM guarantees
+    this by routing every emitted segment through :meth:`append`.
+    """
+
+    def __init__(self, clock_hz):
+        if clock_hz <= 0:
+            raise TimelineError(f"clock_hz must be positive, got {clock_hz}")
+        self.clock_hz = float(clock_hz)
+        self._segments = []
+        self._total_s = 0.0
+
+    def __len__(self):
+        return len(self._segments)
+
+    def __iter__(self):
+        return iter(self._segments)
+
+    def __getitem__(self, index):
+        return self._segments[index]
+
+    @property
+    def segments(self):
+        """The list of segments (do not mutate)."""
+        return self._segments
+
+    def append(self, segment):
+        """Append *segment*, enforcing contiguity and ordering."""
+        if segment.end_cycle < segment.start_cycle:
+            raise TimelineError(
+                f"segment ends before it starts: {segment.start_cycle}.."
+                f"{segment.end_cycle}"
+            )
+        if self._segments:
+            prev_end = self._segments[-1].end_cycle
+            if segment.start_cycle != prev_end:
+                raise TimelineError(
+                    f"segment starts at cycle {segment.start_cycle}, "
+                    f"expected {prev_end} (timelines must be gap-free)"
+                )
+        if segment.cycles == 0:
+            return  # zero-length segments carry no energy or time
+        self._segments.append(segment)
+        self._total_s += segment.duration_s(self.clock_hz)
+
+    @property
+    def start_cycle(self):
+        return self._segments[0].start_cycle if self._segments else 0
+
+    @property
+    def end_cycle(self):
+        return self._segments[-1].end_cycle if self._segments else 0
+
+    @property
+    def total_cycles(self):
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def duration_s(self):
+        """Total wall-clock duration covered by the timeline."""
+        return self._total_s
+
+    def component_cycles(self):
+        """Ground-truth cycles per component ID, as a dict."""
+        out = {}
+        for seg in self._segments:
+            out[seg.component] = out.get(seg.component, 0) + seg.cycles
+        return out
+
+    def component_seconds(self):
+        """Ground-truth wall seconds per component ID."""
+        out = {}
+        for seg in self._segments:
+            out[seg.component] = (
+                out.get(seg.component, 0.0)
+                + seg.duration_s(self.clock_hz)
+            )
+        return out
+
+    def component_instructions(self):
+        """Ground-truth retired instructions per component ID."""
+        out = {}
+        for seg in self._segments:
+            out[seg.component] = (
+                out.get(seg.component, 0) + seg.instructions
+            )
+        return out
+
+    def cpu_energy_j(self):
+        """Ground-truth total CPU energy over the timeline."""
+        return sum(s.cpu_energy_j(self.clock_hz) for s in self._segments)
+
+    def mem_energy_j(self):
+        """Ground-truth total main-memory energy over the timeline."""
+        return sum(s.mem_energy_j(self.clock_hz) for s in self._segments)
+
+    def component_cpu_energy_j(self):
+        """Ground-truth CPU energy per component ID."""
+        out = {}
+        for seg in self._segments:
+            out[seg.component] = (
+                out.get(seg.component, 0.0)
+                + seg.cpu_energy_j(self.clock_hz)
+            )
+        return out
+
+    def to_arrays(self):
+        """Return a :class:`TimelineArrays` vectorized view for samplers."""
+        if not self._segments:
+            raise TimelineError("cannot vectorize an empty timeline")
+        n = len(self._segments)
+        start_cycles = np.empty(n, dtype=np.int64)
+        end_cycles = np.empty(n, dtype=np.int64)
+        components = np.empty(n, dtype=np.int16)
+        cpu_power = np.empty(n, dtype=np.float64)
+        mem_power = np.empty(n, dtype=np.float64)
+        durations = np.empty(n, dtype=np.float64)
+        instructions = np.empty(n, dtype=np.int64)
+        l2_accesses = np.empty(n, dtype=np.int64)
+        l2_misses = np.empty(n, dtype=np.int64)
+        mem_accesses = np.empty(n, dtype=np.int64)
+        for i, seg in enumerate(self._segments):
+            start_cycles[i] = seg.start_cycle
+            end_cycles[i] = seg.end_cycle
+            components[i] = seg.component
+            cpu_power[i] = seg.cpu_power_w
+            mem_power[i] = seg.mem_power_w
+            durations[i] = seg.duration_s(self.clock_hz)
+            instructions[i] = seg.instructions
+            l2_accesses[i] = seg.l2_accesses
+            l2_misses[i] = seg.l2_misses
+            mem_accesses[i] = seg.mem_accesses
+        ends_s = np.cumsum(durations)
+        starts_s = ends_s - durations
+        return TimelineArrays(
+            starts_s=starts_s,
+            ends_s=ends_s,
+            start_cycles=start_cycles,
+            end_cycles=end_cycles,
+            components=components,
+            cpu_power=cpu_power,
+            mem_power=mem_power,
+            instructions=instructions,
+            l2_accesses=l2_accesses,
+            l2_misses=l2_misses,
+            mem_accesses=mem_accesses,
+            clock_hz=self.clock_hz,
+        )
+
+    def validate(self):
+        """Re-check all invariants over the whole timeline (for tests)."""
+        for prev, cur in zip(self._segments, self._segments[1:]):
+            if cur.start_cycle != prev.end_cycle:
+                raise TimelineError(
+                    f"gap or overlap between cycle {prev.end_cycle} and "
+                    f"{cur.start_cycle}"
+                )
+        for seg in self._segments:
+            if seg.cycles <= 0:
+                raise TimelineError("zero or negative length segment stored")
+            if seg.wall_s is not None and seg.wall_s <= 0:
+                raise TimelineError("segment has non-positive wall time")
+        return True

@@ -1,0 +1,67 @@
+"""Benchmark workload models.
+
+The paper measures 16 benchmarks from three suites (its Figure 5):
+seven from SpecJVM98, five from DaCapo (beta051009), and four sequential
+Java Grande Forum codes.  Since the real benchmarks cannot run on a
+simulated JVM, each is modeled by a :class:`~repro.workloads.spec.BenchmarkSpec`
+capturing exactly the characteristics the paper's results depend on:
+total bytecode volume, allocation volume and object lifetime structure,
+live-set size, class and method counts, and the application's
+microarchitectural character.
+
+Use :func:`get_benchmark` / :func:`all_benchmarks` to access the registry.
+"""
+
+from repro.errors import UnknownBenchmarkError
+from repro.workloads.dacapo import DACAPO
+from repro.workloads.jgf import JGF
+from repro.workloads.server import SERVER
+from repro.workloads.spec import BenchmarkSpec
+from repro.workloads.specjvm98 import SPECJVM98
+from repro.workloads.generator import Slice, WorkloadRun
+
+#: All benchmarks keyed by name — the paper's sixteen (Figure 5 order)
+#: plus the synthetic Server suite (Section VII future work).
+REGISTRY = {}
+for _spec in (*SPECJVM98, *DACAPO, *JGF, *SERVER):
+    REGISTRY[_spec.name] = _spec
+
+
+def get_benchmark(name):
+    """Look up a benchmark spec by its paper name (e.g. ``"_213_javac"``)."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise UnknownBenchmarkError(
+            f"unknown benchmark {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def all_benchmarks(suite=None):
+    """Benchmark specs by suite.
+
+    With no argument, returns the paper's sixteen benchmarks
+    (Figure 5).  Pass ``"SpecJVM98"``, ``"DaCapo"``, ``"JGF"``, or
+    ``"Server"`` (the Section VII extension suite) to select one.
+    """
+    if suite is None:
+        return [
+            s for s in REGISTRY.values() if s.suite in suite_names()
+        ]
+    return [s for s in REGISTRY.values() if s.suite == suite]
+
+
+def suite_names():
+    """The three suite names, in the paper's order."""
+    return ("SpecJVM98", "DaCapo", "JGF")
+
+
+__all__ = [
+    "BenchmarkSpec",
+    "REGISTRY",
+    "Slice",
+    "WorkloadRun",
+    "all_benchmarks",
+    "get_benchmark",
+    "suite_names",
+]

@@ -1,0 +1,115 @@
+"""Workload characterization tooling.
+
+The benchmark models in this package are synthetic; their credibility
+rests on being *inspectable*.  This module computes the memory-behavior
+summary GC papers print for their workloads — allocation volume, live
+curve, and nursery survival as a function of nursery size — directly
+from a spec's distributions, so a reader can check each model against
+the published characterizations it was calibrated to.
+
+Exposed on the CLI as ``repro workload <name>``.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import MB
+from repro.workloads.alloctrace import record_trace
+
+
+@dataclass
+class WorkloadProfile:
+    """Summary statistics of one benchmark model."""
+
+    name: str
+    suite: str
+    alloc_mb: float
+    cohorts: int
+    live_mean_mb: float
+    live_peak_mb: float
+    survival_by_nursery_mb: dict   # nursery MB -> surviving fraction
+    immortal_fraction: float
+    classes: int
+    methods: int
+
+    def survival(self, nursery_mb):
+        return self.survival_by_nursery_mb[nursery_mb]
+
+
+def nursery_survival(trace, nursery_bytes):
+    """Fraction of allocated bytes that would survive a nursery of the
+    given size: cohorts whose lifetime exceeds the allocation slack
+    left in their nursery generation.
+
+    A cohort allocated when the nursery has ``r`` bytes of room dies in
+    the nursery iff its lifetime is under ``r`` — the standard
+    fixed-nursery survival estimate.
+    """
+    sizes = trace.sizes
+    lifetimes = trace.lifetimes
+    surviving = 0
+    fill = 0
+    for size, life in zip(sizes, lifetimes):
+        if fill + size > nursery_bytes:
+            fill = 0  # nursery collected
+        room = nursery_bytes - fill
+        if life > room:
+            surviving += size
+        fill += size
+    return surviving / max(int(sizes.sum()), 1)
+
+
+def characterize(spec, seed=42, sample_mb=None,
+                 nursery_sizes_mb=(1, 2, 4, 8)):
+    """Build a :class:`WorkloadProfile` for *spec* by sampling its
+    allocation behavior (``sample_mb`` defaults to the smaller of the
+    spec's volume and 256 MB, enough for stable statistics)."""
+    cap = min(spec.alloc_bytes, 256 * MB)
+    sample = int(sample_mb * MB) if sample_mb else cap
+    trace = record_trace(spec, seed=seed, alloc_bytes=sample)
+    _, live = trace.live_profile(points=96)
+    survival = {
+        n: nursery_survival(trace, n * MB) for n in nursery_sizes_mb
+    }
+    immortal = float(
+        trace.sizes[~np.isfinite(trace.lifetimes)].sum()
+        / max(int(trace.sizes.sum()), 1)
+    )
+    return WorkloadProfile(
+        name=spec.name,
+        suite=spec.suite,
+        alloc_mb=spec.alloc_bytes / MB,
+        cohorts=trace.cohort_count,
+        live_mean_mb=float(live[len(live) // 4:].mean() / MB),
+        live_peak_mb=float(live.max() / MB),
+        survival_by_nursery_mb=survival,
+        immortal_fraction=immortal,
+        classes=spec.app_classes + spec.system_classes,
+        methods=spec.methods,
+    )
+
+
+def render_profile(profile, spec=None):
+    """Plain-text rendering of a workload profile."""
+    lines = [
+        f"{profile.name} [{profile.suite}]",
+        f"  total allocation : {profile.alloc_mb:.0f} MB "
+        f"({profile.cohorts} sampled cohorts)",
+        f"  live set         : mean {profile.live_mean_mb:.1f} MB, "
+        f"peak {profile.live_peak_mb:.1f} MB"
+        + (
+            f" (target {spec.live_bytes / MB:.1f} MB)"
+            if spec is not None else ""
+        ),
+        f"  immortal bytes   : {100 * profile.immortal_fraction:.2f}%",
+        f"  code             : {profile.classes} classes, "
+        f"{profile.methods} methods",
+        "  nursery survival :",
+    ]
+    for nursery_mb, frac in profile.survival_by_nursery_mb.items():
+        lines.append(
+            f"    {nursery_mb:3d} MB nursery -> {100 * frac:5.1f}% "
+            f"of bytes promoted"
+        )
+    return "\n".join(lines)

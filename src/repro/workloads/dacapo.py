@@ -1,0 +1,88 @@
+"""DaCapo (beta051009) benchmark models, default data sets.
+
+The DaCapo programs are the memory-intensive half of the paper's mix;
+``fop`` is the class-loading outlier (the paper measures its class loader
+at 24 % of total energy — it parses a large XSL-FO input through an
+enormous number of small classes relative to a short run).
+"""
+
+from repro.units import KB, MB
+from repro.workloads.spec import BenchmarkSpec
+
+DACAPO = (
+    BenchmarkSpec(
+        name="antlr",
+        suite="DaCapo",
+        description="A grammar parser generator",
+        bytecodes=1.5e9,
+        alloc_bytes=1300 * MB,
+        live_bytes=int(5.0 * MB),
+        young_frac=0.92,
+        young_mean_bytes=384 * KB,
+        app_classes=220,
+        methods=1700,
+        immortal_frac=0.001,
+    ),
+    BenchmarkSpec(
+        name="fop",
+        suite="DaCapo",
+        description="Application that generates a PDF file from an "
+                    "XSL-FO file",
+        bytecodes=1.1e9,
+        alloc_bytes=300 * MB,
+        live_bytes=int(8.0 * MB),
+        young_frac=0.85,
+        young_mean_bytes=512 * KB,
+        app_classes=2000,
+        class_file_bytes=12 * KB,
+        methods=9000,
+        method_bytecode_bytes=340,
+        mutation_rate_per_mb=4.0,
+        immortal_frac=0.006,
+    ),
+    BenchmarkSpec(
+        name="jython",
+        suite="DaCapo",
+        description="Python program interpreter",
+        bytecodes=2.8e9,
+        alloc_bytes=3500 * MB,
+        live_bytes=int(6.0 * MB),
+        young_frac=0.94,
+        young_mean_bytes=256 * KB,
+        app_classes=880,
+        methods=6400,
+        method_bytecode_bytes=420,
+        immortal_frac=0.0004,
+    ),
+    BenchmarkSpec(
+        name="pmd",
+        suite="DaCapo",
+        description="An analyzer for Java classes",
+        bytecodes=2.2e9,
+        alloc_bytes=1500 * MB,
+        live_bytes=int(9.0 * MB),
+        young_frac=0.89,
+        young_mean_bytes=448 * KB,
+        app_classes=620,
+        methods=4300,
+        mutation_rate_per_mb=4.0,
+        app_overrides={"l1_miss_rate": 0.060},
+        immortal_frac=0.0009,
+    ),
+    BenchmarkSpec(
+        name="ps",
+        suite="DaCapo",
+        description="A Postscript file reader and interpreter",
+        bytecodes=1.8e9,
+        alloc_bytes=1800 * MB,
+        live_bytes=int(5.0 * MB),
+        young_frac=0.93,
+        young_mean_bytes=320 * KB,
+        app_classes=180,
+        methods=1300,
+        immortal_frac=0.0006,
+    ),
+)
+
+#: Heap sizes for DaCapo sweeps start at 48 MB in the paper's figures.
+DACAPO_MIN_HEAP_MB = 48

@@ -1,0 +1,78 @@
+"""Java Grande Forum sequential benchmark models (data set A).
+
+Numeric kernels: mostly array-bound compute with small live sets and high
+IPC — `moldyn` in particular is the kind of dense floating-point loop
+whose *application* phases set the platform's peak power (Figure 8's
+observation that peak power comes from the application, not the JVM
+services).
+"""
+
+from repro.units import KB, MB
+from repro.workloads.spec import BenchmarkSpec
+
+JGF = (
+    BenchmarkSpec(
+        name="euler",
+        suite="JGF",
+        description="Benchmark on computational fluid dynamics",
+        bytecodes=2.6e9,
+        alloc_bytes=700 * MB,
+        live_bytes=int(6.0 * MB),
+        young_frac=0.97,
+        young_mean_bytes=512 * KB,
+        app_classes=25,
+        methods=260,
+        method_bytecode_bytes=850,
+        app_overrides={
+            "l1_miss_rate": 0.045,
+            "locality": 0.80,
+            "mix": 1.08,
+        },
+        immortal_frac=0.0015,
+    ),
+    BenchmarkSpec(
+        name="moldyn",
+        suite="JGF",
+        description="A molecular dynamic simulator",
+        bytecodes=3.0e9,
+        alloc_bytes=80 * MB,
+        live_bytes=int(3.0 * MB),
+        young_frac=0.90,
+        app_classes=20,
+        methods=180,
+        method_bytecode_bytes=780,
+        app_overrides={
+            "l1_miss_rate": 0.015,
+            "locality": 0.95,
+            "mix": 1.15,
+        },
+        burstiness=1.2,
+        immortal_frac=0.010,
+    ),
+    BenchmarkSpec(
+        name="raytracer",
+        suite="JGF",
+        description="A 3D raytracer",
+        bytecodes=2.4e9,
+        alloc_bytes=700 * MB,
+        live_bytes=int(5.0 * MB),
+        young_frac=0.92,
+        app_classes=35,
+        methods=300,
+        app_overrides={"l1_miss_rate": 0.030, "mix": 1.05},
+        immortal_frac=0.0015,
+    ),
+    BenchmarkSpec(
+        name="search",
+        suite="JGF",
+        description="An Alpha-Beta prune search",
+        bytecodes=1.8e9,
+        alloc_bytes=250 * MB,
+        live_bytes=int(2.5 * MB),
+        young_frac=0.91,
+        app_classes=15,
+        methods=150,
+        app_overrides={"l1_miss_rate": 0.025, "mix": 1.02},
+        immortal_frac=0.004,
+    ),
+)

@@ -1,0 +1,64 @@
+"""Server-class workload models (paper Section VII future work).
+
+"The present study has focused on client-based benchmarks; we hope to
+analyze server-type workloads in our effort to study thermal behavior
+of long-running applications."
+
+Two synthetic server models are provided:
+
+* ``jbb_like`` — a SPECjbb-style transaction server: a large resident
+  warehouse working set, steady high-rate allocation of short-lived
+  transaction objects, and long total runtime;
+* ``webcache_like`` — an in-memory object cache: a big long-lived
+  store with churn (entries expire on a mid-range timescale), giving
+  the generational hypothesis a harder time.
+
+They register under the ``Server`` suite, so
+``all_benchmarks("Server")`` returns them without disturbing the
+paper's sixteen-benchmark Figure 5 set.
+"""
+
+from repro.units import KB, MB
+from repro.workloads.spec import BenchmarkSpec
+
+SERVER = (
+    BenchmarkSpec(
+        name="jbb_like",
+        suite="Server",
+        description="SPECjbb-style transaction server (synthetic)",
+        bytecodes=9.0e9,
+        alloc_bytes=5000 * MB,
+        live_bytes=int(14.0 * MB),
+        young_frac=0.96,
+        young_mean_bytes=192 * KB,
+        immortal_frac=0.0015,
+        app_classes=480,
+        methods=3600,
+        mutation_rate_per_mb=5.0,
+        long_lived_mutation_bias=0.7,
+        app_overrides={"l1_miss_rate": 0.055, "locality": 0.72},
+        burstiness=0.8,
+    ),
+    BenchmarkSpec(
+        name="webcache_like",
+        suite="Server",
+        description="In-memory object cache with mid-life churn "
+                    "(synthetic)",
+        bytecodes=7.0e9,
+        alloc_bytes=3200 * MB,
+        live_bytes=int(18.0 * MB),
+        young_frac=0.80,
+        young_mean_bytes=256 * KB,
+        immortal_frac=0.0020,
+        app_classes=260,
+        methods=1900,
+        mutation_rate_per_mb=8.0,
+        long_lived_mutation_bias=0.85,
+        app_overrides={
+            "l1_miss_rate": 0.070,
+            "locality": 0.62,
+            "spatial": 0.65,
+        },
+        burstiness=0.9,
+    ),
+)

@@ -1,0 +1,159 @@
+"""Benchmark descriptors and the object-lifetime model.
+
+A :class:`BenchmarkSpec` is immutable and purely declarative; binding it
+to a random generator and an input scale produces a
+:class:`~repro.workloads.generator.WorkloadRun` that the VM executes.
+
+Lifetimes follow the weak generational hypothesis as a three-component
+mixture over *allocation time* (bytes allocated so far):
+
+* a ``young_frac`` fraction of bytes dies with an exponential lifetime of
+  mean ``young_mean_bytes`` (most objects die young);
+* a small ``immortal_frac`` fraction lives until program exit;
+* the remainder dies with a longer exponential lifetime whose mean is
+  *solved* so that the steady-state live size matches ``live_bytes``
+  (the expected live size under an allocation-time lifetime distribution
+  is simply its mean, since one byte of clock passes per byte allocated).
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.jvm.objects import IMMORTAL
+from repro.units import KB, MB
+
+
+@dataclass(frozen=True)
+class GCBurstSpec:
+    """Optional high-power burst inside GC trace phases (see
+    :class:`repro.jvm.gc.cost.GCBurstProfile`)."""
+
+    fraction: float = 0.0
+    cpi_scale: float = 0.45
+    mix: float = 1.12
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Workload model of one benchmark (full input size)."""
+
+    name: str
+    suite: str
+    description: str
+
+    # Execution volume.
+    bytecodes: float            # total bytecodes executed
+    alloc_bytes: int            # total bytes allocated
+    live_bytes: int             # steady-state live-set target
+
+    # Lifetime structure.
+    young_frac: float = 0.88
+    young_mean_bytes: int = 512 * KB
+    immortal_frac: float = 0.005
+
+    # Code structure.
+    app_classes: int = 200
+    system_classes: int = 240
+    class_file_bytes: int = 5 * KB
+    methods: int = 1200
+    method_bytecode_bytes: int = 550
+    zipf_s: float = 1.05
+
+    # Mutation (write-barrier) behavior.
+    mutation_rate_per_mb: float = 3.0
+    long_lived_mutation_bias: float = 0.6
+
+    # Microarchitectural character of the application code.
+    app_overrides: dict = field(default_factory=dict)
+    burstiness: float = 1.0     # scales slice-to-slice power variation
+    gc_burst: GCBurstSpec = field(default_factory=GCBurstSpec)
+
+    # Cohort granularity (bytes of real allocation per simulated object).
+    cohort_bytes: int = 16 * KB
+
+    def __post_init__(self):
+        if self.alloc_bytes <= 0 or self.live_bytes <= 0:
+            raise ConfigurationError("allocation/live sizes must be positive")
+        if not (0.0 < self.young_frac < 1.0):
+            raise ConfigurationError("young_frac must be in (0, 1)")
+        if self.immortal_frac < 0 or (
+            self.young_frac + self.immortal_frac >= 1.0
+        ):
+            raise ConfigurationError("lifetime fractions must leave room "
+                                     "for the mid-lived component")
+        if self.live_bytes > self.alloc_bytes:
+            raise ConfigurationError("live set cannot exceed total "
+                                     "allocation")
+
+    # -- lifetime model -------------------------------------------------
+
+    @property
+    def mid_frac(self):
+        return 1.0 - self.young_frac - self.immortal_frac
+
+    def mid_mean_bytes(self):
+        """Mean lifetime of the mid-lived component, solved so that the
+        time-averaged live size approximates ``live_bytes``."""
+        immortal_term = self.immortal_frac * self.alloc_bytes / 2.0
+        young_term = self.young_frac * self.young_mean_bytes
+        residual = self.live_bytes - young_term - immortal_term
+        floor = 2.0 * self.young_mean_bytes
+        if self.mid_frac <= 0:
+            return floor
+        return max(residual / self.mid_frac, floor)
+
+    def expected_final_live_bytes(self):
+        """Approximate live size at program end (steady churn plus the
+        fully accumulated immortal component) — used to check that a
+        benchmark fits a given collector/heap combination."""
+        churn = (
+            self.young_frac * self.young_mean_bytes
+            + self.mid_frac * self.mid_mean_bytes()
+        )
+        return churn + self.immortal_frac * self.alloc_bytes
+
+    def draw_lifetime(self, rng):
+        """Sample one cohort lifetime (in allocation-clock bytes)."""
+        u = rng.random()
+        if u < self.immortal_frac:
+            return IMMORTAL
+        if u < self.immortal_frac + self.young_frac:
+            return rng.exponential(self.young_mean_bytes)
+        return rng.exponential(self.mid_mean_bytes())
+
+    def draw_cohort_size(self, rng):
+        """Sample one cohort size (bytes)."""
+        size = rng.lognormal(
+            math.log(self.cohort_bytes), 0.45
+        )
+        return int(min(max(size, 2 * KB), 256 * KB))
+
+    # -- derived quantities ----------------------------------------------
+
+    def scaled(self, input_scale, live_scale=None):
+        """A reduced-input variant (e.g. SpecJVM98 ``-s10``): execution
+        and allocation volume shrink by ``input_scale``; the live set
+        shrinks more slowly (structures are input-dependent but not
+        proportional)."""
+        from dataclasses import replace
+
+        if live_scale is None:
+            live_scale = min(1.0, input_scale ** 0.5)
+        return replace(
+            self,
+            bytecodes=self.bytecodes * input_scale,
+            alloc_bytes=int(self.alloc_bytes * input_scale),
+            live_bytes=max(int(self.live_bytes * live_scale), 512 * KB),
+        )
+
+    def nominal_cohorts(self):
+        """Approximate number of cohorts a full run allocates."""
+        return int(self.alloc_bytes / self.cohort_bytes)
+
+    def __str__(self):
+        return (
+            f"{self.name} [{self.suite}]: {self.bytecodes / 1e9:.1f}G "
+            f"bytecodes, {self.alloc_bytes / MB:.0f} MB alloc, "
+            f"{self.live_bytes / MB:.1f} MB live"
+        )

@@ -1,0 +1,121 @@
+"""Tests for GC pause statistics and MMU."""
+
+import pytest
+
+from repro.analysis.pauses import (
+    gc_pauses,
+    mmu,
+    mmu_curve,
+    pause_stats,
+)
+from repro.errors import ConfigurationError
+from repro.jvm.components import Component
+from repro.timeline import ExecutionTimeline, Segment
+
+CLOCK = 1.0e9
+
+
+def make_timeline(spans):
+    """spans: (component, seconds)."""
+    tl = ExecutionTimeline(CLOCK)
+    cycle = 0
+    for component, seconds in spans:
+        cycles = int(seconds * CLOCK)
+        tl.append(Segment(
+            start_cycle=cycle, end_cycle=cycle + cycles,
+            component=int(component), instructions=cycles // 2,
+            cpu_power_w=10.0, wall_s=seconds,
+        ))
+        cycle += cycles
+    return tl
+
+
+APP, GC = Component.APP, Component.GC
+
+
+class TestPauseExtraction:
+    def test_single_pause(self):
+        tl = make_timeline([(APP, 0.1), (GC, 0.02), (APP, 0.1)])
+        assert gc_pauses(tl) == [
+            (pytest.approx(0.1), pytest.approx(0.12))
+        ]
+
+    def test_adjacent_gc_segments_merge(self):
+        tl = make_timeline([
+            (APP, 0.1), (GC, 0.01), (GC, 0.01), (APP, 0.1)
+        ])
+        pauses = gc_pauses(tl)
+        assert len(pauses) == 1
+        assert pauses[0][1] - pauses[0][0] == pytest.approx(0.02)
+
+    def test_trailing_pause(self):
+        tl = make_timeline([(APP, 0.1), (GC, 0.05)])
+        assert len(gc_pauses(tl)) == 1
+
+    def test_no_gc(self):
+        tl = make_timeline([(APP, 0.2)])
+        assert gc_pauses(tl) == []
+
+
+class TestPauseStats:
+    def test_stats(self):
+        tl = make_timeline([
+            (APP, 0.1), (GC, 0.02), (APP, 0.1), (GC, 0.04),
+            (APP, 0.1),
+        ])
+        stats = pause_stats(tl)
+        assert stats.count == 2
+        assert stats.total_s == pytest.approx(0.06)
+        assert stats.max_s == pytest.approx(0.04)
+        assert stats.mean_s == pytest.approx(0.03)
+
+    def test_empty(self):
+        stats = pause_stats(make_timeline([(APP, 0.1)]))
+        assert stats.count == 0
+        assert "0 pauses" in stats.describe()
+
+
+class TestMMU:
+    def test_window_shorter_than_pause_is_zero(self):
+        tl = make_timeline([(APP, 0.1), (GC, 0.05), (APP, 0.1)])
+        assert mmu(tl, 0.04) == pytest.approx(0.0)
+
+    def test_window_larger_than_pause(self):
+        tl = make_timeline([(APP, 0.1), (GC, 0.05), (APP, 0.1)])
+        # worst 0.1 s window contains the whole 0.05 s pause.
+        assert mmu(tl, 0.1) == pytest.approx(0.5)
+
+    def test_no_gc_gives_one(self):
+        assert mmu(make_timeline([(APP, 0.5)]), 0.1) == 1.0
+
+    def test_whole_run_window(self):
+        tl = make_timeline([(APP, 0.1), (GC, 0.1)])
+        assert mmu(tl, 1.0) == pytest.approx(0.5)
+
+    def test_monotone_in_window(self):
+        tl = make_timeline([
+            (APP, 0.05), (GC, 0.01), (APP, 0.05), (GC, 0.03),
+            (APP, 0.05),
+        ])
+        curve = mmu_curve(tl, windows_s=(0.02, 0.05, 0.1, 0.2))
+        values = [v for _, v in curve]
+        assert values == sorted(values)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            mmu(make_timeline([(APP, 0.1)]), 0.0)
+
+
+class TestOnRealRuns:
+    def test_generational_recovers_mmu_earlier(self,
+                                               jess_semispace_32,
+                                               jess_gencopy_64):
+        # GenCopy's minor pauses are far shorter than SemiSpace's
+        # full-heap pauses: its max pause and MMU knee sit much lower.
+        ss = pause_stats(jess_semispace_32.run.timeline)
+        gen = pause_stats(jess_gencopy_64.run.timeline)
+        assert gen.max_s < ss.max_s
+        window = ss.max_s * 0.9
+        assert mmu(jess_gencopy_64.run.timeline, window) > mmu(
+            jess_semispace_32.run.timeline, window
+        )

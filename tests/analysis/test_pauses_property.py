@@ -1,0 +1,95 @@
+"""Property-based tests for the MMU computation.
+
+Cross-checks the exact boundary-alignment algorithm against a brute
+force sliding-window evaluation on random pause layouts.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pauses import gc_pauses, mmu, pause_stats
+from repro.jvm.components import Component
+from repro.timeline import ExecutionTimeline, Segment
+
+CLOCK = 1.0e8
+
+
+def timeline_from_intervals(intervals):
+    """intervals: alternating (component, ms) spans."""
+    tl = ExecutionTimeline(CLOCK)
+    cycle = 0
+    for component, ms in intervals:
+        cycles = max(int(ms * 1e-3 * CLOCK), 1)
+        tl.append(Segment(
+            start_cycle=cycle, end_cycle=cycle + cycles,
+            component=int(component), instructions=cycles // 2,
+            cpu_power_w=5.0,
+        ))
+        cycle += cycles
+    return tl
+
+
+@st.composite
+def pause_layouts(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    spans = []
+    for _ in range(n):
+        spans.append((Component.APP,
+                      draw(st.integers(min_value=5, max_value=80))))
+        spans.append((Component.GC,
+                      draw(st.integers(min_value=1, max_value=40))))
+    spans.append((Component.APP,
+                  draw(st.integers(min_value=5, max_value=80))))
+    return spans
+
+
+def brute_force_mmu(timeline, window_s, steps=4000):
+    pauses = gc_pauses(timeline)
+    total = timeline.duration_s
+    if window_s >= total:
+        gc_total = sum(e - s for s, e in pauses)
+        return max(0.0, 1.0 - gc_total / total)
+    worst = 0.0
+    for i in range(steps):
+        lo = (total - window_s) * i / (steps - 1)
+        hi = lo + window_s
+        gc_in = sum(
+            max(0.0, min(e, hi) - max(s, lo)) for s, e in pauses
+        )
+        worst = max(worst, gc_in)
+    return max(0.0, 1.0 - worst / window_s)
+
+
+@settings(max_examples=30, deadline=None)
+@given(layout=pause_layouts(),
+       window_ms=st.integers(min_value=2, max_value=200))
+def test_mmu_matches_brute_force(layout, window_ms):
+    tl = timeline_from_intervals(layout)
+    window = window_ms * 1e-3
+    exact = mmu(tl, window)
+    brute = brute_force_mmu(tl, window)
+    # The brute force grid can only *underestimate* the worst window's
+    # GC content, so exact <= brute, within grid resolution.
+    assert exact <= brute + 1e-9
+    assert abs(exact - brute) < 0.05
+
+
+@settings(max_examples=30, deadline=None)
+@given(layout=pause_layouts())
+def test_mmu_bounded(layout):
+    tl = timeline_from_intervals(layout)
+    for window_ms in (1, 10, 100, 10_000):
+        value = mmu(tl, window_ms * 1e-3)
+        assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(layout=pause_layouts())
+def test_pause_stats_consistent(layout):
+    tl = timeline_from_intervals(layout)
+    stats = pause_stats(tl)
+    pauses = gc_pauses(tl)
+    assert stats.count == len(pauses)
+    assert stats.total_s <= tl.duration_s + 1e-9
+    assert stats.max_s >= stats.mean_s >= 0

@@ -1,0 +1,51 @@
+"""Tests for the power-statistics analyses (Figure 8 machinery)."""
+
+import pytest
+
+from repro.analysis.power_stats import (
+    collector_power_summary,
+    power_table,
+)
+from repro.jvm.components import Component
+
+
+@pytest.fixture(scope="module")
+def table():
+    return power_table(
+        ["_202_jess", "_201_compress"], heap_mb=48,
+        collector="GenCopy", input_scale=0.4, seed=17,
+    )
+
+
+class TestPowerTable:
+    def test_one_row_per_benchmark(self, table):
+        assert [row.benchmark for row in table] == [
+            "_202_jess", "_201_compress"
+        ]
+
+    def test_components_present(self, table):
+        for row in table:
+            assert Component.APP in row.avg_power_w
+            assert Component.GC in row.avg_power_w
+
+    def test_peak_at_least_avg(self, table):
+        for row in table:
+            for comp, avg in row.avg_power_w.items():
+                assert row.peak_power_w[comp] >= avg
+
+    def test_peak_component(self, table):
+        for row in table:
+            assert row.peak_component() in row.peak_power_w
+
+
+class TestCollectorSummary:
+    def test_summary_shape(self):
+        summary = collector_power_summary(
+            ["_202_jess"], ("SemiSpace", "GenCopy"), heap_mb=48,
+            input_scale=0.4, seed=17,
+        )
+        assert set(summary) == {"SemiSpace", "GenCopy"}
+        for entry in summary.values():
+            assert entry["benchmarks"] == 1
+            assert 8.0 < entry["gc_avg_power_w"] < 16.0
+            assert entry["app_avg_power_w"] > entry["gc_avg_power_w"]

@@ -1,0 +1,62 @@
+"""Tests for the thermal analysis (Figure 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.thermal import ThermalTrace, thermal_replay
+from repro.hardware.thermal import PENTIUM_M_THERMAL
+
+
+class TestTrace:
+    def make_trace(self, temps, throttled=None):
+        n = len(temps)
+        return ThermalTrace(
+            times_s=np.linspace(0, 10, n),
+            temperature_c=np.asarray(temps, dtype=float),
+            throttled=np.asarray(
+                throttled or [False] * n, dtype=bool
+            ),
+            fan_enabled=True,
+        )
+
+    def test_peak(self):
+        trace = self.make_trace([40, 80, 60])
+        assert trace.peak_c == 80
+
+    def test_steady_is_tail_mean(self):
+        trace = self.make_trace([30] * 30 + [60] * 10)
+        assert trace.steady_c == pytest.approx(60.0)
+
+    def test_time_to_threshold(self):
+        trace = self.make_trace([40, 50, 99, 100])
+        assert trace.time_to(99.0) == pytest.approx(10 * 2 / 3)
+
+    def test_time_to_unreached(self):
+        trace = self.make_trace([40, 50, 60])
+        assert trace.time_to(99.0) is None
+
+    def test_ever_throttled(self):
+        trace = self.make_trace([40, 50], throttled=[False, True])
+        assert trace.ever_throttled
+
+
+class TestReplay:
+    def test_replay_matches_online_temperature(self, jess_semispace_32):
+        # The run executed with live thermal coupling (fan on); an
+        # offline replay over the same power profile must land on the
+        # same final temperature.
+        timeline = jess_semispace_32.run.timeline
+        trace = thermal_replay(timeline, fan_enabled=True)
+        assert trace.temperature_c[-1] > PENTIUM_M_THERMAL.ambient_c
+
+    def test_fan_off_replay_hotter(self, jess_semispace_32):
+        timeline = jess_semispace_32.run.timeline
+        cool = thermal_replay(timeline, fan_enabled=True)
+        hot = thermal_replay(timeline, fan_enabled=False)
+        assert hot.peak_c > cool.peak_c
+
+    def test_replay_point_budget(self, jess_semispace_32):
+        trace = thermal_replay(
+            jess_semispace_32.run.timeline, max_points=500
+        )
+        assert len(trace.times_s) <= 600

@@ -1,0 +1,86 @@
+"""Tests for power time-series analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import bin_power, gc_power_dip
+from repro.errors import MeasurementError
+from repro.jvm.components import Component
+from repro.measurement.traces import PowerTrace
+
+
+def synthetic_trace(pattern, samples_per_phase=2500, period=40e-6):
+    """pattern: list of (component, watts) phases."""
+    comps, power = [], []
+    for component, watts in pattern:
+        comps += [int(component)] * samples_per_phase
+        power += [watts] * samples_per_phase
+    n = len(comps)
+    return PowerTrace(
+        times_s=np.arange(n) * period,
+        cpu_power_w=np.asarray(power),
+        mem_power_w=np.full(n, 0.3),
+        component=np.asarray(comps, dtype=np.int16),
+        sample_period_s=period,
+    )
+
+
+class TestBinning:
+    def test_bin_count(self):
+        trace = synthetic_trace([(Component.APP, 14.0)] * 4)
+        series = bin_power(trace, bin_s=0.05)
+        # 10000 samples * 40us = 0.4 s -> 8 bins of 50 ms.
+        assert len(series) == 8
+
+    def test_mean_and_peak(self):
+        trace = synthetic_trace(
+            [(Component.APP, 14.0), (Component.APP, 16.0)]
+        )
+        series = bin_power(trace, bin_s=0.05)
+        assert series.crest_w == pytest.approx(16.0)
+        assert series.valley_w == pytest.approx(14.0)
+        assert (series.peak_power_w >= series.cpu_power_w).all()
+
+    def test_gc_fraction(self):
+        trace = synthetic_trace(
+            [(Component.APP, 14.0), (Component.GC, 12.0)]
+        )
+        series = bin_power(trace, bin_s=0.05)
+        assert series.gc_fraction[0] == pytest.approx(0.0)
+        assert series.gc_fraction[-1] == pytest.approx(1.0)
+
+    def test_rejects_tiny_bins(self):
+        trace = synthetic_trace([(Component.APP, 14.0)])
+        with pytest.raises(MeasurementError):
+            bin_power(trace, bin_s=1e-6)
+
+    def test_rejects_short_trace(self):
+        trace = synthetic_trace([(Component.APP, 14.0)],
+                                samples_per_phase=10)
+        with pytest.raises(MeasurementError):
+            bin_power(trace, bin_s=0.05)
+
+
+class TestGCDip:
+    def test_dip_detected(self):
+        trace = synthetic_trace(
+            [(Component.APP, 14.0), (Component.GC, 12.3),
+             (Component.APP, 14.2), (Component.GC, 12.5)]
+        )
+        gc_w, mutator_w = gc_power_dip(trace, bin_s=0.05)
+        assert gc_w < mutator_w
+        assert gc_w == pytest.approx(12.4, abs=0.2)
+
+    def test_no_gc_raises(self):
+        trace = synthetic_trace([(Component.APP, 14.0)] * 2)
+        with pytest.raises(MeasurementError):
+            gc_power_dip(trace, bin_s=0.05)
+
+    def test_dip_on_real_run(self, jess_semispace_32):
+        # The time-domain counterpart of Section VI-C.
+        gc_w, mutator_w = gc_power_dip(
+            jess_semispace_32.power, bin_s=0.02
+        )
+        assert gc_w < mutator_w
+        assert 11.0 < gc_w < 13.5
+        assert 13.0 < mutator_w < 16.0

@@ -1,0 +1,81 @@
+"""Tests for measurement-vs-ground-truth validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    AttributionReport,
+    attribution_error,
+)
+from repro.core.experiment import run_experiment
+from repro.hardware.platform import make_platform
+from repro.jvm.components import Component
+from repro.jvm.vm import JikesRVM
+
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture(scope="module")
+def run_and_platform():
+    platform = make_platform("p6")
+    vm = JikesRVM(platform, heap_mb=24, seed=21, n_slices=40)
+    result = vm.run(make_tiny_spec())
+    return result, platform
+
+
+class TestReport:
+    def test_relative_error(self):
+        report = AttributionReport(
+            sample_period_s=40e-6,
+            true_energy_j={0: 100.0, 1: 10.0},
+            measured_energy_j={0: 102.0, 1: 8.0},
+        )
+        assert report.relative_error(0) == pytest.approx(0.02)
+        assert report.relative_error(1) == pytest.approx(0.2)
+
+    def test_misattribution_fraction(self):
+        report = AttributionReport(
+            sample_period_s=40e-6,
+            true_energy_j={0: 90.0, 1: 10.0},
+            measured_energy_j={0: 95.0, 1: 5.0},
+        )
+        assert report.total_misattribution_fraction() == (
+            pytest.approx(0.05)
+        )
+
+    def test_zero_truth_guard(self):
+        report = AttributionReport(
+            sample_period_s=40e-6,
+            true_energy_j={}, measured_energy_j={},
+        )
+        assert report.relative_error(0) == 0.0
+        assert report.total_misattribution_fraction() == 0.0
+
+
+class TestAttribution:
+    def test_40us_attribution_is_accurate(self, run_and_platform):
+        # The paper's claim: with component durations of hundreds of
+        # microseconds, 40 us sampling captures the important behavior.
+        run, platform = run_and_platform
+        report = attribution_error(run, platform)
+        assert report.total_misattribution_fraction() < 0.05
+        assert report.relative_error(Component.GC) < 0.15
+
+    def test_coarse_sampling_degrades_attribution(self,
+                                                  run_and_platform):
+        run, platform = run_and_platform
+        fine = attribution_error(run, platform,
+                                 sample_period_s=40e-6)
+        coarse = attribution_error(run, platform,
+                                   sample_period_s=10e-3)
+        assert (
+            coarse.total_misattribution_fraction()
+            > fine.total_misattribution_fraction()
+        )
+
+    def test_total_energy_conserved(self, run_and_platform):
+        run, platform = run_and_platform
+        report = attribution_error(run, platform)
+        assert sum(report.measured_energy_j.values()) == pytest.approx(
+            sum(report.true_energy_j.values()), rel=0.02
+        )

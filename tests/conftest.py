@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+Heavier artifacts (full experiment runs) are session-scoped so the many
+tests that inspect them pay for the simulation once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import run_experiment
+from repro.hardware.platform import make_platform
+from repro.units import KB, MB
+from repro.workloads.spec import BenchmarkSpec
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def p6():
+    return make_platform("p6")
+
+
+@pytest.fixture
+def pxa255():
+    return make_platform("pxa255")
+
+
+def make_tiny_spec(**overrides):
+    """A small, fast benchmark spec for unit tests."""
+    params = dict(
+        name="tiny",
+        suite="Test",
+        description="synthetic unit-test workload",
+        bytecodes=6.0e7,
+        alloc_bytes=40 * MB,
+        live_bytes=2 * MB,
+        young_frac=0.90,
+        young_mean_bytes=256 * KB,
+        immortal_frac=0.004,
+        app_classes=30,
+        system_classes=40,
+        methods=60,
+        method_bytecode_bytes=400,
+        cohort_bytes=16 * KB,
+    )
+    params.update(overrides)
+    return BenchmarkSpec(**params)
+
+
+@pytest.fixture
+def tiny_spec():
+    return make_tiny_spec()
+
+
+@pytest.fixture(scope="session")
+def jess_semispace_32():
+    """One cached full experiment (Jikes, SemiSpace, 32 MB, _202_jess)."""
+    return run_experiment(
+        "_202_jess", collector="SemiSpace", heap_mb=32, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def jess_gencopy_64():
+    """One cached generational experiment."""
+    return run_experiment(
+        "_202_jess", collector="GenCopy", heap_mb=64, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def kaffe_pxa_result():
+    """One cached Kaffe-on-PXA255 experiment (reduced input)."""
+    return run_experiment(
+        "_202_jess", vm="kaffe", platform="pxa255", heap_mb=16,
+        input_scale=0.1, seed=7
+    )

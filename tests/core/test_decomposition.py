@@ -1,0 +1,61 @@
+"""Tests for trace decomposition."""
+
+import pytest
+
+from repro.core.decomposition import (
+    component_profiles,
+    decompose,
+    jvm_components_for,
+)
+from repro.jvm.components import (
+    Component,
+    JIKES_COMPONENTS,
+    KAFFE_COMPONENTS,
+)
+
+
+class TestComponentSets:
+    def test_jikes_set(self):
+        comps = jvm_components_for("jikes")
+        assert comps == JIKES_COMPONENTS
+        assert Component.JIT not in comps
+
+    def test_kaffe_set(self):
+        comps = jvm_components_for("kaffe")
+        assert comps == KAFFE_COMPONENTS
+        assert Component.OPT not in comps
+
+
+class TestDecompose:
+    def test_breakdown_from_trace(self, jess_semispace_32):
+        b = decompose(jess_semispace_32.power, "jikes")
+        assert b.total_cpu_j == pytest.approx(
+            jess_semispace_32.cpu_energy_j
+        )
+        assert 0 < b.jvm_fraction() < 1
+
+    def test_seconds_sum_to_duration(self, jess_semispace_32):
+        b = decompose(jess_semispace_32.power, "jikes")
+        assert b.total_seconds == pytest.approx(
+            jess_semispace_32.duration_s, rel=1e-6
+        )
+
+
+class TestProfiles:
+    def test_every_present_component_profiled(self, jess_semispace_32):
+        profiles = component_profiles(
+            jess_semispace_32.power, jess_semispace_32.perf, "jikes"
+        )
+        present = jess_semispace_32.power.components_present()
+        assert len(profiles) == len(present)
+
+    def test_energy_fractions_sum_to_one(self, jess_semispace_32):
+        profiles = component_profiles(
+            jess_semispace_32.power, jess_semispace_32.perf, "jikes"
+        )
+        total = sum(p.energy_fraction for p in profiles.values())
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_peak_at_least_avg(self, jess_semispace_32):
+        for p in jess_semispace_32.profiles().values():
+            assert p.peak_power_w >= p.avg_power_w

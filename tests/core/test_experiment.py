@@ -1,0 +1,95 @@
+"""Tests for the end-to-end experiment runner.
+
+Uses the session-scoped cached experiments from conftest to keep the
+suite fast; configuration-validation tests are cheap and local.
+"""
+
+import pytest
+
+from repro.core.experiment import (
+    Experiment,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.errors import ConfigurationError
+from repro.jvm.components import Component
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig(benchmark="_202_jess")
+        assert cfg.vm == "jikes"
+        assert cfg.platform == "p6"
+        assert cfg.daq_period_s == pytest.approx(40e-6)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(benchmark="x", heap_mb=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(benchmark="x", input_scale=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(benchmark="x", repetitions=0)
+
+
+class TestResult:
+    def test_duration_positive(self, jess_semispace_32):
+        assert jess_semispace_32.duration_s > 1.0
+
+    def test_energy_decomposes(self, jess_semispace_32):
+        r = jess_semispace_32
+        parts = sum(r.breakdown.cpu_energy_j.values())
+        assert parts == pytest.approx(r.cpu_energy_j, rel=1e-6)
+
+    def test_all_jikes_components_observed(self, jess_semispace_32):
+        present = jess_semispace_32.power.components_present()
+        for comp in (Component.APP, Component.GC, Component.CL,
+                     Component.BASE, Component.OPT):
+            assert int(comp) in present
+
+    def test_edp_consistent(self, jess_semispace_32):
+        r = jess_semispace_32
+        assert r.edp == pytest.approx(
+            (r.cpu_energy_j + r.mem_energy_j) * r.duration_s
+        )
+
+    def test_gc_fraction_in_range(self, jess_semispace_32):
+        frac = jess_semispace_32.gc_energy_fraction()
+        assert 0.05 < frac < 0.7
+
+    def test_profiles_merge_traces(self, jess_semispace_32):
+        profiles = jess_semispace_32.profiles()
+        assert Component.APP in profiles
+        assert Component.GC in profiles
+        app = profiles[Component.APP]
+        assert app.avg_power_w > 0
+        assert 0 < app.ipc < 2.0
+
+    def test_summary_text(self, jess_semispace_32):
+        text = jess_semispace_32.summary()
+        assert "_202_jess" in text
+        assert "EDP" in text
+
+    def test_measured_energy_close_to_ground_truth(
+        self, jess_semispace_32
+    ):
+        r = jess_semispace_32
+        truth = r.run.timeline.cpu_energy_j()
+        assert r.cpu_energy_j == pytest.approx(truth, rel=0.02)
+
+    def test_measured_time_close_to_ground_truth(
+        self, jess_semispace_32
+    ):
+        r = jess_semispace_32
+        assert r.duration_s == pytest.approx(r.run.duration_s,
+                                             rel=0.01)
+
+
+class TestDeterminism:
+    def test_same_config_same_results(self):
+        a = run_experiment("_201_compress", heap_mb=32, seed=5,
+                           input_scale=0.2, collector="MarkSweep")
+        b = run_experiment("_201_compress", heap_mb=32, seed=5,
+                           input_scale=0.2, collector="MarkSweep")
+        assert a.cpu_energy_j == pytest.approx(b.cpu_energy_j,
+                                               rel=1e-12)
+        assert a.edp == pytest.approx(b.edp, rel=1e-12)

@@ -1,0 +1,73 @@
+"""Tests for plain-text report rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.report import (
+    render_series,
+    render_stacked_bar,
+    render_table,
+)
+
+
+class TestTable:
+    def test_alignment(self):
+        text = render_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22.25]]
+        )
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[:2]}) == 1
+        assert "alpha" in text
+        assert "22.25" in text
+
+    def test_title(self):
+        text = render_table(["a"], [["x"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_float_format(self):
+        text = render_table(["v"], [[3.14159]], float_fmt="{:.1f}")
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_int_cells(self):
+        assert "42" in render_table(["n"], [[42]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+
+class TestStackedBar:
+    def test_width_respected(self):
+        bar = render_stacked_bar({"App": 0.6, "GC": 0.4}, width=40)
+        body = bar.split("  |  ")[0]
+        assert len(body) == 40
+
+    def test_proportions(self):
+        bar = render_stacked_bar({"App": 0.75, "GC": 0.25}, width=40)
+        body = bar.split("  |  ")[0]
+        assert body.count("A") == 30
+        assert body.count("G") == 10
+
+    def test_legend_percentages(self):
+        bar = render_stacked_bar({"App": 0.6, "GC": 0.4})
+        assert "App 60.0%" in bar
+        assert "GC 40.0%" in bar
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_stacked_bar({"x": 0.0})
+
+
+class TestSeries:
+    def test_matrix_layout(self):
+        text = render_series(
+            {
+                "SemiSpace": [(32, 100.0), (64, 50.0)],
+                "GenMS": [(32, 40.0)],
+            },
+            x_label="heap",
+        )
+        assert "heap" in text
+        assert "32" in text and "64" in text
+        assert "-" in text  # missing GenMS@64 point

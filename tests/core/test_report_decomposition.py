@@ -1,0 +1,56 @@
+"""Tests for the decomposition bar renderer and error formatting."""
+
+import pytest
+
+from repro.core.metrics import EnergyBreakdown
+from repro.core.report import render_energy_decomposition
+from repro.errors import OutOfMemoryError
+from repro.jvm.components import Component, JIKES_COMPONENTS
+
+
+def breakdown(app, gc):
+    return EnergyBreakdown(
+        cpu_energy_j={int(Component.APP): app, int(Component.GC): gc},
+        mem_energy_j={},
+        seconds={},
+        jvm_components=JIKES_COMPONENTS,
+    )
+
+
+class TestDecompositionRendering:
+    def test_one_bar_per_benchmark(self):
+        text = render_energy_decomposition({
+            "javac": breakdown(50.0, 50.0),
+            "jess": breakdown(80.0, 20.0),
+        })
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("javac")
+
+    def test_order_filter(self):
+        text = render_energy_decomposition(
+            {"javac": breakdown(60.0, 40.0)},
+            order=("GC",),
+        )
+        assert "GC 100.0%" in text  # only GC kept, renormalized
+
+    def test_names_aligned(self):
+        text = render_energy_decomposition({
+            "a": breakdown(1.0, 1.0),
+            "longername": breakdown(1.0, 1.0),
+        })
+        # The legend separator sits at the same column on every row.
+        separators = [
+            line.index("  |  ") for line in text.splitlines()
+        ]
+        assert len(set(separators)) == 1
+
+
+class TestErrorFormatting:
+    def test_oom_message(self):
+        err = OutOfMemoryError(4096, 32 << 20, 30 << 20)
+        text = str(err)
+        assert "4096" in text
+        assert "heap" in text
+        assert err.requested_bytes == 4096
+        assert err.live_bytes == 30 << 20

@@ -1,0 +1,123 @@
+"""Tests for the ground-truth execution timeline."""
+
+import pytest
+
+from repro.errors import TimelineError
+from repro.timeline import ExecutionTimeline, Segment
+
+CLOCK = 1.0e9
+
+
+def seg(start, end, component=0, power=10.0, instructions=None,
+        wall=None):
+    return Segment(
+        start_cycle=start, end_cycle=end, component=component,
+        instructions=instructions if instructions is not None
+        else (end - start) // 2,
+        cpu_power_w=power, mem_power_w=0.25, wall_s=wall,
+    )
+
+
+class TestAppend:
+    def test_contiguous_appends(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, 100))
+        tl.append(seg(100, 300))
+        assert len(tl) == 2
+        assert tl.total_cycles == 300
+
+    def test_gap_rejected(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, 100))
+        with pytest.raises(TimelineError):
+            tl.append(seg(150, 200))
+
+    def test_overlap_rejected(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, 100))
+        with pytest.raises(TimelineError):
+            tl.append(seg(50, 200))
+
+    def test_negative_length_rejected(self):
+        tl = ExecutionTimeline(CLOCK)
+        with pytest.raises(TimelineError):
+            tl.append(seg(100, 50))
+
+    def test_zero_length_dropped(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, 0))
+        assert len(tl) == 0
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(TimelineError):
+            ExecutionTimeline(0)
+
+
+class TestAccounting:
+    def test_duration_from_cycles(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, int(0.5 * CLOCK)))
+        assert tl.duration_s == pytest.approx(0.5)
+
+    def test_duration_prefers_wall_stamp(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, int(0.5 * CLOCK), wall=1.0))  # throttled
+        assert tl.duration_s == pytest.approx(1.0)
+
+    def test_component_cycles(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, 100, component=0))
+        tl.append(seg(100, 150, component=1))
+        tl.append(seg(150, 300, component=0))
+        cycles = tl.component_cycles()
+        assert cycles[0] == 250
+        assert cycles[1] == 50
+
+    def test_cpu_energy(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, int(CLOCK), power=10.0))  # 1 s at 10 W
+        assert tl.cpu_energy_j() == pytest.approx(10.0)
+
+    def test_component_energy_split(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, int(CLOCK), component=0, power=10.0))
+        tl.append(
+            seg(int(CLOCK), 2 * int(CLOCK), component=1, power=20.0)
+        )
+        split = tl.component_cpu_energy_j()
+        assert split[0] == pytest.approx(10.0)
+        assert split[1] == pytest.approx(20.0)
+
+    def test_segment_derived_metrics(self):
+        s = seg(0, 200, instructions=100)
+        assert s.ipc == pytest.approx(0.5)
+        s2 = Segment(0, 100, 0, l2_accesses=10, l2_misses=4)
+        assert s2.l2_miss_rate == pytest.approx(0.4)
+
+
+class TestArrays:
+    def test_vectorized_view(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, 1000, component=0))
+        tl.append(seg(1000, 3000, component=1))
+        arrays = tl.to_arrays()
+        assert list(arrays.components) == [0, 1]
+        assert arrays.ends_s[-1] == pytest.approx(3000 / CLOCK)
+        assert arrays.starts_s[0] == 0.0
+
+    def test_wall_stamps_in_arrays(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, 1000, wall=2e-6))
+        arrays = tl.to_arrays()
+        assert arrays.ends_s[0] == pytest.approx(2e-6)
+
+    def test_empty_timeline_rejected(self):
+        tl = ExecutionTimeline(CLOCK)
+        with pytest.raises(TimelineError):
+            tl.to_arrays()
+
+    def test_validate(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, 100))
+        tl.append(seg(100, 200))
+        assert tl.validate()

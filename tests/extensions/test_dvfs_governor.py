@@ -1,0 +1,106 @@
+"""Tests for the memory-boundness DVFS governor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.dvfs_governor import (
+    GovernedScheduler,
+    MemoryBoundGovernor,
+    governed_vm,
+)
+from repro.hardware.platform import make_platform
+from repro.jvm.vm import JikesRVM
+from repro.timeline import Segment
+
+from tests.conftest import make_tiny_spec
+
+
+def seg(ipc, cycles=1_000_000, end=None):
+    return Segment(
+        start_cycle=0, end_cycle=cycles, component=0,
+        instructions=int(cycles * ipc), cpu_power_w=10.0,
+    )
+
+
+class TestGovernor:
+    def test_high_ipc_full_speed(self):
+        gov = MemoryBoundGovernor()
+        assert gov.observe(seg(1.2)) == 1.0
+
+    def test_low_ipc_floor(self):
+        gov = MemoryBoundGovernor()
+        for _ in range(10):
+            scale = gov.observe(seg(0.2))
+        assert scale == gov.ladder[-1]
+
+    def test_staircase_monotonic(self):
+        gov = MemoryBoundGovernor(window=1)
+        scales = [
+            gov.observe(seg(ipc))
+            for ipc in (1.2, 0.8, 0.6, 0.5, 0.3)
+        ]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_window_smooths(self):
+        gov = MemoryBoundGovernor(window=8)
+        for _ in range(8):
+            gov.observe(seg(1.2))
+        # One memory-bound blip does not reach the floor.
+        scale = gov.observe(seg(0.1))
+        assert scale > gov.ladder[-1]
+
+    def test_residency_accounting(self):
+        gov = MemoryBoundGovernor(window=1)
+        gov.observe(seg(1.2))
+        gov.observe(seg(0.2))
+        residency = gov.residency
+        assert sum(residency.values()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBoundGovernor(ipc_low=0.9, ipc_high=0.5)
+        with pytest.raises(ConfigurationError):
+            MemoryBoundGovernor(ladder=(0.5, 1.0))
+
+
+class TestGovernedRuns:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        # A memory-bound workload: poor locality, high L1 miss rate.
+        spec = make_tiny_spec(
+            app_overrides={"l1_miss_rate": 0.09, "locality": 0.5},
+        )
+        plain_vm = JikesRVM(make_platform("p6"), heap_mb=24, seed=6,
+                            n_slices=40)
+        plain = plain_vm.run(spec)
+        governor = MemoryBoundGovernor()
+        gov_vm = governed_vm(
+            JikesRVM, make_platform("p6"), governor, heap_mb=24,
+            seed=6, n_slices=40,
+        )
+        governed = gov_vm.run(spec)
+        return plain, governed, governor
+
+    def test_governor_downclocks_memory_bound_phases(self, runs):
+        _, _, governor = runs
+        assert governor.residency.get(1.0, 0.0) < 1.0
+        assert any(scale < 1.0 for scale in governor.residency)
+
+    def test_governed_run_saves_energy(self, runs):
+        plain, governed, _ = runs
+        assert (
+            governed.timeline.cpu_energy_j()
+            < plain.timeline.cpu_energy_j()
+        )
+
+    def test_governed_run_is_slower(self, runs):
+        plain, governed, _ = runs
+        assert governed.duration_s > plain.duration_s
+
+    def test_same_collections(self, runs):
+        # The governor changes timing, not memory management.
+        plain, governed, _ = runs
+        assert (
+            governed.gc_stats.collections
+            == plain.gc_stats.collections
+        )

@@ -1,0 +1,71 @@
+"""Tests for thermal-aware GC scheduling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.thermal_policy import ThermalAwareVM
+from repro.hardware.platform import make_platform
+from repro.jvm.vm import JikesRVM
+
+from tests.conftest import make_tiny_spec
+
+
+def hot_platform():
+    """A fan-failed platform starting near the policy threshold."""
+    platform = make_platform("p6", fan_enabled=False)
+    platform.thermal.temperature_c = 96.0
+    return platform
+
+
+class TestConstruction:
+    def test_threshold_must_be_below_trip(self):
+        with pytest.raises(ConfigurationError):
+            ThermalAwareVM(make_platform("p6"),
+                           policy_threshold_c=99.5)
+
+
+class TestPolicy:
+    def test_cool_platform_never_triggers(self):
+        vm = ThermalAwareVM(make_platform("p6"), heap_mb=24, seed=3,
+                            n_slices=40)
+        vm.run(make_tiny_spec())
+        assert vm.policy_stats.triggers == 0
+        assert vm.policy_stats.checks > 0
+
+    def test_hot_platform_triggers(self):
+        platform = hot_platform()
+        # reset() in run() restores ambient; pre-heat via a hook.
+        vm = ThermalAwareVM(platform, heap_mb=24, seed=3,
+                            n_slices=40, policy_threshold_c=60.0)
+        original_reset = platform.reset
+
+        def reset_keep_hot():
+            original_reset()
+            platform.thermal.fan_enabled = False
+            platform.thermal.temperature_c = 70.0
+
+        platform.reset = reset_keep_hot
+        vm.run(make_tiny_spec())
+        assert vm.policy_stats.triggers > 0
+        assert all(
+            t >= 60.0 for t in vm.policy_stats.trigger_temps_c
+        )
+
+    def test_policy_adds_collections(self):
+        spec = make_tiny_spec()
+        plain = JikesRVM(make_platform("p6"), heap_mb=24, seed=3,
+                         n_slices=40).run(spec)
+
+        platform = hot_platform()
+        vm = ThermalAwareVM(platform, heap_mb=24, seed=3,
+                            n_slices=40, policy_threshold_c=55.0)
+        original_reset = platform.reset
+
+        def reset_keep_hot():
+            original_reset()
+            platform.thermal.fan_enabled = False
+            platform.thermal.temperature_c = 70.0
+
+        platform.reset = reset_keep_hot
+        hot = vm.run(spec)
+        assert hot.gc_stats.collections > plain.gc_stats.collections

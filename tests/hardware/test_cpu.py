@@ -1,0 +1,123 @@
+"""Tests for CPU specs, DVFS, and throttling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import (
+    CPU,
+    CacheSpec,
+    CPUSpec,
+    DVFSState,
+    PENTIUM_M,
+    PXA255,
+)
+from repro.units import KB, MB
+
+
+class TestCacheSpec:
+    def test_geometry(self):
+        spec = CacheSpec(size_bytes=32 * KB, associativity=8,
+                         line_bytes=64, hit_cycles=1)
+        assert spec.num_lines == 512
+        assert spec.num_sets == 64
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(size_bytes=0, associativity=1, line_bytes=64,
+                      hit_cycles=1)
+
+    def test_rejects_misaligned_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(size_bytes=1000, associativity=3, line_bytes=64,
+                      hit_cycles=1)
+
+
+class TestPresets:
+    def test_pentium_m_has_l2(self):
+        assert PENTIUM_M.has_l2
+        assert PENTIUM_M.l2.size_bytes == 1 * MB
+
+    def test_pxa255_has_no_l2(self):
+        assert not PXA255.has_l2
+        assert PXA255.l2 is None
+
+    def test_pentium_m_is_out_of_order(self):
+        assert not PENTIUM_M.in_order
+        assert PENTIUM_M.miss_overlap > 0
+
+    def test_pxa255_is_in_order(self):
+        assert PXA255.in_order
+        assert PXA255.miss_overlap == 0.0
+
+    def test_idle_powers_match_paper(self):
+        # Section IV-D: 4.5 W CPU idle on P6, ~70 mW on the PXA255.
+        assert PENTIUM_M.idle_power_w == pytest.approx(4.5)
+        assert PXA255.idle_power_w == pytest.approx(0.070)
+
+    def test_clock_rates(self):
+        assert PENTIUM_M.clock_hz == pytest.approx(1.6e9)
+        assert PXA255.clock_hz == pytest.approx(400e6)
+
+    def test_spec_rejects_bad_power_ordering(self):
+        with pytest.raises(ConfigurationError):
+            CPUSpec(
+                name="bad", clock_hz=1e9, issue_width=1, in_order=True,
+                l1i=PXA255.l1i, l1d=PXA255.l1d, l2=None,
+                mem_latency_cycles=90, base_cpi=1.0, miss_overlap=0.0,
+                ipc_ref=1.0, idle_power_w=5.0, max_power_w=4.0,
+                power_exponent=0.5, nominal_voltage_v=1.0,
+            )
+
+
+class TestCPUState:
+    def test_nominal_effective_clock(self):
+        cpu = CPU(PENTIUM_M)
+        assert cpu.effective_clock_hz == pytest.approx(1.6e9)
+
+    def test_throttling_halves_clock(self):
+        cpu = CPU(PENTIUM_M)
+        cpu.throttled = True
+        assert cpu.duty_cycle == pytest.approx(0.5)
+        assert cpu.effective_clock_hz == pytest.approx(0.8e9)
+
+    def test_dvfs_scales_clock(self):
+        cpu = CPU(PENTIUM_M)
+        cpu.set_dvfs(0.5)
+        assert cpu.effective_clock_hz == pytest.approx(0.8e9)
+
+    def test_dvfs_default_voltage_tracking(self):
+        cpu = CPU(PENTIUM_M)
+        cpu.set_dvfs(0.5)
+        assert cpu.dvfs.voltage_scale == pytest.approx(0.8)
+
+    def test_dvfs_explicit_voltage(self):
+        cpu = CPU(PENTIUM_M)
+        cpu.set_dvfs(0.75, voltage_scale=0.9)
+        assert cpu.dvfs.voltage_scale == pytest.approx(0.9)
+
+    def test_dvfs_rejects_out_of_range(self):
+        cpu = CPU(PENTIUM_M)
+        with pytest.raises(ConfigurationError):
+            cpu.set_dvfs(0.01)
+        with pytest.raises(ConfigurationError):
+            cpu.set_dvfs(1.5)
+
+    def test_reset_restores_nominal(self):
+        cpu = CPU(PENTIUM_M)
+        cpu.set_dvfs(0.5)
+        cpu.throttled = True
+        cpu.reset()
+        assert cpu.effective_clock_hz == pytest.approx(1.6e9)
+        assert not cpu.throttled
+
+    def test_cycle_time_round_trip(self):
+        cpu = CPU(PXA255)
+        cycles = cpu.seconds_to_cycles(0.25)
+        assert cycles == 100_000_000
+        assert cpu.cycles_to_seconds(cycles) == pytest.approx(0.25)
+
+    def test_throttling_and_dvfs_compose(self):
+        cpu = CPU(PENTIUM_M)
+        cpu.set_dvfs(0.5)
+        cpu.throttled = True
+        assert cpu.effective_clock_hz == pytest.approx(0.4e9)

@@ -1,0 +1,93 @@
+"""Tests for the hardware performance counters."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.hardware.hpm import CounterSnapshot, Event, PerformanceCounters
+from repro.timeline import Segment
+
+
+def seg(cycles=100, instructions=80, l2_accesses=10, l2_misses=4,
+        mem_accesses=4):
+    return Segment(
+        start_cycle=0, end_cycle=cycles, component=0,
+        instructions=instructions, l2_accesses=l2_accesses,
+        l2_misses=l2_misses, mem_accesses=mem_accesses,
+    )
+
+
+class TestProgramming:
+    def test_cycles_always_available(self):
+        pmu = PerformanceCounters(max_programmable=2)
+        assert Event.CYCLES in pmu.programmed_events
+
+    def test_xscale_two_counter_limit(self):
+        # The XScale PMU monitors only two events at a time.
+        pmu = PerformanceCounters(max_programmable=2)
+        pmu.program([Event.INSTRUCTIONS, Event.MEM_ACCESSES])
+        with pytest.raises(MeasurementError):
+            pmu.program([
+                Event.INSTRUCTIONS, Event.MEM_ACCESSES, Event.L2_MISSES
+            ])
+
+    def test_cycles_does_not_consume_a_register(self):
+        pmu = PerformanceCounters(max_programmable=1)
+        pmu.program([Event.CYCLES, Event.INSTRUCTIONS])
+        assert Event.INSTRUCTIONS in pmu.programmed_events
+
+    def test_rejects_zero_registers(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceCounters(max_programmable=0)
+
+
+class TestCounting:
+    def test_records_programmed_events(self):
+        pmu = PerformanceCounters()
+        pmu.program([Event.INSTRUCTIONS, Event.L2_MISSES])
+        pmu.record_segment(seg())
+        snap = pmu.snapshot(cycle=100)
+        assert snap.values[Event.CYCLES] == 100
+        assert snap.values[Event.INSTRUCTIONS] == 80
+        assert snap.values[Event.L2_MISSES] == 4
+
+    def test_unprogrammed_events_not_counted(self):
+        pmu = PerformanceCounters()
+        pmu.program([Event.INSTRUCTIONS])
+        pmu.record_segment(seg())
+        snap = pmu.snapshot(cycle=100)
+        assert Event.L2_MISSES not in snap.values
+
+    def test_accumulates(self):
+        pmu = PerformanceCounters()
+        pmu.program([Event.INSTRUCTIONS])
+        pmu.record_segment(seg())
+        pmu.record_segment(seg())
+        assert pmu.snapshot(0).values[Event.INSTRUCTIONS] == 160
+
+    def test_snapshot_delta(self):
+        pmu = PerformanceCounters()
+        pmu.program([Event.INSTRUCTIONS])
+        pmu.record_segment(seg())
+        first = pmu.snapshot(100)
+        pmu.record_segment(seg(instructions=50))
+        second = pmu.snapshot(200)
+        delta = second.delta(first)
+        assert delta[Event.INSTRUCTIONS] == 50
+
+    def test_stall_cycles_derived(self):
+        pmu = PerformanceCounters()
+        pmu.program([Event.STALL_CYCLES])
+        pmu.record_segment(seg(cycles=100, instructions=60))
+        assert pmu.snapshot(0).values[Event.STALL_CYCLES] == 40
+
+    def test_reset(self):
+        pmu = PerformanceCounters()
+        pmu.record_segment(seg())
+        pmu.reset()
+        assert pmu.snapshot(0).values[Event.CYCLES] == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        pmu = PerformanceCounters()
+        snap = pmu.snapshot(0)
+        pmu.record_segment(seg())
+        assert snap.values[Event.CYCLES] == 0

@@ -1,0 +1,86 @@
+"""Tests for the component-ID I/O ports."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.ioport import (
+    ComponentIDPort,
+    gpio_pins,
+    parallel_port,
+)
+
+
+class TestLatch:
+    def test_power_on_value_is_zero(self):
+        port = parallel_port()
+        assert port.read(0) == 0
+        assert port.read(10_000) == 0
+
+    def test_write_latches(self):
+        port = parallel_port()
+        port.write(100, 3)
+        assert port.read(99) == 0
+        assert port.read(100) == 3
+        assert port.read(1_000_000) == 3
+
+    def test_successive_writes(self):
+        port = parallel_port()
+        port.write(100, 1)
+        port.write(200, 2)
+        assert port.read(150) == 1
+        assert port.read(200) == 2
+
+    def test_same_cycle_rewrite_last_wins(self):
+        port = parallel_port()
+        port.write(100, 1)
+        port.write(100, 2)
+        assert port.read(100) == 2
+
+    def test_out_of_order_write_rejected(self):
+        port = parallel_port()
+        port.write(100, 1)
+        with pytest.raises(ConfigurationError):
+            port.write(50, 2)
+
+    def test_width_masking(self):
+        port = ComponentIDPort("narrow", width_bits=4,
+                               write_cost_cycles=0)
+        port.write(10, 0x1F)
+        assert port.read(10) == 0x0F
+
+    def test_reset(self):
+        port = parallel_port()
+        port.write(100, 5)
+        port.reset()
+        assert port.read(100) == 0
+        assert port.write_count == 0
+
+
+class TestPerturbation:
+    def test_parallel_port_is_slow(self):
+        # Legacy I/O: ~1 us per OUT at 1.6 GHz.
+        assert parallel_port().write_cost_cycles == 1600
+
+    def test_gpio_is_fast(self):
+        assert gpio_pins().write_cost_cycles < 20
+
+    def test_perturbation_accounting(self):
+        port = parallel_port()
+        port.write(100, 1)
+        port.write(5000, 2)
+        assert port.write_count == 2
+        assert port.total_perturbation_cycles() == 3200
+
+    def test_history_arrays(self):
+        port = parallel_port()
+        port.write(100, 1)
+        port.write(200, 2)
+        cycles, values = port.history_arrays()
+        assert list(cycles) == [0, 100, 200]
+        assert list(values) == [0, 1, 2]
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComponentIDPort("x", width_bits=0, write_cost_cycles=1)
+        with pytest.raises(ConfigurationError):
+            ComponentIDPort("x", width_bits=8, write_cost_cycles=-1)

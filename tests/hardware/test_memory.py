@@ -1,0 +1,61 @@
+"""Tests for the DRAM timing/power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.memory import (
+    MemoryModel,
+    MemorySpec,
+    P6_SDRAM,
+    PXA255_SDRAM,
+)
+
+
+class TestSpecs:
+    def test_idle_powers_match_paper(self):
+        # Section IV-D: ~250 mW on P6, ~5 mW on the DBPXA255.
+        assert P6_SDRAM.idle_power_w == pytest.approx(0.250)
+        assert PXA255_SDRAM.idle_power_w == pytest.approx(0.005)
+
+    def test_capacities(self):
+        assert P6_SDRAM.capacity_bytes == 512 * 1024 * 1024
+        assert PXA255_SDRAM.capacity_bytes == 64 * 1024 * 1024
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(name="x", capacity_bytes=0, idle_power_w=0.1,
+                       energy_per_access_j=1e-9, line_bytes=64)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(name="x", capacity_bytes=1, idle_power_w=-0.1,
+                       energy_per_access_j=1e-9, line_bytes=64)
+
+
+class TestModel:
+    def test_idle_when_no_accesses(self):
+        model = MemoryModel(P6_SDRAM)
+        assert model.power_w(0, 1.0) == pytest.approx(0.250)
+
+    def test_power_scales_with_access_rate(self):
+        model = MemoryModel(P6_SDRAM)
+        slow = model.power_w(1_000_000, 1.0)
+        fast = model.power_w(4_000_000, 1.0)
+        assert fast > slow > 0.250
+
+    def test_zero_duration_returns_idle(self):
+        model = MemoryModel(P6_SDRAM)
+        assert model.power_w(100, 0.0) == pytest.approx(0.250)
+
+    def test_energy_is_power_times_time(self):
+        model = MemoryModel(P6_SDRAM)
+        assert model.energy_j(2_000_000, 2.0) == pytest.approx(
+            model.power_w(2_000_000, 2.0) * 2.0
+        )
+
+    def test_busy_memory_stays_in_plausible_band(self):
+        # App-level access rates keep memory energy at a small fraction
+        # of CPU energy (paper: 5-8 %).
+        model = MemoryModel(P6_SDRAM)
+        power = model.power_w(3_000_000, 1.0)
+        assert 0.3 < power < 2.0

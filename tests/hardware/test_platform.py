@@ -1,0 +1,66 @@
+"""Tests for platform bundles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.platform import make_platform
+
+
+class TestFactory:
+    def test_p6_by_aliases(self):
+        for alias in ("p6", "P6", "pentium-m"):
+            assert make_platform(alias).name == "p6"
+
+    def test_pxa255_by_aliases(self):
+        for alias in ("pxa255", "DBPXA255", "xscale"):
+            assert make_platform(alias).name == "pxa255"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_platform("alpha21264")
+
+    def test_instances_are_independent(self):
+        a = make_platform("p6")
+        b = make_platform("p6")
+        a.port.write(10, 3)
+        assert b.port.read(10) == 0
+
+
+class TestProperties:
+    def test_idle_powers(self):
+        p6 = make_platform("p6")
+        assert p6.idle_cpu_power_w() == pytest.approx(4.5)
+        assert p6.idle_mem_power_w() == pytest.approx(0.250)
+        pxa = make_platform("pxa255")
+        assert pxa.idle_cpu_power_w() == pytest.approx(0.070)
+        assert pxa.idle_mem_power_w() == pytest.approx(0.005)
+
+    def test_hpm_periods_match_paper(self):
+        # Section IV-E: 1 ms on P6, 10 ms on the DBPXA255.
+        assert make_platform("p6").hpm_period_s == pytest.approx(1e-3)
+        assert make_platform("pxa255").hpm_period_s == pytest.approx(1e-2)
+
+    def test_pxa255_pmu_register_budget(self):
+        assert make_platform("pxa255").counters.max_programmable == 2
+
+    def test_port_types(self):
+        assert make_platform("p6").port.name == "parallel-port"
+        assert make_platform("pxa255").port.name == "gpio"
+
+    def test_fan_flag(self):
+        hot = make_platform("p6", fan_enabled=False)
+        assert not hot.thermal.fan_enabled
+
+    def test_reset_restores_state(self):
+        p6 = make_platform("p6")
+        p6.port.write(10, 2)
+        p6.cpu.throttled = True
+        p6.thermal.step(20.0, 1000.0)
+        p6.reset()
+        assert p6.port.read(10) == 0
+        assert not p6.cpu.throttled
+        assert p6.thermal.temperature_c == pytest.approx(35.0)
+
+    def test_execution_model_bound_to_platform(self):
+        p6 = make_platform("p6")
+        assert p6.execution_model.cpu is p6.cpu

@@ -1,0 +1,127 @@
+"""Tests for the lumped-RC thermal model and throttling latch."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.thermal import (
+    PENTIUM_M_THERMAL,
+    PXA255_THERMAL,
+    ThermalModel,
+    ThermalSpec,
+)
+
+
+class TestSpec:
+    def test_fan_off_increases_resistance(self):
+        with pytest.raises(ConfigurationError):
+            ThermalSpec(
+                ambient_c=35, capacitance_j_per_c=20,
+                resistance_fan_on=5.0, resistance_fan_off=2.0,
+                trip_c=99, resume_c=97,
+            )
+
+    def test_resume_below_trip(self):
+        with pytest.raises(ConfigurationError):
+            ThermalSpec(
+                ambient_c=35, capacitance_j_per_c=20,
+                resistance_fan_on=2.0, resistance_fan_off=5.0,
+                trip_c=99, resume_c=99,
+            )
+
+
+class TestDynamics:
+    def test_starts_at_ambient(self):
+        model = ThermalModel(PENTIUM_M_THERMAL)
+        assert model.temperature_c == pytest.approx(35.0)
+
+    def test_steady_state(self):
+        model = ThermalModel(PENTIUM_M_THERMAL)
+        assert model.steady_state_c(13.0) == pytest.approx(
+            35.0 + 13.0 * 1.9
+        )
+
+    def test_exponential_approach(self):
+        model = ThermalModel(PENTIUM_M_THERMAL)
+        tau = model.time_constant_s
+        model.step(13.0, tau)  # one time constant: ~63 % of the way
+        target = model.steady_state_c(13.0)
+        progress = (model.temperature_c - 35.0) / (target - 35.0)
+        assert progress == pytest.approx(1 - math.exp(-1), rel=1e-6)
+
+    def test_step_is_exact_regardless_of_dt(self):
+        # The closed-form step gives the same endpoint as many substeps.
+        one = ThermalModel(PENTIUM_M_THERMAL)
+        many = ThermalModel(PENTIUM_M_THERMAL)
+        one.step(14.0, 100.0)
+        for _ in range(1000):
+            many.step(14.0, 0.1)
+        assert one.temperature_c == pytest.approx(many.temperature_c,
+                                                  rel=1e-9)
+
+    def test_cooling(self):
+        model = ThermalModel(PENTIUM_M_THERMAL)
+        model.step(20.0, 500.0)
+        hot = model.temperature_c
+        model.step(0.0, 500.0)
+        assert model.temperature_c < hot
+
+    def test_fan_off_runs_hotter(self):
+        fan_on = ThermalModel(PENTIUM_M_THERMAL, fan_enabled=True)
+        fan_off = ThermalModel(PENTIUM_M_THERMAL, fan_enabled=False)
+        fan_on.step(13.5, 2000.0)
+        fan_off.step(13.5, 2000.0)
+        assert fan_off.temperature_c > fan_on.temperature_c
+
+    def test_fan_on_steady_near_60C_at_mpegaudio_power(self):
+        # Figure 1: about 60 C with the fan enabled at mpegaudio's draw.
+        model = ThermalModel(PENTIUM_M_THERMAL, fan_enabled=True)
+        steady = model.steady_state_c(13.5)
+        assert 55.0 < steady < 66.0
+
+    def test_fan_off_steady_exceeds_trip(self):
+        model = ThermalModel(PENTIUM_M_THERMAL, fan_enabled=False)
+        assert model.steady_state_c(13.5) > PENTIUM_M_THERMAL.trip_c
+
+    def test_negative_dt_rejected(self):
+        model = ThermalModel(PENTIUM_M_THERMAL)
+        with pytest.raises(ConfigurationError):
+            model.step(10.0, -1.0)
+
+
+class TestThrottleLatch:
+    def test_trips_at_threshold(self):
+        model = ThermalModel(PENTIUM_M_THERMAL, fan_enabled=False)
+        model.step(14.0, 10_000.0)
+        assert model.throttled
+
+    def test_hysteresis(self):
+        model = ThermalModel(PENTIUM_M_THERMAL, fan_enabled=False)
+        model.step(14.0, 10_000.0)
+        assert model.throttled
+        # Cool to just under trip but above resume: still latched.
+        model.temperature_c = 98.0
+        model.step(0.0, 0.001)
+        assert model.throttled
+        # Cool below resume: released.
+        model.step(0.0, 10_000.0)
+        assert not model.throttled
+
+    def test_reset_clears_latch(self):
+        model = ThermalModel(PENTIUM_M_THERMAL, fan_enabled=False)
+        model.step(14.0, 10_000.0)
+        model.reset()
+        assert not model.throttled
+        assert model.temperature_c == pytest.approx(35.0)
+
+    def test_history_recording(self):
+        model = ThermalModel(PXA255_THERMAL)
+        model.step(0.2, 1.0)
+        model.step(0.2, 1.0, record=False)
+        assert len(model.history) == 1
+
+    def test_pxa255_never_trips_at_workload_power(self):
+        model = ThermalModel(PXA255_THERMAL, fan_enabled=False)
+        model.step(0.3, 100_000.0)
+        assert not model.throttled

@@ -1,0 +1,53 @@
+"""Determinism across the configuration matrix.
+
+The DESIGN.md contract: every run is a pure function of its seed.  The
+per-VM tests check single configurations; this matrix exercises the
+cross product (VM x platform x collector x DVFS) at reduced scale and
+asserts bit-identical repeat results — the property that makes the
+paper's "separate power and performance runs" merge legitimate here.
+"""
+
+import pytest
+
+from repro.core.experiment import run_experiment
+
+CONFIGS = [
+    dict(benchmark="_202_jess", vm="jikes", platform="p6",
+         collector="SemiSpace", heap_mb=32),
+    dict(benchmark="_202_jess", vm="jikes", platform="p6",
+         collector="GenMS", heap_mb=48),
+    dict(benchmark="_201_compress", vm="jikes", platform="p6",
+         collector="MarkSweep", heap_mb=32,
+         dvfs_freq_scale=0.7),
+    dict(benchmark="_202_jess", vm="kaffe", platform="p6",
+         heap_mb=32),
+    dict(benchmark="_213_javac", vm="kaffe", platform="pxa255",
+         heap_mb=16),
+]
+
+
+@pytest.mark.parametrize(
+    "config", CONFIGS,
+    ids=lambda c: f"{c['vm']}-{c['platform']}-"
+                  f"{c.get('collector', 'KaffeGC')}",
+)
+def test_repeat_runs_are_bit_identical(config):
+    a = run_experiment(input_scale=0.15, seed=77, **config)
+    b = run_experiment(input_scale=0.15, seed=77, **config)
+    assert a.cpu_energy_j == b.cpu_energy_j
+    assert a.mem_energy_j == b.mem_energy_j
+    assert a.duration_s == b.duration_s
+    assert a.run.gc_stats.collections == b.run.gc_stats.collections
+    assert (
+        a.breakdown.cpu_energy_j == b.breakdown.cpu_energy_j
+    )
+
+
+@pytest.mark.parametrize(
+    "config", CONFIGS[:2],
+    ids=lambda c: f"{c['vm']}-{c.get('collector', 'KaffeGC')}",
+)
+def test_different_seeds_differ(config):
+    a = run_experiment(input_scale=0.15, seed=77, **config)
+    b = run_experiment(input_scale=0.15, seed=78, **config)
+    assert a.cpu_energy_j != b.cpu_energy_j

@@ -1,0 +1,182 @@
+"""End-to-end checks of the paper's qualitative claims.
+
+These run full experiments (some at reduced input scale for speed) and
+assert the *shape* of the paper's results: orderings, trends, and rough
+magnitudes.  The benchmark harness regenerates the full figures; this
+module keeps the load-bearing claims under continuous test.
+"""
+
+import pytest
+
+from repro.core.experiment import run_experiment
+from repro.jvm.components import Component
+
+
+@pytest.fixture(scope="module")
+def javac32():
+    return run_experiment("_213_javac", collector="SemiSpace",
+                          heap_mb=32, seed=11)
+
+
+@pytest.fixture(scope="module")
+def javac128():
+    return run_experiment("_213_javac", collector="SemiSpace",
+                          heap_mb=128, seed=11)
+
+
+class TestSection6A:
+    def test_jvm_energy_can_exceed_half(self, javac32):
+        # "JVM energy consumption can comprise as much as 60 % of the
+        # total energy" (javac at 32 MB).
+        assert javac32.jvm_energy_fraction() > 0.45
+
+    def test_gc_share_shrinks_with_heap(self, javac32, javac128):
+        # 37 % average at 32 MB vs 10 % at 128 MB for SpecJVM98.
+        assert javac32.gc_energy_fraction() > 0.35
+        assert javac128.gc_energy_fraction() < 0.15
+        assert (
+            javac32.gc_energy_fraction()
+            > 3 * javac128.gc_energy_fraction()
+        )
+
+    def test_base_compiler_tiny(self, javac32):
+        assert javac32.breakdown.fraction(Component.BASE) < 0.02
+
+    def test_larger_heap_reduces_time_and_energy(self, javac32,
+                                                 javac128):
+        assert javac128.duration_s < javac32.duration_s
+        assert javac128.cpu_energy_j < javac32.cpu_energy_j
+
+    def test_memory_energy_small_fraction(self, javac32):
+        # Section VI-B: memory energy is 5-8 % of CPU energy.
+        assert 0.02 < javac32.breakdown.mem_to_cpu_ratio() < 0.15
+
+
+class TestSection6B:
+    @pytest.fixture(scope="class")
+    def genms32(self):
+        return run_experiment("_213_javac", collector="GenMS",
+                              heap_mb=32, seed=11)
+
+    def test_generational_wins_at_small_heap(self, javac32, genms32):
+        # "using a GenMS over a SemiSpace collector improves the EDP by
+        # as much as 70 % when the heap size is fixed at 32 MB".
+        improvement = 1 - genms32.edp / javac32.edp
+        assert improvement > 0.4
+
+    def test_db_semispace_beats_gencopy_at_128(self):
+        # The paper's mutator-locality exception (about 5 %).
+        ss = run_experiment("_209_db", collector="SemiSpace",
+                            heap_mb=128, seed=11)
+        gencopy = run_experiment("_209_db", collector="GenCopy",
+                                 heap_mb=128, seed=11)
+        advantage = 1 - ss.edp / gencopy.edp
+        assert 0.0 < advantage < 0.25
+
+
+class TestSection6C:
+    @pytest.fixture(scope="class")
+    def gencopy64(self):
+        return run_experiment("_227_mtrt", collector="GenCopy",
+                              heap_mb=64, seed=11)
+
+    def test_gc_is_least_power_hungry(self, gencopy64):
+        profiles = gencopy64.profiles()
+        gc_power = profiles[Component.GC].avg_power_w
+        assert gc_power < profiles[Component.APP].avg_power_w
+        assert gc_power < profiles[Component.CL].avg_power_w
+
+    def test_gc_power_near_paper_value(self, gencopy64):
+        # GenCopy GC averages 12.8 W in the paper.
+        gc_power = gencopy64.profiles()[Component.GC].avg_power_w
+        assert 11.0 < gc_power < 14.0
+
+    def test_gc_microarchitecture(self, gencopy64):
+        profiles = gencopy64.profiles()
+        gc = profiles[Component.GC]
+        app = profiles[Component.APP]
+        # GC: IPC ~0.55, L2 miss > 50 %; App: IPC ~0.8, L2 miss ~11 %.
+        assert 0.35 < gc.ipc < 0.7
+        assert gc.l2_miss_rate > 0.35
+        assert 0.6 < app.ipc < 1.1
+        assert app.l2_miss_rate < 0.25
+
+    def test_peak_power_set_by_application(self, gencopy64):
+        profiles = gencopy64.profiles()
+        assert (
+            profiles[Component.APP].peak_power_w
+            >= profiles[Component.GC].peak_power_w
+        )
+
+    def test_db_gc_sets_peak(self):
+        # The paper's exception: _209_db's GC peaks at 17.5 W.
+        db = run_experiment("_209_db", collector="GenCopy",
+                            heap_mb=64, seed=11)
+        profiles = db.profiles()
+        assert (
+            profiles[Component.GC].peak_power_w
+            > profiles[Component.APP].peak_power_w
+        )
+        assert profiles[Component.GC].peak_power_w > 15.0
+
+
+class TestSection6D:
+    @pytest.fixture(scope="class")
+    def kaffe_jess(self):
+        return run_experiment("_202_jess", vm="kaffe", heap_mb=64,
+                              seed=11)
+
+    def test_kaffe_components_small(self, kaffe_jess):
+        b = kaffe_jess.breakdown
+        # GC ~7 %, CL ~1 %, JIT < 1 % on the P6 platform.
+        assert b.fraction(Component.GC) < 0.2
+        assert b.fraction(Component.CL) < 0.08
+        assert b.fraction(Component.JIT) < 0.05
+
+    def test_kaffe_slower_than_jikes(self, kaffe_jess):
+        jikes = run_experiment("_202_jess", collector="GenCopy",
+                               heap_mb=64, seed=11)
+        assert kaffe_jess.duration_s > 1.3 * jikes.duration_s
+
+    def test_kaffe_edp_flat_across_heaps(self):
+        small = run_experiment("_202_jess", vm="kaffe", heap_mb=32,
+                               seed=11, input_scale=0.5)
+        large = run_experiment("_202_jess", vm="kaffe", heap_mb=128,
+                               seed=11, input_scale=0.5)
+        # "EDP changes little when increasing the heap size."
+        assert abs(1 - small.edp / large.edp) < 0.25
+
+
+class TestSection6E:
+    @pytest.fixture(scope="class")
+    def pxa_javac(self):
+        return run_experiment("_213_javac", vm="kaffe",
+                              platform="pxa255", heap_mb=16,
+                              input_scale=0.1, seed=11)
+
+    def test_class_loader_dominates_jvm_energy(self, pxa_javac):
+        b = pxa_javac.breakdown
+        cl = b.fraction(Component.CL)
+        assert cl > 0.10
+        assert cl > b.fraction(Component.GC)
+        assert cl > b.fraction(Component.JIT)
+
+    def test_gc_most_power_hungry_on_xscale(self, pxa_javac):
+        profiles = pxa_javac.profiles()
+        gc_power = profiles[Component.GC].avg_power_w
+        assert gc_power > profiles[Component.APP].avg_power_w
+        assert gc_power > profiles[Component.CL].avg_power_w
+        # About 270 mW in the paper.
+        assert 0.2 < gc_power < 0.35
+
+    def test_class_loader_lowest_power(self, pxa_javac):
+        profiles = pxa_javac.profiles()
+        cl_power = profiles[Component.CL].avg_power_w
+        for comp, profile in profiles.items():
+            if comp in (Component.CL, Component.IDLE):
+                continue
+            assert cl_power <= profile.avg_power_w + 1e-9
+
+    def test_power_levels_are_milliwatts(self, pxa_javac):
+        # Everything on the PXA255 sits in the sub-watt regime.
+        assert pxa_javac.power.peak_power_w() < 0.5

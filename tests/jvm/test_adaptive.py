@@ -1,0 +1,109 @@
+"""Tests for the adaptive optimization system."""
+
+import numpy as np
+import pytest
+
+from repro.jvm.compiler.adaptive import (
+    AdaptiveOptimizationSystem,
+    SAMPLE_PERIOD_S,
+)
+from repro.jvm.compiler.baseline import BaselineCompiler
+from repro.jvm.compiler.method import JavaMethod, MethodTable
+
+
+def make_table(weights=(0.7, 0.2, 0.1), size=800):
+    methods = [
+        JavaMethod(name=f"m{i}", bytecode_bytes=size, weight=w)
+        for i, w in enumerate(weights)
+    ]
+    return MethodTable(methods)
+
+
+def make_aos(table=None, seed=11):
+    table = table or make_table()
+    return AdaptiveOptimizationSystem(
+        table, rng=np.random.default_rng(seed),
+        app_instr_per_second=1.1e9,
+    )
+
+
+def baseline_compile_all(table):
+    comp = BaselineCompiler("p6")
+    for m in table:
+        comp.compile(m)
+
+
+class TestSampling:
+    def test_samples_proportional_to_weight(self):
+        table = make_table()
+        aos = make_aos(table)
+        aos.take_samples(elapsed_app_s=100.0)
+        counts = [m.samples for m in table.methods]
+        assert counts[0] > counts[1] > counts[2]
+        assert sum(counts) == int(100.0 / SAMPLE_PERIOD_S)
+
+    def test_no_samples_for_tiny_interval(self):
+        aos = make_aos()
+        assert aos.take_samples(elapsed_app_s=0.001) == 0
+
+
+class TestController:
+    def test_hot_method_queued(self):
+        table = make_table()
+        baseline_compile_all(table)
+        aos = make_aos(table)
+        aos.take_samples(10.0)
+        jobs = aos.consider_recompilation()
+        assert jobs
+        assert jobs[0].method is table.methods[0]
+
+    def test_cold_uncompiled_methods_not_queued(self):
+        table = make_table()
+        aos = make_aos(table)  # nothing baseline-compiled yet
+        aos.take_samples(10.0)
+        assert aos.consider_recompilation() == []
+
+    def test_benefit_must_exceed_cost(self):
+        table = make_table(weights=(1.0,), size=8000)
+        baseline_compile_all(table)
+        aos = make_aos(table)
+        aos.take_samples(0.01)  # almost no observed time
+        assert aos.consider_recompilation() == []
+
+    def test_no_duplicate_queueing(self):
+        table = make_table()
+        baseline_compile_all(table)
+        aos = make_aos(table)
+        aos.take_samples(10.0)
+        first = aos.consider_recompilation()
+        second = aos.consider_recompilation()
+        assert not set(id(j.method) for j in second) & set(
+            id(j.method) for j in first
+        )
+
+    def test_hotter_method_picks_higher_level(self):
+        table = make_table(weights=(0.95, 0.05), size=400)
+        baseline_compile_all(table)
+        aos = make_aos(table)
+        aos.take_samples(60.0)
+        jobs = {j.method.name: j for j in aos.consider_recompilation()}
+        if "m1" in jobs:
+            assert (
+                jobs["m0"].level.quality >= jobs["m1"].level.quality
+            )
+
+    def test_queue_drains_best_first(self):
+        table = make_table()
+        baseline_compile_all(table)
+        aos = make_aos(table)
+        aos.take_samples(30.0)
+        aos.consider_recompilation()
+        gains = []
+        job = aos.next_job()
+        while job is not None:
+            gains.append(job.predicted_benefit_s - job.predicted_cost_s)
+            job = aos.next_job()
+        assert gains == sorted(gains, reverse=True)
+
+    def test_next_job_empty(self):
+        assert make_aos().next_job() is None

@@ -1,0 +1,74 @@
+"""Tests for collector-level heap growth (adaptive-sizing substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SpaceExhausted
+from repro.jvm.gc import make_collector
+from repro.units import MB
+
+from tests.jvm.gc_harness import MiniMutator
+
+
+def make(name, heap_mb=8, seed=5):
+    return make_collector(name, heap_mb * MB,
+                          np.random.default_rng(seed))
+
+
+class TestGrowthSupport:
+    def test_growable_collectors(self):
+        assert make("SemiSpace").supports_growth
+        assert make("MarkSweep").supports_growth
+
+    def test_non_growable_collectors(self):
+        for name in ("GenCopy", "GenMS", "KaffeGC"):
+            collector = make(name)
+            assert not collector.supports_growth
+            with pytest.raises(ConfigurationError):
+                collector.grow(1 * MB)
+
+
+class TestSemiSpaceGrowth:
+    def test_usable_space_increases(self):
+        gc = make("SemiSpace", 8)
+        before = gc.usable_heap_bytes()
+        gc.grow(4 * MB)
+        assert gc.usable_heap_bytes() == before + 2 * MB
+
+    def test_grown_space_is_allocatable(self):
+        gc = make("SemiSpace", 8)
+        m = MiniMutator(gc, survivor_frac=1.0, survivor_life=1 << 40)
+        # Fill close to the original half.
+        m.allocate_bytes(3 * MB)
+        gc.grow(8 * MB)
+        # Another 4 MB of immortal data now fits without OOM.
+        m.allocate_bytes(4 * MB)
+        assert m.live_bytes() >= 6 * MB
+
+    def test_collection_after_growth_uses_new_capacity(self):
+        gc = make("SemiSpace", 8)
+        m = MiniMutator(gc, survivor_frac=1.0, survivor_life=1 << 40)
+        m.allocate_bytes(3 * MB)
+        gc.grow(8 * MB)
+        m.allocate_bytes(3 * MB)
+        m.force_collection()  # copies ~6 MB into the grown to-space
+        assert gc.used_bytes() >= 5 * MB
+
+
+class TestMarkSweepGrowth:
+    def test_capacity_increases(self):
+        gc = make("MarkSweep", 8)
+        before = gc.usable_heap_bytes()
+        gc.grow(4 * MB)
+        assert gc.usable_heap_bytes() > before + 3 * MB
+
+    def test_fewer_collections_after_growth(self):
+        grown = make("MarkSweep", 8, seed=5)
+        grown.grow(16 * MB)
+        m_grown = MiniMutator(grown, seed=7)
+        m_grown.allocate_bytes(40 * MB)
+
+        fixed = make("MarkSweep", 8, seed=5)
+        m_fixed = MiniMutator(fixed, seed=7)
+        m_fixed.allocate_bytes(40 * MB)
+        assert grown.stats.collections < fixed.stats.collections

@@ -1,0 +1,140 @@
+"""Tests for the compilation subsystem (baseline, optimizing, JIT)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.jvm.components import Component
+from repro.jvm.compiler.baseline import BaselineCompiler
+from repro.jvm.compiler.kaffe_jit import KaffeJIT
+from repro.jvm.compiler.method import (
+    INSTR_PER_BYTECODE,
+    JavaMethod,
+    MethodTable,
+    QUALITY_BASELINE,
+    QUALITY_KAFFE_JIT,
+)
+from repro.jvm.compiler.optimizing import OPT_LEVELS, OptimizingCompiler
+
+
+def method(name="m", size=500, weight=1.0):
+    return JavaMethod(name=name, bytecode_bytes=size, weight=weight)
+
+
+class TestJavaMethod:
+    def test_starts_uncompiled(self):
+        m = method()
+        assert not m.compiled
+        with pytest.raises(ConfigurationError):
+            m.instructions_per_bytecode()
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            JavaMethod(name="x", bytecode_bytes=0, weight=1.0)
+        with pytest.raises(ConfigurationError):
+            JavaMethod(name="x", bytecode_bytes=10, weight=-1.0)
+
+
+class TestMethodTable:
+    def test_weights_normalized(self):
+        table = MethodTable([method(weight=2.0), method(weight=6.0)])
+        assert sum(m.weight for m in table) == pytest.approx(1.0)
+
+    def test_effective_ipb_before_any_compilation(self):
+        table = MethodTable([method()])
+        assert table.effective_instr_per_bytecode() == pytest.approx(
+            INSTR_PER_BYTECODE
+        )
+
+    def test_effective_ipb_improves_with_quality(self):
+        a, b = method("a", weight=0.8), method("b", weight=0.2)
+        table = MethodTable([a, b])
+        a.quality = QUALITY_BASELINE
+        b.quality = QUALITY_BASELINE
+        base = table.effective_instr_per_bytecode()
+        a.quality = 2.6
+        assert table.effective_instr_per_bytecode() < base
+
+    def test_hottest(self):
+        ms = [method(f"m{i}", weight=float(i + 1)) for i in range(5)]
+        table = MethodTable(ms)
+        assert table.hottest(2) == [ms[4], ms[3]]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MethodTable([])
+
+
+class TestBaselineCompiler:
+    def test_sets_baseline_quality(self):
+        comp = BaselineCompiler("p6")
+        m = method()
+        act = comp.compile(m)
+        assert m.quality == QUALITY_BASELINE
+        assert m.tier == "baseline"
+        assert act.component == Component.BASE
+
+    def test_cost_scales_with_method_size(self):
+        comp = BaselineCompiler("p6")
+        small = comp.compile(method(size=100))
+        large = comp.compile(method(size=10000))
+        assert large.instructions > small.instructions
+
+    def test_stats(self):
+        comp = BaselineCompiler("p6")
+        comp.compile(method(size=100))
+        comp.compile(method(size=200))
+        assert comp.methods_compiled == 2
+        assert comp.bytes_compiled == 300
+
+
+class TestOptimizingCompiler:
+    def test_levels_ordered(self):
+        costs = [lv.instr_per_byte for lv in OPT_LEVELS]
+        qualities = [lv.quality for lv in OPT_LEVELS]
+        assert costs == sorted(costs)
+        assert qualities == sorted(qualities)
+
+    def test_upgrades_quality(self):
+        comp = OptimizingCompiler("p6")
+        m = method()
+        m.quality = QUALITY_BASELINE
+        act = comp.compile(m, OPT_LEVELS[1])
+        assert m.quality == OPT_LEVELS[1].quality
+        assert m.tier == "opt1"
+        assert act.component == Component.OPT
+
+    def test_downgrade_rejected(self):
+        comp = OptimizingCompiler("p6")
+        m = method()
+        m.quality = OPT_LEVELS[2].quality
+        with pytest.raises(ConfigurationError):
+            comp.compile(m, OPT_LEVELS[0])
+
+    def test_opt_costs_dwarf_baseline(self):
+        base = BaselineCompiler("p6")
+        opt = OptimizingCompiler("p6")
+        m1, m2 = method(), method()
+        m2.quality = QUALITY_BASELINE
+        cheap = base.compile(m1)
+        costly = opt.compile(m2, OPT_LEVELS[1])
+        assert costly.instructions > cheap.instructions * 10
+
+    def test_level_lookup(self):
+        assert OptimizingCompiler.level(0) is OPT_LEVELS[0]
+        with pytest.raises(ConfigurationError):
+            OptimizingCompiler.level(9)
+
+
+class TestKaffeJIT:
+    def test_quality_below_jikes_baseline(self):
+        # "without performing extensive code optimizations" -> the
+        # mechanism behind Kaffe's longer runtimes (Section VI-D).
+        assert QUALITY_KAFFE_JIT < QUALITY_BASELINE
+
+    def test_compile(self):
+        jit = KaffeJIT("p6")
+        m = method()
+        act = jit.compile(m)
+        assert m.quality == QUALITY_KAFFE_JIT
+        assert m.tier == "jit"
+        assert act.component == Component.JIT

@@ -1,0 +1,52 @@
+"""Tests for the component-ID vocabulary."""
+
+import pytest
+
+from repro.jvm.components import (
+    Component,
+    JIKES_COMPONENTS,
+    KAFFE_COMPONENTS,
+)
+
+
+class TestEnum:
+    def test_app_is_zero(self):
+        # APP is the power-on port value: anything not positively
+        # identified belongs to the application.
+        assert int(Component.APP) == 0
+
+    def test_ids_fit_a_parallel_port(self):
+        assert all(0 <= int(c) <= 255 for c in Component)
+
+    def test_ids_unique(self):
+        assert len({int(c) for c in Component}) == len(Component)
+
+    def test_short_names(self):
+        assert Component.GC.short_name == "GC"
+        assert Component.BASE.short_name == "base_comp"
+        assert Component.OPT.short_name == "opt_comp"
+
+    def test_round_trip(self):
+        for comp in Component:
+            assert Component.from_port_value(int(comp)) is comp
+
+    def test_unknown_port_value_maps_to_app(self):
+        assert Component.from_port_value(200) is Component.APP
+
+
+class TestReportedSets:
+    def test_jikes_components(self):
+        # Section VI: GC, CL, Base, Opt for Jikes.
+        assert set(JIKES_COMPONENTS) == {
+            Component.GC, Component.CL, Component.BASE, Component.OPT
+        }
+
+    def test_kaffe_components(self):
+        # Section VI: GC, CL, JIT for Kaffe.
+        assert set(KAFFE_COMPONENTS) == {
+            Component.GC, Component.CL, Component.JIT
+        }
+
+    def test_app_in_neither(self):
+        assert Component.APP not in JIKES_COMPONENTS
+        assert Component.APP not in KAFFE_COMPONENTS

@@ -1,0 +1,89 @@
+"""Tests for the GC work -> activity cost model."""
+
+import pytest
+
+from repro.jvm.components import Component
+from repro.jvm.gc.base import CollectionReport
+from repro.jvm.gc.cost import (
+    COLLECTION_FIXED_INSTR,
+    GCBurstProfile,
+    GCCostModel,
+    NO_BURST,
+    TRACE_INSTR_PER_BYTE,
+)
+from repro.units import MB
+
+
+def report(traced=4 * MB, copied=0, swept=0, edges=100,
+           footprint=8 * MB):
+    return CollectionReport(
+        kind="full", collector="SemiSpace",
+        traced_bytes=traced, traced_objects=traced // 16384,
+        edges=edges, copied_bytes=copied, swept_bytes=swept,
+        freed_bytes=0, live_bytes_after=traced,
+        footprint_bytes=footprint,
+    )
+
+
+class TestPhases:
+    def test_trace_phase_always_present(self):
+        model = GCCostModel("p6")
+        acts = model.activities(report())
+        assert acts[0].tag.endswith("trace")
+        assert acts[0].component == Component.GC
+
+    def test_copy_phase_only_when_copying(self):
+        model = GCCostModel("p6")
+        tags = [a.tag for a in model.activities(report(copied=2 * MB))]
+        assert any(t.endswith("copy") for t in tags)
+        tags = [a.tag for a in model.activities(report(copied=0))]
+        assert not any(t.endswith("copy") for t in tags)
+
+    def test_sweep_phase_only_when_sweeping(self):
+        model = GCCostModel("p6")
+        tags = [a.tag for a in model.activities(report(swept=8 * MB))]
+        assert any(t.endswith("sweep") for t in tags)
+
+    def test_fixed_overhead_included(self):
+        model = GCCostModel("p6")
+        total = model.total_instructions(report(traced=0, edges=0))
+        assert total >= COLLECTION_FIXED_INSTR * 0.99
+
+    def test_work_scales_with_traced_bytes(self):
+        model = GCCostModel("p6")
+        small = model.total_instructions(report(traced=1 * MB))
+        large = model.total_instructions(report(traced=16 * MB))
+        assert large - small == pytest.approx(
+            15 * MB * TRACE_INSTR_PER_BYTE, rel=0.05
+        )
+
+    def test_footprint_feeds_cache_model(self):
+        model = GCCostModel("p6")
+        act = model.activities(report(footprint=24 * MB))[0]
+        assert act.behavior.footprint_bytes == 24 * MB
+
+
+class TestBurst:
+    def test_no_burst_by_default(self):
+        model = GCCostModel("p6", burst=NO_BURST)
+        tags = [a.tag for a in model.activities(report())]
+        assert not any("burst" in t for t in tags)
+
+    def test_burst_splits_trace_instructions(self):
+        burst = GCBurstProfile(fraction=0.2, cpi_scale=0.45, mix=1.1)
+        plain = GCCostModel("p6").total_instructions(report())
+        model = GCCostModel("p6", burst=burst)
+        acts = model.activities(report())
+        burst_acts = [a for a in acts if "burst" in a.tag]
+        assert burst_acts
+        assert model.total_instructions(report()) == pytest.approx(
+            plain, rel=0.01
+        )
+
+    def test_burst_is_high_power(self):
+        burst = GCBurstProfile(fraction=0.2, cpi_scale=0.45, mix=1.1)
+        acts = GCCostModel("p6", burst=burst).activities(report())
+        burst_act = next(a for a in acts if "burst" in a.tag)
+        trace_act = next(a for a in acts if a.tag.endswith("trace"))
+        assert burst_act.cpi_scale < trace_act.cpi_scale
+        assert burst_act.mix_factor > trace_act.mix_factor

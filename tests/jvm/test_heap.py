@@ -1,0 +1,160 @@
+"""Tests for the bump and free-list allocators."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SpaceExhausted
+from repro.jvm.heap import (
+    BumpAllocator,
+    DEFAULT_SIZE_CLASSES,
+    FreeListAllocator,
+)
+from repro.units import KB, MB
+
+
+class TestBumpAllocator:
+    def test_sequential_addresses(self):
+        bump = BumpAllocator(1 * MB, base_addr=1000)
+        a = bump.allocate(100)
+        b = bump.allocate(200)
+        assert a == 1000
+        assert b == 1100
+
+    def test_accounting(self):
+        bump = BumpAllocator(1 * MB)
+        bump.allocate(100)
+        assert bump.used_bytes == 100
+        assert bump.free_bytes == 1 * MB - 100
+
+    def test_exhaustion(self):
+        bump = BumpAllocator(1000)
+        bump.allocate(900)
+        with pytest.raises(SpaceExhausted):
+            bump.allocate(200)
+        assert bump.stats.failed_allocations == 1
+
+    def test_exact_fit(self):
+        bump = BumpAllocator(1000)
+        bump.allocate(1000)
+        assert bump.free_bytes == 0
+
+    def test_reset(self):
+        bump = BumpAllocator(1000)
+        bump.allocate(500)
+        bump.reset()
+        assert bump.used_bytes == 0
+        bump.allocate(1000)  # full capacity again
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            BumpAllocator(0)
+        bump = BumpAllocator(100)
+        with pytest.raises(ConfigurationError):
+            bump.allocate(0)
+
+
+class TestFreeListAllocator:
+    def test_size_class_rounding_tracked(self):
+        space = FreeListAllocator(1 * MB)
+        space.allocate(5000)  # 8192-byte class
+        assert space.internal_waste_bytes == 8192 - 5000
+        assert space.used_bytes == 8192
+
+    def test_free_and_reuse_same_class(self):
+        space = FreeListAllocator(1 * MB)
+        addr = space.allocate(5000)
+        space.free(addr, 5000)
+        assert space.used_bytes == 0
+        addr2 = space.allocate(6000)  # same 8192 class: reuses the cell
+        assert addr2 == addr
+
+    def test_free_unallocated_rejected(self):
+        space = FreeListAllocator(1 * MB)
+        with pytest.raises(ConfigurationError):
+            space.free(1234, 100)
+
+    def test_large_object_path(self):
+        space = FreeListAllocator(4 * MB)
+        big = DEFAULT_SIZE_CLASSES[-1] + 1
+        addr = space.allocate(big)
+        assert space.used_bytes == big
+        space.free(addr, big)
+        assert space.used_bytes == 0
+
+    def test_large_cell_split_on_reuse(self):
+        space = FreeListAllocator(4 * MB)
+        big = 600 * KB
+        addr = space.allocate(big)
+        space.free(addr, big)
+        # Fill virgin space so reuse must come from the freed cell.
+        space.allocate(400 * KB)
+        assert space.free_bytes >= 200 * KB
+
+    def test_exhaustion(self):
+        space = FreeListAllocator(16 * KB)
+        space.allocate(12 * KB)  # 16 KB class: fills the space
+        with pytest.raises(SpaceExhausted):
+            space.allocate(8 * KB)
+
+    def test_block_recycling_from_larger_class(self):
+        space = FreeListAllocator(64 * KB)
+        big = space.allocate(60 * KB)   # 64 KB cell: virgin exhausted
+        space.free(big, 60 * KB)
+        # A small request must be served from the freed 64 KB cell.
+        addr = space.allocate(3 * KB)
+        assert addr == big
+        assert space.used_bytes == 64 * KB  # whole cell consumed
+
+    def test_scavenge_coalesces_fragments(self):
+        space = FreeListAllocator(64 * KB)
+        small = [space.allocate(3 * KB) for _ in range(16)]  # 4 KB cells
+        for addr in small:
+            space.free(addr, 3 * KB)
+        # No single free cell can hold 20 KB, but coalescing can.
+        space.allocate(20 * KB)
+        assert space.used_bytes >= 20 * KB
+
+    def test_scavenge_failure_restores_free_lists(self):
+        space = FreeListAllocator(16 * KB)
+        a = space.allocate(3 * KB)
+        b = space.allocate(3 * KB)
+        space.free(a, 3 * KB)
+        free_before = space.free_bytes
+        with pytest.raises(SpaceExhausted):
+            space.allocate(50 * KB)
+        assert space.free_bytes == free_before
+
+    def test_live_cells_counter(self):
+        space = FreeListAllocator(1 * MB)
+        a = space.allocate(100)
+        space.allocate(100)
+        assert space.live_cells == 2
+        space.free(a, 100)
+        assert space.live_cells == 1
+
+    def test_swept_extent_is_high_water(self):
+        space = FreeListAllocator(1 * MB)
+        a = space.allocate(3 * KB)
+        space.allocate(3 * KB)
+        space.free(a, 3 * KB)
+        assert space.swept_extent_bytes == 8 * KB  # two 4 KB cells
+
+    def test_waste_returns_to_zero_after_free(self):
+        space = FreeListAllocator(1 * MB)
+        addrs = [space.allocate(5000) for _ in range(10)]
+        for addr in addrs:
+            space.free(addr, 5000)
+        assert space.internal_waste_bytes == 0
+
+    def test_can_allocate_predicts(self):
+        space = FreeListAllocator(16 * KB)
+        assert space.can_allocate(12 * KB)
+        space.allocate(12 * KB)
+        assert not space.can_allocate(12 * KB)
+
+    def test_reset(self):
+        space = FreeListAllocator(1 * MB)
+        space.allocate(100)
+        space.reset()
+        assert space.used_bytes == 0
+        assert space.live_cells == 0
+        assert space.swept_extent_bytes == 0

@@ -1,0 +1,131 @@
+"""Property-based tests on allocator invariants (hypothesis).
+
+The load-bearing invariant for any allocator is that live allocations
+never overlap in the address space; the accounting invariants keep the
+collectors' triggering decisions honest.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpaceExhausted
+from repro.jvm.heap import BumpAllocator, FreeListAllocator
+from repro.units import KB, MB
+
+
+@st.composite
+def alloc_scripts(draw):
+    """A mixed allocate/free script.
+
+    Yields a list of ('alloc', size) and ('free', index) operations,
+    where index refers to the i-th successful allocation.
+    """
+    n = draw(st.integers(min_value=5, max_value=60))
+    ops = []
+    n_allocs = 0
+    for _ in range(n):
+        if n_allocs > 0 and draw(st.booleans()):
+            ops.append(("free", draw(
+                st.integers(min_value=0, max_value=n_allocs - 1)
+            )))
+        else:
+            size_kb = draw(st.integers(min_value=1, max_value=300))
+            ops.append(("alloc", size_kb * KB // 4))
+            n_allocs += 1
+    return ops
+
+
+def no_overlaps(regions):
+    regions = sorted(regions)
+    for (a_start, a_end), (b_start, b_end) in zip(regions,
+                                                  regions[1:]):
+        if b_start < a_end:
+            return False
+    return True
+
+
+@settings(max_examples=50, deadline=None)
+@given(script=alloc_scripts())
+def test_bump_allocations_never_overlap(script):
+    bump = BumpAllocator(8 * MB)
+    regions = []
+    for op, arg in script:
+        if op != "alloc":
+            continue
+        try:
+            addr = bump.allocate(arg)
+        except SpaceExhausted:
+            continue
+        regions.append((addr, addr + arg))
+    assert no_overlaps(regions)
+    assert bump.used_bytes == sum(e - s for s, e in regions)
+
+
+@settings(max_examples=50, deadline=None)
+@given(script=alloc_scripts())
+def test_freelist_live_cells_never_overlap(script):
+    space = FreeListAllocator(8 * MB)
+    live = {}   # alloc index -> (addr, size)
+    order = []  # alloc index list
+    for op, arg in script:
+        if op == "alloc":
+            try:
+                addr = space.allocate(arg)
+            except SpaceExhausted:
+                continue
+            idx = len(order)
+            live[idx] = (addr, arg)
+            order.append(idx)
+        else:
+            if arg in live:
+                addr, size = live.pop(arg)
+                space.free(addr, size)
+    # Live cells occupy disjoint [addr, addr + cell) regions; the cell
+    # is at least the object size, so object extents are disjoint too.
+    regions = [
+        (addr, addr + space._cell_of[addr]) for addr, _ in live.values()
+    ]
+    assert no_overlaps(regions)
+
+
+@settings(max_examples=50, deadline=None)
+@given(script=alloc_scripts())
+def test_freelist_accounting_invariants(script):
+    space = FreeListAllocator(8 * MB)
+    live = {}
+    next_key = 0
+    for op, arg in script:
+        if op == "alloc":
+            try:
+                addr = space.allocate(arg)
+            except SpaceExhausted:
+                continue
+            live[next_key] = (addr, arg)
+            next_key += 1
+        elif live:
+            key = next(iter(live))
+            addr, size = live.pop(key)
+            space.free(addr, size)
+        # Invariants hold after every operation.
+        assert 0 <= space.used_bytes <= space.capacity_bytes
+        assert space.internal_waste_bytes >= 0
+        assert space.live_cells == len(
+            space._cell_of
+        ) == len(live)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    grant_kb=st.integers(min_value=0, max_value=4096),
+    fill_kb=st.integers(min_value=64, max_value=2048),
+)
+def test_growth_extends_capacity(grant_kb, fill_kb):
+    bump = BumpAllocator(2 * MB)
+    try:
+        bump.allocate(fill_kb * KB)
+    except SpaceExhausted:
+        pass
+    before = bump.capacity_bytes
+    bump.grow(grant_kb * KB)
+    assert bump.capacity_bytes == before + grant_kb * KB
+    assert bump.free_bytes >= grant_kb * KB

@@ -1,0 +1,107 @@
+"""Tests for Kaffe's incremental conservative tri-color collector."""
+
+import numpy as np
+import pytest
+
+from repro.jvm.gc.kaffe_gc import KaffeGC, TRICOLOR_OVERHEAD
+from repro.units import KB, MB
+
+from tests.jvm.gc_harness import MiniMutator
+
+
+def make(heap_mb=8, seed=5, pin_rate=0.02):
+    return KaffeGC(heap_mb * MB, np.random.default_rng(seed),
+                   pin_rate=pin_rate)
+
+
+class TestBasics:
+    def test_not_generational(self):
+        assert not make().is_generational
+
+    def test_snapshot_barrier_is_cheap_but_nonzero(self):
+        gc = make()
+        assert 0 < gc.barrier_overhead < 0.01
+
+    def test_collects_dead_objects(self):
+        gc = make(8, pin_rate=0.0)
+        m = MiniMutator(gc, survivor_frac=0.0, young_mean=32 * KB)
+        m.allocate_bytes(30 * MB)
+        assert gc.stats.collections >= 2
+        assert gc.stats.freed_bytes > 20 * MB
+
+    def test_tricolor_overhead_inflates_trace_work(self):
+        gc = make(8, pin_rate=0.0)
+        m = MiniMutator(gc, survivor_frac=0.3)
+        m.allocate_bytes(4 * MB)
+        m.roots.expire(m.now)
+        live = m.live_bytes()
+        report = m.force_collection()[0]
+        assert report.traced_bytes >= int(live * TRICOLOR_OVERHEAD) - 1
+
+
+class TestConservativePinning:
+    def test_dead_objects_can_be_pinned(self):
+        gc = make(8, pin_rate=1.0)  # every dead object pinned
+        m = MiniMutator(gc, survivor_frac=0.0, young_mean=32 * KB)
+        m.allocate_bytes(4 * MB)
+        report = m.force_collection()[0]
+        assert report.nepotism_bytes > 0
+        assert gc.conservatively_retained_bytes > 0
+
+    def test_zero_pin_rate_retains_nothing(self):
+        gc = make(8, pin_rate=0.0)
+        m = MiniMutator(gc, survivor_frac=0.0, young_mean=32 * KB)
+        m.allocate_bytes(4 * MB)
+        m.force_collection()
+        assert gc.conservatively_retained_bytes == 0
+
+    def test_pins_eventually_released(self):
+        gc = make(8, pin_rate=1.0)
+        m = MiniMutator(gc, survivor_frac=0.0, young_mean=32 * KB)
+        m.allocate_bytes(4 * MB)
+        m.force_collection()
+        retained = gc.conservatively_retained_bytes
+        # Several later cycles: release probability drains the pin set.
+        for _ in range(8):
+            gc.pin_rate = 0.0
+            m.force_collection()
+        assert gc.conservatively_retained_bytes < retained / 4
+
+
+class TestBarrierShading:
+    def test_shades_add_trace_work(self):
+        gc = make(8)
+        m = MiniMutator(gc, survivor_frac=0.3)
+        m.allocate_bytes(2 * MB)
+        base_report = m.force_collection()[0]
+        shaded = m.live_objects()[:50]
+        for obj in shaded:
+            gc.record_mutation(obj)
+        assert gc.barrier_shades == len(shaded)
+        shaded_report = m.force_collection()[0]
+        assert shaded_report.edges >= base_report.edges
+
+    def test_shades_cleared_after_cycle(self):
+        gc = make(8)
+        m = MiniMutator(gc)
+        m.allocate_bytes(1 * MB)
+        gc.record_mutation(m.objects[-1])
+        m.force_collection()
+        assert gc.barrier_shades == 0
+
+
+class TestAccounting:
+    def test_no_copying(self):
+        gc = make(8)
+        m = MiniMutator(gc)
+        m.allocate_bytes(20 * MB)
+        assert gc.stats.copied_bytes == 0
+
+    def test_usable_heap_nearly_full(self):
+        assert make(8).usable_heap_bytes() > 7 * MB
+
+    def test_sustained_churn_with_pinning(self):
+        gc = make(8, pin_rate=0.05)
+        m = MiniMutator(gc, survivor_frac=0.1)
+        m.allocate_bytes(50 * MB)
+        assert gc.stats.collections >= 5

@@ -1,0 +1,55 @@
+"""Tests for Kaffe's interpreter configuration (Section IV-A)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.platform import make_platform
+from repro.jvm.components import Component
+from repro.jvm.vm import KaffeVM
+
+from tests.conftest import make_tiny_spec
+
+
+def run(mode, seed=3):
+    vm = KaffeVM(make_platform("p6"), mode=mode, heap_mb=24,
+                 seed=seed, n_slices=40)
+    return vm.run(make_tiny_spec(bytecodes=2e8))
+
+
+class TestModes:
+    def test_default_is_jit(self, p6):
+        assert KaffeVM(p6).mode == "jit"
+
+    def test_unknown_mode_rejected(self, p6):
+        with pytest.raises(ConfigurationError):
+            KaffeVM(p6, mode="aot")
+
+    def test_interpreter_has_no_jit_component(self):
+        result = run("interp")
+        assert result.jit_compiles == 0
+        assert int(Component.JIT) not in (
+            result.timeline.component_cycles()
+        )
+
+    def test_jit_mode_compiles(self):
+        result = run("jit")
+        assert result.jit_compiles > 0
+
+    def test_interpreter_is_much_slower(self):
+        jit = run("jit")
+        interp = run("interp")
+        assert interp.duration_s > 2.0 * jit.duration_s
+
+    def test_interpreter_methods_tagged(self):
+        result = run("interp")
+        tiers = {m.tier for m in result.workload.method_table
+                 if m.compiled}
+        assert tiers == {"interp"}
+
+    def test_same_gc_behavior(self):
+        # Interpretation slows execution but allocates identically.
+        jit = run("jit")
+        interp = run("interp")
+        assert (
+            interp.gc_stats.collections == jit.gc_stats.collections
+        )

@@ -1,0 +1,182 @@
+"""Tests for simulated objects, the root registry, and tracing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.jvm.objects import (
+    IMMORTAL,
+    ReferenceFactory,
+    RootSet,
+    SimObject,
+    SPACE_MATURE,
+    SPACE_NURSERY,
+    trace_closure,
+)
+
+
+def obj(size=1000, birth=0.0, death=100.0, space=0):
+    return SimObject(size, birth, death, space=space)
+
+
+class TestSimObject:
+    def test_liveness(self):
+        o = obj(death=50.0)
+        assert o.is_live(49.9)
+        assert not o.is_live(50.0)
+
+    def test_immortal(self):
+        o = obj(death=IMMORTAL)
+        assert o.immortal
+        assert o.is_live(1e18)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            obj(size=0)
+
+    def test_rejects_death_before_birth(self):
+        with pytest.raises(ConfigurationError):
+            SimObject(10, birth=100.0, death=50.0)
+
+    def test_real_object_count(self):
+        assert obj(size=56 * 10).real_object_count() == 10
+        assert obj(size=8).real_object_count() == 1
+
+
+class TestRootSet:
+    def test_add_and_len(self):
+        roots = RootSet()
+        roots.add(obj())
+        assert len(roots) == 1
+
+    def test_expire_in_death_order(self):
+        roots = RootSet()
+        early = obj(death=10.0)
+        late = obj(death=20.0)
+        roots.add(late)
+        roots.add(early)
+        expired = roots.expire(15.0)
+        assert expired == [early]
+        assert late in roots
+        assert early not in roots
+
+    def test_expire_boundary_inclusive(self):
+        roots = RootSet()
+        o = obj(death=10.0)
+        roots.add(o)
+        assert roots.expire(10.0) == [o]
+
+    def test_live_bytes(self):
+        roots = RootSet()
+        roots.add(obj(size=100, death=10.0))
+        roots.add(obj(size=200, death=20.0))
+        assert roots.live_bytes() == 300
+        roots.expire(10.0)
+        assert roots.live_bytes() == 200
+
+    def test_live_objects_iteration(self):
+        roots = RootSet()
+        objs = [obj(death=float(i + 1)) for i in range(5)]
+        for o in objs:
+            roots.add(o)
+        roots.expire(2.0)
+        assert set(roots.live_objects()) == set(objs[2:])
+
+    def test_clear(self):
+        roots = RootSet()
+        roots.add(obj())
+        roots.clear()
+        assert len(roots) == 0
+
+
+class TestReferenceFactory:
+    def test_edges_respect_death_ordering(self, rng):
+        factory = ReferenceFactory(rng, max_refs=3, edge_prob=1.0)
+        objs = [obj(death=float(rng.integers(1, 1000))) for _ in
+                range(200)]
+        for o in objs:
+            factory.wire(o)
+        for o in objs:
+            for target in o.refs:
+                assert target.death >= o.death
+
+    def test_no_self_edges(self, rng):
+        factory = ReferenceFactory(rng, max_refs=3, edge_prob=1.0)
+        for _ in range(100):
+            o = obj(death=50.0)
+            factory.wire(o)
+            assert o not in o.refs
+
+    def test_window_bounded(self, rng):
+        factory = ReferenceFactory(rng, window=16)
+        for _ in range(100):
+            factory.wire(obj())
+        assert len(factory._recent) <= 16
+
+    def test_zero_edge_probability(self, rng):
+        factory = ReferenceFactory(rng, edge_prob=0.0)
+        objs = [obj() for _ in range(50)]
+        for o in objs:
+            factory.wire(o)
+        assert all(not o.refs for o in objs)
+
+    def test_rejects_bad_window(self, rng):
+        with pytest.raises(ConfigurationError):
+            ReferenceFactory(rng, window=0)
+
+
+class TestTraceClosure:
+    def test_reaches_roots(self):
+        a, b = obj(), obj()
+        visited, live_bytes, edges = trace_closure([a, b])
+        assert set(visited) == {a, b}
+        assert live_bytes == a.size + b.size
+
+    def test_follows_edges(self):
+        a, b, c = obj(), obj(), obj()
+        a.refs.append(b)
+        b.refs.append(c)
+        visited, _, edges = trace_closure([a])
+        assert set(visited) == {a, b, c}
+        assert edges == 2
+
+    def test_handles_cycles(self):
+        a, b = obj(), obj()
+        a.refs.append(b)
+        b.refs.append(a)
+        visited, _, edges = trace_closure([a])
+        assert set(visited) == {a, b}
+        assert edges == 2
+
+    def test_space_filter(self):
+        young = obj(space=SPACE_NURSERY)
+        old = obj(space=SPACE_MATURE)
+        young.refs.append(old)
+        visited, _, _ = trace_closure(
+            [young, old], include={SPACE_NURSERY}
+        )
+        assert visited == [young]
+
+    def test_duplicate_roots_counted_once(self):
+        a = obj()
+        visited, live_bytes, _ = trace_closure([a, a])
+        assert visited == [a]
+        assert live_bytes == a.size
+
+    def test_reachability_equals_liveness(self, rng):
+        # The core invariant: with death-ordered edges and a root set of
+        # exactly the live objects, the traced closure is the live set.
+        factory = ReferenceFactory(rng, max_refs=2, edge_prob=0.8)
+        roots = RootSet()
+        objs = []
+        for i in range(300):
+            o = obj(death=float(rng.integers(1, 500)))
+            factory.wire(o)
+            roots.add(o)
+            objs.append(o)
+        now = 250.0
+        roots.expire(now)
+        live = {o for o in objs if o.is_live(now)}
+        visited, live_bytes, _ = trace_closure(roots.live_objects())
+        assert set(visited) == live
+        assert live_bytes == sum(o.size for o in live)

@@ -1,0 +1,49 @@
+"""Tests for the microarchitectural profile tables."""
+
+import pytest
+
+from repro.jvm.profiles import MicroProfile, profile_for, profile_keys
+
+
+class TestLookup:
+    def test_all_keys_resolve_on_both_platforms(self):
+        for platform in ("p6", "pxa255"):
+            for key in profile_keys():
+                assert profile_for(platform, key) is not None
+
+    def test_unknown_platform_falls_back_to_p6(self):
+        assert profile_for("vax", "app") == profile_for("p6", "app")
+
+    def test_overrides(self):
+        tweaked = profile_for("p6", "app", l1_miss_rate=0.42)
+        assert tweaked.l1_miss_rate == 0.42
+        assert profile_for("p6", "app").l1_miss_rate != 0.42
+
+    def test_tweaked_returns_new_instance(self):
+        base = profile_for("p6", "gc_trace")
+        copy = base.tweaked(mix=2.0)
+        assert copy.mix == 2.0
+        assert base.mix != 2.0
+
+
+class TestCalibration:
+    def test_gc_is_streaming_on_p6(self):
+        gc = profile_for("p6", "gc_trace")
+        app = profile_for("p6", "app")
+        assert gc.locality < app.locality
+        assert gc.spatial > app.spatial
+
+    def test_compilers_have_good_locality(self):
+        for key in ("baseline", "optimizing", "jit"):
+            assert profile_for("p6", key).locality >= 0.8
+
+    def test_pxa255_classloader_is_stall_bound(self):
+        # Section VI-E: fetch stalls and data dependencies dominate.
+        cl = profile_for("pxa255", "classloader")
+        assert cl.cpi_scale > 2.0
+
+    def test_pxa255_app_slower_than_p6_app(self):
+        assert (
+            profile_for("pxa255", "app").cpi_scale
+            > profile_for("p6", "app").cpi_scale
+        )

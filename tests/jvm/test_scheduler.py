@@ -1,0 +1,139 @@
+"""Tests for the instrumented scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.activity import Activity
+from repro.hardware.cache import MemoryBehavior
+from repro.hardware.platform import make_platform
+from repro.jvm.components import Component
+from repro.jvm.scheduler import InstrumentedScheduler
+from repro.units import KB, MB
+
+
+def act(component, instructions=2_000_000):
+    return Activity(
+        component=int(component),
+        instructions=instructions,
+        behavior=MemoryBehavior(
+            footprint_bytes=1 * MB, hot_bytes=128 * KB,
+            locality=0.8, spatial_factor=0.5,
+        ),
+        refs_per_instr=0.3,
+        l1_miss_rate=0.03,
+    )
+
+
+class TestConstruction:
+    def test_rejects_unknown_style(self, p6):
+        with pytest.raises(ConfigurationError):
+            InstrumentedScheduler(p6, style="windows")
+
+
+class TestJikesStyle:
+    def test_port_written_on_component_switch(self, p6):
+        sched = InstrumentedScheduler(p6, style="jikes")
+        sched.execute(act(Component.APP))
+        sched.execute(act(Component.GC))
+        sched.execute(act(Component.APP))
+        assert sched.port_writes == 3
+
+    def test_no_write_when_component_unchanged(self, p6):
+        sched = InstrumentedScheduler(p6, style="jikes")
+        sched.execute(act(Component.APP))
+        sched.execute(act(Component.APP))
+        assert sched.port_writes == 1
+
+    def test_port_latch_matches_execution(self, p6):
+        sched = InstrumentedScheduler(p6, style="jikes")
+        sched.execute(act(Component.GC))
+        mid_cycle = sched.now_cycle - 100
+        assert p6.port.read(mid_cycle) == int(Component.GC)
+
+
+class TestKaffeStyle:
+    def test_entry_and_exit_writes(self, p6):
+        sched = InstrumentedScheduler(p6, style="kaffe")
+        sched.execute(act(Component.APP))
+        sched.execute(act(Component.JIT))  # enter + exit
+        assert sched.port_writes == 3
+
+    def test_nesting_restores_caller(self, p6):
+        sched = InstrumentedScheduler(p6, style="kaffe")
+        sched.enter(Component.JIT)
+        sched.enter(Component.CL)
+        sched.exit()
+        assert sched.current_component == int(Component.JIT)
+        assert p6.port.read(sched.now_cycle) == int(Component.JIT)
+
+    def test_stack_underflow_rejected(self, p6):
+        sched = InstrumentedScheduler(p6, style="kaffe")
+        with pytest.raises(ConfigurationError):
+            sched.exit()
+
+
+class TestTimeline:
+    def test_gap_free(self, p6):
+        sched = InstrumentedScheduler(p6)
+        for comp in (Component.APP, Component.GC, Component.APP):
+            sched.execute(act(comp))
+        sched.finish().validate()
+
+    def test_perturbation_segments_emitted(self, p6):
+        sched = InstrumentedScheduler(p6)
+        sched.execute(act(Component.APP))
+        tags = [s.tag for s in sched.timeline]
+        assert "port-write" in tags
+
+    def test_perturbation_is_small(self, p6):
+        sched = InstrumentedScheduler(p6)
+        for comp in (Component.APP, Component.GC) * 10:
+            sched.execute(act(comp))
+        pert = p6.port.total_perturbation_cycles()
+        assert pert / sched.now_cycle < 0.01
+
+    def test_long_activity_chunked(self, p6):
+        sched = InstrumentedScheduler(p6, max_chunk_s=0.01)
+        sched.execute(act(Component.APP, instructions=200_000_000))
+        app_segs = [
+            s for s in sched.timeline
+            if s.component == int(Component.APP) and s.tag != "port-write"
+        ]
+        assert len(app_segs) > 3
+        total = sum(s.instructions for s in app_segs)
+        assert total == 200_000_000
+
+    def test_idle(self, p6):
+        sched = InstrumentedScheduler(p6)
+        sched.idle(0.25)
+        assert sched.timeline.duration_s == pytest.approx(0.25,
+                                                          rel=0.01)
+
+    def test_counters_track_segments(self, p6):
+        sched = InstrumentedScheduler(p6)
+        sched.execute(act(Component.APP, instructions=5_000_000))
+        from repro.hardware.hpm import Event
+
+        snap = p6.counters.snapshot(sched.now_cycle)
+        assert snap.values[Event.CYCLES] == sched.now_cycle
+
+
+class TestThermalCoupling:
+    def test_temperature_rises_with_execution(self, p6):
+        sched = InstrumentedScheduler(p6)
+        t0 = p6.thermal.temperature_c
+        sched.execute(act(Component.APP, instructions=400_000_000))
+        assert p6.thermal.temperature_c > t0
+
+    def test_throttle_feedback_stretches_wall_time(self):
+        hot = make_platform("p6", fan_enabled=False)
+        hot.thermal.temperature_c = 99.2  # already past the trip point
+        sched = InstrumentedScheduler(hot, max_chunk_s=0.005)
+        sched.execute(act(Component.APP, instructions=400_000_000))
+        assert hot.cpu.throttled
+        # Throttled chunks take twice the wall time for the same cycles.
+        throttled_segs = [
+            s for s in sched.timeline
+            if s.wall_s and s.cycles / s.wall_s < 1.0e9
+        ]
+        assert throttled_segs

@@ -1,0 +1,59 @@
+"""Tests for sense-channel calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.calibration import (
+    CalibratedChannel,
+    calibrate_channel,
+)
+from repro.measurement.sense import SenseChannel, SenseResistor
+
+
+def sloppy_channel(rng, tolerance=0.05):
+    """A channel with a deliberately loose resistor (5 % tolerance)."""
+    return SenseChannel(
+        name="sloppy",
+        rail_voltage_v=1.35,
+        resistor=SenseResistor(resistance_ohm=0.002,
+                               tolerance=tolerance),
+        vdrop_noise_v=0.00009,
+        rng=rng,
+    )
+
+
+class TestCalibration:
+    def test_reduces_gain_error(self, rng):
+        channel = sloppy_channel(rng)
+        raw_error = abs(channel.gain_error)
+        cal = calibrate_channel(channel, [4.5, 8.0, 12.0, 16.0])
+        corrected = CalibratedChannel(channel, cal)
+        assert abs(corrected.gain_error) < raw_error / 5
+
+    def test_corrected_readings_track_truth(self, rng):
+        channel = sloppy_channel(rng)
+        cal = calibrate_channel(channel, [4.5, 8.0, 12.0, 16.0])
+        corrected = CalibratedChannel(channel, cal)
+        readings = corrected.measure(np.full(20000, 13.0))
+        assert readings.mean() == pytest.approx(13.0, rel=0.005)
+
+    def test_residual_reported(self, rng):
+        cal = calibrate_channel(sloppy_channel(rng),
+                                [4.5, 8.0, 12.0, 16.0])
+        assert cal.residual_w < 0.1
+
+    def test_needs_two_loads(self, rng):
+        with pytest.raises(MeasurementError):
+            calibrate_channel(sloppy_channel(rng), [10.0])
+
+    def test_needs_averaging(self, rng):
+        with pytest.raises(MeasurementError):
+            calibrate_channel(sloppy_channel(rng), [5.0, 10.0],
+                              samples_per_load=2)
+
+    def test_never_negative(self, rng):
+        channel = sloppy_channel(rng)
+        cal = calibrate_channel(channel, [4.5, 8.0, 12.0])
+        corrected = CalibratedChannel(channel, cal)
+        assert (corrected.measure(np.zeros(5000)) >= 0).all()

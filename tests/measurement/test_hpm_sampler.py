@@ -1,0 +1,94 @@
+"""Tests for timer-driven HPM sampling."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hardware.ioport import ComponentIDPort
+from repro.measurement.hpm_sampler import HPMSampler
+from repro.timeline import ExecutionTimeline, Segment
+
+CLOCK = 1.6e9
+
+
+def synthetic(spans):
+    """spans: (component, seconds, ipc, l2_miss_rate)."""
+    timeline = ExecutionTimeline(CLOCK)
+    port = ComponentIDPort("t", width_bits=8, write_cost_cycles=0)
+    cycle = 0
+    for component, seconds, ipc, miss in spans:
+        cycles = int(seconds * CLOCK)
+        l2_accesses = cycles // 10
+        port.write(cycle, component)
+        timeline.append(
+            Segment(
+                start_cycle=cycle, end_cycle=cycle + cycles,
+                component=component,
+                instructions=int(cycles * ipc),
+                l2_accesses=l2_accesses,
+                l2_misses=int(l2_accesses * miss),
+                cpu_power_w=10.0, wall_s=seconds,
+            )
+        )
+        cycle += cycles
+    return timeline, port
+
+
+class TestSampling:
+    def test_per_component_ipc_recovered(self, p6):
+        timeline, port = synthetic(
+            [(0, 0.2, 0.8, 0.1), (1, 0.2, 0.5, 0.5)]
+        )
+        sampler = HPMSampler(p6)
+        trace = sampler.sample(timeline, port)
+        ipc = trace.component_ipc()
+        assert ipc[0] == pytest.approx(0.8, rel=0.05)
+        assert ipc[1] == pytest.approx(0.5, rel=0.05)
+
+    def test_per_component_l2_miss_rate(self, p6):
+        timeline, port = synthetic(
+            [(0, 0.2, 0.8, 0.11), (1, 0.2, 0.5, 0.54)]
+        )
+        trace = HPMSampler(p6).sample(timeline, port)
+        miss = trace.component_l2_miss_rate()
+        assert miss[0] == pytest.approx(0.11, rel=0.1)
+        assert miss[1] == pytest.approx(0.54, rel=0.1)
+
+    def test_time_share(self, p6):
+        timeline, port = synthetic(
+            [(0, 0.3, 0.8, 0.1), (1, 0.1, 0.5, 0.5)]
+        )
+        trace = HPMSampler(p6).sample(timeline, port)
+        share = trace.component_time_share()
+        assert share[0] == pytest.approx(0.75, abs=0.03)
+        assert share[1] == pytest.approx(0.25, abs=0.03)
+
+    def test_platform_period_default(self, p6, pxa255):
+        assert HPMSampler(p6).period_s == pytest.approx(1e-3)
+        assert HPMSampler(pxa255).period_s == pytest.approx(1e-2)
+
+    def test_too_short_run_rejected(self, p6):
+        timeline, port = synthetic([(0, 1e-4, 0.8, 0.1)])
+        with pytest.raises(MeasurementError):
+            HPMSampler(p6).sample(timeline, port)
+
+    def test_short_components_misattributed(self, p6):
+        # Components much shorter than the 1 ms timer period lose their
+        # counter deltas to whoever is running at the tick.
+        spans = [(0, 0.002, 0.8, 0.1)]
+        for _ in range(20):
+            spans.append((2, 50e-6, 1.0, 0.05))
+            spans.append((0, 0.002, 0.8, 0.1))
+        timeline, port = synthetic(spans)
+        trace = HPMSampler(p6).sample(timeline, port)
+        cl_cycles = trace.component_cycles.get(2, 0.0)
+        true_cl = 20 * 50e-6 * CLOCK
+        assert abs(cl_cycles - true_cl) > 0.2 * true_cl
+
+    def test_totals_conserved(self, p6):
+        timeline, port = synthetic(
+            [(0, 0.25, 0.8, 0.1), (1, 0.15, 0.5, 0.5)]
+        )
+        trace = HPMSampler(p6).sample(timeline, port)
+        total_instr = sum(trace.component_instructions.values())
+        truth = sum(s.instructions for s in timeline)
+        assert total_instr == pytest.approx(truth, rel=0.01)

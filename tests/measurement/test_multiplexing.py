@@ -1,0 +1,101 @@
+"""Tests for PMU counter multiplexing."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.jvm.components import Component
+from repro.measurement.hpm_sampler import HPMSampler
+from repro.measurement.multiplexing import (
+    DEFAULT_ROTATION,
+    MultiplexedHPMSampler,
+)
+
+
+class TestConstruction:
+    def test_rotation_fits_p6_pmu(self, p6):
+        MultiplexedHPMSampler(p6)
+
+    def test_rotation_fits_xscale_pmu(self, pxa255):
+        # The defining constraint: two programmable counters.
+        sampler = MultiplexedHPMSampler(pxa255)
+        assert all(len(g) <= 2 for g in sampler.rotation)
+
+    def test_oversized_group_rejected(self, pxa255):
+        with pytest.raises(MeasurementError):
+            MultiplexedHPMSampler(
+                pxa255,
+                rotation=(("instructions", "l2_accesses",
+                           "l2_misses"),),
+            )
+
+    def test_empty_rotation_rejected(self, p6):
+        with pytest.raises(MeasurementError):
+            MultiplexedHPMSampler(p6, rotation=())
+
+    def test_duty_fraction(self, p6):
+        sampler = MultiplexedHPMSampler(p6)
+        assert sampler.duty_fraction("instructions") == 1.0
+        assert sampler.duty_fraction("l2_misses") == 0.5
+        assert sampler.duty_fraction("branches") == 0.0
+
+
+class TestEstimates:
+    @pytest.fixture(scope="class")
+    def traces(self, jess_semispace_32):
+        from repro.hardware.platform import make_platform
+
+        timeline = jess_semispace_32.run.timeline
+        # Reconstruct the port from the run for attribution; the cached
+        # experiment's platform is not retained, so sample from a fresh
+        # port containing the same history is not possible — instead
+        # compare full vs multiplexed samplers on the same platform.
+        platform = make_platform("p6")
+        # Rebuild the port latch history from the timeline components.
+        cycle = 0
+        for seg in timeline:
+            platform.port.write(seg.start_cycle, seg.component)
+        full = HPMSampler(platform).sample(timeline, platform.port)
+        mux = MultiplexedHPMSampler(platform).sample(
+            timeline, platform.port
+        )
+        return full, mux
+
+    def test_always_on_event_exact(self, traces):
+        full, mux = traces
+        # instructions are in every rotation group: no scaling error.
+        for cid, value in full.component_instructions.items():
+            assert mux.component_instructions[cid] == pytest.approx(
+                value, rel=1e-9
+            )
+
+    def test_multiplexed_event_unbiased_for_long_components(self,
+                                                            traces):
+        full, mux = traces
+        app = int(Component.APP)
+        assert mux.component_l2_misses[app] == pytest.approx(
+            full.component_l2_misses[app], rel=0.10
+        )
+
+    def test_multiplexed_event_noisier_for_short_components(self,
+                                                            traces):
+        full, mux = traces
+        errors = {}
+        for cid, value in full.component_l2_misses.items():
+            if value <= 0:
+                continue
+            errors[cid] = abs(
+                mux.component_l2_misses[cid] - value
+            ) / value
+        app_err = errors.get(int(Component.APP), 0.0)
+        short_errs = [
+            e for cid, e in errors.items()
+            if cid not in (int(Component.APP), int(Component.GC))
+        ]
+        if short_errs:
+            assert max(short_errs) >= app_err
+
+    def test_miss_rates_remain_plausible(self, traces):
+        _, mux = traces
+        rates = mux.component_l2_miss_rate()
+        for rate in rates.values():
+            assert 0.0 <= rate <= 1.5  # scaling noise can overshoot

@@ -1,0 +1,79 @@
+"""Tests for the sense-resistor measurement channels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.measurement.sense import (
+    SenseChannel,
+    SenseResistor,
+    channels_for,
+    p6_cpu_channel,
+    pxa255_cpu_channel,
+)
+
+
+class TestResistor:
+    def test_valid(self):
+        r = SenseResistor(resistance_ohm=0.002)
+        assert r.tolerance == pytest.approx(0.001)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            SenseResistor(resistance_ohm=0.0)
+        with pytest.raises(ConfigurationError):
+            SenseResistor(resistance_ohm=1.0, tolerance=0.5)
+
+
+class TestChannel:
+    def test_measurement_tracks_truth(self, rng):
+        channel = p6_cpu_channel(rng)
+        true = np.full(20000, 12.5)
+        measured = channel.measure(true)
+        assert measured.mean() == pytest.approx(12.5, rel=0.02)
+
+    def test_noise_present(self, rng):
+        channel = p6_cpu_channel(rng)
+        measured = channel.measure(np.full(10000, 12.5))
+        assert measured.std() > 0.0
+
+    def test_never_negative(self, rng):
+        channel = p6_cpu_channel(rng)
+        measured = channel.measure(np.zeros(10000))
+        assert (measured >= 0).all()
+
+    def test_gain_error_within_tolerance(self, rng):
+        channel = p6_cpu_channel(rng)
+        assert abs(channel.gain_error) <= (
+            channel.resistor.tolerance
+        )
+
+    def test_gain_error_is_systematic(self, rng):
+        # Two big batches share the same hidden gain error.
+        channel = p6_cpu_channel(rng)
+        a = channel.measure(np.full(50000, 10.0)).mean()
+        b = channel.measure(np.full(50000, 10.0)).mean()
+        assert a == pytest.approx(b, rel=0.005)
+
+    def test_pxa_channel_resolves_milliwatts(self, rng):
+        channel = pxa255_cpu_channel(rng)
+        measured = channel.measure(np.full(20000, 0.270))
+        assert measured.mean() == pytest.approx(0.270, rel=0.05)
+
+    def test_rejects_bad_rail(self, rng):
+        with pytest.raises(ConfigurationError):
+            SenseChannel("x", rail_voltage_v=0.0,
+                         resistor=SenseResistor(0.01),
+                         vdrop_noise_v=1e-5, rng=rng)
+
+
+class TestFactory:
+    def test_channels_for_platforms(self, rng):
+        for name in ("p6", "pxa255"):
+            cpu, mem = channels_for(name, rng)
+            assert cpu.name.startswith(name)
+            assert mem.name.startswith(name)
+
+    def test_unknown_platform(self, rng):
+        with pytest.raises(ConfigurationError):
+            channels_for("alpha", rng)

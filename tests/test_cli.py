@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "_202_jess"])
+        assert args.benchmark == "_202_jess"
+        assert args.vm == "jikes"
+        assert args.heap == 64
+
+    def test_sweep_args(self):
+        args = build_parser().parse_args([
+            "sweep", "_213_javac", "--heaps", "32", "48",
+            "--collectors", "SemiSpace",
+        ])
+        assert args.heaps == [32, 48]
+        assert args.collectors == ["SemiSpace"]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_vm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x", "--vm", "hotspot"])
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "_213_javac" in out
+        assert "DaCapo" in out
+        assert "pxa255" in out
+
+    def test_run_output(self, capsys):
+        code = main([
+            "run", "_201_compress", "--heap", "32",
+            "--input-scale", "0.2", "--collector", "MarkSweep",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "_201_compress" in out
+        assert "EDP" in out
+        assert "GC" in out
+
+    def test_sweep_output(self, capsys):
+        code = main([
+            "sweep", "_202_jess", "--heaps", "32", "64",
+            "--collectors", "MarkSweep", "GenMS",
+            "--input-scale", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MarkSweep" in out
+        assert "GenMS" in out
+        assert "32" in out and "64" in out
+
+    def test_validate_output(self, capsys):
+        code = main([
+            "validate", "--benchmark", "_201_compress",
+            "--input-scale", "0.2", "--periods", "40", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "misattributed" in out
+
+    def test_thermal_output(self, capsys):
+        code = main([
+            "thermal", "--benchmark", "_222_mpegaudio",
+            "--repetitions", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "steady" in out

@@ -1,0 +1,53 @@
+"""Tests for the pauses/export CLI commands."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPausesCommand:
+    def test_output(self, capsys):
+        code = main([
+            "pauses", "_202_jess", "--heap", "32",
+            "--input-scale", "0.2", "--collector", "SemiSpace",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pauses" in out
+        assert "MMU" in out
+        assert "window ms" in out
+
+
+class TestExportCommand:
+    def test_writes_files(self, tmp_path, capsys):
+        prefix = str(tmp_path / "exp")
+        code = main([
+            "export", "_201_compress", "--heap", "32",
+            "--input-scale", "0.2", "--collector", "MarkSweep",
+            "--output", prefix,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        summary = json.loads((tmp_path / "exp.json").read_text())
+        assert summary["config"]["benchmark"] == "_201_compress"
+        assert summary["gc"]["collections"] > 0
+
+        csv_text = (tmp_path / "exp.csv").read_text()
+        header = csv_text.splitlines()[0]
+        assert header == "time_s,cpu_power_w,mem_power_w,component"
+        assert len(csv_text.splitlines()) > 1000
+
+
+class TestWorkloadCommand:
+    def test_output(self, capsys):
+        code = main(["workload", "_202_jess"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "_202_jess" in out
+        assert "nursery survival" in out
+        assert "live set" in out

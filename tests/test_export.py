@@ -1,0 +1,85 @@
+"""Tests for result/trace serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.export import (
+    power_trace_from_csv,
+    power_trace_to_csv,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.measurement.traces import PowerTrace
+
+
+@pytest.fixture
+def trace():
+    n = 200
+    return PowerTrace(
+        times_s=np.arange(n) * 40e-6,
+        cpu_power_w=np.linspace(10.0, 14.0, n),
+        mem_power_w=np.full(n, 0.4),
+        component=np.array([0] * 150 + [1] * 50, dtype=np.int16),
+        sample_period_s=40e-6,
+    )
+
+
+class TestCSV:
+    def test_round_trip(self, trace, tmp_path):
+        path = power_trace_to_csv(trace, tmp_path / "trace.csv")
+        loaded = power_trace_from_csv(path)
+        assert loaded.n_samples == trace.n_samples
+        assert loaded.cpu_energy_j() == pytest.approx(
+            trace.cpu_energy_j(), rel=1e-5
+        )
+        assert loaded.component_seconds() == pytest.approx(
+            trace.component_seconds()
+        )
+
+    def test_component_names_in_file(self, trace, tmp_path):
+        path = power_trace_to_csv(trace, tmp_path / "trace.csv")
+        text = path.read_text()
+        assert "App" in text
+        assert "GC" in text
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time_s,cpu_power_w,mem_power_w,component\n")
+        with pytest.raises(MeasurementError):
+            power_trace_from_csv(path)
+
+
+class TestJSON:
+    def test_round_trip(self, jess_semispace_32, tmp_path):
+        path = result_to_json(jess_semispace_32,
+                              tmp_path / "result.json")
+        data = result_from_json(path)
+        assert data["config"]["benchmark"] == "_202_jess"
+        assert data["config"]["collector"] == "SemiSpace"
+        assert data["totals"]["duration_s"] == pytest.approx(
+            jess_semispace_32.duration_s
+        )
+        assert "GC" in data["components"]
+
+    def test_fractions_sum_to_one(self, jess_semispace_32):
+        data = result_to_dict(jess_semispace_32)
+        total = sum(
+            c["energy_fraction"]
+            for c in data["components"].values()
+        )
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_schema_checked(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "other"}))
+        with pytest.raises(MeasurementError):
+            result_from_json(path)
+
+    def test_gc_stats_exported(self, jess_semispace_32):
+        data = result_to_dict(jess_semispace_32)
+        assert data["gc"]["collections"] > 0
+        assert data["instrumentation"]["port_writes"] > 0

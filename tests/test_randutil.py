@@ -1,0 +1,41 @@
+"""Tests for the buffered random helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.randutil import BufferedUniform
+
+
+class TestBufferedUniform:
+    def test_values_in_unit_interval(self, rng):
+        buf = BufferedUniform(rng, block=64)
+        values = [buf.next() for _ in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_refills_across_blocks(self, rng):
+        buf = BufferedUniform(rng, block=16)
+        values = [buf.next() for _ in range(100)]
+        assert len(set(values)) > 90  # not recycling the same block
+
+    def test_next_index_bounds(self, rng):
+        buf = BufferedUniform(rng, block=64)
+        for n in (1, 2, 7, 100):
+            for _ in range(50):
+                assert 0 <= buf.next_index(n) < n
+
+    def test_deterministic_per_seed(self):
+        a = BufferedUniform(np.random.default_rng(3))
+        b = BufferedUniform(np.random.default_rng(3))
+        assert [a.next() for _ in range(20)] == [
+            b.next() for _ in range(20)
+        ]
+
+    def test_mean_is_half(self, rng):
+        buf = BufferedUniform(rng)
+        values = [buf.next() for _ in range(20000)]
+        assert np.mean(values) == pytest.approx(0.5, abs=0.02)
+
+    def test_tiny_block_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            BufferedUniform(rng, block=4)

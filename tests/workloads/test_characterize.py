@@ -1,0 +1,75 @@
+"""Tests for workload characterization."""
+
+import pytest
+
+from repro.units import MB
+from repro.workloads import get_benchmark
+from repro.workloads.characterize import (
+    characterize,
+    nursery_survival,
+    render_profile,
+)
+from repro.workloads.alloctrace import record_trace
+
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return characterize(make_tiny_spec(), seed=9)
+
+
+class TestCharacterize:
+    def test_live_mean_tracks_target(self, profile):
+        spec = make_tiny_spec()
+        target = spec.live_bytes / MB
+        assert target / 3 < profile.live_mean_mb < target * 3
+
+    def test_survival_decreases_with_nursery_size(self, profile):
+        fracs = list(profile.survival_by_nursery_mb.values())
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_survival_bounded(self, profile):
+        for frac in profile.survival_by_nursery_mb.values():
+            assert 0.0 <= frac <= 1.0
+
+    def test_immortal_fraction_near_spec(self, profile):
+        spec = make_tiny_spec()
+        assert profile.immortal_fraction == pytest.approx(
+            spec.immortal_frac, abs=0.02
+        )
+
+    def test_code_counts(self, profile):
+        spec = make_tiny_spec()
+        assert profile.classes == (
+            spec.app_classes + spec.system_classes
+        )
+        assert profile.methods == spec.methods
+
+
+class TestNurserySurvival:
+    def test_matches_run_behavior(self):
+        # The analytic estimate should roughly predict what GenCopy
+        # actually promotes.
+        from repro.core.experiment import run_experiment
+
+        spec = get_benchmark("_202_jess")
+        trace = record_trace(spec, seed=42, alloc_bytes=128 * MB)
+        predicted = nursery_survival(trace, 4 * MB)
+        result = run_experiment("_202_jess", collector="GenCopy",
+                                heap_mb=64, input_scale=0.3, seed=42)
+        stats = result.run.gc_stats
+        actual = stats.promoted_bytes / (
+            spec.alloc_bytes * 0.3
+        )
+        assert predicted == pytest.approx(actual, abs=0.08)
+
+
+class TestRendering:
+    def test_render(self, profile):
+        spec = make_tiny_spec()
+        text = render_profile(profile, spec)
+        assert "tiny" in text
+        assert "nursery survival" in text
+        assert "promoted" in text
+        assert "target" in text

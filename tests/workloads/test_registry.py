@@ -1,0 +1,96 @@
+"""Tests for the benchmark registry (the paper's Figure 5)."""
+
+import pytest
+
+from repro.errors import UnknownBenchmarkError
+from repro.workloads import (
+    all_benchmarks,
+    get_benchmark,
+    suite_names,
+)
+from repro.workloads.specjvm98 import PXA255_BENCHMARKS, S10_INPUT_SCALE
+
+
+class TestFigure5:
+    def test_sixteen_benchmarks(self):
+        assert len(all_benchmarks()) == 16
+
+    def test_suite_sizes(self):
+        assert len(all_benchmarks("SpecJVM98")) == 7
+        assert len(all_benchmarks("DaCapo")) == 5
+        assert len(all_benchmarks("JGF")) == 4
+
+    def test_specjvm98_names(self):
+        names = {b.name for b in all_benchmarks("SpecJVM98")}
+        assert names == {
+            "_201_compress", "_202_jess", "_209_db", "_213_javac",
+            "_222_mpegaudio", "_227_mtrt", "_228_jack",
+        }
+
+    def test_dacapo_names(self):
+        names = {b.name for b in all_benchmarks("DaCapo")}
+        assert names == {"antlr", "fop", "jython", "pmd", "ps"}
+
+    def test_jgf_names(self):
+        names = {b.name for b in all_benchmarks("JGF")}
+        assert names == {"euler", "moldyn", "raytracer", "search"}
+
+    def test_descriptions_match_figure5(self):
+        assert "Lempel-Ziv" in get_benchmark("_201_compress").description
+        assert "Expert Shell" in get_benchmark("_202_jess").description
+        assert "memory-resident" in get_benchmark("_209_db").description
+        assert "Java compiler" in get_benchmark("_213_javac").description
+        assert "MPEG" in get_benchmark("_222_mpegaudio").description
+        assert "Raytracing" in get_benchmark("_227_mtrt").description
+        assert "Parser" in get_benchmark("_228_jack").description
+        assert "PDF" in get_benchmark("fop").description
+        assert "Python" in get_benchmark("jython").description
+        assert "fluid dynamics" in get_benchmark("euler").description
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_benchmark("_999_nope")
+
+    def test_suite_names(self):
+        assert suite_names() == ("SpecJVM98", "DaCapo", "JGF")
+
+
+class TestEmbeddedSubset:
+    def test_five_pxa255_benchmarks(self):
+        # Section VI-E: compress, jess, db, javac, jack at -s10.
+        assert len(PXA255_BENCHMARKS) == 5
+        assert "_222_mpegaudio" not in PXA255_BENCHMARKS
+        assert "_227_mtrt" not in PXA255_BENCHMARKS
+
+    def test_s10_scale(self):
+        assert S10_INPUT_SCALE == pytest.approx(0.1)
+
+
+class TestSpecSanity:
+    def test_all_specs_have_positive_volumes(self):
+        for spec in all_benchmarks():
+            assert spec.bytecodes > 0
+            assert spec.alloc_bytes > spec.live_bytes
+
+    def test_live_sets_fit_smallest_paper_heap(self):
+        # Every benchmark must be runnable at its suite's smallest heap
+        # with the least space-efficient collector (GenCopy: nursery +
+        # half the mature space), as the paper's Figure 7 requires.
+        from repro.jvm.gc.generational import default_nursery_bytes
+        from repro.units import MB
+
+        for spec in all_benchmarks():
+            min_heap = 48 * MB if spec.suite == "DaCapo" else 32 * MB
+            heap = min_heap - 6 * MB  # Jikes VM reservation
+            nursery = default_nursery_bytes(heap)
+            mature_half = (heap - nursery) // 2
+            assert spec.expected_final_live_bytes() < mature_half, (
+                spec.name
+            )
+
+    def test_db_has_gc_burst(self):
+        assert get_benchmark("_209_db").gc_burst.fraction > 0
+
+    def test_unique_cohort_granularity_positive(self):
+        for spec in all_benchmarks():
+            assert spec.cohort_bytes >= 4096

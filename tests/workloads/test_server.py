@@ -1,0 +1,67 @@
+"""Tests for the Server extension suite."""
+
+import pytest
+
+from repro.core.experiment import run_experiment
+from repro.jvm.components import Component
+from repro.workloads import all_benchmarks, get_benchmark
+
+
+class TestRegistry:
+    def test_server_suite_available(self):
+        names = {s.name for s in all_benchmarks("Server")}
+        assert names == {"jbb_like", "webcache_like"}
+
+    def test_paper_set_unchanged(self):
+        # The default view is still the paper's sixteen benchmarks.
+        assert len(all_benchmarks()) == 16
+        assert all(
+            s.suite != "Server" for s in all_benchmarks()
+        )
+
+    def test_long_running(self):
+        # Server workloads run much longer than the client benchmarks.
+        jbb = get_benchmark("jbb_like")
+        javac = get_benchmark("_213_javac")
+        assert jbb.bytecodes > 2 * javac.bytecodes
+        assert jbb.alloc_bytes > 2 * javac.alloc_bytes
+
+
+class TestBehavior:
+    @pytest.fixture(scope="class")
+    def jbb(self):
+        return run_experiment("jbb_like", collector="GenCopy",
+                              heap_mb=96, input_scale=0.15, seed=23)
+
+    def test_runs_to_completion(self, jbb):
+        assert jbb.duration_s > 1.0
+        assert jbb.run.gc_stats.collections > 10
+
+    def test_transaction_churn_is_nursery_friendly(self, jbb):
+        stats = jbb.run.gc_stats
+        # Almost everything dies in the nursery: minor collections
+        # dominate and promotion volume is a small share of allocation.
+        assert stats.minor_collections > stats.full_collections
+        assert (
+            stats.promoted_bytes
+            < 0.2 * jbb.run.workload.spec.alloc_bytes
+        )
+
+    def test_cache_workload_promotes_more(self):
+        cache = run_experiment(
+            "webcache_like", collector="GenCopy", heap_mb=96,
+            input_scale=0.15, seed=23,
+        )
+        jbb = run_experiment(
+            "jbb_like", collector="GenCopy", heap_mb=96,
+            input_scale=0.15, seed=23,
+        )
+        jbb_rate = (
+            jbb.run.gc_stats.promoted_bytes
+            / jbb.run.workload.spec.alloc_bytes
+        )
+        cache_rate = (
+            cache.run.gc_stats.promoted_bytes
+            / cache.run.workload.spec.alloc_bytes
+        )
+        assert cache_rate > 1.5 * jbb_rate

@@ -1,0 +1,103 @@
+"""Tests for benchmark spec validation and the lifetime model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import KB, MB
+from repro.workloads.spec import BenchmarkSpec, GCBurstSpec
+
+from tests.conftest import make_tiny_spec
+
+
+class TestValidation:
+    def test_valid_spec(self):
+        spec = make_tiny_spec()
+        assert spec.name == "tiny"
+
+    def test_rejects_live_exceeding_alloc(self):
+        with pytest.raises(ConfigurationError):
+            make_tiny_spec(live_bytes=100 * MB, alloc_bytes=10 * MB)
+
+    def test_rejects_degenerate_young_frac(self):
+        with pytest.raises(ConfigurationError):
+            make_tiny_spec(young_frac=1.0)
+
+    def test_rejects_fractions_over_one(self):
+        with pytest.raises(ConfigurationError):
+            make_tiny_spec(young_frac=0.95, immortal_frac=0.1)
+
+
+class TestLifetimeModel:
+    def test_mid_mean_solves_live_target(self):
+        spec = make_tiny_spec(live_bytes=4 * MB)
+        mid = spec.mid_mean_bytes()
+        reconstructed = (
+            spec.young_frac * spec.young_mean_bytes
+            + spec.mid_frac * mid
+            + spec.immortal_frac * spec.alloc_bytes / 2.0
+        )
+        assert reconstructed == pytest.approx(4 * MB, rel=0.01)
+
+    def test_mid_mean_floor(self):
+        # A tiny live target cannot push the mid component below twice
+        # the young mean.
+        spec = make_tiny_spec(live_bytes=128 * KB,
+                              young_mean_bytes=256 * KB,
+                              alloc_bytes=400 * MB)
+        assert spec.mid_mean_bytes() == 2 * spec.young_mean_bytes
+
+    def test_mean_lifetime_approximates_live_size(self, rng):
+        # E[lifetime] on the allocation clock equals steady live size.
+        spec = make_tiny_spec(live_bytes=3 * MB, alloc_bytes=400 * MB,
+                              immortal_frac=0.0001)
+        draws = np.array([spec.draw_lifetime(rng) for _ in range(8000)])
+        finite = draws[np.isfinite(draws)]
+        assert finite.mean() == pytest.approx(3 * MB, rel=0.25)
+
+    def test_immortal_fraction_of_draws(self, rng):
+        spec = make_tiny_spec(immortal_frac=0.05)
+        draws = [spec.draw_lifetime(rng) for _ in range(4000)]
+        frac = sum(1 for d in draws if math.isinf(d)) / len(draws)
+        assert frac == pytest.approx(0.05, abs=0.02)
+
+    def test_expected_final_live_includes_immortals(self):
+        spec = make_tiny_spec(immortal_frac=0.01)
+        assert spec.expected_final_live_bytes() > spec.live_bytes / 2
+
+    def test_cohort_sizes_bounded(self, rng):
+        spec = make_tiny_spec()
+        sizes = [spec.draw_cohort_size(rng) for _ in range(2000)]
+        assert all(2 * KB <= s <= 256 * KB for s in sizes)
+        mean = sum(sizes) / len(sizes)
+        assert 0.5 * spec.cohort_bytes < mean < 3 * spec.cohort_bytes
+
+
+class TestScaling:
+    def test_scaled_shrinks_volumes(self):
+        spec = make_tiny_spec()
+        small = spec.scaled(0.1)
+        assert small.bytecodes == pytest.approx(spec.bytecodes * 0.1)
+        assert small.alloc_bytes == int(spec.alloc_bytes * 0.1)
+
+    def test_live_shrinks_sublinearly(self):
+        spec = make_tiny_spec()
+        small = spec.scaled(0.1)
+        assert small.live_bytes > spec.live_bytes * 0.1
+        assert small.live_bytes < spec.live_bytes
+
+    def test_live_floor(self):
+        spec = make_tiny_spec(live_bytes=1 * MB)
+        tiny = spec.scaled(0.05)
+        assert tiny.live_bytes >= 512 * KB
+
+    def test_nominal_cohorts(self):
+        spec = make_tiny_spec()
+        assert spec.nominal_cohorts() == (
+            spec.alloc_bytes // spec.cohort_bytes
+        )
+
+    def test_str(self):
+        assert "tiny" in str(make_tiny_spec())
