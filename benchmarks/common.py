@@ -1,10 +1,23 @@
 """Shared machinery for the figure-regeneration benchmark harness.
 
 Every benchmark module asks the session-wide :class:`ExperimentCache`
-for results; identical configurations are simulated once and reused
-across figures (the Figure 7 sweep feeds Figures 6 and 8 and the
-Section VI-B/VI-C claims).  Cached entries are slimmed to
-:class:`BenchRecord` summaries so the cache stays small.
+for results.  The cache is backed by the campaign runner
+(:mod:`repro.campaign`): figure drivers batch their whole grid through
+:meth:`ExperimentCache.get_many`, which executes the missing cells on a
+process pool and memoizes every cell's summary both in memory and in
+the campaign's on-disk cache — so identical configurations are
+simulated once per machine, not once per pytest session.  Cached
+entries are slimmed to :class:`BenchRecord` summaries so the cache
+stays small.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FAST=1`` — thinner heap ladders while iterating;
+* ``REPRO_BENCH_WORKERS=N`` — campaign worker processes (default: CPU
+  count, capped at 8);
+* ``REPRO_BENCH_CACHE=0`` — disable the on-disk cell cache;
+* ``REPRO_BENCH_CACHE_DIR=path`` — cache location (default
+  ``benchmarks/output/cellcache``).
 
 Figure output is written to ``benchmarks/output/*.txt`` (and echoed to
 stdout) so the regenerated tables survive pytest's capture.
@@ -14,8 +27,8 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.core.experiment import run_experiment
-from repro.errors import OutOfMemoryError
+from repro.campaign import CampaignRunner
+from repro.core.experiment import ExperimentConfig
 from repro.jvm.components import Component
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -40,6 +53,21 @@ if FAST:
     PXA_HEAPS = (12, 20, 32)
 
 SEED = 42
+
+#: Campaign execution knobs for the figure harness.
+WORKERS = int(os.environ.get(
+    "REPRO_BENCH_WORKERS", str(min(os.cpu_count() or 1, 8))
+))
+CACHE_DIR = (
+    None
+    if os.environ.get("REPRO_BENCH_CACHE", "1") == "0"
+    else Path(os.environ.get(
+        "REPRO_BENCH_CACHE_DIR", str(OUTPUT_DIR / "cellcache")
+    ))
+)
+
+#: Short-name -> Component, for decoding cell payloads.
+_NAME_TO_COMPONENT = {c.short_name: c for c in Component}
 
 
 @dataclass
@@ -97,31 +125,99 @@ def summarize(result):
     )
 
 
-class ExperimentCache:
-    """Runs experiments at most once per configuration."""
+def record_from_payload(payload):
+    """Rebuild a :class:`BenchRecord` from a campaign cell payload."""
+    cfg = payload["config"]
+    if payload.get("oom"):
+        return BenchRecord(
+            benchmark=cfg["benchmark"], vm=cfg["vm"],
+            platform=cfg["platform"],
+            collector=cfg["collector"] or "?",
+            heap_mb=cfg["heap_mb"], oom=True,
+        )
+    totals = payload["totals"]
+    breakdown = payload["breakdown"]
+    comps = {
+        _NAME_TO_COMPONENT[name]: stats
+        for name, stats in payload["components"].items()
+    }
+    return BenchRecord(
+        benchmark=cfg["benchmark"],
+        vm=cfg["vm"],
+        platform=cfg["platform"],
+        collector=cfg["collector"],
+        heap_mb=cfg["heap_mb"],
+        duration_s=totals["duration_s"],
+        cpu_j=totals["cpu_energy_j"],
+        mem_j=totals["mem_energy_j"],
+        edp=totals["edp_js"],
+        fractions={
+            _NAME_TO_COMPONENT[name]: frac
+            for name, frac in breakdown["fractions"].items()
+        },
+        jvm_fraction=breakdown["jvm_fraction"],
+        mem_ratio=breakdown["mem_to_cpu_ratio"],
+        avg_power={c: s["avg_power_w"] for c, s in comps.items()},
+        peak_power={c: s["peak_power_w"] for c, s in comps.items()},
+        ipc={c: s["ipc"] for c, s in comps.items()},
+        l2_miss={c: s["l2_miss_rate"] for c, s in comps.items()},
+        gc_collections=payload["gc"]["collections"],
+    )
 
-    def __init__(self):
+
+def cell(benchmark, vm="jikes", platform="p6", collector=None,
+         heap_mb=64, input_scale=1.0, seed=SEED):
+    """One figure-grid cell as an :class:`ExperimentConfig`."""
+    return ExperimentConfig(
+        benchmark=benchmark, vm=vm, platform=platform,
+        collector=collector, heap_mb=heap_mb,
+        input_scale=input_scale, seed=seed,
+    )
+
+
+class ExperimentCache:
+    """Runs experiments at most once per configuration.
+
+    Cells execute through the campaign runner: batched lookups
+    (:meth:`get_many`) run all missing cells in one parallel campaign;
+    the on-disk cell cache persists results across pytest sessions.
+    """
+
+    def __init__(self, workers=WORKERS, cache_dir=CACHE_DIR):
         self._records = {}
+        self._runner = CampaignRunner(
+            workers=workers, cache_dir=cache_dir, retries=1,
+        )
+
+    def get_many(self, configs):
+        """BenchRecords for *configs* (an ExperimentConfig iterable),
+        returned as ``{config: record}``; missing cells run as one
+        campaign."""
+        configs = list(configs)
+        missing = [
+            c for c in dict.fromkeys(configs) if c not in self._records
+        ]
+        if missing:
+            outcome = self._runner.run(missing)
+            for cell_result in outcome.cells:
+                if not cell_result.ok:
+                    raise RuntimeError(
+                        "campaign cell failed for "
+                        f"{cell_result.config}: "
+                        f"[{cell_result.error_type}] {cell_result.error}"
+                    )
+                self._records[cell_result.config] = record_from_payload(
+                    cell_result.payload
+                )
+        return {c: self._records[c] for c in configs}
 
     def get(self, benchmark, vm="jikes", platform="p6",
             collector=None, heap_mb=64, input_scale=1.0, seed=SEED):
-        key = (benchmark, vm, platform, collector, heap_mb,
-               input_scale, seed)
-        if key not in self._records:
-            try:
-                result = run_experiment(
-                    benchmark, vm=vm, platform=platform,
-                    collector=collector, heap_mb=heap_mb,
-                    input_scale=input_scale, seed=seed,
-                )
-                self._records[key] = summarize(result)
-            except OutOfMemoryError:
-                self._records[key] = BenchRecord(
-                    benchmark=benchmark, vm=vm, platform=platform,
-                    collector=collector or "?", heap_mb=heap_mb,
-                    oom=True,
-                )
-        return self._records[key]
+        config = cell(
+            benchmark, vm=vm, platform=platform, collector=collector,
+            heap_mb=heap_mb, input_scale=input_scale, seed=seed,
+        )
+        return self.get_many([config])[config]
 
     def __len__(self):
         return len(self._records)

@@ -8,7 +8,6 @@ GenCopy keeps its generational advantage; at the calibrated ~1.5 %
 overhead (and beyond) SemiSpace wins at large heaps.
 """
 
-import pytest
 
 from benchmarks.common import emit
 from benchmarks.conftest import once
@@ -79,7 +78,7 @@ def test_ablation_write_barrier(benchmark):
     ss_edp, rows = once(benchmark, build)
 
     lines = [
-        f"Ablation: GenCopy write-barrier overhead "
+        "Ablation: GenCopy write-barrier overhead "
         f"(_209_db @ {HEAP_MB} MB, 0.6 input)",
         "",
         f"SemiSpace EDP: {ss_edp:.1f} Js",

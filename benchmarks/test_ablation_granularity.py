@@ -9,7 +9,6 @@ GC energy share and run time move only marginally.
 
 from dataclasses import replace
 
-import pytest
 
 from benchmarks.common import emit
 from benchmarks.conftest import once

@@ -10,8 +10,6 @@ shows the classic GC trade-off the default sits on top of:
   full-heap collections at small total heaps.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.common import emit
 from benchmarks.conftest import once
@@ -64,7 +62,7 @@ def test_ablation_nursery(benchmark):
 
     lines = [
         f"Ablation: GenCopy nursery size (javac, {HEAP_MB} MB heap, "
-        f"half input)",
+        "half input)",
         "",
         f"{'nursery':>8s} {'time s':>8s} {'minors':>7s} {'fulls':>6s} "
         f"{'copied MB':>10s} {'nepotism MB':>12s}",
@@ -84,7 +82,6 @@ def test_ablation_nursery(benchmark):
     )
     emit("ablation_nursery", "\n".join(lines))
 
-    by_nursery = {r["nursery_mb"]: r for r in rows}
     # Minor-collection count decreases monotonically with nursery size.
     minors = [r["minors"] for r in rows]
     assert minors == sorted(minors, reverse=True)

@@ -8,7 +8,6 @@ in the former and stay at full speed in the latter.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.common import emit
 from benchmarks.conftest import once

@@ -9,7 +9,6 @@ fixed heap, and the adaptive controller starting small.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.common import emit
 from benchmarks.conftest import once

@@ -9,7 +9,6 @@ execution time — and therefore several times the energy.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.common import emit
 from benchmarks.conftest import once

@@ -6,7 +6,6 @@ across others and across collectors — the generalization a deployable
 runtime estimator needs.
 """
 
-import pytest
 
 from benchmarks.common import emit
 from benchmarks.conftest import once

@@ -16,7 +16,6 @@ high-IPC, high-power phases — forcing those would heat the die, not
 cool it.
 """
 
-import pytest
 
 from benchmarks.common import emit
 from benchmarks.conftest import once

@@ -5,13 +5,12 @@ GC averages 37 % at 32 MB falling to 10 % at 128 MB on SpecJVM98, and
 32 % -> 11 % (48 -> 128 MB) on DaCapo.
 """
 
-import pytest
 
 from benchmarks.common import (
     ALL_BENCHMARKS,
     DACAPO,
-    JGF,
     SPECJVM98,
+    cell,
     emit,
     pct,
 )
@@ -30,13 +29,13 @@ def suite_of(name):
 
 
 def build(cache):
-    records = {}
-    for name in ALL_BENCHMARKS:
-        for heap in (SMALL_HEAP[suite_of(name)], 128):
-            records[(name, heap)] = cache.get(
-                name, collector="SemiSpace", heap_mb=heap
-            )
-    return records
+    wanted = {
+        (name, heap): cell(name, collector="SemiSpace", heap_mb=heap)
+        for name in ALL_BENCHMARKS
+        for heap in (SMALL_HEAP[suite_of(name)], 128)
+    }
+    by_config = cache.get_many(wanted.values())
+    return {key: by_config[cfg] for key, cfg in wanted.items()}
 
 
 def test_fig06_energy_decomposition(benchmark, cache):

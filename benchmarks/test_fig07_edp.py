@@ -7,12 +7,12 @@ size where the GC dominates ("quadratic effect").
 
 import math
 
-import pytest
 
 from benchmarks.common import (
     ALL_BENCHMARKS,
     DACAPO,
     JIKES_HEAPS,
+    cell,
     emit,
 )
 from benchmarks.conftest import once
@@ -28,14 +28,16 @@ def heaps_for(name):
 
 
 def build(cache):
-    grid = {}
-    for name in ALL_BENCHMARKS:
-        for collector in COLLECTORS:
-            for heap in heaps_for(name):
-                grid[(name, collector, heap)] = cache.get(
-                    name, collector=collector, heap_mb=heap
-                )
-    return grid
+    wanted = {
+        (name, collector, heap): cell(
+            name, collector=collector, heap_mb=heap
+        )
+        for name in ALL_BENCHMARKS
+        for collector in COLLECTORS
+        for heap in heaps_for(name)
+    }
+    by_config = cache.get_many(wanted.values())
+    return {key: by_config[cfg] for key, cfg in wanted.items()}
 
 
 def test_fig07_edp(benchmark, cache):
@@ -70,9 +72,6 @@ def test_fig07_edp(benchmark, cache):
     def edp(name, collector, heap):
         rec = grid[(name, collector, heap)]
         return math.inf if rec.oom else rec.edp
-
-    small = heaps_for("_213_javac")[0]
-    large = heaps_for("_213_javac")[-1]
 
     # 1. Generational collectors win at the smallest heap for the
     #    allocation-heavy benchmarks.

@@ -6,7 +6,6 @@ the *application* sets the peak power — `_209_db` excepted, where the
 GC peaks at 17.5 W.
 """
 
-import pytest
 
 from benchmarks.common import ALL_BENCHMARKS, emit
 from benchmarks.conftest import once

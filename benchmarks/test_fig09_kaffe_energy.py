@@ -5,9 +5,8 @@ averages about 7 %, the class loader 1 %, the JIT under 1 % — because
 Kaffe's slow JIT code stretches total runtime.
 """
 
-import pytest
 
-from benchmarks.common import ALL_BENCHMARKS, emit, pct
+from benchmarks.common import ALL_BENCHMARKS, cell, emit, pct
 from benchmarks.conftest import once
 from repro.jvm.components import Component
 
@@ -15,10 +14,12 @@ HEAP = 64
 
 
 def build(cache):
-    return {
-        name: cache.get(name, vm="kaffe", heap_mb=HEAP)
+    wanted = {
+        name: cell(name, vm="kaffe", heap_mb=HEAP)
         for name in ALL_BENCHMARKS
     }
+    by_config = cache.get_many(wanted.values())
+    return {name: by_config[cfg] for name, cfg in wanted.items()}
 
 
 def test_fig09_kaffe_energy(benchmark, cache):

@@ -6,20 +6,19 @@ such a small share of Kaffe's runtime that larger heaps barely help.
 
 import statistics
 
-import pytest
 
-from benchmarks.common import ALL_BENCHMARKS, JIKES_HEAPS, emit
+from benchmarks.common import ALL_BENCHMARKS, JIKES_HEAPS, cell, emit
 from benchmarks.conftest import once
 
 
 def build(cache):
-    grid = {}
-    for name in ALL_BENCHMARKS:
-        for heap in JIKES_HEAPS:
-            grid[(name, heap)] = cache.get(
-                name, vm="kaffe", heap_mb=heap
-            )
-    return grid
+    wanted = {
+        (name, heap): cell(name, vm="kaffe", heap_mb=heap)
+        for name in ALL_BENCHMARKS
+        for heap in JIKES_HEAPS
+    }
+    by_config = cache.get_many(wanted.values())
+    return {key: by_config[cfg] for key, cfg in wanted.items()}
 
 
 def test_fig10_kaffe_edp(benchmark, cache):

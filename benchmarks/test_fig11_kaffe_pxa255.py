@@ -6,7 +6,6 @@ The GC is the most power-hungry component (~270 mW, ~7 % above the
 application); the class loader draws the least power.
 """
 
-import pytest
 
 from benchmarks.common import PXA_HEAPS, emit, pct
 from benchmarks.conftest import once

@@ -7,7 +7,6 @@ per-component energy vs simulated ground truth as a function of the DAQ
 sampling period.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.common import emit
@@ -51,7 +50,7 @@ def test_sec4_methodology(benchmark):
         f"  port writes: {run.port_writes}, cycles: "
         f"{run.perturbation_cycles} "
         f"({100 * run.perturbation_cycles / run.timeline.total_cycles:.3f}"
-        f"% of the run)",
+        "% of the run)",
         "",
         "attribution error vs DAQ sampling period (energy credited to "
         "the wrong component):",

@@ -9,7 +9,6 @@
   (the "considerable energy benefits" of fewer collections).
 """
 
-import pytest
 
 from benchmarks.common import ALL_BENCHMARKS, DACAPO, emit, pct
 from benchmarks.conftest import once
@@ -43,13 +42,13 @@ def test_sec6a_energy_claims(benchmark, cache):
         "Section VI-A: compiler and class-loader energy",
         "",
         f"base compiler: avg {pct(sum(base.values()) / n)}% "
-        f"(paper: <1%)",
+        "(paper: <1%)",
         f"optimizing compiler: avg {pct(sum(opt.values()) / n)}% "
         f"(paper ~3%), max {pct(opt[opt_max])}% on {opt_max} "
-        f"(paper: 7% on _222_mpegaudio)",
+        "(paper: 7% on _222_mpegaudio)",
         f"class loader: avg {pct(sum(cl.values()) / n)}% "
         f"(paper ~3%), max {pct(cl[cl_max])}% on {cl_max} "
-        f"(paper: 24% on fop)",
+        "(paper: 24% on fop)",
     ]
     emit("sec6a_energy_claims", "\n".join(lines))
 

@@ -10,11 +10,9 @@ Paper numbers checked for shape:
   energy.
 """
 
-import pytest
 
 from benchmarks.common import DACAPO, JGF, SPECJVM98, emit
 from benchmarks.conftest import once
-from repro.jvm.components import Component
 
 
 def build(cache):
@@ -68,9 +66,9 @@ def test_sec6b_edp_claims(benchmark, cache):
         )
     lines += [
         "",
-        f"GenMS vs SemiSpace EDP @32 MB (javac): "
+        "GenMS vs SemiSpace EDP @32 MB (javac): "
         f"{100 * genms_gain:.1f}% better (paper: ~70%)",
-        f"_209_db @128 MB: SemiSpace beats GenCopy by "
+        "_209_db @128 MB: SemiSpace beats GenCopy by "
         f"{100 * db_gain:.1f}% (paper: ~5%)",
         "",
         "memory energy / CPU energy by suite "

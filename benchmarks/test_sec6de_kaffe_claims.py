@@ -61,13 +61,13 @@ def test_sec6de_kaffe_claims(benchmark, cache):
         "",
         "PXA255 component power (mW), averaged over the -s10 runs:",
         f"  GC  {1000 * gc_avg:6.0f}  (paper ~270, the most "
-        f"power-hungry component)",
+        "power-hungry component)",
         f"  App {1000 * app_avg:6.0f}  (paper: ~7% below the GC)",
         f"  CL  {1000 * cl_avg:6.0f}  (paper: the least power-hungry "
-        f"— fetch/data stalls)",
+        "— fetch/data stalls)",
         "",
         f"GC draws {100 * (gc_avg / app_avg - 1):.1f}% more power "
-        f"than the application on the PXA255",
+        "than the application on the PXA255",
     ]
     emit("sec6de_kaffe_claims", "\n".join(lines))
 

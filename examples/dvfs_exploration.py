@@ -22,7 +22,7 @@ FREQ_SCALES = (1.0, 0.85, 0.7, 0.55, 0.4)
 
 def main(benchmark="_227_mtrt"):
     print(f"DVFS ladder for {benchmark} (Jikes RVM, GenCopy, 64 MB, "
-          f"half input):\n")
+          "half input):\n")
     rows = []
     baseline = None
     for scale in FREQ_SCALES:
@@ -52,8 +52,8 @@ def main(benchmark="_227_mtrt"):
     best = min(rows, key=lambda r: r[4])
     print(
         f"\nLowest EDP at {best[1]:.2f} GHz: below that point the "
-        f"slowdown outweighs the energy saved (idle power and memory "
-        f"energy accrue with time)."
+        "slowdown outweighs the energy saved (idle power and memory "
+        "energy accrue with time)."
     )
 
 

@@ -43,8 +43,8 @@ def main(benchmark="_213_javac", fast=False):
     print(
         f"Growing the heap {heaps[0]} -> {heaps[1]} MB cuts "
         f"SemiSpace's EDP by {100 * drop:.0f}% (the paper's "
-        f"'quadratic effect': less GC time means less time AND less "
-        f"energy)"
+        "'quadratic effect': less GC time means less time AND less "
+        "energy)"
     )
 
     crossover = sweep.crossover_heap(
@@ -53,8 +53,8 @@ def main(benchmark="_213_javac", fast=False):
     if crossover is not None:
         print(
             f"SemiSpace comes within 8% of GenCopy at {crossover} MB "
-            f"— non-generational efficiency approaches generational "
-            f"as the heap grows (Section VI-B)"
+            "— non-generational efficiency approaches generational "
+            "as the heap grows (Section VI-B)"
         )
     else:
         print("SemiSpace never catches GenCopy on this ladder.")

@@ -32,7 +32,7 @@ def main():
     print(
         f"instrumentation: {run.port_writes} parallel-port writes, "
         f"{100 * pert:.3f}% of all cycles — the 'low-perturbation' "
-        f"claim, quantified\n"
+        "claim, quantified\n"
     )
 
     rows = []

@@ -42,8 +42,8 @@ def main(benchmark="_213_javac"):
     print(
         f"GC-dominated bins average {gc_w:.2f} W vs "
         f"{mutator_w:.2f} W for mutator bins: the collector is the "
-        f"low-power phase the paper proposes exploiting for thermal "
-        f"management."
+        "low-power phase the paper proposes exploiting for thermal "
+        "management."
     )
 
 

@@ -13,7 +13,6 @@ Run with::
 
 from repro import run_experiment
 from repro.core.report import render_stacked_bar, render_table
-from repro.jvm.components import Component
 
 
 def main():
@@ -57,9 +56,9 @@ def main():
         f"{gc.freed_bytes / 2**20:.0f} MB reclaimed"
     )
     print(
-        f"JVM services consumed "
+        "JVM services consumed "
         f"{100 * result.jvm_energy_fraction():.1f}% of CPU energy "
-        f"(paper: up to 60% for this configuration)"
+        "(paper: up to 60% for this configuration)"
     )
 
 

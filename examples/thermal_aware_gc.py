@@ -43,9 +43,9 @@ def main():
     app_power = profiles[Component.APP].avg_power_w
     gc_power = profiles[Component.GC].avg_power_w
     print(
-        f"Measured component power (javac, GenCopy): application "
+        "Measured component power (javac, GenCopy): application "
         f"{app_power:.2f} W, garbage collector {gc_power:.2f} W "
-        f"(the GC is the low-power component, Section VI-C)\n"
+        "(the GC is the low-power component, Section VI-C)\n"
     )
 
     start_c = 97.5  # hot die, fan failed, approaching the trip point
@@ -68,10 +68,10 @@ def main():
     if app_tripped and not gc_tripped:
         trip_t = next(t for t, _, thr in app_track if thr)
         print(
-            f"Running the application trips emergency throttling "
+            "Running the application trips emergency throttling "
             f"after {trip_t:.0f} s; scheduling collection work instead "
-            f"keeps the die below the trip point — GC-as-coolant "
-            f"works because collection is memory-stall-bound."
+            "keeps the die below the trip point — GC-as-coolant "
+            "works because collection is memory-stall-bound."
         )
     else:
         print("Both trajectories behave the same at these powers; "

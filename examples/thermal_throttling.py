@@ -70,9 +70,9 @@ def main(fast=False):
             - 1.0
         )
         print(
-            f"emergency throttling (50% duty cycle) stretched the "
+            "emergency throttling (50% duty cycle) stretched the "
             f"average repetition by {100 * stretch:.1f}% — the "
-            f"performance cost of the thermal response"
+            "performance cost of the thermal response"
         )
 
 

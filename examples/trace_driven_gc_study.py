@@ -74,7 +74,7 @@ def main(heap_mb=48):
     ))
     best = min(rows, key=lambda r: r[3])
     print(f"\nbest EDP: {best[0]} — on a byte-identical workload, "
-          f"so the gap is pure collector policy.")
+          "so the gap is pure collector policy.")
 
 
 if __name__ == "__main__":

@@ -111,7 +111,7 @@ def edp_claims():
         gen_drop = 1 - out[("GenCopy", 48)] / out[("GenCopy", 32)]
         genms_vs_ss = 1 - out[("GenMS", 32)] / out[("SemiSpace", 32)]
         print(f"  {name:12s} SS 32->48 drop {100*ss_drop:5.1f}% "
-              f"(paper: javac 56/mtrt 50/euler 27) | GenCopy drop "
+              "(paper: javac 56/mtrt 50/euler 27) | GenCopy drop "
               f"{100*gen_drop:5.1f}% (paper: 20/2/3) | GenMS vs SS @32 "
               f"{100*genms_vs_ss:5.1f}% (paper javac ~70)")
     # _209_db crossover at 128 MB.

@@ -1,0 +1,50 @@
+"""Campaign subsystem: parallel, cached experiment matrices.
+
+The paper's results come from a *matrix* of runs (benchmarks x VMs x
+platforms x heap sizes x collectors); this package turns a declarative
+:class:`CampaignConfig` into individual
+:class:`~repro.core.experiment.ExperimentConfig` cells, executes them on
+a process pool with per-cell timeout, bounded retry and graceful
+degradation, and memoizes each cell's summary in a content-addressed
+on-disk cache so repeated figure/benchmark runs only pay for new cells.
+
+Quickstart::
+
+    from repro.campaign import CampaignConfig, CampaignRunner
+
+    campaign = CampaignConfig(
+        benchmarks=("_202_jess", "_209_db"),
+        collectors=("SemiSpace", "GenCopy"),
+        heap_mbs=(32, 64),
+    )
+    outcome = CampaignRunner(workers=4, cache_dir=".repro-cache")
+    result = outcome.run(campaign)
+    print(result.summary.describe())
+"""
+
+from repro.campaign.cache import ResultCache, config_key
+from repro.campaign.grid import (
+    CampaignConfig,
+    derive_cell_seed,
+    expand_grid,
+)
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSummary,
+    CellResult,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSummary",
+    "CellResult",
+    "ResultCache",
+    "config_key",
+    "derive_cell_seed",
+    "expand_grid",
+    "run_campaign",
+]

@@ -1,0 +1,136 @@
+"""Content-addressed on-disk cache of per-cell results.
+
+Cells are keyed by a stable SHA-256 hash over the *complete*
+:class:`~repro.core.experiment.ExperimentConfig` plus a cache schema
+version: two configs that would simulate identically share a key, and
+any config field that affects the simulation changes it.  Entries are
+written atomically (tmp file + ``os.replace``) so concurrent campaign
+workers and interrupted runs can never leave a half-written cell
+behind.
+
+Invalidation rules: bump :data:`CACHE_VERSION` whenever the simulator's
+numeric behavior changes (the package version is also part of the key),
+or simply delete the cache directory — every entry is derivable by
+re-running its cell.
+"""
+
+import gzip
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+#: Bump when cached payloads become incompatible with current code.
+CACHE_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir():
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "campaign"
+
+
+def config_key(config):
+    """Stable content hash of an :class:`ExperimentConfig`.
+
+    The key covers every config field (sorted, canonical JSON) plus the
+    package version and cache schema version, so simulator upgrades
+    never resurface stale cells.
+    """
+    from repro import __version__
+
+    payload = {
+        "config": asdict(config),
+        "repro_version": __version__,
+        "cache_version": CACHE_VERSION,
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed map from experiment configs to cell payloads."""
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, config):
+        key = config_key(config)
+        return self.root / key[:2] / f"{key}.pkl.gz"
+
+    def get(self, config):
+        """Cached payload for *config*, or ``None``.
+
+        Unreadable/corrupt entries count as misses and are removed so
+        the campaign re-runs the cell instead of failing.
+        """
+        path = self.path_for(config)
+        try:
+            with gzip.open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, EOFError, pickle.UnpicklingError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, config, payload):
+        """Store *payload* for *config* atomically."""
+        path = self.path_for(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                with gzip.open(raw, "wb") as handle:
+                    pickle.dump(payload, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, config):
+        return self.path_for(config).exists()
+
+    def __len__(self):
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl.gz"))
+
+    @property
+    def hit_rate(self):
+        """Fraction of lookups served from disk this session."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self):
+        """Delete every cached cell under this root."""
+        removed = 0
+        if self.root.exists():
+            for entry in self.root.glob("*/*.pkl.gz"):
+                entry.unlink()
+                removed += 1
+        return removed

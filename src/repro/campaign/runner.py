@@ -1,0 +1,395 @@
+"""Multiprocess campaign executor with caching and graceful degradation.
+
+The runner takes the expanded cell list and drives it to completion:
+
+* cells whose payload is already in the on-disk cache are served
+  without simulating anything;
+* the rest run on a ``concurrent.futures.ProcessPoolExecutor`` (or
+  in-process when ``workers <= 1``), each under a per-cell wall-clock
+  budget enforced *inside* the worker with an interval timer, with a
+  bounded number of retries;
+* a cell that still fails records a structured error entry and the
+  campaign continues — one poisoned configuration cannot abort a
+  thousand-cell matrix;
+* per-cell wall time, cache hit rate and worker throughput are folded
+  into a machine-readable :class:`CampaignSummary`.
+
+Determinism: a cell's result depends only on its
+:class:`~repro.core.experiment.ExperimentConfig` (the simulator is
+seeded, and measurement RNGs derive from the cell seed), so the same
+campaign produces bit-identical per-cell payloads whether it runs
+serially, on two workers, or from cache.
+"""
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.grid import CampaignConfig
+from repro.errors import (
+    CampaignError,
+    CellTimeoutError,
+    OutOfMemoryError,
+)
+
+
+def _execute_cell(config, timeout_s):
+    """Worker entry point: run one cell, return a plain-dict outcome.
+
+    Everything that can go wrong is folded into the returned dict (no
+    exception ever crosses the process boundary), and simulated OOM is
+    a *legitimate* outcome — the paper's tables have OOM cells too.
+    """
+    from repro.core.experiment import Experiment
+    from repro.export import result_to_cell_dict
+
+    start = time.perf_counter()
+    timer_armed = False
+    if timeout_s and threading.current_thread() is threading.main_thread():
+        def _on_alarm(signum, frame):
+            raise CellTimeoutError(
+                f"cell exceeded its {timeout_s:.1f} s budget"
+            )
+
+        signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        timer_armed = True
+    try:
+        result = Experiment(config).run()
+        payload = result_to_cell_dict(result)
+        return {"ok": True, "payload": payload,
+                "wall_s": time.perf_counter() - start}
+    except OutOfMemoryError as exc:
+        payload = {
+            "schema": "repro-cell-v1",
+            "oom": True,
+            "config": {
+                "benchmark": config.benchmark,
+                "vm": config.vm,
+                "platform": config.platform,
+                "collector": config.collector,
+                "heap_mb": config.heap_mb,
+                "seed": config.seed,
+                "input_scale": config.input_scale,
+            },
+            "error": str(exc),
+        }
+        return {"ok": True, "payload": payload,
+                "wall_s": time.perf_counter() - start}
+    except BaseException as exc:  # noqa: BLE001 - reported, not hidden
+        return {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "traceback": traceback.format_exc(),
+            "wall_s": time.perf_counter() - start,
+        }
+    finally:
+        if timer_armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, signal.SIG_DFL)
+
+
+@dataclass
+class CellResult:
+    """Outcome of one campaign cell."""
+
+    config: object               # ExperimentConfig
+    ok: bool
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    attempts: int = 1
+    wall_s: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def oom(self):
+        return bool(self.payload and self.payload.get("oom"))
+
+
+@dataclass
+class CampaignSummary:
+    """Machine-readable campaign metrics."""
+
+    n_cells: int
+    n_ok: int
+    n_failed: int
+    n_cached: int
+    n_executed: int
+    wall_s: float
+    workers: int
+    cell_wall_s: dict = field(default_factory=dict)  # index -> seconds
+
+    @property
+    def cache_hit_rate(self):
+        return self.n_cached / self.n_cells if self.n_cells else 0.0
+
+    @property
+    def cells_per_second(self):
+        return self.n_cells / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self):
+        return {
+            "n_cells": self.n_cells,
+            "n_ok": self.n_ok,
+            "n_failed": self.n_failed,
+            "n_cached": self.n_cached,
+            "n_executed": self.n_executed,
+            "cache_hit_rate": self.cache_hit_rate,
+            "wall_s": self.wall_s,
+            "workers": self.workers,
+            "cells_per_second": self.cells_per_second,
+            "cell_wall_s": dict(self.cell_wall_s),
+        }
+
+    def describe(self):
+        return (
+            f"{self.n_cells} cells: {self.n_ok} ok, {self.n_failed} "
+            f"failed, {self.n_cached} from cache "
+            f"({100.0 * self.cache_hit_rate:.0f}% hit rate); "
+            f"{self.wall_s:.2f} s wall on {self.workers} worker(s) "
+            f"({self.cells_per_second:.1f} cells/s)"
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, in grid order."""
+
+    cells: list                  # [CellResult, ...]
+    summary: CampaignSummary
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def __len__(self):
+        return len(self.cells)
+
+    def ok_cells(self):
+        return [c for c in self.cells if c.ok]
+
+    def failed_cells(self):
+        return [c for c in self.cells if not c.ok]
+
+    def payloads(self):
+        """Successful payloads keyed by their cell's config."""
+        return {c.config: c.payload for c in self.cells if c.ok}
+
+    def as_dict(self):
+        """JSON-serializable campaign report."""
+        from dataclasses import asdict
+
+        return {
+            "schema": "repro-campaign-v1",
+            "summary": self.summary.as_dict(),
+            "cells": [
+                {
+                    "config": asdict(cell.config),
+                    "ok": cell.ok,
+                    "from_cache": cell.from_cache,
+                    "attempts": cell.attempts,
+                    "wall_s": cell.wall_s,
+                    "error": cell.error,
+                    "error_type": cell.error_type,
+                    "payload": cell.payload,
+                }
+                for cell in self.cells
+            ],
+        }
+
+
+class CampaignRunner:
+    """Executes campaigns: cache lookup, process pool, retry, metrics."""
+
+    def __init__(self, workers=1, cache_dir=None, timeout_s=None,
+                 retries=1, progress=None):
+        if workers < 1:
+            raise CampaignError("workers must be >= 1")
+        if retries < 0:
+            raise CampaignError("retries cannot be negative")
+        if timeout_s is not None and timeout_s <= 0:
+            raise CampaignError("timeout_s must be positive")
+        self.workers = int(workers)
+        self.cache = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        self.timeout_s = timeout_s
+        self.retries = int(retries)
+        self.progress = progress
+
+    # -- public API ---------------------------------------------------
+
+    def run(self, campaign):
+        """Run *campaign* (a :class:`CampaignConfig` or an explicit
+        sequence of :class:`ExperimentConfig` cells); returns a
+        :class:`CampaignResult` with one :class:`CellResult` per cell,
+        in grid order."""
+        if isinstance(campaign, CampaignConfig):
+            cells = campaign.cells()
+        else:
+            cells = list(campaign)
+            if not cells:
+                raise CampaignError("campaign has no cells")
+        start = time.perf_counter()
+        results = [None] * len(cells)
+
+        pending = []
+        for i, config in enumerate(cells):
+            cached = self.cache.get(config) if self.cache else None
+            if cached is not None:
+                results[i] = CellResult(
+                    config=config, ok=True, payload=cached,
+                    attempts=0, wall_s=0.0, from_cache=True,
+                )
+                self._report(i, len(cells), results[i])
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.workers == 1:
+                self._run_serial(cells, pending, results)
+            else:
+                self._run_pool(cells, pending, results)
+
+        wall = time.perf_counter() - start
+        n_ok = sum(1 for r in results if r.ok)
+        n_cached = sum(1 for r in results if r.from_cache)
+        summary = CampaignSummary(
+            n_cells=len(cells),
+            n_ok=n_ok,
+            n_failed=len(cells) - n_ok,
+            n_cached=n_cached,
+            n_executed=len(cells) - n_cached,
+            wall_s=wall,
+            workers=self.workers,
+            cell_wall_s={i: r.wall_s for i, r in enumerate(results)},
+        )
+        return CampaignResult(cells=results, summary=summary)
+
+    # -- execution backends -------------------------------------------
+
+    def _run_serial(self, cells, pending, results):
+        for i in pending:
+            outcome, attempts = None, 0
+            while attempts <= self.retries:
+                attempts += 1
+                outcome = _execute_cell(cells[i], self.timeout_s)
+                if outcome["ok"]:
+                    break
+            results[i] = self._finish_cell(cells[i], outcome, attempts)
+            self._report(i, len(cells), results[i])
+
+    def _run_pool(self, cells, pending, results):
+        attempts = {i: 0 for i in pending}
+        queue = list(pending)
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        futures = {}
+        try:
+            while queue or futures:
+                broken = False
+                while queue:
+                    i = queue.pop(0)
+                    attempts[i] += 1
+                    try:
+                        fut = pool.submit(
+                            _execute_cell, cells[i], self.timeout_s
+                        )
+                    except BrokenProcessPool:
+                        queue.insert(0, i)
+                        attempts[i] -= 1
+                        broken = True
+                        break
+                    futures[fut] = i
+                if futures and not broken:
+                    done, _ = wait(
+                        futures, return_when=FIRST_COMPLETED
+                    )
+                    for fut in done:
+                        i = futures.pop(fut)
+                        exc = fut.exception()
+                        if isinstance(exc, BrokenProcessPool):
+                            broken = True
+                            outcome = {
+                                "ok": False,
+                                "error": "worker process died",
+                                "error_type": "BrokenProcessPool",
+                                "wall_s": 0.0,
+                            }
+                        elif exc is not None:
+                            outcome = {
+                                "ok": False,
+                                "error": str(exc),
+                                "error_type": type(exc).__name__,
+                                "wall_s": 0.0,
+                            }
+                        else:
+                            outcome = fut.result()
+                        if (not outcome["ok"]
+                                and attempts[i] <= self.retries):
+                            queue.append(i)
+                            continue
+                        results[i] = self._finish_cell(
+                            cells[i], outcome, attempts[i]
+                        )
+                        self._report(i, len(cells), results[i])
+                if broken:
+                    # The pool died: every outstanding future fails the
+                    # same way.  Requeue cells with attempts left, fail
+                    # the rest, and start a fresh pool.
+                    for fut, i in list(futures.items()):
+                        if attempts[i] <= self.retries:
+                            queue.append(i)
+                        else:
+                            results[i] = CellResult(
+                                config=cells[i], ok=False,
+                                error="worker pool broke",
+                                error_type="BrokenProcessPool",
+                                attempts=attempts[i],
+                            )
+                            self._report(i, len(cells), results[i])
+                    futures.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=self.workers)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- bookkeeping --------------------------------------------------
+
+    def _finish_cell(self, config, outcome, attempts):
+        if outcome["ok"]:
+            if self.cache is not None:
+                self.cache.put(config, outcome["payload"])
+            return CellResult(
+                config=config, ok=True, payload=outcome["payload"],
+                attempts=attempts, wall_s=outcome["wall_s"],
+            )
+        return CellResult(
+            config=config, ok=False,
+            error=outcome.get("error"),
+            error_type=outcome.get("error_type"),
+            attempts=attempts, wall_s=outcome["wall_s"],
+        )
+
+    def _report(self, index, total, cell):
+        if self.progress is not None:
+            self.progress(index, total, cell)
+
+
+def run_campaign(campaign, workers=1, cache_dir=None, timeout_s=None,
+                 retries=1, progress=None):
+    """One-call convenience wrapper around :class:`CampaignRunner`."""
+    return CampaignRunner(
+        workers=workers, cache_dir=cache_dir, timeout_s=timeout_s,
+        retries=retries, progress=progress,
+    ).run(campaign)

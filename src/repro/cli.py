@@ -6,6 +6,8 @@ day to day::
     repro list                             # benchmarks and platforms
     repro run _213_javac --collector SemiSpace --heap 32
     repro sweep _213_javac --heaps 32 48 128
+    repro campaign --benchmarks _202_jess _209_db \
+        --collectors SemiSpace GenCopy --heaps 32 64 --workers 4
     repro thermal --fan-off --repetitions 40
     repro validate --periods 40 200 1000
     repro pauses _213_javac --heap 48
@@ -124,7 +126,7 @@ def cmd_thermal(args):
         f"{args.benchmark} x{args.repetitions}, fan "
         f"{'off' if args.fan_off else 'on'}: steady "
         f"{trace.steady_c:.1f} C, peak {trace.peak_c:.1f} C, "
-        f"99 C reached "
+        "99 C reached "
         f"{'never' if t99 is None else f'after {t99:.0f} s'}, "
         f"throttled: {trace.ever_throttled}"
     )
@@ -186,8 +188,83 @@ def cmd_export(args):
     return 0
 
 
+def cmd_campaign(args):
+    import json
+
+    from repro.campaign import CampaignConfig, CampaignRunner
+    from repro.campaign.cache import default_cache_dir
+
+    collectors = tuple(
+        None if c in ("default", "none") else c
+        for c in args.collectors
+    )
+    campaign = CampaignConfig(
+        benchmarks=tuple(args.benchmarks),
+        vms=tuple(args.vms),
+        platforms=tuple(args.platforms),
+        collectors=collectors,
+        heap_mbs=tuple(args.heaps),
+        seeds=tuple(args.seeds),
+        input_scale=args.input_scale,
+        derive_seeds=args.derive_seeds,
+    )
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or default_cache_dir()
+    )
+
+    def progress(index, total, cell):
+        cfg = cell.config
+        if cell.from_cache:
+            status = "cached"
+        elif cell.ok:
+            status = f"ok in {cell.wall_s:.2f} s"
+        else:
+            status = f"FAILED [{cell.error_type}] {cell.error}"
+        print(f"[{index + 1:>4d}/{total}] {cfg.benchmark} "
+              f"{cfg.vm}/{cfg.platform} "
+              f"{cfg.collector or 'default'} @ {cfg.heap_mb} MB "
+              f"seed {cfg.seed}: {status}")
+
+    runner = CampaignRunner(
+        workers=args.workers,
+        cache_dir=cache_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        progress=progress,
+    )
+    result = runner.run(campaign)
+    print()
+    print(result.summary.describe())
+    if cache_dir is not None:
+        print(f"cell cache: {cache_dir}")
+    rows = []
+    for cell in result.ok_cells():
+        if cell.oom:
+            continue
+        cfg = cell.config
+        totals = cell.payload["totals"]
+        rows.append([
+            cfg.benchmark, cfg.vm, cfg.platform,
+            cell.payload["config"]["collector"], cfg.heap_mb,
+            totals["duration_s"], totals["cpu_energy_j"],
+            totals["mem_energy_j"], totals["edp_js"],
+        ])
+    if rows:
+        print(render_table(
+            ["benchmark", "vm", "platform", "collector", "heap MB",
+             "time s", "CPU J", "mem J", "EDP Js"],
+            rows,
+        ))
+    if args.output:
+        path = args.output
+        with open(path, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2,
+                      sort_keys=True, default=str)
+        print(f"wrote {path} (machine-readable campaign report)")
+    return 1 if result.failed_cells() else 0
+
+
 def cmd_validate(args):
-    import numpy as np
 
     from repro.analysis.validation import attribution_error
     from repro.hardware.platform import make_platform
@@ -240,6 +317,45 @@ def build_parser():
         default=["SemiSpace", "MarkSweep", "GenCopy", "GenMS"],
     )
 
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run an experiment matrix in parallel with caching",
+    )
+    p_campaign.add_argument("--benchmarks", nargs="+", required=True)
+    p_campaign.add_argument("--vms", nargs="+", default=["jikes"],
+                            choices=("jikes", "kaffe"))
+    p_campaign.add_argument("--platforms", nargs="+", default=["p6"],
+                            choices=("p6", "pxa255"))
+    p_campaign.add_argument(
+        "--collectors", nargs="+", default=["default"],
+        help="collector names; 'default' uses each VM's default "
+             "(unsupported VM/collector pairs are skipped)",
+    )
+    p_campaign.add_argument("--heaps", type=int, nargs="+",
+                            default=[64])
+    p_campaign.add_argument("--seeds", type=int, nargs="+",
+                            default=[42])
+    p_campaign.add_argument("--input-scale", type=float, default=1.0)
+    p_campaign.add_argument(
+        "--derive-seeds", action="store_true",
+        help="derive a unique, stable seed per cell from each base seed",
+    )
+    p_campaign.add_argument("--workers", type=int, default=1,
+                            help="worker processes (1 = in-process)")
+    p_campaign.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk cell cache (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro/campaign)",
+    )
+    p_campaign.add_argument("--no-cache", action="store_true",
+                            help="disable the on-disk cell cache")
+    p_campaign.add_argument("--timeout", type=float, default=None,
+                            help="per-cell wall-clock budget in seconds")
+    p_campaign.add_argument("--retries", type=int, default=1,
+                            help="retries per failing cell")
+    p_campaign.add_argument("--output", default=None,
+                            help="write a JSON campaign report here")
+
     p_thermal = sub.add_parser("thermal",
                                help="Figure 1 thermal experiment")
     p_thermal.add_argument("--benchmark", default="_222_mpegaudio")
@@ -281,6 +397,7 @@ COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
     "sweep": cmd_sweep,
+    "campaign": cmd_campaign,
     "thermal": cmd_thermal,
     "validate": cmd_validate,
     "pauses": cmd_pauses,

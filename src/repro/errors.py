@@ -47,6 +47,14 @@ class UnknownCollectorError(ReproError, KeyError):
     """The requested garbage collector name is not supported by the VM."""
 
 
+class CampaignError(ReproError):
+    """A campaign was configured or driven incorrectly."""
+
+
+class CellTimeoutError(ReproError):
+    """A campaign cell exceeded its per-cell wall-clock budget."""
+
+
 class MeasurementError(ReproError):
     """The measurement infrastructure was used incorrectly (for example,
     reading a trace before any samples were acquired)."""

@@ -19,19 +19,22 @@ from repro.measurement.traces import PowerTrace
 
 
 def power_trace_to_csv(trace, path):
-    """Write a power trace as CSV: time_s, cpu_w, mem_w, component."""
+    """Write a power trace as CSV: time_s, cpu_w, mem_w, component,
+    window_s (the sample's integration window; only the final row may
+    differ from the sample period)."""
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["time_s", "cpu_power_w", "mem_power_w",
-                         "component"])
-        for t, cpu, mem, comp in zip(
+                         "component", "window_s"])
+        for t, cpu, mem, comp, win in zip(
             trace.times_s, trace.cpu_power_w, trace.mem_power_w,
-            trace.component,
+            trace.component, trace.window_s,
         ):
             writer.writerow([
                 f"{t:.9f}", f"{cpu:.6f}", f"{mem:.6f}",
                 Component.from_port_value(int(comp)).short_name,
+                f"{win:.9f}",
             ])
     return path
 
@@ -39,7 +42,7 @@ def power_trace_to_csv(trace, path):
 def power_trace_from_csv(path):
     """Load a power trace written by :func:`power_trace_to_csv`."""
     path = Path(path)
-    times, cpu, mem, comp = [], [], [], []
+    times, cpu, mem, comp, wins = [], [], [], [], []
     name_to_id = {c.short_name: int(c) for c in Component}
     with path.open() as handle:
         reader = csv.DictReader(handle)
@@ -48,6 +51,8 @@ def power_trace_from_csv(path):
             cpu.append(float(row["cpu_power_w"]))
             mem.append(float(row["mem_power_w"]))
             comp.append(name_to_id.get(row["component"], 0))
+            if "window_s" in row:
+                wins.append(float(row["window_s"]))
     if not times:
         raise MeasurementError(f"no samples in {path}")
     times = np.asarray(times)
@@ -58,6 +63,7 @@ def power_trace_from_csv(path):
         mem_power_w=np.asarray(mem),
         component=np.asarray(comp, dtype=np.int16),
         sample_period_s=period,
+        window_s=np.asarray(wins) if wins else None,
     )
 
 
@@ -106,6 +112,26 @@ def result_to_dict(result):
             "perturbation_cycles": result.run.perturbation_cycles,
         },
     }
+
+
+def result_to_cell_dict(result):
+    """Campaign-cell summary: :func:`result_to_dict` plus the breakdown.
+
+    This is the payload the campaign runner returns from workers and
+    memoizes on disk — everything the figure/benchmark drivers read from
+    an :class:`ExperimentResult`, at a tiny fraction of its size.
+    """
+    data = result_to_dict(result)
+    data["schema"] = "repro-cell-v1"
+    data["breakdown"] = {
+        "fractions": {
+            comp.short_name: result.breakdown.fraction(comp)
+            for comp in Component
+        },
+        "jvm_fraction": result.breakdown.jvm_fraction(),
+        "mem_to_cpu_ratio": result.breakdown.mem_to_cpu_ratio(),
+    }
+    return data
 
 
 def result_to_json(result, path):

@@ -61,9 +61,9 @@ class AdaptiveHeapVM(JikesRVM):
         collector = super()._make_collector(rng)
         if not collector.supports_growth:
             raise ConfigurationError(
-                f"adaptive sizing needs a growable collector "
+                "adaptive sizing needs a growable collector "
                 f"({collector.name} is not; use SemiSpace or "
-                f"MarkSweep)"
+                "MarkSweep)"
             )
         return collector
 

@@ -30,6 +30,11 @@ class ComponentIDPort:
     measurable.
     """
 
+    #: Value present on the register before any software write (all data
+    #: lines low at power-on).  Samplers attribute measurements taken
+    #: before the first latch update to this value.
+    idle_value = 0
+
     def __init__(self, name, width_bits, write_cost_cycles):
         if width_bits < 1:
             raise ConfigurationError("port width must be >= 1 bit")
@@ -39,7 +44,7 @@ class ComponentIDPort:
         self.width_bits = width_bits
         self.write_cost_cycles = int(write_cost_cycles)
         self._cycles = [0]
-        self._values = [0]
+        self._values = [self.idle_value]
 
     @property
     def max_value(self):
@@ -91,7 +96,7 @@ class ComponentIDPort:
 
     def reset(self):
         self._cycles = [0]
-        self._values = [0]
+        self._values = [self.idle_value]
 
 
 def parallel_port():

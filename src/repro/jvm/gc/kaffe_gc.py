@@ -17,7 +17,6 @@ RVM's MarkSweep and are modeled here:
   lost (modeled as extra gray insertions, i.e. extra trace work).
 """
 
-from repro.errors import SpaceExhausted
 from repro.jvm.gc.base import CollectionReport, Collector
 from repro.jvm.heap import FreeListAllocator
 from repro.jvm.objects import SPACE_DEFAULT, SimObject, trace_closure

@@ -9,7 +9,6 @@ mark-sweep competitive with the copying disciplines at large heaps — but
 the lack of compaction costs the mutator a little locality.
 """
 
-from repro.errors import SpaceExhausted
 from repro.jvm.gc.base import CollectionReport, Collector
 from repro.jvm.heap import FreeListAllocator
 from repro.jvm.objects import SPACE_DEFAULT, trace_closure

@@ -8,7 +8,6 @@ shows being punished at small heap sizes (Figure 7) and rewarded by
 compaction-improved mutator locality at large ones (`_209_db`).
 """
 
-from repro.errors import SpaceExhausted
 from repro.jvm.gc.base import CollectionReport, Collector
 from repro.jvm.heap import BumpAllocator
 from repro.jvm.objects import SPACE_DEFAULT, trace_closure

@@ -43,7 +43,7 @@ class InstrumentedScheduler:
     def __init__(self, platform, style="jikes", max_chunk_s=None):
         if style not in ("jikes", "kaffe"):
             raise ConfigurationError(
-                f"instrumentation style must be 'jikes' or 'kaffe', "
+                "instrumentation style must be 'jikes' or 'kaffe', "
                 f"got {style!r}"
             )
         self.platform = platform

@@ -51,13 +51,24 @@ class DAQ:
             port = self.platform.port
         arrays = timeline.to_arrays()
         duration = float(arrays.ends_s[-1])
-        n = int(duration / self.sample_period_s)
-        if n < 1:
+        period = self.sample_period_s
+        n_full = int(duration / period + 1e-9)
+        if n_full < 1:
             raise MeasurementError(
                 "run shorter than one DAQ sample period"
             )
-        times = (np.arange(n, dtype=np.float64) + 0.5) * \
-            self.sample_period_s
+        # Cover the whole run: full windows plus, when the duration is
+        # not an exact multiple of the period, one final partial window
+        # weighted by its actual width.  Without it up to a full sample
+        # window of tail energy is silently discarded.
+        tail_s = duration - n_full * period
+        if tail_s <= 1e-6 * period:
+            tail_s = 0.0
+        n = n_full + (1 if tail_s else 0)
+        window_s = np.full(n, period, dtype=np.float64)
+        if tail_s:
+            window_s[-1] = tail_s
+        times = np.cumsum(window_s) - 0.5 * window_s
 
         # Locate each sample's segment.
         seg = np.searchsorted(arrays.ends_s, times, side="right")
@@ -87,8 +98,13 @@ class DAQ:
         ).astype(np.int64)
         port_cycles, port_values = port.history_arrays()
         idx = np.searchsorted(port_cycles, cycles, side="right") - 1
-        idx = np.maximum(idx, 0)
-        component = port_values[idx]
+        # Samples taken before the first latch update belong to the
+        # port's power-on/idle value, not to whichever component happened
+        # to be latched first.
+        idle = np.int16(getattr(port, "idle_value", 0))
+        component = np.where(
+            idx >= 0, port_values[np.maximum(idx, 0)], idle
+        ).astype(np.int16)
 
         return PowerTrace(
             times_s=times,
@@ -96,4 +112,5 @@ class DAQ:
             mem_power_w=mem,
             component=component,
             sample_period_s=self.sample_period_s,
+            window_s=window_s,
         )

@@ -73,8 +73,11 @@ class HPMSampler:
         port_cycles, port_values = port.history_arrays()
         idx = np.searchsorted(port_cycles, cycles_at_tick,
                               side="right") - 1
-        idx = np.maximum(idx, 0)
-        component = port_values[idx]
+        # Ticks before the first latch update see the port's idle value.
+        idle = np.int16(getattr(port, "idle_value", 0))
+        component = np.where(
+            idx >= 0, port_values[np.maximum(idx, 0)], idle
+        ).astype(np.int16)
 
         # Attribute each inter-tick delta to the component at the tick's
         # *end* (the handler sees who is running when the timer fires).

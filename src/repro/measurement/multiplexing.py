@@ -48,7 +48,7 @@ class MultiplexedHPMSampler:
             if len(group) > width:
                 raise MeasurementError(
                     f"group {group} exceeds the PMU's {width} "
-                    f"programmable counters"
+                    "programmable counters"
                 )
         self.platform = platform
         self.rotation = tuple(tuple(g) for g in rotation)

@@ -20,17 +20,33 @@ from repro.errors import MeasurementError
 
 @dataclass
 class PowerTrace:
-    """DAQ output: sampled power channels + component attribution."""
+    """DAQ output: sampled power channels + component attribution.
+
+    ``window_s`` carries each sample's integration window.  All windows
+    span one ``sample_period_s`` except possibly the last: when the run
+    is not an exact multiple of the period the DAQ closes the trace with
+    a final partial window so no tail energy is lost.
+    """
 
     times_s: np.ndarray
     cpu_power_w: np.ndarray
     mem_power_w: np.ndarray
     component: np.ndarray
     sample_period_s: float
+    window_s: np.ndarray = None
 
     def __post_init__(self):
         if len(self.times_s) == 0:
             raise MeasurementError("empty power trace")
+        if self.window_s is None:
+            self.window_s = np.full(
+                len(self.times_s), self.sample_period_s,
+                dtype=np.float64,
+            )
+        elif len(self.window_s) != len(self.times_s):
+            raise MeasurementError(
+                "window_s and times_s lengths disagree"
+            )
 
     @property
     def n_samples(self):
@@ -38,7 +54,7 @@ class PowerTrace:
 
     @property
     def duration_s(self):
-        return self.n_samples * self.sample_period_s
+        return float(self.window_s.sum())
 
     def components_present(self):
         """Distinct component IDs observed in the trace."""
@@ -48,11 +64,11 @@ class PowerTrace:
 
     def cpu_energy_j(self):
         """Total measured CPU energy (sum of P * dt)."""
-        return float(self.cpu_power_w.sum() * self.sample_period_s)
+        return float(np.dot(self.cpu_power_w, self.window_s))
 
     def mem_energy_j(self):
         """Total measured memory energy."""
-        return float(self.mem_power_w.sum() * self.sample_period_s)
+        return float(np.dot(self.mem_power_w, self.window_s))
 
     def component_cpu_energy_j(self):
         """Measured CPU energy attributed to each component ID."""
@@ -67,7 +83,7 @@ class PowerTrace:
         for cid in np.unique(self.component):
             mask = self.component == cid
             out[int(cid)] = float(
-                values[mask].sum() * self.sample_period_s
+                np.dot(values[mask], self.window_s[mask])
             )
         return out
 
@@ -102,7 +118,7 @@ class PowerTrace:
         out = {}
         for cid in np.unique(self.component):
             out[int(cid)] = float(
-                (self.component == cid).sum() * self.sample_period_s
+                self.window_s[self.component == cid].sum()
             )
         return out
 

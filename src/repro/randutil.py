@@ -6,7 +6,6 @@ pre-draws blocks of uniforms and hands them out one at a time, preserving
 determinism (the stream depends only on the seed and the draw order).
 """
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 

@@ -20,6 +20,7 @@ Keeping ground truth and measurement separate lets the test suite quantify
 attribution error, something the paper could only argue qualitatively.
 """
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -121,7 +122,12 @@ class ExecutionTimeline:
             raise TimelineError(f"clock_hz must be positive, got {clock_hz}")
         self.clock_hz = float(clock_hz)
         self._segments = []
-        self._total_s = 0.0
+        # Per-segment wall durations, captured once at append time.  Both
+        # duration_s and to_arrays() derive from this single list so the
+        # scalar total and the vectorized cumulative sum cannot drift
+        # apart over long timelines.
+        self._durations = []
+        self._total_s = None  # lazily recomputed fsum cache
 
     def __len__(self):
         return len(self._segments)
@@ -154,7 +160,8 @@ class ExecutionTimeline:
         if segment.cycles == 0:
             return  # zero-length segments carry no energy or time
         self._segments.append(segment)
-        self._total_s += segment.duration_s(self.clock_hz)
+        self._durations.append(segment.duration_s(self.clock_hz))
+        self._total_s = None
 
     @property
     def start_cycle(self):
@@ -170,7 +177,15 @@ class ExecutionTimeline:
 
     @property
     def duration_s(self):
-        """Total wall-clock duration covered by the timeline."""
+        """Total wall-clock duration covered by the timeline.
+
+        Computed as an exactly rounded sum (:func:`math.fsum`) over the
+        same per-segment durations that :meth:`to_arrays` accumulates,
+        so the two stay in agreement even for very long timelines where
+        naive incremental accumulation drifts.
+        """
+        if self._total_s is None:
+            self._total_s = math.fsum(self._durations)
         return self._total_s
 
     def component_cycles(self):
@@ -227,7 +242,6 @@ class ExecutionTimeline:
         components = np.empty(n, dtype=np.int16)
         cpu_power = np.empty(n, dtype=np.float64)
         mem_power = np.empty(n, dtype=np.float64)
-        durations = np.empty(n, dtype=np.float64)
         instructions = np.empty(n, dtype=np.int64)
         l2_accesses = np.empty(n, dtype=np.int64)
         l2_misses = np.empty(n, dtype=np.int64)
@@ -238,11 +252,11 @@ class ExecutionTimeline:
             components[i] = seg.component
             cpu_power[i] = seg.cpu_power_w
             mem_power[i] = seg.mem_power_w
-            durations[i] = seg.duration_s(self.clock_hz)
             instructions[i] = seg.instructions
             l2_accesses[i] = seg.l2_accesses
             l2_misses[i] = seg.l2_misses
             mem_accesses[i] = seg.mem_accesses
+        durations = np.asarray(self._durations, dtype=np.float64)
         ends_s = np.cumsum(durations)
         starts_s = ends_s - durations
         return TimelineArrays(
@@ -273,4 +287,12 @@ class ExecutionTimeline:
                 raise TimelineError("zero or negative length segment stored")
             if seg.wall_s is not None and seg.wall_s <= 0:
                 raise TimelineError("segment has non-positive wall time")
+        if self._segments:
+            cumulative = float(self.to_arrays().ends_s[-1])
+            if not math.isclose(self.duration_s, cumulative,
+                                rel_tol=1e-9, abs_tol=1e-12):
+                raise TimelineError(
+                    f"duration_s ({self.duration_s!r}) disagrees with the "
+                    f"cumulative segment sum ({cumulative!r})"
+                )
         return True

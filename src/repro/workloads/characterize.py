@@ -110,6 +110,6 @@ def render_profile(profile, spec=None):
     for nursery_mb, frac in profile.survival_by_nursery_mb.items():
         lines.append(
             f"    {nursery_mb:3d} MB nursery -> {100 * frac:5.1f}% "
-            f"of bytes promoted"
+            "of bytes promoted"
         )
     return "\n".join(lines)

@@ -4,7 +4,6 @@ Cross-checks the exact boundary-alignment algorithm against a brute
 force sliding-window evaluation on random pause layouts.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

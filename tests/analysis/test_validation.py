@@ -1,13 +1,11 @@
 """Tests for measurement-vs-ground-truth validation."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.validation import (
     AttributionReport,
     attribution_error,
 )
-from repro.core.experiment import run_experiment
 from repro.hardware.platform import make_platform
 from repro.jvm.components import Component
 from repro.jvm.vm import JikesRVM

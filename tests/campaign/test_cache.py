@@ -1,0 +1,97 @@
+"""Tests for the content-addressed campaign result cache."""
+
+import dataclasses
+import gzip
+
+from repro.campaign import ResultCache, config_key
+from repro import ExperimentConfig
+
+
+def cfg(**overrides):
+    base = dict(benchmark="_202_jess", vm="jikes", platform="p6",
+                heap_mb=64, seed=42)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestKey:
+    def test_key_is_stable(self):
+        assert config_key(cfg()) == config_key(cfg())
+
+    def test_key_depends_on_every_axis(self):
+        base = config_key(cfg())
+        assert config_key(cfg(benchmark="_209_db")) != base
+        assert config_key(cfg(heap_mb=32)) != base
+        assert config_key(cfg(seed=43)) != base
+        assert config_key(cfg(vm="kaffe")) != base
+
+    def test_key_is_hex_digest(self):
+        key = config_key(cfg())
+        assert len(key) == 64
+        int(key, 16)
+
+
+class TestCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"schema": "repro-cell-v1", "energy": 12.5}
+        cache.put(cfg(), payload)
+        assert cache.get(cfg()) == payload
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(cfg()) is None
+        assert cache.misses == 1
+
+    def test_hit_rate_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        cache.get(cfg())
+        cache.get(cfg(heap_mb=32))
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_contains_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cfg() not in cache
+        cache.put(cfg(), {"x": 1})
+        cache.put(cfg(heap_mb=32), {"x": 2})
+        assert cfg() in cache
+        assert len(cache) == 2
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        path = cache.path_for(cfg())
+        path.write_bytes(b"not a gzip pickle")
+        assert cache.get(cfg()) is None
+        assert not path.exists()  # corrupt entry evicted
+
+    def test_truncated_gzip_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        path = cache.path_for(cfg())
+        path.write_bytes(gzip.compress(b"\x80")[:-2])
+        assert cache.get(cfg()) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(cfg()) is None
+
+    def test_distinct_configs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"who": "a"})
+        cache.put(cfg(seed=43), {"who": "b"})
+        assert cache.get(cfg()) == {"who": "a"}
+        assert cache.get(cfg(seed=43)) == {"who": "b"}
+
+
+class TestConfigHashability:
+    def test_config_is_frozen_and_hashable(self):
+        assert dataclasses.fields(ExperimentConfig)
+        d = {cfg(): 1, cfg(heap_mb=32): 2}
+        assert d[cfg()] == 1

@@ -1,0 +1,62 @@
+"""Serialization round-trips for experiment results and cell payloads."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.export import result_to_cell_dict
+from repro.jvm.components import Component
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(benchmark="_202_jess", heap_mb=48,
+                              input_scale=0.1)
+    return Experiment(config).run()
+
+
+class TestPickleRoundTrip:
+    def test_experiment_result_survives_pickle(self, result):
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.config == result.config
+        assert clone.duration_s == result.duration_s
+        assert clone.cpu_energy_j == result.cpu_energy_j
+        assert clone.mem_energy_j == result.mem_energy_j
+        np.testing.assert_array_equal(
+            clone.power.cpu_power_w, result.power.cpu_power_w
+        )
+        np.testing.assert_array_equal(
+            clone.power.window_s, result.power.window_s
+        )
+        np.testing.assert_array_equal(
+            clone.power.component, result.power.component
+        )
+        for comp in Component:
+            assert clone.breakdown.fraction(comp) == \
+                result.breakdown.fraction(comp)
+
+    def test_pickle_is_deterministic_given_config(self, result):
+        config = ExperimentConfig(benchmark="_202_jess", heap_mb=48,
+                                  input_scale=0.1)
+        again = Experiment(config).run()
+        assert pickle.dumps(result_to_cell_dict(again)) == \
+            pickle.dumps(result_to_cell_dict(result))
+
+
+class TestCellDict:
+    def test_cell_dict_is_json_serializable(self, result):
+        payload = result_to_cell_dict(result)
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["schema"] == "repro-cell-v1"
+
+    def test_cell_dict_fractions_cover_components(self, result):
+        payload = result_to_cell_dict(result)
+        fractions = payload["breakdown"]["fractions"]
+        for comp in Component:
+            assert comp.short_name in fractions
+        assert payload["breakdown"]["jvm_fraction"] == \
+            result.breakdown.jvm_fraction()

@@ -7,7 +7,6 @@ suite fast; configuration-validation tests are cheap and local.
 import pytest
 
 from repro.core.experiment import (
-    Experiment,
     ExperimentConfig,
     run_experiment,
 )

@@ -1,6 +1,5 @@
 """Tests for the decomposition bar renderer and error formatting."""
 
-import pytest
 
 from repro.core.metrics import EnergyBreakdown
 from repro.core.report import render_energy_decomposition

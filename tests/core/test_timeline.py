@@ -121,3 +121,41 @@ class TestArrays:
         tl.append(seg(0, 100))
         tl.append(seg(100, 200))
         assert tl.validate()
+
+
+class TestDurationConsistency:
+    def test_duration_matches_vectorized_cumsum(self):
+        # duration_s and to_arrays() must derive from the same
+        # summation: for long timelines an independently accumulated
+        # scalar drifts away from the vectorized cumulative sum.
+        tl = ExecutionTimeline(CLOCK)
+        cycle = 0
+        for i in range(20_000):
+            # Irregular wall stamps exercise float accumulation.
+            wall = 1e-6 * (1.0 + 1e-7 * ((i * 2654435761) % 97))
+            tl.append(seg(cycle, cycle + 1000, wall=wall))
+            cycle += 1000
+        arrays = tl.to_arrays()
+        assert tl.duration_s == pytest.approx(
+            float(arrays.ends_s[-1]), rel=1e-12, abs=0.0
+        )
+        assert tl.validate()
+
+    def test_duration_is_exactly_rounded(self):
+        import math
+
+        tl = ExecutionTimeline(CLOCK)
+        walls = [0.1, 1e-9, 1e-9, 1e-9]
+        cycle = 0
+        for w in walls:
+            tl.append(seg(cycle, cycle + 100, wall=w))
+            cycle += 100
+        assert tl.duration_s == math.fsum(walls)
+
+    def test_duration_updates_after_append(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, 1000, wall=1e-3))
+        assert tl.duration_s == pytest.approx(1e-3)
+        tl.append(seg(1000, 2000, wall=2e-3))
+        assert tl.duration_s == pytest.approx(3e-3)
+        assert tl.validate()

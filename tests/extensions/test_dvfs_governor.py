@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.extensions.dvfs_governor import (
-    GovernedScheduler,
     MemoryBoundGovernor,
     governed_vm,
 )

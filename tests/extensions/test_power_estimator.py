@@ -5,14 +5,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.extensions.power_estimator import (
-    CounterPowerModel,
     evaluate_power_model,
     fit_power_model,
 )
 from repro.hardware.platform import make_platform
 from repro.jvm.vm import JikesRVM
 from repro.timeline import ExecutionTimeline, Segment
-from repro.workloads import get_benchmark
 
 from tests.conftest import make_tiny_spec
 

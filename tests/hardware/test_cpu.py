@@ -7,7 +7,6 @@ from repro.hardware.cpu import (
     CPU,
     CacheSpec,
     CPUSpec,
-    DVFSState,
     PENTIUM_M,
     PXA255,
 )

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError, MeasurementError
-from repro.hardware.hpm import CounterSnapshot, Event, PerformanceCounters
+from repro.hardware.hpm import Event, PerformanceCounters
 from repro.timeline import Segment
 
 

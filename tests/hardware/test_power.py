@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.hardware.cpu import CPU, DVFSState, PENTIUM_M, PXA255
+from repro.hardware.cpu import DVFSState, PENTIUM_M, PXA255
 from repro.hardware.power import CPUPowerModel
 
 

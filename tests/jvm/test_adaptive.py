@@ -1,7 +1,6 @@
 """Tests for the adaptive optimization system."""
 
 import numpy as np
-import pytest
 
 from repro.jvm.compiler.adaptive import (
     AdaptiveOptimizationSystem,

@@ -1,6 +1,5 @@
 """Tests for the dynamic class loader."""
 
-import pytest
 
 from repro.jvm.classloader import (
     ClassLoader,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, SpaceExhausted
+from repro.errors import ConfigurationError
 from repro.jvm.gc import make_collector
 from repro.units import MB
 

@@ -1,6 +1,5 @@
 """Tests for the component-ID vocabulary."""
 
-import pytest
 
 from repro.jvm.components import (
     Component,

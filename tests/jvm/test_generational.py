@@ -1,7 +1,6 @@
 """Tests for the generational collectors (GenCopy, GenMS)."""
 
 import numpy as np
-import pytest
 
 from repro.jvm.gc.generational import (
     GenCopy,

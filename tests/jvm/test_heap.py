@@ -116,7 +116,7 @@ class TestFreeListAllocator:
     def test_scavenge_failure_restores_free_lists(self):
         space = FreeListAllocator(16 * KB)
         a = space.allocate(3 * KB)
-        b = space.allocate(3 * KB)
+        space.allocate(3 * KB)
         space.free(a, 3 * KB)
         free_before = space.free_bytes
         with pytest.raises(SpaceExhausted):

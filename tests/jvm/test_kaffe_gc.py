@@ -1,7 +1,6 @@
 """Tests for Kaffe's incremental conservative tri-color collector."""
 
 import numpy as np
-import pytest
 
 from repro.jvm.gc.kaffe_gc import KaffeGC, TRICOLOR_OVERHEAD
 from repro.units import KB, MB

@@ -1,7 +1,6 @@
 """Tests for the MarkSweep collector."""
 
 import numpy as np
-import pytest
 
 from repro.jvm.gc.marksweep import MarkSweep
 from repro.units import KB, MB

@@ -1,6 +1,5 @@
 """Tests for simulated objects, the root registry, and tracing."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -1,8 +1,7 @@
 """Tests for the microarchitectural profile tables."""
 
-import pytest
 
-from repro.jvm.profiles import MicroProfile, profile_for, profile_keys
+from repro.jvm.profiles import profile_for, profile_keys
 
 
 class TestLookup:

@@ -1,7 +1,6 @@
 """Tests for the SemiSpace copying collector."""
 
 import numpy as np
-import pytest
 
 from repro.jvm.gc.semispace import SemiSpace
 from repro.units import KB, MB

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import MeasurementError
 from repro.hardware.ioport import ComponentIDPort
-from repro.hardware.platform import make_platform
 from repro.measurement.daq import DAQ
 from repro.timeline import ExecutionTimeline, Segment
 
@@ -113,3 +112,117 @@ class TestSampling:
         )
         trace = daq.acquire(timeline, port)
         assert trace.duration_s == pytest.approx(0.1, rel=0.01)
+
+
+class TestEdgeWindows:
+    """Regression tests for the tail-truncation DAQ bias."""
+
+    def test_tail_window_not_truncated(self, daq):
+        # A run of 1.99 sample windows: the old int() truncation
+        # dropped the whole second window, under-reading ~half the
+        # run's energy.
+        duration = 1.99 * 40e-6
+        timeline, port = synthetic_timeline([(0, duration, 10.0)])
+        trace = daq.acquire(timeline, port)
+        assert trace.n_samples == 2
+        assert trace.duration_s == pytest.approx(duration, rel=1e-9)
+        truth = timeline.cpu_energy_j()
+        assert trace.cpu_energy_j() == pytest.approx(truth, rel=0.02)
+
+    def test_exact_multiple_has_no_phantom_window(self, daq):
+        timeline, port = synthetic_timeline([(0, 0.1, 10.0)])
+        trace = daq.acquire(timeline, port)
+        assert trace.n_samples == int(round(0.1 / 40e-6))
+        assert trace.window_s[-1] == pytest.approx(40e-6)
+
+    def test_energy_converges_to_ground_truth(self, p6):
+        # As the sampling period shrinks, measured energy must
+        # converge onto the ground-truth timeline energy: no
+        # systematic tail bias remains, only the channel's (hidden)
+        # sub-percent gain error and shrinking sampling noise.
+        spans = [(0, 0.00432, 10.0), (1, 0.00311, 14.0),
+                 (0, 0.00501, 8.0)]
+        timeline, port = synthetic_timeline(spans)
+        truth = timeline.cpu_energy_j()
+        errors = []
+        for period in (1e-3, 1e-4, 1e-5):
+            daq = DAQ(p6, np.random.default_rng(1234),
+                      sample_period_s=period)
+            trace = daq.acquire(timeline, port)
+            errors.append(
+                abs(trace.cpu_energy_j() - truth) / truth
+            )
+            assert trace.duration_s == pytest.approx(
+                timeline.duration_s, rel=1e-9
+            )
+        assert errors[-1] < errors[0]
+        assert errors[-1] < 0.005
+        assert errors[-2] < 0.005
+
+    def test_duration_covers_whole_run(self, p6, rng):
+        # Durations that are not period multiples are fully covered.
+        daq = DAQ(p6, rng, sample_period_s=1e-3)
+        timeline, port = synthetic_timeline([(0, 0.0105, 10.0)])
+        trace = daq.acquire(timeline, port)
+        assert trace.n_samples == 11
+        assert trace.window_s[-1] == pytest.approx(0.5e-3)
+        assert trace.duration_s == pytest.approx(0.0105, rel=1e-9)
+
+
+class _DelayedLatchPort:
+    """Port stub whose latch history starts mid-run (no power-on
+    entry), as when instrumentation attaches after the VM starts."""
+
+    def __init__(self, first_cycle, value, idle_value):
+        self.idle_value = idle_value
+        self._cycles = [first_cycle]
+        self._values = [value]
+
+    def history_arrays(self):
+        return (
+            np.asarray(self._cycles, dtype=np.int64),
+            np.asarray(self._values, dtype=np.int16),
+        )
+
+
+class TestPreFirstLatch:
+    """Samples before the first latch belong to the idle value."""
+
+    def test_delayed_first_latch_attributed_to_idle(self, daq):
+        # 10 ms of run; the first (and only) port write lands at the
+        # 5 ms mark, latching component 5.  The first half must be
+        # attributed to the port's idle value (7), NOT to component 5.
+        timeline, _ = synthetic_timeline(
+            [(7, 0.005, 6.0), (5, 0.005, 12.0)]
+        )
+        port = _DelayedLatchPort(
+            first_cycle=int(0.005 * CLOCK), value=5, idle_value=7
+        )
+        trace = daq.acquire(timeline, port)
+        seconds = trace.component_seconds()
+        assert seconds.get(7, 0.0) == pytest.approx(
+            0.005, abs=2 * 40e-6
+        )
+        assert seconds.get(5, 0.0) == pytest.approx(
+            0.005, abs=2 * 40e-6
+        )
+
+    def test_power_on_entry_of_real_port(self, daq):
+        # A real ComponentIDPort latches its power-on idle value at
+        # cycle 0; a delayed first write leaves early samples on it.
+        timeline = ExecutionTimeline(CLOCK)
+        cycles = int(0.01 * CLOCK)
+        timeline.append(
+            Segment(start_cycle=0, end_cycle=cycles, component=0,
+                    cpu_power_w=10.0, wall_s=0.01)
+        )
+        port = ComponentIDPort("t", width_bits=8, write_cost_cycles=0)
+        port.write(cycles // 2, 3)
+        trace = daq.acquire(timeline, port)
+        seconds = trace.component_seconds()
+        assert seconds.get(port.idle_value, 0.0) == pytest.approx(
+            0.005, abs=2 * 40e-6
+        )
+        assert seconds.get(3, 0.0) == pytest.approx(
+            0.005, abs=2 * 40e-6
+        )

@@ -6,7 +6,6 @@ from repro.errors import MeasurementError
 from repro.jvm.components import Component
 from repro.measurement.hpm_sampler import HPMSampler
 from repro.measurement.multiplexing import (
-    DEFAULT_ROTATION,
     MultiplexedHPMSampler,
 )
 
@@ -51,7 +50,6 @@ class TestEstimates:
         # compare full vs multiplexed samplers on the same platform.
         platform = make_platform("p6")
         # Rebuild the port latch history from the timeline components.
-        cycle = 0
         for seg in timeline:
             platform.port.write(seg.start_cycle, seg.component)
         full = HPMSampler(platform).sample(timeline, platform.port)

@@ -1,9 +1,7 @@
 """Tests for the pauses/export CLI commands."""
 
 import json
-import os
 
-import pytest
 
 from repro.cli import main
 
@@ -39,7 +37,8 @@ class TestExportCommand:
 
         csv_text = (tmp_path / "exp.csv").read_text()
         header = csv_text.splitlines()[0]
-        assert header == "time_s,cpu_power_w,mem_power_w,component"
+        assert header == \
+            "time_s,cpu_power_w,mem_power_w,component,window_s"
         assert len(csv_text.splitlines()) > 1000
 
 

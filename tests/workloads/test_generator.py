@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.units import KB, MB
+from repro.units import MB
 from repro.workloads.generator import WorkloadRun
 
 from tests.conftest import make_tiny_spec

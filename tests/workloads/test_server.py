@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.experiment import run_experiment
-from repro.jvm.components import Component
 from repro.workloads import all_benchmarks, get_benchmark
 
 

@@ -7,7 +7,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.units import KB, MB
-from repro.workloads.spec import BenchmarkSpec, GCBurstSpec
 
 from tests.conftest import make_tiny_spec
 
