@@ -32,6 +32,7 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional
 
 from repro.campaign.cache import ResultCache
@@ -41,17 +42,28 @@ from repro.errors import (
     CellTimeoutError,
     OutOfMemoryError,
 )
+from repro.obs import NULL_OBS
 
 
-def _execute_cell(config, timeout_s):
+def _execute_cell(config, timeout_s, trace_path=None):
     """Worker entry point: run one cell, return a plain-dict outcome.
 
     Everything that can go wrong is folded into the returned dict (no
     exception ever crosses the process boundary), and simulated OOM is
     a *legitimate* outcome — the paper's tables have OOM cells too.
+
+    When ``trace_path`` is given the cell runs fully instrumented and
+    its Chrome trace (with embedded metrics) is written there by the
+    worker itself, so per-cell traces work under any worker count.
     """
     from repro.core.experiment import Experiment
     from repro.export import result_to_cell_dict
+
+    obs = None
+    if trace_path is not None:
+        from repro.obs import Observability
+
+        obs = Observability.create(trace=True, metrics=True)
 
     start = time.perf_counter()
     timer_armed = False
@@ -65,8 +77,12 @@ def _execute_cell(config, timeout_s):
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
         timer_armed = True
     try:
-        result = Experiment(config).run()
+        result = Experiment(config, obs=obs).run()
         payload = result_to_cell_dict(result)
+        if obs is not None:
+            from repro.obs.chrome import write_chrome_trace
+
+            write_chrome_trace(trace_path, obs.tracer, obs.metrics)
         return {"ok": True, "payload": payload,
                 "wall_s": time.perf_counter() - start}
     except OutOfMemoryError as exc:
@@ -120,7 +136,14 @@ class CellResult:
 
 @dataclass
 class CampaignSummary:
-    """Machine-readable campaign metrics."""
+    """Machine-readable campaign metrics.
+
+    Beyond the ok/failed/cached tallies, the summary now accounts for
+    the failure modes that used to be graceful but silent in aggregate:
+    retries spent (``n_retries`` extra attempts across ``n_retried``
+    cells), cells whose final outcome was a timeout (``n_timeouts``),
+    and per-cell wall-time statistics over the cells actually executed.
+    """
 
     n_cells: int
     n_ok: int
@@ -130,6 +153,9 @@ class CampaignSummary:
     wall_s: float
     workers: int
     cell_wall_s: dict = field(default_factory=dict)  # index -> seconds
+    n_retried: int = 0        # cells that needed more than one attempt
+    n_retries: int = 0        # extra attempts summed over those cells
+    n_timeouts: int = 0       # cells whose final outcome was a timeout
 
     @property
     def cache_hit_rate(self):
@@ -139,6 +165,19 @@ class CampaignSummary:
     def cells_per_second(self):
         return self.n_cells / self.wall_s if self.wall_s > 0 else 0.0
 
+    @property
+    def mean_cell_wall_s(self):
+        """Mean wall seconds over cells actually executed (not cached)."""
+        executed = [s for s in self.cell_wall_s.values() if s > 0]
+        if not executed:
+            return 0.0
+        return sum(executed) / len(executed)
+
+    @property
+    def max_cell_wall_s(self):
+        executed = [s for s in self.cell_wall_s.values() if s > 0]
+        return max(executed) if executed else 0.0
+
     def as_dict(self):
         return {
             "n_cells": self.n_cells,
@@ -147,20 +186,39 @@ class CampaignSummary:
             "n_cached": self.n_cached,
             "n_executed": self.n_executed,
             "cache_hit_rate": self.cache_hit_rate,
+            "n_retried": self.n_retried,
+            "n_retries": self.n_retries,
+            "n_timeouts": self.n_timeouts,
             "wall_s": self.wall_s,
             "workers": self.workers,
             "cells_per_second": self.cells_per_second,
+            "mean_cell_wall_s": self.mean_cell_wall_s,
+            "max_cell_wall_s": self.max_cell_wall_s,
             "cell_wall_s": dict(self.cell_wall_s),
         }
 
     def describe(self):
-        return (
+        text = (
             f"{self.n_cells} cells: {self.n_ok} ok, {self.n_failed} "
             f"failed, {self.n_cached} from cache "
             f"({100.0 * self.cache_hit_rate:.0f}% hit rate); "
             f"{self.wall_s:.2f} s wall on {self.workers} worker(s) "
             f"({self.cells_per_second:.1f} cells/s)"
         )
+        if self.n_executed:
+            text += (
+                f"; per-cell wall mean {self.mean_cell_wall_s:.2f} s, "
+                f"max {self.max_cell_wall_s:.2f} s"
+            )
+        if self.n_retries:
+            text += (
+                f"; {self.n_retries} retr"
+                f"{'y' if self.n_retries == 1 else 'ies'} across "
+                f"{self.n_retried} cell(s)"
+            )
+        if self.n_timeouts:
+            text += f"; {self.n_timeouts} timeout(s)"
+        return text
 
 
 @dataclass
@@ -213,7 +271,7 @@ class CampaignRunner:
     """Executes campaigns: cache lookup, process pool, retry, metrics."""
 
     def __init__(self, workers=1, cache_dir=None, timeout_s=None,
-                 retries=1, progress=None):
+                 retries=1, progress=None, obs=None, trace_dir=None):
         if workers < 1:
             raise CampaignError("workers must be >= 1")
         if retries < 0:
@@ -227,6 +285,13 @@ class CampaignRunner:
         self.timeout_s = timeout_s
         self.retries = int(retries)
         self.progress = progress
+        #: Campaign-level observability: wall-clock cell spans, cache
+        #: hit/miss/retry/timeout counters, a per-cell wall histogram.
+        self.obs = obs if obs is not None else NULL_OBS
+        #: When set, each executed cell writes a Chrome trace (with
+        #: embedded metrics) to ``trace_dir/cell-<index>.json`` from
+        #: inside its worker process.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
 
     # -- public API ---------------------------------------------------
 
@@ -241,30 +306,47 @@ class CampaignRunner:
             cells = list(campaign)
             if not cells:
                 raise CampaignError("campaign has no cells")
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+        log = self.obs.log
+        metrics = self.obs.metrics
+        log.info("campaign.start", n_cells=len(cells),
+                 workers=self.workers)
         start = time.perf_counter()
         results = [None] * len(cells)
 
-        pending = []
-        for i, config in enumerate(cells):
-            cached = self.cache.get(config) if self.cache else None
-            if cached is not None:
-                results[i] = CellResult(
-                    config=config, ok=True, payload=cached,
-                    attempts=0, wall_s=0.0, from_cache=True,
-                )
-                self._report(i, len(cells), results[i])
-            else:
-                pending.append(i)
+        with self.obs.tracer.wall_span("campaign", track="campaign",
+                                       n_cells=len(cells),
+                                       workers=self.workers):
+            pending = []
+            for i, config in enumerate(cells):
+                cached = self.cache.get(config) if self.cache else None
+                if cached is not None:
+                    metrics.counter("campaign.cache_hits").inc()
+                    results[i] = CellResult(
+                        config=config, ok=True, payload=cached,
+                        attempts=0, wall_s=0.0, from_cache=True,
+                    )
+                    self._report(i, len(cells), results[i])
+                else:
+                    if self.cache is not None:
+                        metrics.counter("campaign.cache_misses").inc()
+                    pending.append(i)
 
-        if pending:
-            if self.workers == 1:
-                self._run_serial(cells, pending, results)
-            else:
-                self._run_pool(cells, pending, results)
+            if pending:
+                if self.workers == 1:
+                    self._run_serial(cells, pending, results)
+                else:
+                    self._run_pool(cells, pending, results)
 
         wall = time.perf_counter() - start
         n_ok = sum(1 for r in results if r.ok)
         n_cached = sum(1 for r in results if r.from_cache)
+        retried = [r for r in results if r.attempts > 1]
+        n_timeouts = sum(
+            1 for r in results
+            if not r.ok and r.error_type == "CellTimeoutError"
+        )
         summary = CampaignSummary(
             n_cells=len(cells),
             n_ok=n_ok,
@@ -274,8 +356,25 @@ class CampaignRunner:
             wall_s=wall,
             workers=self.workers,
             cell_wall_s={i: r.wall_s for i, r in enumerate(results)},
+            n_retried=len(retried),
+            n_retries=sum(r.attempts - 1 for r in retried),
+            n_timeouts=n_timeouts,
         )
+        if metrics.enabled:
+            metrics.counter("campaign.cells").inc(len(cells))
+            metrics.counter("campaign.retries").inc(summary.n_retries)
+            metrics.counter("campaign.timeouts").inc(n_timeouts)
+            metrics.counter("campaign.failures").inc(summary.n_failed)
+        log.info("campaign.finish", **{
+            k: v for k, v in summary.as_dict().items()
+            if k != "cell_wall_s"
+        })
         return CampaignResult(cells=results, summary=summary)
+
+    def _cell_trace_path(self, index):
+        if self.trace_dir is None:
+            return None
+        return self.trace_dir / f"cell-{index:04d}.json"
 
     # -- execution backends -------------------------------------------
 
@@ -284,7 +383,8 @@ class CampaignRunner:
             outcome, attempts = None, 0
             while attempts <= self.retries:
                 attempts += 1
-                outcome = _execute_cell(cells[i], self.timeout_s)
+                outcome = _execute_cell(cells[i], self.timeout_s,
+                                        self._cell_trace_path(i))
                 if outcome["ok"]:
                     break
             results[i] = self._finish_cell(cells[i], outcome, attempts)
@@ -303,7 +403,8 @@ class CampaignRunner:
                     attempts[i] += 1
                     try:
                         fut = pool.submit(
-                            _execute_cell, cells[i], self.timeout_s
+                            _execute_cell, cells[i], self.timeout_s,
+                            self._cell_trace_path(i),
                         )
                     except BrokenProcessPool:
                         queue.insert(0, i)
@@ -370,16 +471,40 @@ class CampaignRunner:
         if outcome["ok"]:
             if self.cache is not None:
                 self.cache.put(config, outcome["payload"])
-            return CellResult(
+            cell = CellResult(
                 config=config, ok=True, payload=outcome["payload"],
                 attempts=attempts, wall_s=outcome["wall_s"],
             )
-        return CellResult(
-            config=config, ok=False,
-            error=outcome.get("error"),
-            error_type=outcome.get("error_type"),
-            attempts=attempts, wall_s=outcome["wall_s"],
+        else:
+            cell = CellResult(
+                config=config, ok=False,
+                error=outcome.get("error"),
+                error_type=outcome.get("error_type"),
+                attempts=attempts, wall_s=outcome["wall_s"],
+            )
+            self.obs.log.warning(
+                "campaign.cell_failed", benchmark=config.benchmark,
+                vm=config.vm, heap_mb=config.heap_mb,
+                error_type=cell.error_type, error=cell.error,
+                attempts=attempts,
+            )
+        self._observe_cell(cell)
+        return cell
+
+    def _observe_cell(self, cell):
+        """Wall span + wall-time histogram for one executed cell."""
+        self.obs.metrics.histogram("campaign.cell_wall_s").observe(
+            cell.wall_s
         )
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            cfg = cell.config
+            tracer.add_wall_span(
+                f"{cfg.benchmark} {cfg.vm}@{cfg.heap_mb}MB", "cells",
+                max(tracer.now_wall() - cell.wall_s, 0.0), cell.wall_s,
+                ok=cell.ok, attempts=cell.attempts,
+                error_type=cell.error_type,
+            )
 
     def _report(self, index, total, cell):
         if self.progress is not None:
@@ -387,9 +512,10 @@ class CampaignRunner:
 
 
 def run_campaign(campaign, workers=1, cache_dir=None, timeout_s=None,
-                 retries=1, progress=None):
+                 retries=1, progress=None, obs=None, trace_dir=None):
     """One-call convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(
         workers=workers, cache_dir=cache_dir, timeout_s=timeout_s,
-        retries=retries, progress=progress,
+        retries=retries, progress=progress, obs=obs,
+        trace_dir=trace_dir,
     ).run(campaign)

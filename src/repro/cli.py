@@ -5,14 +5,22 @@ day to day::
 
     repro list                             # benchmarks and platforms
     repro run _213_javac --collector SemiSpace --heap 32
+    repro run -b _202_jess --trace out.json --metrics
     repro sweep _213_javac --heaps 32 48 128
     repro campaign --benchmarks _202_jess _209_db \
         --collectors SemiSpace GenCopy --heaps 32 64 --workers 4
+    repro campaign --benchmarks _202_jess --trace-dir traces/
     repro thermal --fan-off --repetitions 40
     repro validate --periods 40 200 1000
     repro pauses _213_javac --heap 48
     repro workload _209_db
     repro export _202_jess --output results/jess
+    repro trace out.json                   # summarize a recorded trace
+
+The top-level ``--verbose``/``--quiet`` flags configure structured
+JSON-lines logging (to stderr) once, for every subcommand::
+
+    repro --verbose run _202_jess
 
 (Equivalently ``python -m repro ...``.)
 """
@@ -21,8 +29,14 @@ import argparse
 import sys
 
 from repro.core.experiment import run_experiment
-from repro.core.report import render_series, render_table
+from repro.core.report import (
+    render_perturbation,
+    render_series,
+    render_table,
+)
 from repro.jvm.components import Component
+from repro.obs import Observability
+from repro.obs import logging as obs_logging
 from repro.workloads import all_benchmarks
 
 
@@ -60,8 +74,17 @@ def cmd_list(args):
 
 
 def cmd_run(args):
+    benchmark = args.benchmark or args.bench
+    if benchmark is None:
+        print("repro run: name a benchmark (positionally or with -b)",
+              file=sys.stderr)
+        return 2
+    obs = Observability.create(
+        trace=bool(args.trace),
+        metrics=bool(args.trace) or args.metrics,
+    )
     result = run_experiment(
-        args.benchmark,
+        benchmark,
         vm=args.vm,
         platform=args.platform,
         collector=args.collector,
@@ -69,6 +92,7 @@ def cmd_run(args):
         seed=args.seed,
         input_scale=args.input_scale,
         dvfs_freq_scale=args.dvfs,
+        obs=obs,
     )
     print(result.summary())
     print()
@@ -89,10 +113,22 @@ def cmd_run(args):
          "peak W", "IPC", "L2 miss %"],
         rows,
     ))
+    print()
+    print(render_perturbation(result.perturbation))
+    if args.trace:
+        from repro.obs.chrome import write_chrome_trace
+
+        path = write_chrome_trace(args.trace, obs.tracer, obs.metrics)
+        print(f"wrote {path} ({len(obs.tracer.spans)} spans; open in "
+              "Perfetto or chrome://tracing, or run `repro trace`)")
+    if args.metrics:
+        print()
+        print(obs.metrics.render())
     return 0
 
 
 def cmd_sweep(args):
+    obs = Observability.create(trace=False, metrics=False)
     series = {}
     for collector in args.collectors:
         points = []
@@ -105,6 +141,7 @@ def cmd_sweep(args):
                 heap_mb=heap,
                 seed=args.seed,
                 input_scale=args.input_scale,
+                obs=obs,
             )
             points.append((heap, result.edp))
         series[collector] = points
@@ -153,7 +190,8 @@ def cmd_pauses(args):
 
     platform = make_platform(args.platform)
     vm = make_vm(args.vm, platform, collector=args.collector,
-                 heap_mb=args.heap, seed=args.seed)
+                 heap_mb=args.heap, seed=args.seed,
+                 obs=Observability.create(trace=False, metrics=False))
     run = vm.run(args.benchmark, input_scale=args.input_scale)
     stats = pause_stats(run.timeline)
     print(f"{args.benchmark} ({run.collector_name}, {args.heap} MB): "
@@ -180,6 +218,7 @@ def cmd_export(args):
         heap_mb=args.heap,
         seed=args.seed,
         input_scale=args.input_scale,
+        obs=Observability.create(trace=False, metrics=False),
     )
     json_path = result_to_json(result, args.output + ".json")
     csv_path = power_trace_to_csv(result.power, args.output + ".csv")
@@ -211,6 +250,8 @@ def cmd_campaign(args):
     cache_dir = None if args.no_cache else (
         args.cache_dir or default_cache_dir()
     )
+    tracing = bool(args.trace_dir)
+    obs = Observability.create(trace=tracing, metrics=tracing)
 
     def progress(index, total, cell):
         cfg = cell.config
@@ -231,12 +272,22 @@ def cmd_campaign(args):
         timeout_s=args.timeout,
         retries=args.retries,
         progress=progress,
+        obs=obs,
+        trace_dir=args.trace_dir,
     )
     result = runner.run(campaign)
     print()
     print(result.summary.describe())
     if cache_dir is not None:
         print(f"cell cache: {cache_dir}")
+    if args.trace_dir:
+        from repro.obs.chrome import write_chrome_trace
+
+        campaign_trace = write_chrome_trace(
+            f"{args.trace_dir}/campaign.json", obs.tracer, obs.metrics
+        )
+        print(f"wrote {campaign_trace} (campaign wall-clock trace) and "
+              f"per-cell traces under {args.trace_dir}/")
     rows = []
     for cell in result.ok_cells():
         if cell.oom:
@@ -272,7 +323,8 @@ def cmd_validate(args):
 
     platform = make_platform(args.platform)
     vm = make_vm(args.vm, platform, collector=args.collector,
-                 heap_mb=args.heap, seed=args.seed)
+                 heap_mb=args.heap, seed=args.seed,
+                 obs=Observability.create(trace=False, metrics=False))
     run = vm.run(args.benchmark, input_scale=args.input_scale)
     rows = []
     for period_us in args.periods:
@@ -291,18 +343,49 @@ def cmd_validate(args):
     return 0
 
 
+def cmd_trace(args):
+    from repro.errors import MeasurementError
+    from repro.obs.chrome import load_trace
+    from repro.obs.summary import render_trace_summary, summarize_trace
+
+    try:
+        events = load_trace(args.file)
+    except (OSError, MeasurementError) as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(events, top=args.top)
+    print(render_trace_summary(summary))
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="JVM energy/power characterization "
                     "(IISWC 2006 reproduction)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="structured JSON-lines logging at debug level (stderr)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress structured logging entirely",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmarks and platforms")
 
     p_run = sub.add_parser("run", help="run one experiment")
-    p_run.add_argument("benchmark")
+    p_run.add_argument("benchmark", nargs="?", default=None)
+    p_run.add_argument("-b", "--bench", default=None,
+                       help="benchmark name (alternative to the "
+                            "positional argument)")
+    p_run.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON of the "
+                            "run (open in Perfetto)")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="print the pipeline metrics registry")
     _add_experiment_args(p_run)
 
     p_sweep = sub.add_parser("sweep", help="EDP heap sweep")
@@ -355,6 +438,11 @@ def build_parser():
                             help="retries per failing cell")
     p_campaign.add_argument("--output", default=None,
                             help="write a JSON campaign report here")
+    p_campaign.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write Chrome traces here: campaign.json (wall-clock "
+             "cells) plus one sim-clock trace per executed cell",
+    )
 
     p_thermal = sub.add_parser("thermal",
                                help="Figure 1 thermal experiment")
@@ -390,6 +478,14 @@ def build_parser():
     p_workload.add_argument("benchmark")
     p_workload.add_argument("--seed", type=int, default=42)
 
+    p_trace = sub.add_parser(
+        "trace", help="summarize a recorded Chrome trace"
+    )
+    p_trace.add_argument("file", help="trace JSON written by "
+                                      "`repro run --trace`")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="spans to show per clock, by self-time")
+
     return parser
 
 
@@ -403,12 +499,23 @@ COMMANDS = {
     "pauses": cmd_pauses,
     "export": cmd_export,
     "workload": cmd_workload,
+    "trace": cmd_trace,
 }
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    obs_logging.configure(verbose=args.verbose, quiet=args.quiet)
+    try:
+        return COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; exit quietly
+        # with the shell's 128+SIGPIPE convention.  Redirect stdout to
+        # devnull first so the interpreter's final flush cannot raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -19,13 +19,14 @@ from typing import Optional
 import numpy as np
 
 from repro.core.decomposition import component_profiles, decompose
-from repro.core.metrics import edp
+from repro.core.metrics import edp, perturbation_report
 from repro.errors import ConfigurationError
 from repro.hardware.platform import make_platform
 from repro.jvm.components import Component
 from repro.jvm.vm import make_vm
 from repro.measurement.daq import DAQ
 from repro.measurement.hpm_sampler import HPMSampler
+from repro.obs import NULL_OBS
 from repro.units import DAQ_SAMPLE_PERIOD_S
 
 
@@ -89,6 +90,20 @@ class ExperimentResult:
         """Energy-delay product over CPU + memory energy."""
         return edp(self.total_energy_j, self.duration_s)
 
+    @property
+    def perturbation(self):
+        """The methodology's own cost (port-write instrumentation) as a
+        :class:`~repro.core.metrics.PerturbationReport` — the paper's
+        Section IV-C "perturbation of the measurement itself" number,
+        surfaced first-class instead of buried in timeline segments."""
+        report = getattr(self, "_perturbation", None)
+        if report is None:
+            report = perturbation_report(
+                self.run.timeline, self.run.port_writes
+            )
+            self._perturbation = report
+        return report
+
     def gc_energy_fraction(self):
         return self.breakdown.fraction(Component.GC)
 
@@ -116,46 +131,90 @@ class ExperimentResult:
 
 
 class Experiment:
-    """Runs one configured measurement end to end."""
+    """Runs one configured measurement end to end.
 
-    def __init__(self, config):
+    ``obs`` is an optional :class:`~repro.obs.Observability` bundle;
+    when given, the runner records wall-clock phase spans (setup, VM
+    execution, DAQ acquisition, HPM sampling, decomposition), the VM
+    and scheduler record simulated-clock spans, and the measurement
+    stages feed the metrics registry.  Instrumentation is write-only:
+    a traced run produces byte-identical results to an untraced one.
+    """
+
+    def __init__(self, config, obs=None):
         self.config = config
+        self.obs = obs if obs is not None else NULL_OBS
 
     def run(self):
         """Execute the experiment; returns an :class:`ExperimentResult`."""
         cfg = self.config
-        platform = make_platform(cfg.platform, fan_enabled=cfg.fan_enabled)
-        vm = make_vm(
-            cfg.vm,
-            platform,
-            collector=cfg.collector,
-            heap_mb=cfg.heap_mb,
-            seed=cfg.seed,
-            n_slices=cfg.n_slices,
-            dvfs_freq_scale=cfg.dvfs_freq_scale,
-        )
-        run = vm.run(
-            cfg.benchmark,
-            input_scale=cfg.input_scale,
-            warm=cfg.warmup,
-            repetitions=cfg.repetitions,
-        )
-        measurement_rng = np.random.default_rng(cfg.seed + 7919)
-        daq = DAQ(platform, measurement_rng,
-                  sample_period_s=cfg.daq_period_s)
-        power = daq.acquire(run.timeline)
-        perf = HPMSampler(platform).sample(run.timeline)
-        breakdown = decompose(power, cfg.vm)
-        return ExperimentResult(
+        obs = self.obs
+        if obs.enabled:
+            obs = obs.bind(
+                benchmark=cfg.benchmark, vm=cfg.vm,
+                platform=cfg.platform, seed=cfg.seed,
+            )
+        tracer = obs.tracer
+        obs.log.info("experiment.start", collector=cfg.collector,
+                     heap_mb=cfg.heap_mb)
+        with tracer.wall_span("experiment", benchmark=cfg.benchmark,
+                              vm=cfg.vm, platform=cfg.platform,
+                              seed=cfg.seed):
+            with tracer.wall_span("setup"):
+                platform = make_platform(cfg.platform,
+                                         fan_enabled=cfg.fan_enabled)
+                vm = make_vm(
+                    cfg.vm,
+                    platform,
+                    collector=cfg.collector,
+                    heap_mb=cfg.heap_mb,
+                    seed=cfg.seed,
+                    n_slices=cfg.n_slices,
+                    dvfs_freq_scale=cfg.dvfs_freq_scale,
+                    obs=obs,
+                )
+            # The paper's warm-up pass is modeled inside the VM run
+            # (``warm=`` pre-heats OS caches), so execution is a single
+            # phase here; see docs/OBSERVABILITY.md.
+            with tracer.wall_span("vm-run", warmup=cfg.warmup):
+                run = vm.run(
+                    cfg.benchmark,
+                    input_scale=cfg.input_scale,
+                    warm=cfg.warmup,
+                    repetitions=cfg.repetitions,
+                )
+            measurement_rng = np.random.default_rng(cfg.seed + 7919)
+            with tracer.wall_span("daq-acquire"):
+                daq = DAQ(platform, measurement_rng,
+                          sample_period_s=cfg.daq_period_s, obs=obs)
+                power = daq.acquire(run.timeline)
+            with tracer.wall_span("hpm-sample"):
+                perf = HPMSampler(platform, obs=obs).sample(run.timeline)
+            with tracer.wall_span("decompose"):
+                breakdown = decompose(power, cfg.vm)
+        result = ExperimentResult(
             config=cfg,
             run=run,
             power=power,
             perf=perf,
             breakdown=breakdown,
         )
+        if obs.metrics.enabled:
+            obs.metrics.counter("experiment.runs").inc()
+        if obs.log.enabled:
+            obs.log.info(
+                "experiment.finish",
+                duration_s=round(result.duration_s, 6),
+                cpu_energy_j=round(result.cpu_energy_j, 6),
+                mem_energy_j=round(result.mem_energy_j, 6),
+                perturbation_fraction=round(
+                    result.perturbation.energy_fraction, 6
+                ),
+            )
+        return result
 
 
-def run_experiment(benchmark, **kwargs):
+def run_experiment(benchmark, obs=None, **kwargs):
     """Convenience one-call API: build the config, run, return the result.
 
     Example::
@@ -163,6 +222,10 @@ def run_experiment(benchmark, **kwargs):
         result = run_experiment("_213_javac", collector="SemiSpace",
                                 heap_mb=32)
         print(result.summary())
+
+    ``obs`` (an :class:`~repro.obs.Observability` bundle) enables
+    tracing/metrics/logging for the run; every other keyword goes to
+    :class:`ExperimentConfig`.
     """
     config = ExperimentConfig(benchmark=benchmark, **kwargs)
-    return Experiment(config).run()
+    return Experiment(config, obs=obs).run()

@@ -21,6 +21,105 @@ def edp(energy_j, time_s):
     return energy_j * time_s
 
 
+@dataclass(frozen=True)
+class PerturbationReport:
+    """The methodology's own cost: port-write instrumentation overhead.
+
+    The paper charges every component-ID port write to the entered
+    component (Section IV-C), making the perturbation of the measurement
+    itself a measurable quantity.  This report surfaces that number as a
+    first-class result instead of leaving it buried in timeline
+    segments: how many writes, what they cost in instructions, cycles,
+    time, and energy, and what fraction of the whole run that is.
+    """
+
+    port_writes: int
+    instructions: int
+    cycles: int
+    seconds: float
+    cpu_energy_j: float
+    mem_energy_j: float
+    total_seconds: float
+    total_energy_j: float
+
+    @property
+    def energy_j(self):
+        return self.cpu_energy_j + self.mem_energy_j
+
+    @property
+    def energy_fraction(self):
+        """Share of the run's total (CPU + memory) energy."""
+        if self.total_energy_j <= 0:
+            return 0.0
+        return self.energy_j / self.total_energy_j
+
+    @property
+    def time_fraction(self):
+        """Share of the run's wall-clock duration."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.seconds / self.total_seconds
+
+    def describe(self):
+        """One-line human-readable summary."""
+        return (
+            f"{self.port_writes} port writes: "
+            f"{self.instructions} instructions, "
+            f"{1e3 * self.seconds:.3f} ms "
+            f"({100.0 * self.time_fraction:.3f}% of time), "
+            f"{1e3 * self.energy_j:.3f} mJ "
+            f"({100.0 * self.energy_fraction:.3f}% of energy)"
+        )
+
+    def as_dict(self):
+        return {
+            "port_writes": self.port_writes,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "cpu_energy_j": self.cpu_energy_j,
+            "mem_energy_j": self.mem_energy_j,
+            "energy_j": self.energy_j,
+            "energy_fraction": self.energy_fraction,
+            "time_fraction": self.time_fraction,
+        }
+
+
+def perturbation_report(timeline, port_writes):
+    """Fold a ground-truth timeline's port-write segments into a
+    :class:`PerturbationReport`.
+
+    ``port_writes`` is the scheduler's latch-update count; it can exceed
+    the number of perturbation *segments* on platforms whose port writes
+    cost zero cycles (none of the modeled boards, but the accounting
+    stays honest).
+    """
+    clock_hz = timeline.clock_hz
+    instructions = 0
+    cycles = 0
+    seconds = 0.0
+    cpu_j = 0.0
+    mem_j = 0.0
+    for seg in timeline:
+        if seg.tag != "port-write":
+            continue
+        instructions += seg.instructions
+        cycles += seg.cycles
+        seconds += seg.duration_s(clock_hz)
+        cpu_j += seg.cpu_energy_j(clock_hz)
+        mem_j += seg.mem_energy_j(clock_hz)
+    return PerturbationReport(
+        port_writes=port_writes,
+        instructions=instructions,
+        cycles=cycles,
+        seconds=seconds,
+        cpu_energy_j=cpu_j,
+        mem_energy_j=mem_j,
+        total_seconds=timeline.duration_s,
+        total_energy_j=timeline.cpu_energy_j() + timeline.mem_energy_j(),
+    )
+
+
 @dataclass
 class EnergyBreakdown:
     """Per-component energy decomposition of one run.

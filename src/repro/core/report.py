@@ -79,6 +79,19 @@ def render_series(series, x_label="x", y_fmt="{:.1f}"):
     return render_table(headers, rows)
 
 
+def render_perturbation(report):
+    """Render a :class:`~repro.core.metrics.PerturbationReport`.
+
+    This is the paper's Section IV-C number — what the measurement
+    methodology itself cost the measured run — printed alongside every
+    experiment so the cost of instrumentation is never invisible.
+    """
+    return (
+        "instrumentation perturbation (the methodology's own cost): "
+        + report.describe()
+    )
+
+
 def render_energy_decomposition(results, order=None, width=46):
     """Figure 6/9/11-style rendering: one stacked bar per benchmark.
 

@@ -110,6 +110,10 @@ def result_to_dict(result):
         "instrumentation": {
             "port_writes": result.run.port_writes,
             "perturbation_cycles": result.run.perturbation_cycles,
+            # The paper's own "cost of the methodology" number
+            # (Section IV-C), surfaced first-class: what the port-write
+            # instrumentation cost this run in time and energy.
+            "perturbation": result.perturbation.as_dict(),
         },
     }
 

@@ -24,6 +24,8 @@ everything that follows.
 
 from repro.errors import ConfigurationError
 from repro.jvm.components import Component
+from repro.obs import NULL_OBS
+from repro.obs.tracer import SimSpanOpen
 from repro.timeline import ExecutionTimeline, Segment
 
 #: Instructions attributed to one port write (the OUT plus marshalling).
@@ -40,7 +42,8 @@ class InstrumentedScheduler:
     #: coupling and measurement see at most ~50 ms of uniform behavior.
     DEFAULT_CHUNK_S = 0.05
 
-    def __init__(self, platform, style="jikes", max_chunk_s=None):
+    def __init__(self, platform, style="jikes", max_chunk_s=None,
+                 obs=None):
         if style not in ("jikes", "kaffe"):
             raise ConfigurationError(
                 "instrumentation style must be 'jikes' or 'kaffe', "
@@ -57,6 +60,17 @@ class InstrumentedScheduler:
             (max_chunk_s or self.DEFAULT_CHUNK_S) * platform.clock_hz
         )
         self.port_writes = 0
+        # -- observability (write-only; never feeds back into the sim) --
+        self.obs = obs if obs is not None else NULL_OBS
+        self._tracer = self.obs.tracer
+        #: Cheap running wall-time sum (one add per segment).  Tracing
+        #: and the VM's span hooks read simulated "now" from here instead
+        #: of ``timeline.duration_s``, whose exactly rounded fsum is
+        #: O(n) per call; the simulation itself never reads this value.
+        self._sim_now_s = 0.0
+        self._open_component = None   # SimSpanOpen for the current run
+        self._throttle_from = None    # sim time the throttle latched
+        self.throttle_episodes = 0
 
     @property
     def now_cycle(self):
@@ -66,6 +80,11 @@ class InstrumentedScheduler:
     def now_s(self):
         """Wall time elapsed so far."""
         return self.timeline.duration_s
+
+    @property
+    def sim_now_s(self):
+        """Cheap running simulated-time cursor (for tracing hooks)."""
+        return self._sim_now_s
 
     @property
     def current_component(self):
@@ -163,16 +182,84 @@ class InstrumentedScheduler:
         if seg.cycles > 0:
             self._cycle = seg.end_cycle
             self.platform.counters.record_segment(seg)
+            duration_s = seg.duration_s(self.timeline.clock_hz)
             # Thermal coupling: temperature integrates the power the
             # segment actually drew; the throttle latch feeds back into
             # the CPU's duty cycle for subsequent segments.
             thermal = self.platform.thermal
-            thermal.step(seg.cpu_power_w, seg.duration_s(
-                self.timeline.clock_hz), record=False)
+            thermal.step(seg.cpu_power_w, duration_s, record=False)
+            was_throttled = self.platform.cpu.throttled
             self.platform.cpu.throttled = thermal.throttled
+            start_s = self._sim_now_s
+            self._sim_now_s = start_s + duration_s
+            self._observe_segment(seg, start_s, was_throttled)
+
+    def _observe_segment(self, seg, start_s, was_throttled):
+        """Tracing hooks for one retired segment (write-only)."""
+        end_s = self._sim_now_s
+        throttled = self.platform.cpu.throttled
+        if throttled and not was_throttled:
+            self._throttle_from = end_s
+            self.throttle_episodes += 1
+        elif was_throttled and not throttled:
+            if self._tracer.enabled and self._throttle_from is not None:
+                self._tracer.add_sim_span(
+                    "thermal-throttle", "thermal",
+                    self._throttle_from, end_s,
+                )
+            self._throttle_from = None
+        if not self._tracer.enabled:
+            return
+        if seg.tag == "port-write":
+            self._tracer.add_sim_span(
+                "port-write", "perturbation", start_s, end_s,
+                component=Component.from_port_value(
+                    seg.component).short_name,
+            )
+        # Coalesce contiguous same-component segments (port-write
+        # perturbation is charged to the entered component, so it never
+        # breaks a run) into one span on the "components" track.
+        name = Component.from_port_value(seg.component).short_name
+        open_ = self._open_component
+        if open_ is None:
+            self._open_component = SimSpanOpen(
+                name=name, track="components", start_s=start_s,
+            )
+        elif open_.name != name:
+            open_.close(self._tracer, start_s)
+            self._open_component = SimSpanOpen(
+                name=name, track="components", start_s=start_s,
+            )
 
     def finish(self):
         """Final bookkeeping; returns the completed timeline."""
+        if self._tracer.enabled:
+            if self._open_component is not None:
+                self._open_component.close(self._tracer, self._sim_now_s)
+                self._open_component = None
+            if self._throttle_from is not None:
+                self._tracer.add_sim_span(
+                    "thermal-throttle", "thermal",
+                    self._throttle_from, self._sim_now_s,
+                )
+                self._throttle_from = None
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("scheduler.segments_emitted").inc(
+                len(self.timeline)
+            )
+            metrics.counter("scheduler.port_writes").inc(
+                self.port_writes
+            )
+            metrics.counter(
+                "scheduler.perturbation_instructions"
+            ).inc(self.port_writes * PORT_WRITE_INSTR)
+            metrics.counter(
+                "scheduler.perturbation_cycles"
+            ).inc(self.port_writes * self.platform.port.write_cost_cycles)
+            metrics.counter("scheduler.throttle_episodes").inc(
+                self.throttle_episodes
+            )
         return self.timeline
 
 

@@ -44,6 +44,7 @@ from repro.jvm.gc.cost import GCBurstProfile, GCCostModel
 from repro.jvm.objects import ReferenceFactory, RootSet
 from repro.jvm.profiles import profile_for
 from repro.jvm.scheduler import InstrumentedScheduler
+from repro.obs import NULL_OBS
 from repro.units import MB
 from repro.workloads import get_benchmark
 from repro.workloads.generator import WorkloadRun
@@ -126,7 +127,7 @@ class BaseVM:
 
     def __init__(self, platform, collector=None, heap_mb=64, seed=42,
                  n_slices=160, dvfs_freq_scale=None,
-                 initial_temperature_c=None):
+                 initial_temperature_c=None, obs=None):
         collector = collector or self.default_collector
         if collector not in self.supported_collectors:
             raise UnknownCollectorError(
@@ -151,6 +152,11 @@ class BaseVM:
         #: Optional warm-start die temperature (long-running servers
         #: operate at steady temperature, not at ambient).
         self.initial_temperature_c = initial_temperature_c
+        #: Observability bundle (null by default; see :mod:`repro.obs`).
+        #: Strictly write-only — spans and metrics never feed back into
+        #: the simulation, so a traced run is byte-identical to an
+        #: untraced one.
+        self.obs = obs if obs is not None else NULL_OBS
 
     # -- public API ----------------------------------------------------
 
@@ -211,13 +217,32 @@ class BaseVM:
                 self.platform.name, "app", **workload.spec.app_overrides
             ),
         )
+        tracer = self.obs.tracer
+        log = self.obs.log
+        log.info("vm.run.start", vm=self.name,
+                 benchmark=workload.spec.name,
+                 collector=self.collector_name, heap_mb=self.heap_mb,
+                 seed=self.seed)
         self._setup_compilers(state)
+        boot_from = sched.sim_now_s
         self._boot(state)
+        if tracer.enabled:
+            tracer.add_sim_span("boot", "vm", boot_from,
+                                sched.sim_now_s, vm=self.name)
         for rep in range(repetitions):
             if rep > 0 and idle_between_s > 0:
                 sched.idle(idle_between_s)
+            rep_from = sched.sim_now_s
             for sl in workload.slices:
                 self._run_slice(state, sl)
+            if tracer.enabled and repetitions > 1:
+                tracer.add_sim_span(f"repetition {rep}", "vm",
+                                    rep_from, sched.sim_now_s)
+        log.info("vm.run.finish", vm=self.name,
+                 benchmark=workload.spec.name,
+                 sim_duration_s=round(sched.sim_now_s, 6),
+                 collections=collector.stats.collections,
+                 port_writes=sched.port_writes)
         return RunResult(
             benchmark=workload.spec.name,
             vm_name=self.name,
@@ -253,7 +278,8 @@ class BaseVM:
     def _make_scheduler(self):
         """Build the run's instrumented scheduler.  Overridable for
         extensions that interpose on execution (e.g. DVFS governors)."""
-        return InstrumentedScheduler(self.platform, style=self.style)
+        return InstrumentedScheduler(self.platform, style=self.style,
+                                     obs=self.obs)
 
     def _setup_compilers(self, state):
         raise NotImplementedError
@@ -322,18 +348,44 @@ class BaseVM:
         try:
             reports = state.collector.collect(state.roots, state.now)
         except SpaceExhausted:
+            self.obs.log.warning(
+                "gc.out_of_memory", heap_bytes=self.heap_bytes,
+                live_bytes=state.roots.live_bytes(), request=size,
+            )
             raise OutOfMemoryError(
                 size, self.heap_bytes, state.roots.live_bytes()
             ) from None
+        pause_from = state.sched.sim_now_s
         for report in reports:
             for act in state.gc_cost.activities(report):
                 state.sched.execute(act)
+        self._observe_gc(state, reports, pause_from)
         try:
             return state.collector.allocate(size, state.now, death)
         except SpaceExhausted:
             raise OutOfMemoryError(
                 size, self.heap_bytes, state.roots.live_bytes()
             ) from None
+
+    def _observe_gc(self, state, reports, pause_from):
+        """Record one GC cycle (span + pause histogram + log)."""
+        obs = self.obs
+        if not (obs.tracer.enabled or obs.metrics.enabled
+                or obs.log.enabled) or not reports:
+            return
+        pause_s = state.sched.sim_now_s - pause_from
+        kind = reports[-1].kind
+        freed = sum(r.freed_bytes for r in reports)
+        if obs.tracer.enabled:
+            obs.tracer.add_sim_span(
+                "gc-cycle", "gc", pause_from, pause_from + pause_s,
+                kind=kind, collections=len(reports), freed_bytes=freed,
+            )
+        metrics = obs.metrics
+        metrics.counter("gc.cycles").inc()
+        metrics.histogram("gc.pause_s").observe(pause_s)
+        obs.log.debug("gc.cycle", kind=kind, pause_s=round(pause_s, 6),
+                      freed_bytes=freed)
 
     def _emit_app(self, state, sl, bytecodes):
         if bytecodes <= 0:
@@ -456,12 +508,21 @@ class JikesRVM(BaseVM):
         state.aos_mark_s = state.app_seconds
         n_samples = state.aos.take_samples(elapsed)
         state.aos.consider_recompilation()
+        tracer = self.obs.tracer
         job = state.aos.next_job()
         while job is not None:
             if job.level.quality > job.method.quality:
+                compile_from = state.sched.sim_now_s
                 state.sched.execute(
                     state.opt.compile(job.method, job.level)
                 )
+                if tracer.enabled:
+                    tracer.add_sim_span(
+                        "opt-compile", "compiler", compile_from,
+                        state.sched.sim_now_s,
+                        method=job.method.name, level=job.level.name,
+                    )
+                self.obs.metrics.counter("compiler.opt_compiles").inc()
             job = state.aos.next_job()
         self._run_controller_thread(state, n_samples)
 
@@ -547,7 +608,14 @@ class KaffeVM(BaseVM):
 
     def _compile_on_first_call(self, state, method):
         if self.mode == "jit":
+            compile_from = state.sched.sim_now_s
             state.sched.execute(state.jit.compile(method))
+            if self.obs.tracer.enabled:
+                self.obs.tracer.add_sim_span(
+                    "jit-compile", "compiler", compile_from,
+                    state.sched.sim_now_s, method=method.name,
+                )
+            self.obs.metrics.counter("compiler.jit_compiles").inc()
         else:
             # The interpreter executes bytecodes directly: no compile
             # activity, but dreadful code quality from then on.
@@ -565,7 +633,7 @@ VMS = {
 
 
 def make_vm(vm_name, platform, collector=None, heap_mb=64, seed=42,
-            n_slices=160, dvfs_freq_scale=None):
+            n_slices=160, dvfs_freq_scale=None, obs=None):
     """Instantiate a VM by name (``"jikes"`` or ``"kaffe"``)."""
     try:
         cls = VMS[vm_name.lower()]
@@ -574,4 +642,5 @@ def make_vm(vm_name, platform, collector=None, heap_mb=64, seed=42,
             f"unknown VM {vm_name!r}; expected one of {sorted(VMS)}"
         ) from None
     return cls(platform, collector=collector, heap_mb=heap_mb, seed=seed,
-               n_slices=n_slices, dvfs_freq_scale=dvfs_freq_scale)
+               n_slices=n_slices, dvfs_freq_scale=dvfs_freq_scale,
+               obs=obs)

@@ -25,18 +25,21 @@ import numpy as np
 from repro.errors import MeasurementError
 from repro.measurement.sense import channels_for
 from repro.measurement.traces import PowerTrace
+from repro.obs import NULL_OBS
 from repro.units import DAQ_SAMPLE_PERIOD_S
 
 
 class DAQ:
     """Samples power channels plus the component-ID register."""
 
-    def __init__(self, platform, rng, sample_period_s=DAQ_SAMPLE_PERIOD_S):
+    def __init__(self, platform, rng, sample_period_s=DAQ_SAMPLE_PERIOD_S,
+                 obs=None):
         if sample_period_s <= 0:
             raise MeasurementError("sample period must be positive")
         self.platform = platform
         self.sample_period_s = sample_period_s
         self.rng = rng
+        self.obs = obs if obs is not None else NULL_OBS
         self.cpu_channel, self.mem_channel = channels_for(
             platform.name, rng
         )
@@ -105,6 +108,20 @@ class DAQ:
         component = np.where(
             idx >= 0, port_values[np.maximum(idx, 0)], idle
         ).astype(np.int16)
+
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            attributed = int((idx >= 0).sum())
+            metrics.counter("daq.samples").inc(n)
+            metrics.counter("daq.samples_attributed").inc(attributed)
+            metrics.counter("daq.samples_pre_latch").inc(n - attributed)
+            if tail_s:
+                metrics.counter("daq.partial_tail_windows").inc()
+        self.obs.log.debug(
+            "daq.acquired", samples=n,
+            sample_period_us=round(1e6 * period, 3),
+            duration_s=round(duration, 6),
+        )
 
         return PowerTrace(
             times_s=times,

@@ -19,14 +19,16 @@ import numpy as np
 
 from repro.errors import MeasurementError
 from repro.measurement.traces import PerfTrace
+from repro.obs import NULL_OBS
 
 
 class HPMSampler:
     """Samples performance counters along a completed timeline."""
 
-    def __init__(self, platform, period_s=None):
+    def __init__(self, platform, period_s=None, obs=None):
         self.platform = platform
         self.period_s = period_s or platform.hpm_period_s
+        self.obs = obs if obs is not None else NULL_OBS
         if self.period_s <= 0:
             raise MeasurementError("HPM period must be positive")
 
@@ -89,6 +91,12 @@ class HPMSampler:
             "l2_accesses": {},
             "l2_misses": {},
         }
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("hpm.samples").inc(n)
+            metrics.counter("hpm.pre_latch_ticks").inc(
+                int((idx < 0).sum())
+            )
         for cid in np.unique(comp_of_delta):
             mask = comp_of_delta == cid
             key = int(cid)

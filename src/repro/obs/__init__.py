@@ -1,0 +1,114 @@
+"""Observability for the measurement pipeline itself.
+
+The paper's central discipline is that the measurement infrastructure
+quantifies its *own* perturbation (every port write is charged to the
+entered component, Section IV-C).  This package applies the same
+discipline to the reproduction: the pipeline that simulates, samples,
+and decomposes a run can itself be traced, metered, and logged.
+
+Three instruments, one bundle:
+
+* :class:`~repro.obs.tracer.Tracer` — span records on **two clocks**:
+  the *simulated* clock (JVM component segments, GC cycles, optimizing
+  compiles, thermal-throttle episodes) and the *wall* clock (experiment
+  phases, campaign cells).  Exportable to Chrome trace-event JSON
+  (:mod:`repro.obs.chrome`) where the two clocks render as separate
+  process rows in Perfetto.
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  histograms for pipeline health (segments emitted, port-write
+  perturbation, DAQ attribution, GC pauses, campaign cache behavior).
+* :mod:`repro.obs.logging` — structured JSON-lines logging with
+  run-scoped bound context.
+
+Everything is **zero-cost when disabled**: the default
+:data:`NULL_OBS` bundle carries null instruments whose methods are
+no-ops, and instrumented code guards any nontrivial bookkeeping behind
+``obs.tracer.enabled``.  Instrumentation never touches the simulation's
+RNG streams or timelines, so tracing a run cannot change its results —
+determinism is the point of the repro, and the test suite asserts
+tracer-on and tracer-off runs produce byte-identical metrics.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.obs.logging import JsonLogger, NullLogger, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.tracer import NullTracer, Span, Tracer
+
+
+@dataclass
+class Observability:
+    """One bundle of tracer + metrics + logger threaded through a run.
+
+    Build with :meth:`disabled` (the shared null bundle) or
+    :meth:`create` (live instruments); pass as the ``obs`` argument of
+    :class:`~repro.core.experiment.Experiment`,
+    :func:`~repro.jvm.vm.make_vm`, or
+    :class:`~repro.campaign.runner.CampaignRunner`.
+    """
+
+    tracer: object = field(default_factory=NullTracer)
+    metrics: object = field(default_factory=NullMetrics)
+    log: object = field(default_factory=NullLogger)
+
+    @property
+    def enabled(self):
+        """Whether any instrument in the bundle records anything."""
+        return (self.tracer.enabled or self.metrics.enabled
+                or self.log.enabled)
+
+    def bind(self, **context):
+        """A copy of the bundle whose logger carries extra context."""
+        return Observability(
+            tracer=self.tracer,
+            metrics=self.metrics,
+            log=self.log.bind(**context),
+        )
+
+    @classmethod
+    def disabled(cls):
+        """The shared, stateless null bundle (every method a no-op)."""
+        return NULL_OBS
+
+    @classmethod
+    def create(cls, trace=True, metrics=True, log=None):
+        """A live bundle: recording tracer and/or metrics registry.
+
+        ``log`` defaults to the process-wide logger configured by
+        :func:`repro.obs.logging.configure` (the CLI's
+        ``--verbose``/``--quiet`` flags set it up once, at the top).
+        """
+        return cls(
+            tracer=Tracer() if trace else NullTracer(),
+            metrics=MetricsRegistry() if metrics else NullMetrics(),
+            log=log if log is not None else get_logger(),
+        )
+
+
+#: Shared all-null bundle used wherever no ``obs`` was supplied.  The
+#: null instruments are stateless, so one instance serves everyone.
+NULL_OBS = Observability(
+    tracer=NullTracer(), metrics=NullMetrics(), log=NullLogger()
+)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLogger",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullLogger",
+    "NullMetrics",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,134 @@
+"""Chrome trace-event JSON export and import.
+
+The exporter emits the *JSON array format* of the Trace Event spec —
+the lowest common denominator that Perfetto, chrome://tracing, and
+speedscope all accept.  Every duration event carries the full required
+key set (``name``/``ph``/``ts``/``dur``/``pid``/``tid``), timestamps in
+microseconds.
+
+The tracer's two clocks map to two synthetic *processes* so their time
+bases are never conflated on one row:
+
+* pid 1 — "wall clock" (pipeline phases, campaign cells);
+* pid 2 — "simulated clock" (JVM components, GC cycles, throttling).
+
+Each (clock, track) pair becomes one numbered *thread* inside its
+process, labeled with ``thread_name`` metadata.  An optional metrics
+snapshot rides along as one ``repro_metrics`` metadata event, so a
+single trace file is a complete observability artifact.
+"""
+
+import json
+from pathlib import Path
+
+from repro.errors import MeasurementError
+from repro.obs.tracer import SIM_CLOCK, WALL_CLOCK
+
+#: Process IDs per clock (also the Perfetto row grouping).
+CLOCK_PIDS = {WALL_CLOCK: 1, SIM_CLOCK: 2}
+
+#: Human names attached via ``process_name`` metadata.
+CLOCK_LABELS = {WALL_CLOCK: "wall clock", SIM_CLOCK: "simulated clock"}
+
+
+def _us(seconds):
+    """Seconds -> microseconds, rounded to 3 decimals (ns precision)."""
+    return round(seconds * 1e6, 3)
+
+
+def to_chrome_events(tracer, metrics=None):
+    """Convert a tracer's record into a list of trace-event dicts.
+
+    Returns the plain event list (JSON array format).  ``metrics``, if
+    given, is embedded as one metadata event named ``repro_metrics``.
+    """
+    events = []
+    tids = {}  # (clock, track) -> tid
+
+    for clock, pid in CLOCK_PIDS.items():
+        events.append({
+            "name": "process_name", "ph": "M", "ts": 0, "pid": pid,
+            "tid": 0, "args": {"name": CLOCK_LABELS[clock]},
+        })
+
+    def tid_for(clock, track):
+        key = (clock, track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(
+                [k for k in tids if k[0] == clock]
+            ) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "ts": 0,
+                "pid": CLOCK_PIDS[clock], "tid": tid,
+                "args": {"name": track},
+            })
+        return tid
+
+    for span in tracer.spans:
+        event = {
+            "name": span.name,
+            "cat": span.track,
+            "ph": "X",
+            "ts": _us(span.start_s),
+            "dur": _us(span.dur_s),
+            "pid": CLOCK_PIDS[span.clock],
+            "tid": tid_for(span.clock, span.track),
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+
+    for inst in tracer.instants:
+        event = {
+            "name": inst.name,
+            "cat": inst.track,
+            "ph": "i",
+            "ts": _us(inst.at_s),
+            "pid": CLOCK_PIDS[inst.clock],
+            "tid": tid_for(inst.clock, inst.track),
+            "s": "t",
+        }
+        if inst.args:
+            event["args"] = inst.args
+        events.append(event)
+
+    if metrics is not None and getattr(metrics, "enabled", False):
+        events.append({
+            "name": "repro_metrics", "ph": "M", "ts": 0, "pid": 0,
+            "tid": 0, "args": metrics.as_dict(),
+        })
+    return events
+
+
+def write_chrome_trace(path, tracer, metrics=None):
+    """Write a tracer (plus optional metrics) as Chrome trace JSON."""
+    path = Path(path)
+    events = to_chrome_events(tracer, metrics=metrics)
+    path.write_text(json.dumps(events, indent=None,
+                               separators=(",", ":")))
+    return path
+
+
+def load_trace(path):
+    """Load a trace-event file; accepts the array and object formats.
+
+    Returns the event list.  Raises
+    :class:`~repro.errors.MeasurementError` for files that are valid
+    JSON but not a trace (so the CLI can fail with a useful message).
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise MeasurementError(
+            f"{path} is not valid JSON: {exc}"
+        ) from None
+    if isinstance(data, dict):
+        data = data.get("traceEvents")
+    if not isinstance(data, list):
+        raise MeasurementError(
+            f"{path} is not a Chrome trace (expected an event array "
+            "or an object with a 'traceEvents' key)"
+        )
+    return data

@@ -1,0 +1,267 @@
+"""Pipeline metrics: counters, gauges, and histograms.
+
+The registry holds named instruments created on first use::
+
+    metrics.counter("daq.samples_attributed").inc(n)
+    metrics.histogram("gc.pause_s").observe(pause)
+    metrics.gauge("campaign.workers").set(4)
+
+Instruments are deliberately tiny — plain Python, no locks (each worker
+process owns its registry; campaign-level aggregation happens in the
+parent) — and JSON-safe via :meth:`MetricsRegistry.as_dict`.
+
+:class:`NullMetrics` is the disabled registry: it hands out shared
+no-op instruments so instrumented code can call ``inc``/``observe``
+unconditionally without allocating or recording anything.
+"""
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: Histogram quantiles reported by ``as_dict``/``render``.
+HISTOGRAM_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n=1):
+        if n < 0:
+            raise ConfigurationError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up or down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+
+    def add(self, delta):
+        self.value += delta
+
+
+class Histogram:
+    """Sample distribution: count/sum/min/max/mean plus quantiles.
+
+    Samples are retained (pipeline cardinalities here are thousands,
+    not billions), so quantiles are exact.  The edge cases matter:
+    an empty histogram reports zeros and ``None`` bounds rather than
+    raising, and a single sample is its own min, max, mean, and every
+    quantile.
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self):
+        self._samples = []
+
+    def observe(self, value):
+        self._samples.append(float(value))
+
+    @property
+    def count(self):
+        return len(self._samples)
+
+    @property
+    def sum(self):
+        return math.fsum(self._samples)
+
+    @property
+    def min(self):
+        return min(self._samples) if self._samples else None
+
+    @property
+    def max(self):
+        return max(self._samples) if self._samples else None
+
+    @property
+    def mean(self):
+        if not self._samples:
+            return 0.0
+        return self.sum / len(self._samples)
+
+    def quantile(self, q):
+        """Exact q-quantile by linear interpolation; ``None`` if empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def as_dict(self):
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+        for q in HISTOGRAM_QUANTILES:
+            out[f"p{int(q * 100)}"] = self.quantile(q)
+        return out
+
+
+class NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    value = 0
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def add(self, delta):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def quantile(self, q):
+        return None
+
+    def as_dict(self):
+        return {}
+
+
+_NULL_INSTRUMENT = NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: hands out the shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name):
+        return _NULL_INSTRUMENT
+
+    def as_dict(self):
+        return {}
+
+    def merge(self, other):
+        pass
+
+
+class MetricsRegistry(NullMetrics):
+    """Live registry of named instruments, created on first use."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    def counter(self, name):
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name):
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name):
+        return self._get(self._histograms, name, Histogram)
+
+    @staticmethod
+    def _get(table, name, factory):
+        inst = table.get(name)
+        if inst is None:
+            inst = table[name] = factory()
+        return inst
+
+    def merge(self, other):
+        """Fold another registry's counters/histograms into this one.
+
+        Used by the campaign runner to aggregate per-cell registries
+        returned by worker processes.  Gauges take the other's value
+        (last write wins, same as a direct ``set``).
+        """
+        if not getattr(other, "enabled", False):
+            return
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            dest = self.histogram(name)
+            for sample in histogram._samples:
+                dest.observe(sample)
+
+    def as_dict(self):
+        """JSON-safe snapshot of every instrument, sorted by name."""
+        return {
+            "counters": {
+                name: c.value
+                for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.as_dict()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self):
+        """Aligned plain-text rendering for the CLI's ``--metrics``."""
+        from repro.core.report import render_table
+
+        blocks = []
+        if self._counters:
+            rows = [[name, c.value]
+                    for name, c in sorted(self._counters.items())]
+            blocks.append(render_table(["counter", "value"], rows))
+        if self._gauges:
+            rows = [[name, float(g.value)]
+                    for name, g in sorted(self._gauges.items())]
+            blocks.append(render_table(["gauge", "value"], rows,
+                                       float_fmt="{:.4g}"))
+        if self._histograms:
+            rows = []
+            for name, h in sorted(self._histograms.items()):
+                rows.append([
+                    name, h.count,
+                    float(h.mean),
+                    float(h.quantile(0.5) or 0.0),
+                    float(h.quantile(0.99) or 0.0),
+                    float(h.max or 0.0),
+                ])
+            blocks.append(render_table(
+                ["histogram", "n", "mean", "p50", "p99", "max"], rows,
+                float_fmt="{:.6g}",
+            ))
+        if not blocks:
+            return "(no metrics recorded)"
+        return "\n\n".join(blocks)

@@ -1,0 +1,170 @@
+"""Offline trace summarization (the ``repro trace`` subcommand).
+
+Answers the two questions a trace viewer is slow at: *where did the
+time go* (top spans by self-time, per clock) and *what did the
+methodology itself cost* (the port-write perturbation fraction on the
+simulated clock — the paper's own "cost of instrumentation" number,
+recovered from the trace alone).
+
+Self-time is total duration minus time covered by nested child spans
+on the same thread row, computed with the classic stack sweep over
+events sorted by start time.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.obs.chrome import CLOCK_PIDS
+from repro.obs.tracer import SIM_CLOCK, WALL_CLOCK
+
+#: Track name the scheduler uses for port-write perturbation spans.
+PERTURBATION_TRACK = "perturbation"
+
+
+@dataclass
+class SpanAggregate:
+    """Per-name rollup over one clock."""
+
+    name: str
+    track: str
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace`` prints, machine-readable."""
+
+    n_events: int
+    #: clock name -> [SpanAggregate, ...] sorted by self-time, desc.
+    by_clock: dict = field(default_factory=dict)
+    #: clock name -> covered extent in seconds (max end - min start).
+    extent_s: dict = field(default_factory=dict)
+    #: Port-write perturbation time / simulated extent (None if the
+    #: trace has no simulated row).
+    perturbation_fraction: float = None
+    perturbation_s: float = 0.0
+    #: Embedded metrics snapshot, when the trace carries one.
+    metrics: dict = None
+
+
+def _self_times(events):
+    """Self-time per event for one (pid, tid) row via a stack sweep.
+
+    ``events`` must all share a row.  Returns a parallel list of
+    self-times.  A child starting inside the currently open span is
+    nested; its duration is subtracted from the parent's self-time.
+    """
+    order = sorted(range(len(events)),
+                   key=lambda i: (events[i]["ts"], -events[i]["dur"]))
+    self_us = [float(e["dur"]) for e in events]
+    stack = []  # indices of currently open spans
+    for i in order:
+        ts = events[i]["ts"]
+        while stack and ts >= (events[stack[-1]]["ts"]
+                               + events[stack[-1]]["dur"]):
+            stack.pop()
+        if stack:
+            self_us[stack[-1]] -= float(events[i]["dur"])
+        stack.append(i)
+    return self_us
+
+
+def summarize_trace(events, top=10):
+    """Build a :class:`TraceSummary` from a loaded event list."""
+    pid_to_clock = {pid: clock for clock, pid in CLOCK_PIDS.items()}
+    thread_names = {}
+    metrics = None
+    rows = {}  # (pid, tid) -> [event, ...]
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                thread_names[(event.get("pid"), event.get("tid"))] = (
+                    event.get("args", {}).get("name", "")
+                )
+            elif event.get("name") == "repro_metrics":
+                metrics = event.get("args")
+            continue
+        if ph != "X":
+            continue
+        key = (event.get("pid"), event.get("tid"))
+        rows.setdefault(key, []).append(event)
+
+    aggregates = {}   # clock -> {(name, track): SpanAggregate}
+    bounds = {}       # clock -> [min_ts, max_end]
+    perturbation_us = 0.0
+    for (pid, tid), row in rows.items():
+        clock = pid_to_clock.get(pid, f"pid{pid}")
+        track = thread_names.get((pid, tid), str(tid))
+        self_us = _self_times(row)
+        for event, self_time in zip(row, self_us):
+            agg_key = (event["name"], track)
+            agg = aggregates.setdefault(clock, {}).get(agg_key)
+            if agg is None:
+                agg = SpanAggregate(name=event["name"], track=track)
+                aggregates[clock][agg_key] = agg
+            agg.count += 1
+            agg.total_s += float(event["dur"]) * 1e-6
+            agg.self_s += max(self_time, 0.0) * 1e-6
+            lo, hi = bounds.get(clock, (float("inf"), float("-inf")))
+            bounds[clock] = (
+                min(lo, float(event["ts"])),
+                max(hi, float(event["ts"]) + float(event["dur"])),
+            )
+            if track == PERTURBATION_TRACK:
+                perturbation_us += float(event["dur"])
+
+    summary = TraceSummary(n_events=len(events), metrics=metrics)
+    for clock, table in aggregates.items():
+        ranked = sorted(table.values(), key=lambda a: -a.self_s)
+        summary.by_clock[clock] = ranked[:top] if top else ranked
+        lo, hi = bounds[clock]
+        summary.extent_s[clock] = max(hi - lo, 0.0) * 1e-6
+    sim_extent = summary.extent_s.get(SIM_CLOCK, 0.0)
+    summary.perturbation_s = perturbation_us * 1e-6
+    if sim_extent > 0:
+        summary.perturbation_fraction = (
+            summary.perturbation_s / sim_extent
+        )
+    return summary
+
+
+def render_trace_summary(summary):
+    """Plain-text rendering of a :class:`TraceSummary`."""
+    from repro.core.report import render_table
+
+    blocks = [f"{summary.n_events} events"]
+    for clock in (SIM_CLOCK, WALL_CLOCK):
+        aggs = summary.by_clock.get(clock)
+        if not aggs:
+            continue
+        rows = [
+            [a.name, a.track, a.count,
+             1e3 * a.total_s, 1e3 * a.self_s]
+            for a in aggs
+        ]
+        extent = summary.extent_s.get(clock, 0.0)
+        label = ("simulated clock" if clock == SIM_CLOCK
+                 else "wall clock")
+        blocks.append(render_table(
+            ["span", "track", "n", "total ms", "self ms"], rows,
+            title=f"{label} (extent {extent:.4f} s), top by self-time:",
+            float_fmt="{:.3f}",
+        ))
+    if summary.perturbation_fraction is not None:
+        blocks.append(
+            "instrumentation perturbation: "
+            f"{1e3 * summary.perturbation_s:.3f} ms of simulated time "
+            f"({100.0 * summary.perturbation_fraction:.3f}% of the run)"
+        )
+    if summary.metrics:
+        counters = summary.metrics.get("counters") or {}
+        if counters:
+            rows = [[name, str(value)]
+                    for name, value in sorted(counters.items())]
+            blocks.append(render_table(
+                ["counter", "value"], rows,
+                title="embedded metrics (counters):",
+            ))
+    return "\n\n".join(blocks)

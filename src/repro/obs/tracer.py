@@ -1,0 +1,189 @@
+"""Span-based tracing on two clocks.
+
+A :class:`Span` is one named interval on one *track* of one *clock*:
+
+* the **wall clock** ("how long did the pipeline take") carries
+  experiment phases — VM execution, DAQ acquisition, HPM sampling,
+  offline decomposition — and campaign cells;
+* the **simulated clock** ("what did the simulated machine do, when")
+  carries JVM component segments, GC cycles, optimizing compiles, and
+  thermal-throttle episodes, in simulated seconds from run start.
+
+Tracks are free-form strings ("phases", "components", "gc", ...); the
+Chrome exporter maps each (clock, track) pair to a thread row, and each
+clock to a process row, so Perfetto shows the two time bases side by
+side without conflating them.
+
+:class:`NullTracer` is the disabled implementation: every method is a
+no-op and ``enabled`` is ``False`` so instrumented code can skip any
+nontrivial bookkeeping entirely.  Tracers never touch simulation state
+or RNG streams — recording is strictly write-only observation.
+"""
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Clock identifiers (also the Chrome process names, see chrome.py).
+WALL_CLOCK = "wall"
+SIM_CLOCK = "sim"
+
+
+@dataclass
+class Span:
+    """One named interval on one track of one clock."""
+
+    name: str
+    clock: str                    # WALL_CLOCK or SIM_CLOCK
+    track: str                    # display row within the clock
+    start_s: float                # seconds from the clock's origin
+    dur_s: float
+    args: Optional[dict] = None   # small JSON-safe annotations
+
+    @property
+    def end_s(self):
+        return self.start_s + self.dur_s
+
+
+@dataclass
+class Instant:
+    """A zero-duration marker (Chrome "instant" event)."""
+
+    name: str
+    clock: str
+    track: str
+    at_s: float
+    args: Optional[dict] = None
+
+
+class NullTracer:
+    """Disabled tracer: records nothing, costs nothing.
+
+    ``enabled`` is ``False``; hot paths (the scheduler's segment loop)
+    check it once and skip their span bookkeeping entirely, so a run
+    without tracing executes exactly the seed code path.
+    """
+
+    enabled = False
+
+    #: Empty, shared, immutable views so read-side code needs no guards.
+    spans = ()
+    instants = ()
+
+    def now_wall(self):
+        return 0.0
+
+    @contextmanager
+    def wall_span(self, name, track="phases", **args):
+        yield self
+
+    def add_span(self, name, clock, track, start_s, dur_s, **args):
+        pass
+
+    def add_wall_span(self, name, track, start_s, dur_s, **args):
+        pass
+
+    def add_sim_span(self, name, track, start_s, end_s, **args):
+        pass
+
+    def instant(self, name, clock, track, at_s, **args):
+        pass
+
+
+class Tracer(NullTracer):
+    """Recording tracer.
+
+    Wall spans are measured against a private ``perf_counter`` epoch
+    fixed at construction, so every wall timestamp in one trace shares
+    an origin.  Simulated spans are supplied their bounds explicitly by
+    the instrumented code (the scheduler knows simulated time; the
+    tracer does not).
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._spans = []
+        self._instants = []
+        self._epoch = time.perf_counter()
+
+    @property
+    def spans(self):
+        """Recorded spans, in completion order (do not mutate)."""
+        return self._spans
+
+    @property
+    def instants(self):
+        return self._instants
+
+    def now_wall(self):
+        """Seconds since this tracer's wall epoch."""
+        return time.perf_counter() - self._epoch
+
+    @contextmanager
+    def wall_span(self, name, track="phases", **args):
+        """Context manager recording one wall-clock span around a block.
+
+        The span is recorded even when the block raises, so failed
+        phases still show up (annotated) in the trace.
+        """
+        start = self.now_wall()
+        try:
+            yield self
+        except BaseException as exc:
+            args = dict(args, error=type(exc).__name__)
+            raise
+        finally:
+            self.add_wall_span(
+                name, track, start, self.now_wall() - start, **args
+            )
+
+    def add_span(self, name, clock, track, start_s, dur_s, **args):
+        """Record one completed span with explicit bounds."""
+        self._spans.append(Span(
+            name=name, clock=clock, track=track,
+            start_s=float(start_s), dur_s=max(float(dur_s), 0.0),
+            args=args or None,
+        ))
+
+    def add_wall_span(self, name, track, start_s, dur_s, **args):
+        self.add_span(name, WALL_CLOCK, track, start_s, dur_s, **args)
+
+    def add_sim_span(self, name, track, start_s, end_s, **args):
+        """Record a simulated-clock span from its two sim timestamps."""
+        self.add_span(name, SIM_CLOCK, track, start_s,
+                      end_s - start_s, **args)
+
+    def instant(self, name, clock, track, at_s, **args):
+        self._instants.append(Instant(
+            name=name, clock=clock, track=track, at_s=float(at_s),
+            args=args or None,
+        ))
+
+    # -- read-side helpers (used by the text summary and tests) ------
+
+    def spans_on(self, clock, track=None):
+        """Spans filtered by clock (and optionally track)."""
+        return [
+            s for s in self._spans
+            if s.clock == clock and (track is None or s.track == track)
+        ]
+
+
+@dataclass
+class SimSpanOpen:
+    """Book-keeping for a sim-clock span that has begun but not ended.
+
+    The scheduler coalesces contiguous same-component segments into one
+    span; this little record holds the open end of the coalescing run.
+    """
+
+    name: str
+    track: str
+    start_s: float
+    args: dict = field(default_factory=dict)
+
+    def close(self, tracer, end_s):
+        tracer.add_sim_span(self.name, self.track, self.start_s, end_s,
+                            **self.args)

@@ -1,0 +1,129 @@
+"""Tests for the Chrome trace-event exporter and loader."""
+
+import json
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.obs.chrome import (
+    CLOCK_PIDS,
+    load_trace,
+    to_chrome_events,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.tracer import SIM_CLOCK, WALL_CLOCK, Tracer
+
+
+def small_tracer():
+    t = Tracer()
+    t.add_wall_span("experiment", "phases", 0.0, 2.0)
+    t.add_wall_span("vm-run", "phases", 0.1, 1.5)
+    t.add_sim_span("App", "components", 0.0, 1.0)
+    t.add_sim_span("GC", "components", 1.0, 1.25, kind="minor")
+    t.add_sim_span("port-write", "perturbation", 0.5, 0.501)
+    t.instant("oom", SIM_CLOCK, "gc", 0.7)
+    return t
+
+
+class TestSchema:
+    def test_duration_events_carry_required_keys(self):
+        events = to_chrome_events(small_tracer())
+        xs = [e for e in events if e.get("ph") == "X"]
+        assert xs
+        for event in xs:
+            for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+                assert key in event, f"missing {key}: {event}"
+            assert isinstance(event["ts"], (int, float))
+            assert event["dur"] >= 0
+            assert event["pid"] in CLOCK_PIDS.values()
+            assert event["tid"] >= 1
+
+    def test_timestamps_are_microseconds(self):
+        t = Tracer()
+        t.add_sim_span("x", "t", 1.5, 2.0)
+        (event,) = [e for e in to_chrome_events(t) if e["ph"] == "X"]
+        assert event["ts"] == pytest.approx(1.5e6)
+        assert event["dur"] == pytest.approx(0.5e6)
+
+    def test_clock_process_rows(self):
+        events = to_chrome_events(small_tracer())
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events if e.get("name") == "process_name"
+        }
+        assert names == {1: "wall clock", 2: "simulated clock"}
+        # the two clocks never share a pid on duration events
+        wall = {e["pid"] for e in events
+                if e.get("ph") == "X" and e["pid"] == CLOCK_PIDS[WALL_CLOCK]}
+        sim = {e["pid"] for e in events
+               if e.get("ph") == "X" and e["pid"] == CLOCK_PIDS[SIM_CLOCK]}
+        assert wall and sim and not (wall & sim)
+
+    def test_thread_name_metadata_per_track(self):
+        events = to_chrome_events(small_tracer())
+        tracks = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in events if e.get("name") == "thread_name"
+        }
+        assert "components" in tracks.values()
+        assert "perturbation" in tracks.values()
+        assert "phases" in tracks.values()
+        # every duration event lands on a named thread row
+        for e in events:
+            if e.get("ph") == "X":
+                assert (e["pid"], e["tid"]) in tracks
+
+    def test_span_args_preserved(self):
+        events = to_chrome_events(small_tracer())
+        (gc,) = [e for e in events
+                 if e.get("ph") == "X" and e["name"] == "GC"]
+        assert gc["args"] == {"kind": "minor"}
+
+    def test_instants(self):
+        events = to_chrome_events(small_tracer())
+        (inst,) = [e for e in events if e.get("ph") == "i"]
+        assert inst["name"] == "oom"
+        assert inst["s"] == "t"
+
+    def test_metrics_metadata_event(self):
+        metrics = MetricsRegistry()
+        metrics.counter("daq.samples").inc(9)
+        events = to_chrome_events(small_tracer(), metrics=metrics)
+        (meta,) = [e for e in events
+                   if e.get("name") == "repro_metrics"]
+        assert meta["args"]["counters"]["daq.samples"] == 9
+
+    def test_disabled_metrics_not_embedded(self):
+        events = to_chrome_events(small_tracer(), metrics=NullMetrics())
+        assert not any(e.get("name") == "repro_metrics" for e in events)
+
+
+class TestRoundtrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, small_tracer())
+        events = load_trace(path)
+        assert isinstance(events, list)
+        assert json.loads(path.read_text()) == events
+
+    def test_load_object_format(self, tmp_path):
+        path = tmp_path / "obj.json"
+        path.write_text(json.dumps(
+            {"traceEvents": [{"ph": "X", "name": "x", "ts": 0,
+                              "dur": 1, "pid": 1, "tid": 1}]}
+        ))
+        events = load_trace(path)
+        assert len(events) == 1
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(MeasurementError):
+            load_trace(path)
+
+    def test_load_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "scalar.json"
+        path.write_text("42")
+        with pytest.raises(MeasurementError):
+            load_trace(path)

@@ -1,0 +1,139 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge()
+        g.set(3.5)
+        g.add(-1.0)
+        assert g.value == 2.5
+
+
+class TestHistogramEdgeCases:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert h.min is None
+        assert h.max is None
+        assert h.mean == 0.0
+        assert h.quantile(0.5) is None
+        d = h.as_dict()
+        assert d["count"] == 0
+        assert d["p50"] is None and d["p99"] is None
+
+    def test_single_sample_is_its_own_everything(self):
+        h = Histogram()
+        h.observe(0.25)
+        assert h.count == 1
+        assert h.min == h.max == h.mean == 0.25
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.quantile(q) == 0.25
+
+    def test_quantile_interpolates(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 3.0
+        assert h.quantile(1.0) == 5.0
+        assert h.quantile(0.25) == pytest.approx(2.0)
+        assert h.quantile(0.1) == pytest.approx(1.4)
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            Histogram().quantile(1.5)
+
+    def test_as_dict_reports_quantiles(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        d = h.as_dict()
+        assert d["count"] == 100
+        assert d["min"] == 1.0 and d["max"] == 100.0
+        assert d["p50"] == pytest.approx(50.5)
+        assert d["p99"] == pytest.approx(99.01)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.gauge("g") is m.gauge("g")
+        assert m.histogram("h") is m.histogram("h")
+        assert m.enabled
+
+    def test_as_dict_shape(self):
+        m = MetricsRegistry()
+        m.counter("c").inc(3)
+        m.gauge("g").set(1.5)
+        m.histogram("h").observe(2.0)
+        d = m.as_dict()
+        assert d["counters"] == {"c": 3}
+        assert d["gauges"] == {"g": 1.5}
+        assert d["histograms"]["h"]["count"] == 1
+
+    def test_merge_folds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.histogram("h").observe(1.0)
+        b.gauge("g").set(7)
+        a.merge(b)
+        assert a.counter("c").value == 5
+        assert a.histogram("h").count == 1
+        assert a.gauge("g").value == 7
+
+    def test_merge_with_null_is_a_noop(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(1)
+        a.merge(NullMetrics())
+        assert a.counter("c").value == 1
+
+    def test_render_empty(self):
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+    def test_render_lists_instruments(self):
+        m = MetricsRegistry()
+        m.counter("daq.samples").inc(10)
+        m.histogram("gc.pause_s").observe(0.01)
+        text = m.render()
+        assert "daq.samples" in text
+        assert "gc.pause_s" in text
+
+
+class TestNullMetrics:
+    def test_disabled_and_inert(self):
+        m = NullMetrics()
+        assert not m.enabled
+        m.counter("x").inc(5)
+        m.histogram("y").observe(1.0)
+        m.gauge("z").set(2.0)
+        assert m.counter("x").value == 0
+        assert m.as_dict() == {}
+        # one shared instrument serves every name
+        assert m.counter("a") is m.histogram("b")

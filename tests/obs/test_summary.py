@@ -1,0 +1,96 @@
+"""Tests for offline trace summarization (repro trace)."""
+
+import pytest
+
+from repro.obs.chrome import to_chrome_events
+from repro.obs.summary import (
+    _self_times,
+    render_trace_summary,
+    summarize_trace,
+)
+from repro.obs.tracer import SIM_CLOCK, WALL_CLOCK, Tracer
+
+
+def span(name, ts, dur, pid=2, tid=1):
+    return {"name": name, "ph": "X", "ts": ts, "dur": dur,
+            "pid": pid, "tid": tid}
+
+
+class TestSelfTimes:
+    def test_flat_spans_keep_their_duration(self):
+        row = [span("a", 0, 10), span("b", 10, 5)]
+        assert _self_times(row) == [10.0, 5.0]
+
+    def test_nested_child_subtracts_from_parent(self):
+        row = [span("parent", 0, 100), span("child", 10, 30)]
+        assert _self_times(row) == [70.0, 30.0]
+
+    def test_grandchildren_charge_their_parent_only(self):
+        row = [span("p", 0, 100), span("c", 10, 50), span("g", 20, 10)]
+        # parent loses the child's 50; the child loses the grandchild's 10
+        assert _self_times(row) == [50.0, 40.0, 10.0]
+
+    def test_siblings_inside_one_parent(self):
+        row = [span("p", 0, 100), span("a", 0, 20), span("b", 50, 20)]
+        assert _self_times(row) == [60.0, 20.0, 20.0]
+
+
+class TestSummarize:
+    def make_events(self):
+        t = Tracer()
+        t.add_wall_span("experiment", "phases", 0.0, 2.0)
+        t.add_wall_span("vm-run", "phases", 0.0, 1.0)
+        t.add_sim_span("App", "components", 0.0, 0.8)
+        t.add_sim_span("GC", "components", 0.8, 1.0)
+        t.add_sim_span("port-write", "perturbation", 0.1, 0.2)
+        return to_chrome_events(t)
+
+    def test_aggregates_by_clock(self):
+        summary = summarize_trace(self.make_events())
+        sim_names = {a.name for a in summary.by_clock[SIM_CLOCK]}
+        wall_names = {a.name for a in summary.by_clock[WALL_CLOCK]}
+        assert {"App", "GC", "port-write"} <= sim_names
+        assert {"experiment", "vm-run"} <= wall_names
+
+    def test_extent_and_self_time(self):
+        summary = summarize_trace(self.make_events())
+        assert summary.extent_s[SIM_CLOCK] == pytest.approx(1.0)
+        assert summary.extent_s[WALL_CLOCK] == pytest.approx(2.0)
+        (exp,) = [a for a in summary.by_clock[WALL_CLOCK]
+                  if a.name == "experiment"]
+        assert exp.total_s == pytest.approx(2.0)
+        assert exp.self_s == pytest.approx(1.0)  # vm-run nests inside
+
+    def test_perturbation_fraction(self):
+        summary = summarize_trace(self.make_events())
+        assert summary.perturbation_s == pytest.approx(0.1)
+        assert summary.perturbation_fraction == pytest.approx(0.1)
+
+    def test_top_limits_rows(self):
+        summary = summarize_trace(self.make_events(), top=1)
+        assert len(summary.by_clock[SIM_CLOCK]) == 1
+
+    def test_no_sim_row_means_no_fraction(self):
+        t = Tracer()
+        t.add_wall_span("only-wall", "phases", 0.0, 1.0)
+        summary = summarize_trace(to_chrome_events(t))
+        assert summary.perturbation_fraction is None
+
+    def test_metrics_passthrough(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        t = Tracer()
+        t.add_sim_span("App", "components", 0.0, 1.0)
+        metrics = MetricsRegistry()
+        metrics.counter("daq.samples").inc(3)
+        events = to_chrome_events(t, metrics=metrics)
+        summary = summarize_trace(events)
+        assert summary.metrics["counters"]["daq.samples"] == 3
+
+    def test_render(self):
+        summary = summarize_trace(self.make_events())
+        text = render_trace_summary(summary)
+        assert "simulated clock" in text
+        assert "wall clock" in text
+        assert "instrumentation perturbation" in text
+        assert "App" in text

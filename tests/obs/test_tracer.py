@@ -1,0 +1,104 @@
+"""Tests for the span tracer and its null implementation."""
+
+import pytest
+
+from repro.obs.tracer import (
+    SIM_CLOCK,
+    WALL_CLOCK,
+    NullTracer,
+    SimSpanOpen,
+    Tracer,
+)
+
+
+class TestNullTracer:
+    def test_disabled_and_empty(self):
+        t = NullTracer()
+        assert not t.enabled
+        assert t.spans == ()
+        assert t.instants == ()
+
+    def test_methods_are_noops(self):
+        t = NullTracer()
+        t.add_sim_span("x", "track", 0.0, 1.0)
+        t.add_wall_span("y", "track", 0.0, 1.0)
+        t.instant("z", WALL_CLOCK, "track", 0.5)
+        with t.wall_span("phase"):
+            pass
+        assert t.spans == ()
+        assert t.instants == ()
+
+
+class TestTracer:
+    def test_sim_span_fields(self):
+        t = Tracer()
+        t.add_sim_span("gc-cycle", "gc", 1.0, 1.5, kind="minor")
+        (span,) = t.spans
+        assert span.name == "gc-cycle"
+        assert span.clock == SIM_CLOCK
+        assert span.track == "gc"
+        assert span.start_s == 1.0
+        assert span.dur_s == pytest.approx(0.5)
+        assert span.end_s == pytest.approx(1.5)
+        assert span.args == {"kind": "minor"}
+
+    def test_wall_span_context_manager(self):
+        t = Tracer()
+        with t.wall_span("daq-acquire", samples=10):
+            pass
+        (span,) = t.spans
+        assert span.clock == WALL_CLOCK
+        assert span.track == "phases"
+        assert span.dur_s >= 0.0
+        assert span.args == {"samples": 10}
+
+    def test_wall_span_records_on_exception(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.wall_span("vm-run"):
+                raise ValueError("boom")
+        (span,) = t.spans
+        assert span.args == {"error": "ValueError"}
+
+    def test_negative_duration_clamped(self):
+        t = Tracer()
+        t.add_sim_span("x", "t", 2.0, 1.0)
+        assert t.spans[0].dur_s == 0.0
+
+    def test_empty_args_stored_as_none(self):
+        t = Tracer()
+        t.add_sim_span("x", "t", 0.0, 1.0)
+        assert t.spans[0].args is None
+
+    def test_spans_on_filters_clock_and_track(self):
+        t = Tracer()
+        t.add_sim_span("a", "components", 0.0, 1.0)
+        t.add_sim_span("b", "gc", 0.0, 1.0)
+        t.add_wall_span("c", "phases", 0.0, 1.0)
+        assert len(t.spans_on(SIM_CLOCK)) == 2
+        assert [s.name for s in t.spans_on(SIM_CLOCK, "gc")] == ["b"]
+        assert [s.name for s in t.spans_on(WALL_CLOCK)] == ["c"]
+
+    def test_instant(self):
+        t = Tracer()
+        t.instant("oom", SIM_CLOCK, "gc", 0.25, heap_mb=16)
+        (inst,) = t.instants
+        assert inst.at_s == 0.25
+        assert inst.args == {"heap_mb": 16}
+
+    def test_now_wall_monotonic(self):
+        t = Tracer()
+        a = t.now_wall()
+        b = t.now_wall()
+        assert 0.0 <= a <= b
+
+
+class TestSimSpanOpen:
+    def test_close_emits_span(self):
+        t = Tracer()
+        open_ = SimSpanOpen(name="App", track="components", start_s=1.0)
+        open_.close(t, 3.0)
+        (span,) = t.spans
+        assert span.name == "App"
+        assert span.start_s == 1.0
+        assert span.dur_s == pytest.approx(2.0)

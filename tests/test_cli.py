@@ -81,3 +81,60 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "steady" in out
+
+
+class TestObservabilityFlags:
+    def test_run_accepts_trace_and_metrics(self):
+        args = build_parser().parse_args([
+            "run", "-b", "_202_jess", "--trace", "out.json",
+            "--metrics",
+        ])
+        assert args.bench == "_202_jess"
+        assert args.trace == "out.json"
+        assert args.metrics is True
+
+    def test_top_level_verbose_quiet(self):
+        args = build_parser().parse_args(["--verbose", "list"])
+        assert args.verbose and not args.quiet
+        args = build_parser().parse_args(["-q", "run", "_202_jess"])
+        assert args.quiet
+
+    def test_campaign_trace_dir(self):
+        args = build_parser().parse_args([
+            "campaign", "--benchmarks", "_202_jess",
+            "--trace-dir", "traces",
+        ])
+        assert args.trace_dir == "traces"
+
+    def test_trace_subcommand(self):
+        args = build_parser().parse_args(["trace", "t.json",
+                                          "--top", "5"])
+        assert args.command == "trace"
+        assert args.file == "t.json"
+        assert args.top == 5
+
+    def test_run_without_benchmark_fails(self, capsys):
+        assert main(["run", "--heap", "32"]) == 2
+        assert "benchmark" in capsys.readouterr().err
+
+    def test_run_trace_then_summarize(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "out.json"
+        code = main([
+            "run", "-b", "_202_jess", "--heap", "32",
+            "--input-scale", "0.2", "--trace", str(trace),
+            "--metrics",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "instrumentation perturbation" in out
+        assert "daq.samples" in out
+        events = json.loads(trace.read_text())
+        assert isinstance(events, list)
+        assert any(e.get("ph") == "X" for e in events)
+
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "simulated clock" in out
+        assert "wall clock" in out
