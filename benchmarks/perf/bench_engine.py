@@ -1,0 +1,147 @@
+"""Execution-engine performance harness.
+
+Measures the two numbers PR 3's batched engine is accountable for and
+writes them to ``BENCH_engine.json``:
+
+* **segments/sec** — a scheduler microbenchmark: one long activity split
+  into tens of thousands of chunks (``max_chunk_s=20 us``), the regime
+  the vectorized path exists for.  Reported for both engines.
+* **end-to-end wall time** — a full ``repro run`` equivalent
+  (``_213_javac`` on jikes/p6 at half input scale) under the default
+  (batched) engine.
+
+Both are compared against ``baseline.json``, which carries two kinds of
+reference values:
+
+* ``pre_pr`` — the same measurements taken from a git worktree of the
+  last pre-engine commit (see the file's provenance note).  The speedup
+  the harness reports is *current vs. pre_pr*.
+* ``gate`` — the post-engine reference rate used by
+  ``scripts/check_perf.py`` to fail CI on a >30 % regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py \
+        --output BENCH_engine.json --repeats 5
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "baseline.json"
+
+MICRO_CHUNK_S = 2e-5
+MICRO_INSTRUCTIONS = 2_000_000_000
+
+E2E_CONFIG = dict(
+    benchmark="_213_javac", vm="jikes", platform="p6",
+    heap_mb=32, input_scale=0.5, seed=42,
+)
+
+
+def _microbench_once(engine):
+    from repro.hardware.activity import Activity
+    from repro.hardware.cache import MemoryBehavior
+    from repro.hardware.platform import make_platform
+    from repro.jvm.components import Component
+    from repro.jvm.scheduler import InstrumentedScheduler
+    from repro.units import KB, MB
+
+    platform = make_platform("p6")
+    sched = InstrumentedScheduler(
+        platform, max_chunk_s=MICRO_CHUNK_S, engine=engine
+    )
+    activity = Activity(
+        component=int(Component.APP),
+        instructions=MICRO_INSTRUCTIONS,
+        behavior=MemoryBehavior(
+            footprint_bytes=4 * MB, hot_bytes=256 * KB,
+            locality=0.8, spatial_factor=0.5,
+        ),
+        refs_per_instr=0.3,
+        l1_miss_rate=0.03,
+    )
+    start = time.perf_counter()
+    sched.execute(activity)
+    elapsed = time.perf_counter() - start
+    return len(sched.timeline), elapsed
+
+
+def microbench(engine, repeats):
+    """Best segments/sec over *repeats* runs (max is the least noisy
+    estimator of the machine's attainable rate)."""
+    best = 0.0
+    segments = 0
+    for _ in range(repeats):
+        segments, elapsed = _microbench_once(engine)
+        best = max(best, segments / elapsed)
+    return {"segments": segments, "segments_per_sec": round(best, 1)}
+
+
+def e2e(repeats):
+    """Best wall time for one full experiment under the default engine."""
+    from repro.core.experiment import run_experiment
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_experiment(**E2E_CONFIG)
+        best = min(best, time.perf_counter() - start)
+    return {"config": E2E_CONFIG, "wall_s": round(best, 4)}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_engine.json",
+                        help="result file (default: ./BENCH_engine.json)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="measurement repeats, best-of (default 5)")
+    parser.add_argument("--baseline", default=str(BASELINE_PATH),
+                        help="baseline file to compare against")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    pre = baseline["pre_pr"]
+
+    results = {
+        "schema": "repro-bench-engine-v1",
+        "microbench": {
+            "max_chunk_s": MICRO_CHUNK_S,
+            "instructions": MICRO_INSTRUCTIONS,
+            "repeats": args.repeats,
+            "batched": microbench("batched", args.repeats),
+            "legacy": microbench("legacy", args.repeats),
+        },
+        "e2e": {"repeats": args.repeats, **e2e(args.repeats)},
+    }
+    rate = results["microbench"]["batched"]["segments_per_sec"]
+    wall = results["e2e"]["wall_s"]
+    results["vs_pre_pr"] = {
+        "baseline_commit": baseline["captured_at_commit"],
+        "segments_per_sec_speedup": round(
+            rate / pre["segments_per_sec"], 2
+        ),
+        "e2e_speedup": round(pre["e2e_wall_s"] / wall, 2),
+    }
+
+    out = Path(args.output)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"segments/sec  batched: {rate:>12,.0f}")
+    print(f"segments/sec   legacy: "
+          f"{results['microbench']['legacy']['segments_per_sec']:>12,.0f}")
+    print(f"segments/sec  pre-PR : {pre['segments_per_sec']:>12,.0f}  "
+          f"(speedup "
+          f"{results['vs_pre_pr']['segments_per_sec_speedup']}x)")
+    print(f"e2e wall      current: {wall:>9.3f} s")
+    print(f"e2e wall      pre-PR : {pre['e2e_wall_s']:>9.3f} s  "
+          f"(speedup {results['vs_pre_pr']['e2e_speedup']}x)")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""CI perf gate: fail when the engine's segments/sec regresses.
+
+Reads a ``BENCH_engine.json`` produced by
+``benchmarks/perf/bench_engine.py`` and compares the batched engine's
+segments/sec against the ``gate`` section of the checked-in
+``benchmarks/perf/baseline.json``.  Exits non-zero when the measured
+rate falls more than the allowed fraction (default 30 %) below the
+baseline.
+
+Usage::
+
+    python scripts/check_perf.py BENCH_engine.json
+    python scripts/check_perf.py BENCH_engine.json --max-regression 0.5
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks" / "perf" / "baseline.json"
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="BENCH_engine.json to check")
+    parser.add_argument("--baseline", default=str(BASELINE_PATH))
+    parser.add_argument(
+        "--max-regression", type=float, default=None,
+        help="allowed fractional drop vs. the gate baseline "
+             "(default: the baseline file's own max_regression)",
+    )
+    args = parser.parse_args(argv)
+
+    results = json.loads(Path(args.results).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    gate = baseline["gate"]
+    allowed = (args.max_regression if args.max_regression is not None
+               else gate["max_regression"])
+
+    measured = results["microbench"]["batched"]["segments_per_sec"]
+    reference = gate["segments_per_sec"]
+    floor = reference * (1.0 - allowed)
+    ratio = measured / reference
+
+    print(f"segments/sec: measured {measured:,.0f}, "
+          f"gate {reference:,.0f}, floor {floor:,.0f} "
+          f"({ratio:.2f}x of gate)")
+    if measured < floor:
+        print(f"FAIL: regression exceeds {allowed:.0%} "
+              f"(measured {1.0 - ratio:.0%} below the gate baseline)")
+        return 1
+    print("OK: within the allowed regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,15 +21,19 @@ from repro.measurement.traces import PowerTrace
 def power_trace_to_csv(trace, path):
     """Write a power trace as CSV: time_s, cpu_w, mem_w, component,
     window_s (the sample's integration window; only the final row may
-    differ from the sample period)."""
+    differ from the sample period).
+
+    Reported powers are clamped at zero here, at the export boundary —
+    the in-memory trace keeps the sense channels' symmetric noise so
+    energy integrals stay unbiased on near-idle rails."""
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["time_s", "cpu_power_w", "mem_power_w",
                          "component", "window_s"])
         for t, cpu, mem, comp, win in zip(
-            trace.times_s, trace.cpu_power_w, trace.mem_power_w,
-            trace.component, trace.window_s,
+            trace.times_s, trace.cpu_power_export_w,
+            trace.mem_power_export_w, trace.component, trace.window_s,
         ):
             writer.writerow([
                 f"{t:.9f}", f"{cpu:.6f}", f"{mem:.6f}",

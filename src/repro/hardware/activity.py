@@ -27,6 +27,8 @@ stall but has no L2 to miss in, the relative ordering inverts.
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.hardware.cache import AnalyticCacheModel, MemoryBehavior
 from repro.timeline import Segment
@@ -52,6 +54,35 @@ class Activity:
             raise ConfigurationError("l1_miss_rate must be in [0, 1]")
         if self.refs_per_instr < 0:
             raise ConfigurationError("refs_per_instr cannot be negative")
+
+
+@dataclass
+class SegmentBatch:
+    """Column-oriented output of :meth:`ExecutionModel.run_batch`.
+
+    One row per chunk of a single activity, all costed under one CPU
+    state (DVFS point, throttle duty cycle).  The scheduler commits a
+    prefix of the batch to the timeline — the whole batch normally, a
+    shorter prefix when the thermal model flips the throttle latch
+    mid-batch and the remaining chunks must be re-costed.
+    """
+
+    start_cycles: np.ndarray   # int64
+    end_cycles: np.ndarray     # int64
+    instructions: np.ndarray   # int64 (retired, post-rounding)
+    l2_accesses: np.ndarray    # int64
+    l2_misses: np.ndarray      # int64
+    mem_accesses: np.ndarray   # int64
+    cpu_power_w: np.ndarray    # float64
+    mem_power_w: np.ndarray    # float64
+    durations_s: np.ndarray    # float64 wall time per chunk
+
+    def __len__(self):
+        return len(self.start_cycles)
+
+    @property
+    def cycles(self):
+        return self.end_cycles - self.start_cycles
 
 
 class ExecutionModel:
@@ -100,10 +131,94 @@ class ExecutionModel:
         ipc = instr / cycles if cycles > 0 else 0.0
         return cycles, l2_accesses, l2_misses, mem_accesses, ipc
 
-    def run(self, activity, start_cycle):
+    def cost_batch(self, activity, instructions):
+        """Vectorized :meth:`cost` over per-chunk instruction counts.
+
+        ``instructions`` is an int array of positive per-chunk counts for
+        chunks of the *same* activity.  Returns ``(cycles, l2_accesses,
+        l2_misses, mem_accesses, ipc)`` arrays whose elements are
+        bit-identical to the scalar method's results.
+        """
+        spec = self.cpu.spec
+        instr = np.asarray(instructions, dtype=np.float64)
+        l1_misses = instr * activity.refs_per_instr * activity.l1_miss_rate
+
+        if self._l2_model is not None:
+            l2_accesses = l1_misses
+            l2_miss_rate = self._l2_model.miss_rate(activity.behavior)
+            l2_misses = l2_accesses * l2_miss_rate
+            mem_accesses = l2_misses
+            stall_per_l1_miss = (
+                spec.l2.hit_cycles
+                + l2_miss_rate * spec.mem_latency_cycles
+            )
+        else:
+            l2_accesses = np.zeros_like(instr)
+            l2_misses = np.zeros_like(instr)
+            mem_accesses = l1_misses
+            stall_per_l1_miss = spec.mem_latency_cycles
+
+        exposed = 1.0 - spec.miss_overlap
+        stall_cpi = (
+            activity.refs_per_instr
+            * activity.l1_miss_rate
+            * stall_per_l1_miss
+            * exposed
+        )
+        cpi = spec.base_cpi * activity.cpi_scale + stall_cpi
+        cycles = np.maximum(
+            1, np.rint(instr * cpi).astype(np.int64)
+        )
+        ipc = instr / cycles
+        return cycles, l2_accesses, l2_misses, mem_accesses, ipc
+
+    def run_batch(self, activity, instructions, start_cycle):
+        """Cost a run of chunks of *activity* under the CPU's current
+        state; returns a :class:`SegmentBatch` starting at
+        ``start_cycle``.
+
+        Power and wall time are computed with the duty cycle and DVFS
+        point in force *now* — the scheduler is responsible for flushing
+        the batch early if the thermal latch flips part-way through.
+        """
+        instr = np.asarray(instructions, dtype=np.int64)
+        cycles, l2_acc, l2_miss, mem_acc, ipc = self.cost_batch(
+            activity, instr
+        )
+        end_cycles = start_cycle + np.cumsum(cycles)
+        start_cycles = end_cycles - cycles
+        durations = cycles / self.cpu.effective_clock_hz
+        cpu_power = self.power_model.power_w_batch(
+            ipc,
+            mix_factor=activity.mix_factor,
+            dvfs=self.cpu.dvfs,
+            duty_cycle=self.cpu.duty_cycle,
+        )
+        mem_power = self.memory_model.power_w_batch(mem_acc, durations)
+        return SegmentBatch(
+            start_cycles=start_cycles,
+            end_cycles=end_cycles,
+            instructions=np.rint(instr.astype(np.float64)).astype(
+                np.int64
+            ),
+            l2_accesses=np.rint(l2_acc).astype(np.int64),
+            l2_misses=np.rint(l2_miss).astype(np.int64),
+            mem_accesses=np.rint(mem_acc).astype(np.int64),
+            cpu_power_w=cpu_power,
+            mem_power_w=mem_power,
+            durations_s=durations,
+        )
+
+    def run(self, activity, start_cycle, cost=None):
         """Account *activity* starting at ``start_cycle``; return a
-        :class:`~repro.timeline.Segment` (possibly zero-length)."""
-        cycles, l2_acc, l2_miss, mem_acc, ipc = self.cost(activity)
+        :class:`~repro.timeline.Segment` (possibly zero-length).
+
+        ``cost`` optionally supplies a precomputed :meth:`cost` tuple for
+        *activity* (callers that already costed it to pick a chunk split
+        pass it back rather than paying the computation twice)."""
+        cycles, l2_acc, l2_miss, mem_acc, ipc = (
+            cost if cost is not None else self.cost(activity)
+        )
         if cycles == 0:
             return Segment(
                 start_cycle=start_cycle,

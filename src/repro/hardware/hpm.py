@@ -15,6 +15,8 @@ the per-platform limit when events are programmed.
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError, MeasurementError
 
 
@@ -89,6 +91,26 @@ class PerformanceCounters:
             Event.MEM_ACCESSES: segment.mem_accesses,
             Event.STALL_CYCLES: max(
                 0, segment.cycles - segment.instructions
+            ),
+        }
+        for ev in self._events:
+            self._values[ev] += increments.get(ev, 0)
+
+    def record_batch(self, cycles, instructions, l2_accesses, l2_misses,
+                     mem_accesses):
+        """Accumulate a whole run of retired segments (column arrays).
+
+        Counter increments are integers, so a batched sum is exactly the
+        sequence of per-segment :meth:`record_segment` calls.
+        """
+        increments = {
+            Event.CYCLES: int(cycles.sum()),
+            Event.INSTRUCTIONS: int(instructions.sum()),
+            Event.L2_ACCESSES: int(l2_accesses.sum()),
+            Event.L2_MISSES: int(l2_misses.sum()),
+            Event.MEM_ACCESSES: int(mem_accesses.sum()),
+            Event.STALL_CYCLES: int(
+                np.maximum(0, cycles - instructions).sum()
             ),
         }
         for ev in self._events:

@@ -15,6 +15,8 @@ throttling, the 50 % duty cycle gates the clock half the time,
 proportionally reducing both delivered performance and dynamic power.
 """
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -52,6 +54,39 @@ class CPUPowerModel:
         # floor and full power.
         if duty_cycle < 1.0:
             gated_floor = 0.6 * self.spec.idle_power_w
+            power = duty_cycle * power + (1.0 - duty_cycle) * gated_floor
+        return power
+
+    def power_w_batch(self, ipc, mix_factor=1.0, dvfs=None,
+                      duty_cycle=1.0):
+        """Vectorized :meth:`power_w` over an array of achieved IPCs.
+
+        ``mix_factor``, ``dvfs`` and ``duty_cycle`` are scalars shared by
+        the whole batch (they only change between batches).  Every
+        element performs exactly the scalar method's arithmetic: the
+        utilization exponential is evaluated with scalar ``**`` per
+        element because NumPy's SIMD ``power`` kernel differs from libm
+        in the last ulp, and batched execution must be bit-identical to
+        the per-segment path.
+        """
+        spec = self.spec
+        if (np.asarray(ipc) < 0).any():
+            raise ConfigurationError("IPC cannot be negative")
+        u = np.minimum(1.0, np.asarray(ipc, dtype=np.float64)
+                       / spec.ipc_ref)
+        gamma = spec.power_exponent
+        pow_u = np.array([v ** gamma for v in u.tolist()],
+                         dtype=np.float64)
+        dynamic = (spec.max_power_w - spec.idle_power_w) * (
+            pow_u * mix_factor
+        )
+        power = spec.idle_power_w + dynamic
+        if dvfs is not None:
+            vf = dvfs.voltage_scale ** 2 * dvfs.freq_scale
+            idle_scaled = spec.idle_power_w * dvfs.voltage_scale
+            power = idle_scaled + dynamic * vf
+        if duty_cycle < 1.0:
+            gated_floor = 0.6 * spec.idle_power_w
             power = duty_cycle * power + (1.0 - duty_cycle) * gated_floor
         return power
 

@@ -14,6 +14,7 @@ depends on whether the fan is running:
     C * dT/dt = P(t) - (T - T_ambient) / R
 """
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -101,8 +102,6 @@ class ThermalModel:
         """
         if dt_s < 0:
             raise ConfigurationError("dt must be non-negative")
-        import math
-
         t_inf = self.steady_state_c(power_w)
         tau = self.time_constant_s
         decay = math.exp(-dt_s / tau)
@@ -115,6 +114,57 @@ class ThermalModel:
         if record:
             self._history.append((dt_s, self.temperature_c, self.throttled))
         return self.temperature_c
+
+    def step_batch(self, power_w, dt_s, record=True):
+        """Integrate a run of consecutive segments in one call.
+
+        ``power_w`` and ``dt_s`` are equal-length sequences describing
+        segments retired back to back.  Integration stops *after* the
+        first step that flips the throttle latch (in either direction):
+        every segment past a flip was costed by the execution engine
+        under the wrong duty cycle and must be re-emitted, so the
+        batched scheduler flushes there and restarts.
+
+        Returns the number of steps consumed (``>= 1`` when the input is
+        non-empty).  Each consumed step performs exactly the arithmetic
+        of :meth:`step`, in the same order, so a batched integration is
+        bit-identical to the equivalent sequence of scalar steps.
+        """
+        n = len(power_w)
+        if n == 0:
+            return 0
+        spec = self.spec
+        resistance = self.resistance
+        tau = resistance * spec.capacitance_j_per_c
+        ambient = spec.ambient_c
+        trip = spec.trip_c
+        resume = spec.resume_c
+        temperature = self.temperature_c
+        throttled = self.throttled
+        history = self._history
+        consumed = 0
+        for i in range(n):
+            dt = float(dt_s[i])
+            if dt < 0:
+                raise ConfigurationError("dt must be non-negative")
+            t_inf = ambient + float(power_w[i]) * resistance
+            decay = math.exp(-dt / tau)
+            temperature = t_inf + (temperature - t_inf) * decay
+            consumed += 1
+            flipped = False
+            if temperature >= trip:
+                flipped = not throttled
+                throttled = True
+            elif throttled and temperature < resume:
+                throttled = False
+                flipped = True
+            if record:
+                history.append((dt, temperature, throttled))
+            if flipped:
+                break
+        self.temperature_c = temperature
+        self.throttled = throttled
+        return consumed
 
     def reset(self, temperature_c=None):
         """Reset to ambient (or a given temperature) and clear the latch."""

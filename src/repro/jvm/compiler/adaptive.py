@@ -22,6 +22,8 @@ Mechanics modeled:
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.jvm.compiler.optimizing import OPT_FIXED_INSTR, OPT_LEVELS
 
 #: AOS sampling period (Jikes samples on the 10 ms scheduler tick).
@@ -58,6 +60,12 @@ class AdaptiveOptimizationSystem:
         self.jobs_submitted = 0
         self._queued_ids = set()
         self._residue_s = 0.0
+        #: Weights are immutable after table normalization; build the
+        #: multinomial parameter vector once instead of per epoch.
+        self._weights = [m.weight for m in method_table.methods]
+        #: Indices of methods that have received at least one sample —
+        #: the only ones the controller's cost/benefit scan can act on.
+        self._sampled = set()
 
     def take_samples(self, elapsed_app_s):
         """Distribute the sampling epoch's ticks over methods by weight.
@@ -70,10 +78,12 @@ class AdaptiveOptimizationSystem:
         if n_samples <= 0:
             return 0
         self._residue_s -= n_samples * SAMPLE_PERIOD_S
-        weights = [m.weight for m in self.method_table.methods]
-        counts = self.rng.multinomial(n_samples, weights)
-        for method, count in zip(self.method_table.methods, counts):
-            method.samples += int(count)
+        counts = self.rng.multinomial(n_samples, self._weights)
+        methods = self.method_table.methods
+        hit = np.flatnonzero(counts).tolist()
+        for i in hit:
+            methods[i].samples += int(counts[i])
+        self._sampled.update(hit)
         self.total_samples += n_samples
         return n_samples
 
@@ -81,9 +91,15 @@ class AdaptiveOptimizationSystem:
         """Run the controller's cost/benefit model; enqueue winning jobs.
 
         Returns the list of newly queued :class:`CompileJob` objects.
+
+        Only sampled methods are scanned (an unsampled method has
+        ``past_s == 0`` and can never win), in table order, so the scan
+        enqueues exactly the jobs a full sweep would.
         """
         new_jobs = []
-        for method in self.method_table.methods:
+        methods = self.method_table.methods
+        for i in sorted(self._sampled):
+            method = methods[i]
             if not method.compiled or id(method) in self._queued_ids:
                 continue
             past_s = method.samples * SAMPLE_PERIOD_S

@@ -9,6 +9,8 @@ is the base cost divided by the method's quality.
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 #: Native instructions needed to execute one bytecode at quality 1.0
@@ -33,11 +35,24 @@ class JavaMethod:
     compile_count: int = 0
     samples: int = 0
 
+    #: Global generation counter bumped on every quality write, letting
+    #: :meth:`MethodTable.effective_instr_per_bytecode` cache its O(n)
+    #: aggregate between (re)compilations.
+    quality_epoch = 0
+
     def __post_init__(self):
         if self.bytecode_bytes <= 0:
             raise ConfigurationError("method bytecode size must be positive")
         if self.weight < 0:
             raise ConfigurationError("method weight cannot be negative")
+
+    def __setattr__(self, name, value):
+        if name == "quality":
+            JavaMethod.quality_epoch += 1
+            table = getattr(self, "_table_ref", None)
+            if table is not None:
+                table._quality_arr[self._table_idx] = value
+        object.__setattr__(self, name, value)
 
     @property
     def compiled(self):
@@ -71,6 +86,20 @@ class MethodTable:
         for m in methods:
             m.weight = m.weight / total
         self.methods = list(methods)
+        # Weights are immutable after normalization, so that column is
+        # captured once; the quality column is kept in sync by
+        # :meth:`JavaMethod.__setattr__` so the aggregate recompute
+        # never has to walk the method objects.
+        self._weights_arr = np.array(
+            [m.weight for m in self.methods], dtype=np.float64
+        )
+        self._quality_arr = np.array(
+            [m.quality for m in self.methods], dtype=np.float64
+        )
+        for i, m in enumerate(self.methods):
+            object.__setattr__(m, "_table_idx", i)
+            object.__setattr__(m, "_table_ref", self)
+        self._effective_cache = (None, None)
 
     def __len__(self):
         return len(self.methods)
@@ -80,16 +109,30 @@ class MethodTable:
 
     def effective_instr_per_bytecode(self):
         """Weight-averaged instructions per bytecode over compiled
-        methods (uncompiled methods don't execute yet and are skipped)."""
-        num = 0.0
-        den = 0.0
-        for m in self.methods:
-            if m.compiled:
-                num += m.weight * m.instructions_per_bytecode()
-                den += m.weight
+        methods (uncompiled methods don't execute yet and are skipped).
+
+        The aggregate only moves when some method's code quality moves,
+        so it is cached against the global quality generation counter;
+        every recompute performs the identical reduction over the same
+        columns, keeping repeat runs bit-identical.
+        """
+        epoch = JavaMethod.quality_epoch
+        cached_epoch, cached = self._effective_cache
+        if cached_epoch == epoch:
+            return cached
+        q = self._quality_arr
+        compiled = q > 0.0
+        den = float(self._weights_arr[compiled].sum())
         if den == 0.0:
-            return INSTR_PER_BYTECODE
-        return num / den
+            value = INSTR_PER_BYTECODE
+        else:
+            num = float(
+                (self._weights_arr[compiled]
+                 * (INSTR_PER_BYTECODE / q[compiled])).sum()
+            )
+            value = num / den
+        self._effective_cache = (epoch, value)
+        return value
 
     def hottest(self, n):
         """The *n* highest-weight methods."""

@@ -22,7 +22,10 @@ refreshed so that a thermal emergency (Figure 1) halves the duty cycle of
 everything that follows.
 """
 
+import numpy as np
+
 from repro.errors import ConfigurationError
+from repro.hardware.activity import SegmentBatch
 from repro.jvm.components import Component
 from repro.obs import NULL_OBS
 from repro.obs.tracer import SimSpanOpen
@@ -42,13 +45,33 @@ class InstrumentedScheduler:
     #: coupling and measurement see at most ~50 ms of uniform behavior.
     DEFAULT_CHUNK_S = 0.05
 
+    #: Engine used when ``engine`` is not given and no subclass hooks the
+    #: per-segment append path.  The batched engine costs all chunks of
+    #: an activity in one vectorized call and commits them to the
+    #: timeline as column slices; it is bit-identical to the legacy
+    #: per-segment engine (the golden-equivalence suite enforces this).
+    DEFAULT_ENGINE = "batched"
+
     def __init__(self, platform, style="jikes", max_chunk_s=None,
-                 obs=None):
+                 obs=None, engine=None):
         if style not in ("jikes", "kaffe"):
             raise ConfigurationError(
                 "instrumentation style must be 'jikes' or 'kaffe', "
                 f"got {style!r}"
             )
+        if engine is None:
+            # Subclasses that intercept the per-segment append hook
+            # (e.g. DVFS governors observing every segment) silently get
+            # the legacy engine; the batched path bypasses ``_append``.
+            overrides_append = (
+                type(self)._append is not InstrumentedScheduler._append
+            )
+            engine = "legacy" if overrides_append else self.DEFAULT_ENGINE
+        if engine not in ("legacy", "batched"):
+            raise ConfigurationError(
+                f"engine must be 'legacy' or 'batched', got {engine!r}"
+            )
+        self.engine = engine
         self.platform = platform
         self.style = style
         self.exec_model = platform.execution_model
@@ -92,9 +115,17 @@ class InstrumentedScheduler:
 
     # -- component identification ------------------------------------
 
-    def _write_port(self, component):
-        """Latch *component* on the port and charge the write cost."""
-        if self._latched == component:
+    def _write_port(self, component, force=False):
+        """Latch *component* on the port and charge the write cost.
+
+        ``force`` bypasses the redundant-write elision.  Kaffe's exit
+        stubs execute the OUT unconditionally — they cannot know the
+        restored caller ID already sits on the port — so eliding those
+        writes undercounted the exit-path perturbation whenever a nested
+        call re-entered the component already latched (e.g. the class
+        loader loading a superclass from inside itself).
+        """
+        if not force and self._latched == component:
             return
         port = self.platform.port
         port.write(self._cycle, component)
@@ -131,7 +162,7 @@ class InstrumentedScheduler:
         self._stack.pop()
         # Kaffe rewrites the port on exit even if an outer frame has the
         # same ID; Jikes-style scheduling has no exits.
-        self._write_port(self._stack[-1])
+        self._write_port(self._stack[-1], force=self.style == "kaffe")
 
     # -- execution ------------------------------------------------------
 
@@ -146,23 +177,66 @@ class InstrumentedScheduler:
             self._write_port(component)
             self._emit_chunks(activity)
 
-    def _emit_chunks(self, activity):
+    def _chunk_split(self, activity):
+        """Split an activity's instructions into chunk counts.
+
+        Returns ``(counts, cost)`` where *cost* is the whole-activity
+        cost tuple — reusable verbatim for single-chunk activities, which
+        would otherwise pay the cost computation twice.
+        """
         total = activity.instructions
-        if total <= 0:
-            return
         # Estimate cycles to pick a chunk count, then split instructions.
-        est_cycles, *_ = self.exec_model.cost(activity)
-        n_chunks = max(1, -(-est_cycles // self.max_chunk_cycles))
-        base = total // n_chunks
-        remainder = total - base * n_chunks
-        for i in range(int(n_chunks)):
-            instr = base + (1 if i < remainder else 0)
-            if instr <= 0:
-                continue
+        cost = self.exec_model.cost(activity)
+        n_chunks = max(1, -(-cost[0] // self.max_chunk_cycles))
+        if n_chunks == 1:
+            return [total], cost
+        base, remainder = divmod(total, n_chunks)
+        counts = [base + 1] * remainder + [base] * (n_chunks - remainder)
+        if base == 0:
+            counts = counts[:remainder]
+        return counts, cost
+
+    def _emit_chunks(self, activity):
+        if activity.instructions <= 0:
+            return
+        counts, cost = self._chunk_split(activity)
+        if len(counts) == 1:
+            # Single-chunk activities (the common case at default chunk
+            # size) gain nothing from vectorization; reuse the cost the
+            # split already computed.
+            seg = self.exec_model.run(activity, self._cycle, cost=cost)
+            seg.wall_s = seg.cycles / self.platform.cpu.effective_clock_hz
+            self._append(seg)
+            return
+        if self.engine == "batched":
+            self._emit_chunks_batched(activity, counts)
+            return
+        for instr in counts:
             chunk = _with_instructions(activity, instr)
             seg = self.exec_model.run(chunk, self._cycle)
             seg.wall_s = seg.cycles / self.platform.cpu.effective_clock_hz
             self._append(seg)
+
+    def _emit_chunks_batched(self, activity, counts):
+        """Vectorized chunk emission: cost every chunk of the activity in
+        one call, flush early whenever the throttle latch flips.
+
+        All chunks of a batch are costed under the CPU state in force
+        when the batch starts.  The thermal integration
+        (:meth:`~repro.hardware.thermal.ThermalModel.step_batch`) stops
+        after the first latch flip, the consumed prefix is committed,
+        and the remaining chunks are re-costed under the new duty cycle —
+        so duty-cycle feedback stays cycle-exact with the legacy engine.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        pos = 0
+        while pos < len(counts):
+            batch = self.exec_model.run_batch(
+                activity, counts[pos:], self._cycle
+            )
+            pos += self._commit_batch(
+                batch, int(activity.component), activity.tag
+            )
 
     def idle(self, seconds, component=Component.IDLE):
         """Account an idle interval (e.g. between repetitive runs)."""
@@ -170,12 +244,43 @@ class InstrumentedScheduler:
             return
         self._write_port(int(component))
         remaining = self.platform.cpu.seconds_to_cycles(seconds)
+        if self.engine == "batched" and remaining > self.max_chunk_cycles:
+            self._idle_batched(int(component), remaining)
+            return
         while remaining > 0:
             cycles = min(remaining, self.max_chunk_cycles)
             seg = self.exec_model.idle(int(component), self._cycle, cycles)
             seg.wall_s = cycles / self.platform.cpu.effective_clock_hz
             self._append(seg)
             remaining -= cycles
+
+    def _idle_batched(self, component, remaining):
+        chunk = self.max_chunk_cycles
+        idle_power = self.platform.power_model.idle_power_w()
+        while remaining > 0:
+            n_full, tail = divmod(remaining, chunk)
+            k = int(n_full) + (1 if tail else 0)
+            cycles = np.full(k, chunk, dtype=np.int64)
+            if tail:
+                cycles[-1] = tail
+            end_cycles = self._cycle + np.cumsum(cycles)
+            durations = cycles / self.platform.cpu.effective_clock_hz
+            zeros = np.zeros(k, dtype=np.int64)
+            batch = SegmentBatch(
+                start_cycles=end_cycles - cycles,
+                end_cycles=end_cycles,
+                instructions=zeros,
+                l2_accesses=zeros,
+                l2_misses=zeros,
+                mem_accesses=zeros,
+                cpu_power_w=np.full(k, idle_power, dtype=np.float64),
+                mem_power_w=self.platform.memory.power_w_batch(
+                    zeros, durations
+                ),
+                durations_s=durations,
+            )
+            consumed = self._commit_batch(batch, component, "idle")
+            remaining -= int(cycles[:consumed].sum())
 
     def _append(self, seg):
         self.timeline.append(seg)
@@ -194,10 +299,76 @@ class InstrumentedScheduler:
             self._sim_now_s = start_s + duration_s
             self._observe_segment(seg, start_s, was_throttled)
 
+    def _commit_batch(self, batch, component, tag):
+        """Integrate, commit, and observe a batch prefix; return the
+        number of segments consumed (``>= 1``).
+
+        The thermal model consumes segments until the throttle latch
+        flips (or the batch ends); only that prefix — costed under the
+        correct duty cycle — reaches the timeline and the counters.
+        """
+        thermal = self.platform.thermal
+        consumed = thermal.step_batch(
+            batch.cpu_power_w, batch.durations_s, record=False
+        )
+        sl = slice(0, consumed)
+        cycles = batch.end_cycles[sl] - batch.start_cycles[sl]
+        self.timeline.append_batch(
+            batch.start_cycles[sl], batch.end_cycles[sl], component,
+            batch.instructions[sl], batch.l2_accesses[sl],
+            batch.l2_misses[sl], batch.mem_accesses[sl],
+            batch.cpu_power_w[sl], batch.mem_power_w[sl],
+            batch.durations_s[sl], tag=tag,
+        )
+        self._cycle = int(batch.end_cycles[consumed - 1])
+        self.platform.counters.record_batch(
+            cycles, batch.instructions[sl], batch.l2_accesses[sl],
+            batch.l2_misses[sl], batch.mem_accesses[sl],
+        )
+        was_throttled = self.platform.cpu.throttled
+        self.platform.cpu.throttled = thermal.throttled
+        durations = batch.durations_s[sl].tolist()
+        if self._tracer.enabled:
+            # The latch can only flip on the *last* consumed segment
+            # (step_batch stops there), so every earlier segment ran
+            # under the previous throttle state.
+            for i, dt in enumerate(durations):
+                start_s = self._sim_now_s
+                end_s = start_s + dt
+                self._sim_now_s = end_s
+                throttled = (
+                    thermal.throttled if i == consumed - 1
+                    else was_throttled
+                )
+                self._observe(
+                    component, tag, start_s, end_s, throttled,
+                    was_throttled,
+                )
+        else:
+            # Fast path: sequential adds keep the simulated-time cursor
+            # bit-identical to the per-segment engine.
+            now = self._sim_now_s
+            for dt in durations:
+                now = now + dt
+            self._sim_now_s = now
+            throttled = thermal.throttled
+            if throttled and not was_throttled:
+                self._throttle_from = now
+                self.throttle_episodes += 1
+            elif was_throttled and not throttled:
+                self._throttle_from = None
+        return consumed
+
     def _observe_segment(self, seg, start_s, was_throttled):
         """Tracing hooks for one retired segment (write-only)."""
-        end_s = self._sim_now_s
-        throttled = self.platform.cpu.throttled
+        self._observe(
+            seg.component, seg.tag, start_s, self._sim_now_s,
+            self.platform.cpu.throttled, was_throttled,
+        )
+
+    def _observe(self, component, tag, start_s, end_s, throttled,
+                 was_throttled):
+        """Throttle-episode bookkeeping and tracing for one segment."""
         if throttled and not was_throttled:
             self._throttle_from = end_s
             self.throttle_episodes += 1
@@ -210,16 +381,16 @@ class InstrumentedScheduler:
             self._throttle_from = None
         if not self._tracer.enabled:
             return
-        if seg.tag == "port-write":
+        if tag == "port-write":
             self._tracer.add_sim_span(
                 "port-write", "perturbation", start_s, end_s,
                 component=Component.from_port_value(
-                    seg.component).short_name,
+                    component).short_name,
             )
         # Coalesce contiguous same-component segments (port-write
         # perturbation is charged to the entered component, so it never
         # breaks a run) into one span on the "components" track.
-        name = Component.from_port_value(seg.component).short_name
+        name = Component.from_port_value(component).short_name
         open_ = self._open_component
         if open_ is None:
             self._open_component = SimSpanOpen(
@@ -267,4 +438,6 @@ def _with_instructions(activity, instructions):
     """Copy *activity* with a different instruction count."""
     from dataclasses import replace
 
+    if instructions == activity.instructions:
+        return activity
     return replace(activity, instructions=instructions)

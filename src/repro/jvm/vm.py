@@ -417,9 +417,12 @@ class BaseVM:
             cpi_scale=profile.cpi_scale * sl.cpi_jitter,
             tag=f"app:slice{sl.index}",
         )
-        before = state.sched.timeline.duration_s
+        # The scheduler's running cursor is one add per segment; the
+        # timeline's exactly rounded duration_s is O(n) per read and
+        # made this accounting quadratic over a run.
+        before = state.sched.sim_now_s
         state.sched.execute(act)
-        state.app_seconds += state.sched.timeline.duration_s - before
+        state.app_seconds += state.sched.sim_now_s - before
 
 
 @dataclass

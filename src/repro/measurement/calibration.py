@@ -41,8 +41,10 @@ class CalibratedChannel:
         self.name = f"{channel.name}+cal"
 
     def measure(self, true_power_w):
+        # Unclamped, like the underlying channel: the correction must not
+        # re-introduce the positive near-idle bias the channel avoids.
         raw = self.channel.measure(true_power_w)
-        return np.maximum(self.calibration.correct(raw), 0.0)
+        return self.calibration.correct(raw)
 
     @property
     def gain_error(self):

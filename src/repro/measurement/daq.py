@@ -55,7 +55,13 @@ class DAQ:
         arrays = timeline.to_arrays()
         duration = float(arrays.ends_s[-1])
         period = self.sample_period_s
-        n_full = int(duration / period + 1e-9)
+        # Count full windows with a *relative* tolerance: the duration is
+        # a cumulative float sum, so a run of exactly N periods can land
+        # within a few ulps below N * period.  A fixed absolute epsilon
+        # only covers that near N == 1 and rejected runs a hair under
+        # one period outright.
+        ratio = duration / period
+        n_full = int(ratio * (1.0 + 1e-9) + 1e-9)
         if n_full < 1:
             raise MeasurementError(
                 "run shorter than one DAQ sample period"
@@ -64,6 +70,9 @@ class DAQ:
         # not an exact multiple of the period, one final partial window
         # weighted by its actual width.  Without it up to a full sample
         # window of tail energy is silently discarded.
+        # When the count rounded *up* (duration a few ulps under a whole
+        # number of periods) the tail comes out slightly negative; treat
+        # it as zero rather than emitting a partial window.
         tail_s = duration - n_full * period
         if tail_s <= 1e-6 * period:
             tail_s = 0.0

@@ -38,7 +38,11 @@ class HPMSampler:
             port = self.platform.port
         arrays = timeline.to_arrays()
         duration = float(arrays.ends_s[-1])
-        n = int(duration / self.period_s)
+        # Same relative tolerance as the DAQ: a run of N periods whose
+        # float duration lands ulps below N * period still yields N
+        # ticks instead of rejecting (N == 1) or dropping the last one.
+        ratio = duration / self.period_s
+        n = int(ratio * (1.0 + 1e-9) + 1e-9)
         if n < 1:
             raise MeasurementError("run shorter than one HPM period")
         ticks = (np.arange(n + 1, dtype=np.float64)) * self.period_s

@@ -61,6 +61,14 @@ class SenseChannel:
         resistance, producing a voltage drop; the DAQ digitizes that drop
         with additive noise; power is reconstructed using the *nominal*
         resistance (the experimenter doesn't know the actual one).
+
+        Readings are deliberately *not* clamped at zero: the additive
+        voltage noise is symmetric, so on a near-idle rail (where the
+        true drop is comparable to the noise floor) discarding the
+        negative excursions would turn zero-mean noise into a positive
+        energy bias.  Clamping is a presentation concern, applied only
+        when a trace is exported (see
+        :attr:`~repro.measurement.traces.PowerTrace.cpu_power_export_w`).
         """
         true_power_w = np.asarray(true_power_w, dtype=np.float64)
         current_a = true_power_w / self.rail_voltage_v
@@ -69,8 +77,15 @@ class SenseChannel:
             0.0, self.vdrop_noise_v, size=true_power_w.shape
         )
         current_est = vdrop_read / self.resistor.resistance_ohm
-        power = self.rail_voltage_v * current_est
-        return np.maximum(power, 0.0)
+        return self.rail_voltage_v * current_est
+
+    @property
+    def noise_floor_w(self):
+        """One-sigma power-equivalent of the voltage-drop noise."""
+        return (
+            self.rail_voltage_v * self.vdrop_noise_v
+            / self.resistor.resistance_ohm
+        )
 
     @property
     def gain_error(self):

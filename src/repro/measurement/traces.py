@@ -52,6 +52,24 @@ class PowerTrace:
     def n_samples(self):
         return len(self.times_s)
 
+    # -- export views --------------------------------------------------
+
+    @property
+    def cpu_power_export_w(self):
+        """CPU channel clamped at zero for reporting and plotting.
+
+        The stored samples keep the sense channels' symmetric noise
+        (negative excursions included) so energy integrals stay
+        unbiased; a physical power can't be negative, so the *reported*
+        trace is clamped only at this export boundary.
+        """
+        return np.maximum(self.cpu_power_w, 0.0)
+
+    @property
+    def mem_power_export_w(self):
+        """Memory channel clamped at zero for reporting and plotting."""
+        return np.maximum(self.mem_power_w, 0.0)
+
     @property
     def duration_s(self):
         return float(self.window_s.sum())

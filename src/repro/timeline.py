@@ -1,7 +1,7 @@
 """Ground-truth execution timeline.
 
 A VM run produces an :class:`ExecutionTimeline`: an ordered, gap-free
-sequence of :class:`Segment` objects, each describing an interval of CPU
+sequence of execution segments, each describing an interval of CPU
 cycles during which exactly one JVM component was executing, together with
 the microarchitectural activity (instructions, cache behavior) and the
 power draw the hardware model computed for that interval.
@@ -11,6 +11,14 @@ duration of a segment depends on the clock actually delivered while it ran
 (DVFS operating point, thermal-throttle duty cycle).  The scheduler stamps
 each segment with its wall duration (``wall_s``); when absent, the nominal
 clock is used.
+
+Storage is structure-of-arrays: the timeline grows preallocated NumPy
+column buffers (amortized doubling), so appending a segment is a handful
+of array stores and appending a whole *batch* of segments (the vectorized
+execution engine's unit of work) is a handful of slice assignments.
+:class:`Segment` objects are materialized lazily, only when somebody
+iterates the timeline; the measurement infrastructure reads the columns
+directly through :meth:`to_arrays` with no per-segment object round-trip.
 
 The timeline is the *ground truth* that the simulated measurement
 infrastructure (:mod:`repro.measurement`) observes imperfectly — through a
@@ -92,7 +100,9 @@ class TimelineArrays:
     """Vectorized (NumPy) view of a timeline, used by the samplers.
 
     ``starts_s`` / ``ends_s`` are wall-time segment bounds (seconds from
-    run start); the cycle bounds are retained for counter work.
+    run start); the cycle bounds are retained for counter work.  The
+    arrays are read-only views into the timeline's column buffers — do
+    not mutate them.
     """
 
     starts_s: np.ndarray
@@ -109,39 +119,112 @@ class TimelineArrays:
     clock_hz: float
 
 
+#: Initial column-buffer capacity (segments); doubled on exhaustion.
+_INITIAL_CAPACITY = 1024
+
+
 class ExecutionTimeline:
     """Append-only, gap-free sequence of execution segments.
 
     Segments must be appended in execution order; each segment must begin
     exactly where the previous one ended (in cycles).  The VM guarantees
-    this by routing every emitted segment through :meth:`append`.
+    this by routing every emitted segment through :meth:`append` or
+    :meth:`append_batch`.
     """
 
     def __init__(self, clock_hz):
         if clock_hz <= 0:
             raise TimelineError(f"clock_hz must be positive, got {clock_hz}")
         self.clock_hz = float(clock_hz)
-        self._segments = []
-        # Per-segment wall durations, captured once at append time.  Both
-        # duration_s and to_arrays() derive from this single list so the
-        # scalar total and the vectorized cumulative sum cannot drift
-        # apart over long timelines.
-        self._durations = []
-        self._total_s = None  # lazily recomputed fsum cache
+        self._n = 0
+        self._alloc(_INITIAL_CAPACITY)
+        self._tags = []
+        # duration_s and to_arrays() both derive from the _duration
+        # column, so the scalar total and the vectorized cumulative sum
+        # cannot drift apart over long timelines.
+        self._total_s = None   # lazily recomputed fsum cache
+        self._ends_s = None    # lazily recomputed cumsum cache
+
+    def _alloc(self, capacity):
+        self._start_cycle = np.empty(capacity, dtype=np.int64)
+        self._end_cycle = np.empty(capacity, dtype=np.int64)
+        self._component = np.empty(capacity, dtype=np.int16)
+        self._instructions = np.empty(capacity, dtype=np.int64)
+        self._l2_accesses = np.empty(capacity, dtype=np.int64)
+        self._l2_misses = np.empty(capacity, dtype=np.int64)
+        self._mem_accesses = np.empty(capacity, dtype=np.int64)
+        self._cpu_power = np.empty(capacity, dtype=np.float64)
+        self._mem_power = np.empty(capacity, dtype=np.float64)
+        self._duration = np.empty(capacity, dtype=np.float64)
+
+    @property
+    def _capacity(self):
+        return len(self._start_cycle)
+
+    def _columns(self):
+        return (
+            "_start_cycle", "_end_cycle", "_component", "_instructions",
+            "_l2_accesses", "_l2_misses", "_mem_accesses", "_cpu_power",
+            "_mem_power", "_duration",
+        )
+
+    def _grow(self, needed):
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        for name in self._columns():
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
 
     def __len__(self):
-        return len(self._segments)
+        return self._n
 
     def __iter__(self):
-        return iter(self._segments)
+        for i in range(self._n):
+            yield self.segment(i)
 
     def __getitem__(self, index):
-        return self._segments[index]
+        if isinstance(index, slice):
+            return [self.segment(i)
+                    for i in range(*index.indices(self._n))]
+        if index < 0:
+            index += self._n
+        if not (0 <= index < self._n):
+            raise IndexError("segment index out of range")
+        return self.segment(index)
+
+    def segment(self, i):
+        """Materialize the *i*-th segment as a :class:`Segment` view.
+
+        The returned object is a copy of the stored row; mutating it does
+        not write back.  ``wall_s`` always carries the stored per-segment
+        wall duration.
+        """
+        return Segment(
+            start_cycle=int(self._start_cycle[i]),
+            end_cycle=int(self._end_cycle[i]),
+            component=int(self._component[i]),
+            instructions=int(self._instructions[i]),
+            l2_accesses=int(self._l2_accesses[i]),
+            l2_misses=int(self._l2_misses[i]),
+            mem_accesses=int(self._mem_accesses[i]),
+            cpu_power_w=float(self._cpu_power[i]),
+            mem_power_w=float(self._mem_power[i]),
+            wall_s=float(self._duration[i]),
+            tag=self._tags[i],
+        )
 
     @property
     def segments(self):
-        """The list of segments (do not mutate)."""
-        return self._segments
+        """Materialized list of all segments (do not mutate)."""
+        return [self.segment(i) for i in range(self._n)]
+
+    @property
+    def tags(self):
+        """Per-segment tag strings (do not mutate)."""
+        return self._tags
 
     def append(self, segment):
         """Append *segment*, enforcing contiguity and ordering."""
@@ -150,8 +233,8 @@ class ExecutionTimeline:
                 f"segment ends before it starts: {segment.start_cycle}.."
                 f"{segment.end_cycle}"
             )
-        if self._segments:
-            prev_end = self._segments[-1].end_cycle
+        if self._n:
+            prev_end = self._end_cycle[self._n - 1]
             if segment.start_cycle != prev_end:
                 raise TimelineError(
                     f"segment starts at cycle {segment.start_cycle}, "
@@ -159,17 +242,77 @@ class ExecutionTimeline:
                 )
         if segment.cycles == 0:
             return  # zero-length segments carry no energy or time
-        self._segments.append(segment)
-        self._durations.append(segment.duration_s(self.clock_hz))
+        n = self._n
+        if n + 1 > self._capacity:
+            self._grow(n + 1)
+        self._start_cycle[n] = segment.start_cycle
+        self._end_cycle[n] = segment.end_cycle
+        self._component[n] = segment.component
+        self._instructions[n] = segment.instructions
+        self._l2_accesses[n] = segment.l2_accesses
+        self._l2_misses[n] = segment.l2_misses
+        self._mem_accesses[n] = segment.mem_accesses
+        self._cpu_power[n] = segment.cpu_power_w
+        self._mem_power[n] = segment.mem_power_w
+        self._duration[n] = segment.duration_s(self.clock_hz)
+        self._tags.append(segment.tag)
+        self._n = n + 1
         self._total_s = None
+        self._ends_s = None
+
+    def append_batch(self, start_cycles, end_cycles, component,
+                     instructions, l2_accesses, l2_misses, mem_accesses,
+                     cpu_power, mem_power, durations, tag=""):
+        """Append a contiguous run of segments from column arrays.
+
+        All array arguments must have the same length; ``component`` and
+        ``tag`` are scalars shared by the whole batch (a batch is always
+        the output of one activity).  The batch must be internally
+        contiguous and start where the timeline currently ends.
+        """
+        k = len(start_cycles)
+        if k == 0:
+            return
+        if self._n and int(start_cycles[0]) != int(
+                self._end_cycle[self._n - 1]):
+            raise TimelineError(
+                f"batch starts at cycle {int(start_cycles[0])}, expected "
+                f"{int(self._end_cycle[self._n - 1])} (timelines must be "
+                f"gap-free)"
+            )
+        cycles = np.asarray(end_cycles) - np.asarray(start_cycles)
+        if (cycles <= 0).any():
+            raise TimelineError(
+                "batch contains a zero or negative length segment"
+            )
+        if k > 1 and (start_cycles[1:] != end_cycles[:-1]).any():
+            raise TimelineError("batch is not internally contiguous")
+        n = self._n
+        if n + k > self._capacity:
+            self._grow(n + k)
+        sl = slice(n, n + k)
+        self._start_cycle[sl] = start_cycles
+        self._end_cycle[sl] = end_cycles
+        self._component[sl] = component
+        self._instructions[sl] = instructions
+        self._l2_accesses[sl] = l2_accesses
+        self._l2_misses[sl] = l2_misses
+        self._mem_accesses[sl] = mem_accesses
+        self._cpu_power[sl] = cpu_power
+        self._mem_power[sl] = mem_power
+        self._duration[sl] = durations
+        self._tags.extend([tag] * k)
+        self._n = n + k
+        self._total_s = None
+        self._ends_s = None
 
     @property
     def start_cycle(self):
-        return self._segments[0].start_cycle if self._segments else 0
+        return int(self._start_cycle[0]) if self._n else 0
 
     @property
     def end_cycle(self):
-        return self._segments[-1].end_cycle if self._segments else 0
+        return int(self._end_cycle[self._n - 1]) if self._n else 0
 
     @property
     def total_cycles(self):
@@ -185,109 +328,105 @@ class ExecutionTimeline:
         naive incremental accumulation drifts.
         """
         if self._total_s is None:
-            self._total_s = math.fsum(self._durations)
+            self._total_s = math.fsum(self._duration[: self._n])
         return self._total_s
+
+    def _component_sums(self, weights):
+        """Per-component sums of *weights* in encounter order."""
+        comps = self._component[: self._n]
+        out = {}
+        uniq, inverse = np.unique(comps, return_inverse=True)
+        sums = np.bincount(inverse, weights=weights)
+        for cid, total in zip(uniq, sums):
+            out[int(cid)] = total
+        return out
 
     def component_cycles(self):
         """Ground-truth cycles per component ID, as a dict."""
-        out = {}
-        for seg in self._segments:
-            out[seg.component] = out.get(seg.component, 0) + seg.cycles
-        return out
+        cycles = (
+            self._end_cycle[: self._n] - self._start_cycle[: self._n]
+        ).astype(np.float64)
+        return {
+            cid: int(v) for cid, v in self._component_sums(cycles).items()
+        }
 
     def component_seconds(self):
         """Ground-truth wall seconds per component ID."""
-        out = {}
-        for seg in self._segments:
-            out[seg.component] = (
-                out.get(seg.component, 0.0)
-                + seg.duration_s(self.clock_hz)
-            )
-        return out
+        return {
+            cid: float(v)
+            for cid, v in self._component_sums(
+                self._duration[: self._n]).items()
+        }
 
     def component_instructions(self):
         """Ground-truth retired instructions per component ID."""
-        out = {}
-        for seg in self._segments:
-            out[seg.component] = (
-                out.get(seg.component, 0) + seg.instructions
-            )
-        return out
+        instr = self._instructions[: self._n].astype(np.float64)
+        return {
+            cid: int(v) for cid, v in self._component_sums(instr).items()
+        }
 
     def cpu_energy_j(self):
         """Ground-truth total CPU energy over the timeline."""
-        return sum(s.cpu_energy_j(self.clock_hz) for s in self._segments)
+        n = self._n
+        return float(np.dot(self._cpu_power[:n], self._duration[:n]))
 
     def mem_energy_j(self):
         """Ground-truth total main-memory energy over the timeline."""
-        return sum(s.mem_energy_j(self.clock_hz) for s in self._segments)
+        n = self._n
+        return float(np.dot(self._mem_power[:n], self._duration[:n]))
 
     def component_cpu_energy_j(self):
         """Ground-truth CPU energy per component ID."""
-        out = {}
-        for seg in self._segments:
-            out[seg.component] = (
-                out.get(seg.component, 0.0)
-                + seg.cpu_energy_j(self.clock_hz)
-            )
-        return out
+        n = self._n
+        energy = self._cpu_power[:n] * self._duration[:n]
+        return {
+            cid: float(v) for cid, v in self._component_sums(energy).items()
+        }
 
     def to_arrays(self):
-        """Return a :class:`TimelineArrays` vectorized view for samplers."""
-        if not self._segments:
+        """Return a :class:`TimelineArrays` vectorized view for samplers.
+
+        This is zero-copy for the per-segment columns (read-only views of
+        the live buffers); only the cumulative wall-time bounds are
+        computed, and those are cached between appends.
+        """
+        if not self._n:
             raise TimelineError("cannot vectorize an empty timeline")
-        n = len(self._segments)
-        start_cycles = np.empty(n, dtype=np.int64)
-        end_cycles = np.empty(n, dtype=np.int64)
-        components = np.empty(n, dtype=np.int16)
-        cpu_power = np.empty(n, dtype=np.float64)
-        mem_power = np.empty(n, dtype=np.float64)
-        instructions = np.empty(n, dtype=np.int64)
-        l2_accesses = np.empty(n, dtype=np.int64)
-        l2_misses = np.empty(n, dtype=np.int64)
-        mem_accesses = np.empty(n, dtype=np.int64)
-        for i, seg in enumerate(self._segments):
-            start_cycles[i] = seg.start_cycle
-            end_cycles[i] = seg.end_cycle
-            components[i] = seg.component
-            cpu_power[i] = seg.cpu_power_w
-            mem_power[i] = seg.mem_power_w
-            instructions[i] = seg.instructions
-            l2_accesses[i] = seg.l2_accesses
-            l2_misses[i] = seg.l2_misses
-            mem_accesses[i] = seg.mem_accesses
-        durations = np.asarray(self._durations, dtype=np.float64)
-        ends_s = np.cumsum(durations)
-        starts_s = ends_s - durations
+        n = self._n
+        if self._ends_s is None or len(self._ends_s) != n:
+            self._ends_s = np.cumsum(self._duration[:n])
+        durations = self._duration[:n]
         return TimelineArrays(
-            starts_s=starts_s,
-            ends_s=ends_s,
-            start_cycles=start_cycles,
-            end_cycles=end_cycles,
-            components=components,
-            cpu_power=cpu_power,
-            mem_power=mem_power,
-            instructions=instructions,
-            l2_accesses=l2_accesses,
-            l2_misses=l2_misses,
-            mem_accesses=mem_accesses,
+            starts_s=self._ends_s - durations,
+            ends_s=self._ends_s,
+            start_cycles=self._start_cycle[:n],
+            end_cycles=self._end_cycle[:n],
+            components=self._component[:n],
+            cpu_power=self._cpu_power[:n],
+            mem_power=self._mem_power[:n],
+            instructions=self._instructions[:n],
+            l2_accesses=self._l2_accesses[:n],
+            l2_misses=self._l2_misses[:n],
+            mem_accesses=self._mem_accesses[:n],
             clock_hz=self.clock_hz,
         )
 
     def validate(self):
         """Re-check all invariants over the whole timeline (for tests)."""
-        for prev, cur in zip(self._segments, self._segments[1:]):
-            if cur.start_cycle != prev.end_cycle:
+        n = self._n
+        if n:
+            starts = self._start_cycle[:n]
+            ends = self._end_cycle[:n]
+            if n > 1 and (starts[1:] != ends[:-1]).any():
+                bad = int(np.flatnonzero(starts[1:] != ends[:-1])[0])
                 raise TimelineError(
-                    f"gap or overlap between cycle {prev.end_cycle} and "
-                    f"{cur.start_cycle}"
+                    f"gap or overlap between cycle {int(ends[bad])} and "
+                    f"{int(starts[bad + 1])}"
                 )
-        for seg in self._segments:
-            if seg.cycles <= 0:
+            if (ends <= starts).any():
                 raise TimelineError("zero or negative length segment stored")
-            if seg.wall_s is not None and seg.wall_s <= 0:
+            if (self._duration[:n] <= 0).any():
                 raise TimelineError("segment has non-positive wall time")
-        if self._segments:
             cumulative = float(self.to_arrays().ends_s[-1])
             if not math.isclose(self.duration_s, cumulative,
                                 rel_tol=1e-9, abs_tol=1e-12):
@@ -295,4 +434,6 @@ class ExecutionTimeline:
                     f"duration_s ({self.duration_s!r}) disagrees with the "
                     f"cumulative segment sum ({cumulative!r})"
                 )
+            if len(self._tags) != n:
+                raise TimelineError("tag column out of sync")
         return True

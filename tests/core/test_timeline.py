@@ -159,3 +159,108 @@ class TestDurationConsistency:
         tl.append(seg(1000, 2000, wall=2e-3))
         assert tl.duration_s == pytest.approx(3e-3)
         assert tl.validate()
+
+
+class TestAppendBatch:
+    """Column-array appends must be indistinguishable from scalar ones."""
+
+    def _batch_args(self):
+        import numpy as np
+
+        start = np.array([0, 100, 300], dtype=np.int64)
+        end = np.array([100, 300, 450], dtype=np.int64)
+        return dict(
+            start_cycles=start,
+            end_cycles=end,
+            component=2,
+            instructions=np.array([50, 120, 80], dtype=np.int64),
+            l2_accesses=np.array([5, 12, 8], dtype=np.int64),
+            l2_misses=np.array([1, 2, 1], dtype=np.int64),
+            mem_accesses=np.array([3, 7, 4], dtype=np.int64),
+            cpu_power=np.array([10.0, 11.5, 9.25]),
+            mem_power=np.array([0.5, 0.6, 0.4]),
+            durations=(end - start) / CLOCK,
+            tag="chunk",
+        )
+
+    def test_matches_scalar_appends(self):
+        args = self._batch_args()
+        batched = ExecutionTimeline(CLOCK)
+        batched.append_batch(**args)
+        scalar = ExecutionTimeline(CLOCK)
+        for i in range(3):
+            scalar.append(Segment(
+                start_cycle=int(args["start_cycles"][i]),
+                end_cycle=int(args["end_cycles"][i]),
+                component=args["component"],
+                instructions=int(args["instructions"][i]),
+                l2_accesses=int(args["l2_accesses"][i]),
+                l2_misses=int(args["l2_misses"][i]),
+                mem_accesses=int(args["mem_accesses"][i]),
+                cpu_power_w=float(args["cpu_power"][i]),
+                mem_power_w=float(args["mem_power"][i]),
+                wall_s=float(args["durations"][i]),
+                tag="chunk",
+            ))
+        assert len(batched) == len(scalar) == 3
+        for a, b in zip(batched, scalar):
+            assert a == b
+        assert batched.duration_s == scalar.duration_s
+        assert batched.validate()
+
+    def test_batch_must_start_at_timeline_end(self):
+        tl = ExecutionTimeline(CLOCK)
+        tl.append(seg(0, 50))
+        args = self._batch_args()  # starts at cycle 0, not 50
+        with pytest.raises(TimelineError):
+            tl.append_batch(**args)
+
+    def test_internal_gap_rejected(self):
+        args = self._batch_args()
+        args["start_cycles"][2] += 10
+        with pytest.raises(TimelineError):
+            ExecutionTimeline(CLOCK).append_batch(**args)
+
+    def test_zero_length_segment_rejected(self):
+        args = self._batch_args()
+        args["end_cycles"][1] = args["start_cycles"][1]
+        with pytest.raises(TimelineError):
+            ExecutionTimeline(CLOCK).append_batch(**args)
+
+    def test_empty_batch_is_noop(self):
+        import numpy as np
+
+        tl = ExecutionTimeline(CLOCK)
+        empty = np.array([], dtype=np.int64)
+        tl.append_batch(
+            start_cycles=empty, end_cycles=empty, component=0,
+            instructions=empty, l2_accesses=empty, l2_misses=empty,
+            mem_accesses=empty, cpu_power=empty.astype(float),
+            mem_power=empty.astype(float),
+            durations=empty.astype(float),
+        )
+        assert len(tl) == 0
+
+    def test_growth_across_many_batches(self):
+        import numpy as np
+
+        tl = ExecutionTimeline(CLOCK)
+        cycle = 0
+        for _ in range(64):
+            start = np.arange(cycle, cycle + 400, 40, dtype=np.int64)
+            end = start + 40
+            k = len(start)
+            tl.append_batch(
+                start_cycles=start, end_cycles=end, component=1,
+                instructions=np.full(k, 20, dtype=np.int64),
+                l2_accesses=np.zeros(k, dtype=np.int64),
+                l2_misses=np.zeros(k, dtype=np.int64),
+                mem_accesses=np.zeros(k, dtype=np.int64),
+                cpu_power=np.full(k, 5.0),
+                mem_power=np.full(k, 0.1),
+                durations=(end - start) / CLOCK,
+            )
+            cycle += 400
+        assert len(tl) == 64 * 10
+        assert tl.total_cycles == 64 * 400
+        assert tl.validate()

@@ -91,3 +91,48 @@ class TestCounting:
         snap = pmu.snapshot(0)
         pmu.record_segment(seg())
         assert snap.values[Event.CYCLES] == 0
+
+
+class TestRecordBatch:
+    """record_batch must accumulate exactly like per-segment recording."""
+
+    def _arrays(self):
+        import numpy as np
+
+        return dict(
+            cycles=np.array([100, 250, 90], dtype=np.int64),
+            instructions=np.array([80, 300, 45], dtype=np.int64),
+            l2_accesses=np.array([10, 25, 9], dtype=np.int64),
+            l2_misses=np.array([4, 11, 2], dtype=np.int64),
+            mem_accesses=np.array([4, 12, 3], dtype=np.int64),
+        )
+
+    def test_matches_per_segment_recording(self):
+        arrays = self._arrays()
+        batched = PerformanceCounters()
+        batched.program([Event.INSTRUCTIONS, Event.L2_MISSES,
+                         Event.STALL_CYCLES])
+        batched.record_batch(**arrays)
+        scalar = PerformanceCounters()
+        scalar.program([Event.INSTRUCTIONS, Event.L2_MISSES,
+                        Event.STALL_CYCLES])
+        for i in range(3):
+            scalar.record_segment(Segment(
+                start_cycle=0, end_cycle=int(arrays["cycles"][i]),
+                component=0,
+                instructions=int(arrays["instructions"][i]),
+                l2_accesses=int(arrays["l2_accesses"][i]),
+                l2_misses=int(arrays["l2_misses"][i]),
+                mem_accesses=int(arrays["mem_accesses"][i]),
+            ))
+        a = batched.snapshot(cycle=440).values
+        b = scalar.snapshot(cycle=440).values
+        assert a == b
+
+    def test_unprogrammed_events_not_counted(self):
+        batched = PerformanceCounters()
+        batched.program([Event.INSTRUCTIONS])
+        batched.record_batch(**self._arrays())
+        snap = batched.snapshot(cycle=440)
+        assert Event.L2_MISSES not in snap.values
+        assert snap.values[Event.INSTRUCTIONS] == 425

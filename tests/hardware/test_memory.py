@@ -59,3 +59,27 @@ class TestModel:
         model = MemoryModel(P6_SDRAM)
         power = model.power_w(3_000_000, 1.0)
         assert 0.3 < power < 2.0
+
+
+class TestPowerBatch:
+    """power_w_batch must be bitwise-equal elementwise to power_w."""
+
+    def test_bitwise_matches_scalar(self):
+        import numpy as np
+
+        model = MemoryModel(P6_SDRAM)
+        accesses = np.array([0.0, 1_000_000.0, 2_500_000.5, 4e6])
+        seconds = np.array([1.0, 0.5, 2.0, 0.25])
+        batch = model.power_w_batch(accesses, seconds)
+        for acc, sec, got in zip(accesses.tolist(), seconds.tolist(),
+                                 batch.tolist()):
+            assert got == model.power_w(acc, sec)
+
+    def test_zero_duration_entries_return_idle(self):
+        import numpy as np
+
+        model = MemoryModel(P6_SDRAM)
+        batch = model.power_w_batch(
+            np.array([100.0, 100.0]), np.array([0.0, 1.0])
+        )
+        assert batch[0] == model.power_w(100, 0.0)

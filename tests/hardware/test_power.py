@@ -87,3 +87,37 @@ class TestPlatformLevelPower:
         model = CPUPowerModel(PENTIUM_M)
         gc, app = model.power_w(0.55), model.power_w(0.80)
         assert (app - gc) / app < 0.2
+
+
+class TestPowerBatch:
+    """power_w_batch must be bitwise-equal elementwise to power_w."""
+
+    def test_bitwise_matches_scalar(self):
+        import numpy as np
+
+        model = CPUPowerModel(PENTIUM_M)
+        ipcs = np.array([0.0, 0.2, 0.55, 1.0, 1.7, 2.4])
+        batch = model.power_w_batch(ipcs, mix_factor=1.1)
+        for ipc, got in zip(ipcs.tolist(), batch.tolist()):
+            assert got == model.power_w(ipc, mix_factor=1.1)
+
+    def test_bitwise_with_dvfs_and_duty(self):
+        import numpy as np
+
+        model = CPUPowerModel(PXA255)
+        dvfs = DVFSState(freq_scale=0.7, voltage_scale=0.85)
+        ipcs = np.array([0.1, 0.8, 1.9])
+        batch = model.power_w_batch(
+            ipcs, mix_factor=0.95, dvfs=dvfs, duty_cycle=0.5
+        )
+        for ipc, got in zip(ipcs.tolist(), batch.tolist()):
+            assert got == model.power_w(
+                ipc, mix_factor=0.95, dvfs=dvfs, duty_cycle=0.5
+            )
+
+    def test_rejects_negative_ipc(self):
+        import numpy as np
+
+        model = CPUPowerModel(PENTIUM_M)
+        with pytest.raises(ConfigurationError):
+            model.power_w_batch(np.array([0.5, -0.1]))

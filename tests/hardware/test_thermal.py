@@ -125,3 +125,58 @@ class TestThrottleLatch:
         model = ThermalModel(PXA255_THERMAL, fan_enabled=False)
         model.step(0.3, 100_000.0)
         assert not model.throttled
+
+
+class TestStepBatch:
+    """Batched integration must be bitwise the scalar step sequence."""
+
+    def _sequences(self):
+        rng_powers = [13.5, 2.0, 14.0, 9.0, 0.5, 13.8, 13.9, 1.0]
+        dts = [0.05, 0.01, 0.4, 0.02, 0.3, 0.05, 0.1, 0.2]
+        return rng_powers, dts
+
+    def test_bitwise_matches_scalar_steps(self):
+        powers, dts = self._sequences()
+        scalar = ThermalModel(PENTIUM_M_THERMAL)
+        batched = ThermalModel(PENTIUM_M_THERMAL)
+        for p, dt in zip(powers, dts):
+            scalar.step(p, dt)
+        pos = 0
+        while pos < len(powers):
+            pos += batched.step_batch(powers[pos:], dts[pos:])
+        assert batched.temperature_c == scalar.temperature_c
+        assert batched.throttled == scalar.throttled
+        assert batched.history == scalar.history
+
+    def test_stops_after_trip(self):
+        model = ThermalModel(PENTIUM_M_THERMAL, fan_enabled=False)
+        # Constant hot power: the latch engages part-way through.
+        consumed = model.step_batch([14.0] * 50, [20.0] * 50)
+        assert model.throttled
+        assert 1 <= consumed < 50
+
+    def test_stops_after_release(self):
+        model = ThermalModel(PENTIUM_M_THERMAL, fan_enabled=False)
+        model.step(14.0, 10_000.0)
+        assert model.throttled
+        consumed = model.step_batch([0.0] * 20, [50.0] * 20)
+        assert not model.throttled
+        assert consumed < 20
+
+    def test_consumes_all_without_flip(self):
+        model = ThermalModel(PXA255_THERMAL)
+        assert model.step_batch([0.3] * 10, [1.0] * 10) == 10
+
+    def test_empty_batch(self):
+        model = ThermalModel(PXA255_THERMAL)
+        assert model.step_batch([], []) == 0
+
+    def test_negative_dt_rejected(self):
+        model = ThermalModel(PXA255_THERMAL)
+        with pytest.raises(ConfigurationError):
+            model.step_batch([0.3, 0.3], [1.0, -1.0])
+
+    def test_record_flag(self):
+        model = ThermalModel(PXA255_THERMAL)
+        model.step_batch([0.2, 0.2], [1.0, 1.0], record=False)
+        assert model.history == []

@@ -1,0 +1,99 @@
+"""Golden equivalence: batched engine vs. the per-segment legacy path.
+
+The batched execution engine is a pure performance change — ISSUE/PR 3's
+hard requirement is that it produces *identical* results, not merely
+close ones.  This suite drives full experiments (benchmark x VM x
+platform) through both engines and compares everything downstream of the
+scheduler: the ground-truth timeline, the energy decomposition, the
+perturbation report, and the DAQ trace's per-component attribution.
+
+Everything here is exact equality.  The engines share every arithmetic
+operation (scalar transcendental calls, sequential accumulation order),
+so any drift — even one ulp — is a bug, not tolerance noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import run_experiment
+from repro.jvm.components import Component
+from repro.jvm.scheduler import InstrumentedScheduler
+
+# 3 benchmarks x 2 VMs x 2 platforms, at reduced scale so the full
+# matrix (24 runs: each cell under both engines) stays test-suite cheap.
+BENCHMARKS = ["_202_jess", "_201_compress", "_213_javac"]
+VMS = ["jikes", "kaffe"]
+PLATFORMS = ["p6", "pxa255"]
+
+MATRIX = [
+    dict(benchmark=b, vm=v, platform=p)
+    for b in BENCHMARKS for v in VMS for p in PLATFORMS
+]
+
+
+def _run(engine, **config):
+    """Run one experiment with the scheduler engine forced to *engine*."""
+    saved = InstrumentedScheduler.DEFAULT_ENGINE
+    InstrumentedScheduler.DEFAULT_ENGINE = engine
+    try:
+        return run_experiment(
+            input_scale=0.1, seed=99, heap_mb=24, n_slices=40, **config
+        )
+    finally:
+        InstrumentedScheduler.DEFAULT_ENGINE = saved
+
+
+def _assert_equivalent(a, b):
+    # Ground truth: the timelines must match segment-for-segment.
+    ta = a.run.timeline.to_arrays()
+    tb = b.run.timeline.to_arrays()
+    assert len(a.run.timeline) == len(b.run.timeline)
+    for name in ("start_cycles", "end_cycles", "starts_s", "ends_s",
+                 "instructions", "l2_accesses", "l2_misses",
+                 "mem_accesses", "cpu_power", "mem_power", "components"):
+        assert (getattr(ta, name) == getattr(tb, name)).all(), name
+    assert a.duration_s == b.duration_s
+
+    # Energy decomposition: identical per-component joules and fractions.
+    assert a.breakdown.cpu_energy_j == b.breakdown.cpu_energy_j
+    assert a.breakdown.mem_energy_j == b.breakdown.mem_energy_j
+    for comp in Component:
+        assert a.breakdown.fraction(comp) == b.breakdown.fraction(comp)
+
+    # Perturbation report: the methodology's own cost must be identical.
+    assert a.run.port_writes == b.run.port_writes
+    assert a.perturbation.as_dict() == b.perturbation.as_dict()
+
+    # DAQ trace: same samples, same noise draws, same attribution.
+    assert (a.power.times_s == b.power.times_s).all()
+    assert (a.power.cpu_power_w == b.power.cpu_power_w).all()
+    assert (a.power.mem_power_w == b.power.mem_power_w).all()
+    assert (a.power.component == b.power.component).all()
+    hist_a = np.bincount(a.power.component, minlength=16)
+    hist_b = np.bincount(b.power.component, minlength=16)
+    assert (hist_a == hist_b).all()
+
+    # HPM sampler attribution.
+    assert a.perf.component_samples == b.perf.component_samples
+    assert a.perf.component_cycles == b.perf.component_cycles
+
+
+@pytest.mark.parametrize(
+    "config", MATRIX,
+    ids=lambda c: f"{c['benchmark'][1:]}-{c['vm']}-{c['platform']}",
+)
+def test_engines_produce_identical_results(config):
+    legacy = _run("legacy", **config)
+    batched = _run("batched", **config)
+    _assert_equivalent(legacy, batched)
+
+
+def test_equivalence_under_thermal_throttling():
+    # Fan off + repetitions pushes the P6 into its throttle region, so
+    # the duty-cycle feedback (batch early-flush) is exercised.
+    legacy = _run("legacy", benchmark="_213_javac", vm="jikes",
+                  platform="p6", fan_enabled=False, repetitions=3)
+    batched = _run("batched", benchmark="_213_javac", vm="jikes",
+                   platform="p6", fan_enabled=False, repetitions=3)
+    assert not legacy.config.fan_enabled
+    _assert_equivalent(legacy, batched)

@@ -52,8 +52,15 @@ class TestCalibration:
             calibrate_channel(sloppy_channel(rng), [5.0, 10.0],
                               samples_per_load=2)
 
-    def test_never_negative(self, rng):
+    def test_unclamped_noise_stays_symmetric(self, rng):
+        # Calibration corrects gain/offset but must not clamp: negative
+        # excursions at idle carry information the energy integral needs
+        # (clamping happens only at export; see tests/measurement/
+        # test_sense.py::TestIdleRailBias).
         channel = sloppy_channel(rng)
         cal = calibrate_channel(channel, [4.5, 8.0, 12.0])
         corrected = CalibratedChannel(channel, cal)
-        assert (corrected.measure(np.zeros(5000)) >= 0).all()
+        measured = corrected.measure(np.zeros(50000))
+        assert (measured < 0).any()
+        assert (measured > 0).any()
+        assert abs(measured.mean()) < 0.05

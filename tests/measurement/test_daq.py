@@ -226,3 +226,48 @@ class TestPreFirstLatch:
         assert seconds.get(3, 0.0) == pytest.approx(
             0.005, abs=2 * 40e-6
         )
+
+
+class TestRelativeTolerance:
+    """Window counting must tolerate ulp-level float shortfalls."""
+
+    def test_one_period_minus_one_ulp_yields_one_sample(self, daq):
+        period = daq.sample_period_s
+        duration = period * (1 - 1e-12)
+        timeline, port = synthetic_timeline([(0, duration, 10.0)])
+        trace = daq.acquire(timeline, port)
+        assert trace.n_samples == 1
+        assert trace.window_s[0] == pytest.approx(period)
+
+    def test_many_periods_minus_one_ulp_has_no_phantom_tail(self, daq):
+        period = daq.sample_period_s
+        duration = 250 * period * (1 - 1e-12)
+        timeline, port = synthetic_timeline([(0, duration, 10.0)])
+        trace = daq.acquire(timeline, port)
+        # An absolute epsilon would drop the final window here (the
+        # shortfall scales with N); the relative tolerance must not.
+        assert trace.n_samples == 250
+        assert (trace.window_s == period).all()
+
+    def test_cumulative_float_sum_duration(self, daq):
+        # A duration built the way real runs build it: thousands of tiny
+        # wall stamps summing to a hair under a whole number of periods.
+        period = daq.sample_period_s
+        n_spans = 1000
+        span = 40 * period / n_spans
+        timeline, port = synthetic_timeline(
+            [(0, span, 10.0)] * n_spans
+        )
+        trace = daq.acquire(timeline, port)
+        assert trace.n_samples in (40, 41)
+        covered = float(trace.window_s.sum())
+        assert covered == pytest.approx(timeline.duration_s, rel=1e-9)
+
+    def test_hpm_sampler_same_tolerance(self, p6):
+        from repro.measurement.hpm_sampler import HPMSampler
+
+        sampler = HPMSampler(p6, period_s=1e-3)
+        duration = 1e-3 * (1 - 1e-12)
+        timeline, port = synthetic_timeline([(0, duration, 10.0)])
+        trace = sampler.sample(timeline, port)
+        assert trace.n_samples == 1
