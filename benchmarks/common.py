@@ -28,8 +28,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.campaign import CampaignRunner
-from repro.core.experiment import ExperimentConfig
 from repro.jvm.components import Component
+from repro.spec import ScenarioSpec
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -167,12 +167,15 @@ def record_from_payload(payload):
 
 def cell(benchmark, vm="jikes", platform="p6", collector=None,
          heap_mb=64, input_scale=1.0, seed=SEED):
-    """One figure-grid cell as an :class:`ExperimentConfig`."""
-    return ExperimentConfig(
-        benchmark=benchmark, vm=vm, platform=platform,
-        collector=collector, heap_mb=heap_mb,
-        input_scale=input_scale, seed=seed,
-    )
+    """One figure-grid cell as an :class:`ExperimentConfig`.
+
+    Routed through the scenario layer so figure cells are the same
+    objects a spec file or the CLI flag path would build.
+    """
+    return ScenarioSpec.for_experiment(
+        benchmark, vm=vm, platform=platform, collector=collector,
+        heap_mb=heap_mb, input_scale=input_scale, seed=seed,
+    ).experiment_config()
 
 
 class ExperimentCache:

@@ -21,6 +21,17 @@ Quickstart::
     result = run_experiment(benchmark="_213_javac", vm="jikes",
                             collector="SemiSpace", heap_mb=32)
     print(result.summary())
+
+or, declaratively (see docs/SCENARIOS.md)::
+
+    from repro import ScenarioSpec
+
+    spec = ScenarioSpec.from_file("examples/scenarios/quickstart.toml")
+    config = spec.validate().experiment_config()
+
+Components (platforms, VMs, collectors, workloads, extensions) live in
+capability-aware registries (:mod:`repro.registry`); third-party code
+can plug in new ones through the ``register_*`` entry points.
 """
 
 from repro.core.experiment import (
@@ -32,21 +43,47 @@ from repro.core.experiment import (
 from repro.core.metrics import EnergyBreakdown, edp
 from repro.hardware.platform import Platform, make_platform
 from repro.jvm.components import Component
+from repro.registry import (
+    COLLECTORS,
+    EXTENSIONS,
+    PLATFORMS,
+    VMS,
+    WORKLOADS,
+    register_collector,
+    register_extension,
+    register_platform,
+    register_vm,
+    register_workload,
+)
+from repro.spec import ScenarioSpec, build_platform, build_vm
 from repro.workloads import all_benchmarks, get_benchmark
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "COLLECTORS",
     "Component",
+    "EXTENSIONS",
     "EnergyBreakdown",
     "Experiment",
     "ExperimentConfig",
     "ExperimentResult",
+    "PLATFORMS",
     "Platform",
+    "ScenarioSpec",
+    "VMS",
+    "WORKLOADS",
     "all_benchmarks",
+    "build_platform",
+    "build_vm",
     "edp",
     "get_benchmark",
     "make_platform",
+    "register_collector",
+    "register_extension",
+    "register_platform",
+    "register_vm",
+    "register_workload",
     "run_experiment",
     "__version__",
 ]

@@ -20,7 +20,6 @@ import json
 import os
 import pickle
 import tempfile
-from dataclasses import asdict
 from pathlib import Path
 
 #: Bump when cached payloads become incompatible with current code.
@@ -43,12 +42,18 @@ def config_key(config):
 
     The key covers every config field (sorted, canonical JSON) plus the
     package version and cache schema version, so simulator upgrades
-    never resurface stale cells.
+    never resurface stale cells.  Canonicalization is shared with the
+    scenario layer (:func:`repro.spec.canonical_experiment_dict`):
+    fields introduced after the v1 schema are omitted while they hold
+    their defaults, so configs predating them keep their historical
+    keys, and a scenario spec's hash and its cells' cache keys derive
+    from the same identity.
     """
     from repro import __version__
+    from repro.spec import canonical_experiment_dict
 
     payload = {
-        "config": asdict(config),
+        "config": canonical_experiment_dict(config),
         "repro_version": __version__,
         "cache_version": CACHE_VERSION,
     }

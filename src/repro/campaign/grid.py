@@ -7,7 +7,14 @@ concrete, deterministic list of
 :class:`~repro.core.experiment.ExperimentConfig` cells.  Expansion
 skips combinations the VMs cannot run (a Jikes-only collector under
 Kaffe and vice versa), mirroring how the original study simply had no
-such column in its tables.
+such column in its tables.  Which VM supports which collector is a
+registry query (:func:`repro.registry.collector_supported`), so
+registered extension VMs and collectors participate automatically.
+
+Beyond the paper's axes, campaigns can sweep input scale, DAQ sampling
+period, and DVFS operating point (``input_scales`` /
+``daq_periods_s`` / ``dvfs_freq_scales``); the scalar fields remain as
+single-value conveniences.
 """
 
 import hashlib
@@ -17,39 +24,49 @@ from typing import Optional
 
 from repro.core.experiment import ExperimentConfig
 from repro.errors import ConfigurationError
+from repro.hardware.platform import validate_overrides
+from repro.registry import collector_supported
 from repro.units import DAQ_SAMPLE_PERIOD_S
 
-#: Collector -> VMs that implement it.  ``None`` (VM default) fits all.
-_COLLECTOR_VMS = {
-    "SemiSpace": ("jikes",),
-    "MarkSweep": ("jikes",),
-    "GenCopy": ("jikes",),
-    "GenMS": ("jikes",),
-    "KaffeGC": ("kaffe",),
-}
-
-
-def collector_supported(vm, collector):
-    """Whether *vm* implements *collector* (``None`` = VM default)."""
-    if collector is None:
-        return True
-    vms = _COLLECTOR_VMS.get(collector)
-    return vms is None or vm in vms
+__all__ = [
+    "CampaignConfig",
+    "collector_supported",
+    "derive_cell_seed",
+    "expand_grid",
+]
 
 
 def derive_cell_seed(base_seed, benchmark, vm, platform, collector,
-                     heap_mb):
+                     heap_mb, input_scale=1.0,
+                     daq_period_s=DAQ_SAMPLE_PERIOD_S,
+                     dvfs_freq_scale=None, overrides=(),
+                     spec_version=1):
     """Stable per-cell seed derived from the cell's identity.
 
     Unlike seeding by grid position, adding or removing axis values
     never shifts the seed of an unrelated cell, so previously cached
     results stay valid as a campaign grows.
+
+    ``spec_version`` gates the identity: version 1 reproduces the
+    historical hash over (seed, benchmark, vm, platform, collector,
+    heap) so existing cache entries keep their keys; version 2 (the
+    scenario-spec default) extends it with the newly sweepable axes —
+    input scale, DAQ period, DVFS point, hardware overrides — so cells
+    differing only in those never share a derived seed.
     """
-    ident = "|".join([
+    parts = [
         str(base_seed), benchmark, vm, platform, str(collector),
         str(heap_mb),
-    ])
-    digest = hashlib.sha256(ident.encode("utf-8")).digest()
+    ]
+    if spec_version >= 2:
+        parts += [
+            repr(float(input_scale)),
+            repr(float(daq_period_s)),
+            repr(None if dvfs_freq_scale is None
+                 else float(dvfs_freq_scale)),
+            repr(tuple(overrides)),
+        ]
+    digest = hashlib.sha256("|".join(parts).encode("utf-8")).digest()
     return int.from_bytes(digest[:4], "big")
 
 
@@ -60,7 +77,9 @@ class CampaignConfig:
     Every sequence-valued axis is normalized to a tuple so configs are
     hashable and order-stable; the cross product of all axes (minus
     VM/collector combinations that cannot run) is the campaign's cell
-    list.
+    list.  The plural axes ``input_scales``/``daq_periods_s``/
+    ``dvfs_freq_scales`` default to wrapping their scalar counterparts,
+    which stay for backwards compatibility.
     """
 
     benchmarks: tuple
@@ -79,6 +98,18 @@ class CampaignConfig:
     #: Derive a unique, stable seed per cell from each base seed instead
     #: of running every cell with the base seed itself.
     derive_seeds: bool = False
+    #: Sweepable counterparts of the scalar fields above (``None`` =
+    #: sweep just the scalar's value).
+    input_scales: Optional[tuple] = None
+    daq_periods_s: Optional[tuple] = None
+    dvfs_freq_scales: Optional[tuple] = None
+    #: Hardware-constant overrides applied to every cell's platform
+    #: (canonical tuple of pairs; see
+    #: :data:`repro.hardware.platform.SUPPORTED_OVERRIDES`).
+    overrides: tuple = ()
+    #: Scenario-spec schema version; gates :func:`derive_cell_seed`
+    #: identity (1 = legacy axes only, 2 = full cell identity).
+    spec_version: int = 1
 
     def __post_init__(self):
         for axis in ("benchmarks", "vms", "platforms", "collectors",
@@ -90,6 +121,26 @@ class CampaignConfig:
             if not value:
                 raise ConfigurationError(f"{axis} cannot be empty")
             object.__setattr__(self, axis, value)
+        for axis, scalar in (("input_scales", self.input_scale),
+                             ("daq_periods_s", self.daq_period_s),
+                             ("dvfs_freq_scales", self.dvfs_freq_scale)):
+            value = getattr(self, axis)
+            if value is None:
+                value = (scalar,)
+            elif isinstance(value, (int, float)):
+                value = (value,)
+            value = tuple(value)
+            if not value:
+                raise ConfigurationError(f"{axis} cannot be empty")
+            object.__setattr__(self, axis, value)
+        object.__setattr__(
+            self, "overrides", validate_overrides(self.overrides)
+        )
+        if self.spec_version not in (1, 2):
+            raise ConfigurationError(
+                f"unknown spec_version {self.spec_version!r} "
+                "(supported: 1, 2)"
+            )
 
     @property
     def n_cells(self):
@@ -104,19 +155,26 @@ def expand_grid(campaign):
     """Expand *campaign* into a list of :class:`ExperimentConfig` cells.
 
     Iteration order is the deterministic cross product
-    (benchmark, vm, platform, collector, heap, seed); unsupported
-    VM/collector pairs are skipped.
+    (benchmark, vm, platform, collector, heap, seed, input scale, DAQ
+    period, DVFS point); unsupported VM/collector pairs are skipped.
     """
     cells = []
-    for bench, vm, platform, collector, heap, seed in product(
+    for (bench, vm, platform, collector, heap, seed, input_scale,
+         daq_period, dvfs) in product(
         campaign.benchmarks, campaign.vms, campaign.platforms,
         campaign.collectors, campaign.heap_mbs, campaign.seeds,
+        campaign.input_scales, campaign.daq_periods_s,
+        campaign.dvfs_freq_scales,
     ):
         if not collector_supported(vm, collector):
             continue
         if campaign.derive_seeds:
-            seed = derive_cell_seed(seed, bench, vm, platform,
-                                    collector, heap)
+            seed = derive_cell_seed(
+                seed, bench, vm, platform, collector, heap,
+                input_scale=input_scale, daq_period_s=daq_period,
+                dvfs_freq_scale=dvfs, overrides=campaign.overrides,
+                spec_version=campaign.spec_version,
+            )
         cells.append(ExperimentConfig(
             benchmark=bench,
             vm=vm,
@@ -124,13 +182,14 @@ def expand_grid(campaign):
             collector=collector,
             heap_mb=heap,
             seed=seed,
-            input_scale=campaign.input_scale,
+            input_scale=input_scale,
             warmup=campaign.warmup,
             repetitions=campaign.repetitions,
             fan_enabled=campaign.fan_enabled,
             n_slices=campaign.n_slices,
-            daq_period_s=campaign.daq_period_s,
-            dvfs_freq_scale=campaign.dvfs_freq_scale,
+            daq_period_s=daq_period,
+            dvfs_freq_scale=dvfs,
+            overrides=campaign.overrides,
         ))
     if not cells:
         raise ConfigurationError(

@@ -3,19 +3,28 @@
 Provides the workflows a user of the paper's infrastructure would run
 day to day::
 
-    repro list                             # benchmarks and platforms
+    repro list                             # registries: benchmarks, VMs...
     repro run _213_javac --collector SemiSpace --heap 32
     repro run -b _202_jess --trace out.json --metrics
+    repro run --spec examples/scenarios/quickstart.toml
     repro sweep _213_javac --heaps 32 48 128
     repro campaign --benchmarks _202_jess _209_db \
         --collectors SemiSpace GenCopy --heaps 32 64 --workers 4
-    repro campaign --benchmarks _202_jess --trace-dir traces/
+    repro campaign --spec examples/scenarios/heap_ladder.toml
+    repro spec validate examples/scenarios/*.toml
+    repro spec show my_scenario.toml       # canonical form + cells
+    repro spec hash my_scenario.toml       # stable SHA-256 identity
     repro thermal --fan-off --repetitions 40
     repro validate --periods 40 200 1000
     repro pauses _213_javac --heap 48
     repro workload _209_db
     repro export _202_jess --output results/jess
     repro trace out.json                   # summarize a recorded trace
+
+Flag-based experiment selection is a thin adapter over the scenario
+layer: flags build a single-cell :class:`~repro.spec.ScenarioSpec`, so
+``repro run -b X`` and ``repro run --spec equivalent.toml`` execute the
+identical cell (see docs/SCENARIOS.md).
 
 The top-level ``--verbose``/``--quiet`` flags configure structured
 JSON-lines logging (to stderr) once, for every subcommand::
@@ -28,34 +37,107 @@ JSON-lines logging (to stderr) once, for every subcommand::
 import argparse
 import sys
 
-from repro.core.experiment import run_experiment
+from repro import registry
+from repro.core.experiment import Experiment
 from repro.core.report import (
     render_perturbation,
     render_series,
     render_table,
 )
+from repro.errors import ConfigurationError
 from repro.jvm.components import Component
 from repro.obs import Observability
 from repro.obs import logging as obs_logging
+from repro.spec import ScenarioSpec
 from repro.workloads import all_benchmarks
 
 
-def _add_experiment_args(parser):
-    parser.add_argument("--vm", default="jikes",
-                        choices=("jikes", "kaffe"))
-    parser.add_argument("--platform", default="p6",
-                        choices=("p6", "pxa255"))
-    parser.add_argument("--collector", default=None,
-                        help="SemiSpace|MarkSweep|GenCopy|GenMS "
-                             "(jikes) or KaffeGC (kaffe)")
-    parser.add_argument("--heap", type=int, default=64,
-                        help="heap size in MB")
-    parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument("--input-scale", type=float, default=1.0,
-                        help="input size factor (0.1 approximates "
-                             "SpecJVM98 -s10)")
-    parser.add_argument("--dvfs", type=float, default=None,
-                        help="fixed DVFS frequency scale in (0.1, 1]")
+def _add_experiment_args(parser, positional_benchmark=True):
+    """The one shared experiment-selection group.
+
+    Every experiment-shaped subcommand gets the same flags; ``run``,
+    ``sweep``, ``pauses``, and ``export`` also accept the benchmark
+    positionally or via ``-b/--bench``.
+    """
+    group = parser.add_argument_group("experiment selection")
+    if positional_benchmark:
+        group.add_argument("benchmark", nargs="?", default=None)
+        group.add_argument("-b", "--bench", default=None,
+                           help="benchmark name (alternative to the "
+                                "positional argument)")
+    group.add_argument("--vm", default="jikes",
+                       choices=tuple(registry.VMS.names()))
+    group.add_argument("--platform", default="p6",
+                       choices=tuple(registry.PLATFORMS.names()))
+    group.add_argument("--collector", default=None,
+                       help="one of: "
+                            + "|".join(registry.COLLECTORS.names())
+                            + " (default: the VM's default)")
+    group.add_argument("--heap", type=int, default=64,
+                       help="heap size in MB")
+    group.add_argument("--seed", type=int, default=42)
+    group.add_argument("--input-scale", type=float, default=1.0,
+                       help="input size factor (0.1 approximates "
+                            "SpecJVM98 -s10)")
+    group.add_argument("--dvfs", type=float, default=None,
+                       help="fixed DVFS frequency scale in (0.1, 1]")
+    return group
+
+
+def _add_spec_arg(parser):
+    parser.add_argument("--spec", default=None, metavar="FILE",
+                        help="TOML/JSON scenario spec (overrides the "
+                             "experiment-selection flags)")
+
+
+def _resolve_benchmark(args, command):
+    benchmark = args.benchmark or getattr(args, "bench", None)
+    if benchmark is None:
+        print(f"repro {command}: name a benchmark (positionally or "
+              "with -b), or pass --spec", file=sys.stderr)
+    return benchmark
+
+
+def _spec_from_args(args, benchmark):
+    """The flag path's adapter: flags -> single-cell ScenarioSpec."""
+    return ScenarioSpec.for_experiment(
+        benchmark,
+        vm=args.vm,
+        platform=args.platform,
+        collector=args.collector,
+        heap_mb=args.heap,
+        seed=args.seed,
+        input_scale=args.input_scale,
+        dvfs_freq_scale=args.dvfs,
+    )
+
+
+def _load_spec(path):
+    """Load + validate a spec file; prints the error and returns None
+    on failure so commands can exit 2 uniformly."""
+    try:
+        return ScenarioSpec.from_file(path).validate()
+    except ConfigurationError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return None
+
+
+def _single_cell_config(args, command):
+    """Resolve run/pauses/validate-style args into one ExperimentConfig
+    (spec file or flags), or None after printing an error."""
+    if getattr(args, "spec", None):
+        spec = _load_spec(args.spec)
+        if spec is None:
+            return None
+        try:
+            return spec.experiment_config()
+        except ConfigurationError as exc:
+            print(f"repro {command}: {exc}", file=sys.stderr)
+            return None
+    benchmark = _resolve_benchmark(args, command)
+    if benchmark is None:
+        return None
+    return _spec_from_args(args, benchmark).experiment_config()
 
 
 def cmd_list(args):
@@ -68,32 +150,64 @@ def cmd_list(args):
         ["Suite", "Benchmark", "Alloc MB", "Description"], rows,
         title="Available benchmarks (the paper's Figure 5):",
     ))
-    print("\nPlatforms: p6 (Pentium M 1.6 GHz development board), "
-          "pxa255 (Intel DBPXA255 board)")
+    print()
+    print(render_table(
+        ["Platform", "Clock", "HPM period", "Port", "Description"],
+        [
+            [entry.name,
+             f"{entry.metadata['clock_hz'] / 1e6:.0f} MHz",
+             f"{entry.metadata['hpm_period_s'] * 1e3:.0f} ms",
+             entry.metadata["port"],
+             entry.describe()]
+            for entry in registry.PLATFORMS
+        ],
+        title="Platforms:",
+    ))
+    print()
+    print(render_table(
+        ["VM", "Collectors", "Default", "Description"],
+        [
+            [entry.name,
+             " ".join(entry.metadata.get("collectors", ())),
+             entry.metadata.get("default_collector") or "-",
+             entry.describe()]
+            for entry in registry.VMS
+        ],
+        title="Virtual machines:",
+    ))
+    print()
+    print(render_table(
+        ["Collector", "VMs", "Description"],
+        [
+            [entry.name,
+             " ".join(entry.metadata.get("vms", ())),
+             entry.describe()]
+            for entry in registry.COLLECTORS
+        ],
+        title="Garbage collectors:",
+    ))
+    print()
+    print(render_table(
+        ["Extension", "Kind", "Description"],
+        [
+            [entry.name, entry.metadata.get("kind", "-"),
+             entry.describe()]
+            for entry in registry.EXTENSIONS
+        ],
+        title="Extensions (paper Section VII):",
+    ))
     return 0
 
 
 def cmd_run(args):
-    benchmark = args.benchmark or args.bench
-    if benchmark is None:
-        print("repro run: name a benchmark (positionally or with -b)",
-              file=sys.stderr)
+    config = _single_cell_config(args, "run")
+    if config is None:
         return 2
     obs = Observability.create(
         trace=bool(args.trace),
         metrics=bool(args.trace) or args.metrics,
     )
-    result = run_experiment(
-        benchmark,
-        vm=args.vm,
-        platform=args.platform,
-        collector=args.collector,
-        heap_mb=args.heap,
-        seed=args.seed,
-        input_scale=args.input_scale,
-        dvfs_freq_scale=args.dvfs,
-        obs=obs,
-    )
+    result = Experiment(config, obs=obs).run()
     print(result.summary())
     print()
     rows = []
@@ -128,24 +242,27 @@ def cmd_run(args):
 
 
 def cmd_sweep(args):
+    benchmark = _resolve_benchmark(args, "sweep")
+    if benchmark is None:
+        return 2
+    spec = ScenarioSpec(
+        benchmarks=(benchmark,),
+        vms=(args.vm,),
+        platforms=(args.platform,),
+        collectors=tuple(args.collectors),
+        heap_mbs=tuple(args.heaps),
+        seeds=(args.seed,),
+        input_scales=(args.input_scale,),
+        dvfs_freq_scales=(args.dvfs,),
+    )
     obs = Observability.create(trace=False, metrics=False)
     series = {}
-    for collector in args.collectors:
-        points = []
-        for heap in args.heaps:
-            result = run_experiment(
-                args.benchmark,
-                vm=args.vm,
-                platform=args.platform,
-                collector=collector,
-                heap_mb=heap,
-                seed=args.seed,
-                input_scale=args.input_scale,
-                obs=obs,
-            )
-            points.append((heap, result.edp))
-        series[collector] = points
-    print(f"EDP (joule-seconds) for {args.benchmark}:")
+    for config in spec.cells():
+        result = Experiment(config, obs=obs).run()
+        series.setdefault(config.collector, []).append(
+            (config.heap_mb, result.edp)
+        )
+    print(f"EDP (joule-seconds) for {benchmark}:")
     print(render_series(series, x_label="heap MB", y_fmt="{:.0f}"))
     return 0
 
@@ -185,17 +302,17 @@ def cmd_workload(args):
 
 def cmd_pauses(args):
     from repro.analysis.pauses import mmu_curve, pause_stats
-    from repro.hardware.platform import make_platform
-    from repro.jvm.vm import make_vm
+    from repro.spec import build_vm
 
-    platform = make_platform(args.platform)
-    vm = make_vm(args.vm, platform, collector=args.collector,
-                 heap_mb=args.heap, seed=args.seed,
-                 obs=Observability.create(trace=False, metrics=False))
-    run = vm.run(args.benchmark, input_scale=args.input_scale)
+    config = _single_cell_config(args, "pauses")
+    if config is None:
+        return 2
+    vm = build_vm(config,
+                  obs=Observability.create(trace=False, metrics=False))
+    run = vm.run(config.benchmark, input_scale=config.input_scale)
     stats = pause_stats(run.timeline)
-    print(f"{args.benchmark} ({run.collector_name}, {args.heap} MB): "
-          f"{stats.describe()}")
+    print(f"{config.benchmark} ({run.collector_name}, "
+          f"{config.heap_mb} MB): {stats.describe()}")
     rows = [
         [f"{1000 * w:.0f}", u]
         for w, u in mmu_curve(run.timeline)
@@ -210,16 +327,12 @@ def cmd_pauses(args):
 def cmd_export(args):
     from repro.export import power_trace_to_csv, result_to_json
 
-    result = run_experiment(
-        args.benchmark,
-        vm=args.vm,
-        platform=args.platform,
-        collector=args.collector,
-        heap_mb=args.heap,
-        seed=args.seed,
-        input_scale=args.input_scale,
-        obs=Observability.create(trace=False, metrics=False),
-    )
+    config = _single_cell_config(args, "export")
+    if config is None:
+        return 2
+    result = Experiment(
+        config, obs=Observability.create(trace=False, metrics=False)
+    ).run()
     json_path = result_to_json(result, args.output + ".json")
     csv_path = power_trace_to_csv(result.power, args.output + ".csv")
     print(f"wrote {json_path} (summary) and {csv_path} "
@@ -230,23 +343,41 @@ def cmd_export(args):
 def cmd_campaign(args):
     import json
 
-    from repro.campaign import CampaignConfig, CampaignRunner
+    from repro.campaign import CampaignRunner
     from repro.campaign.cache import default_cache_dir
 
-    collectors = tuple(
-        None if c in ("default", "none") else c
-        for c in args.collectors
-    )
-    campaign = CampaignConfig(
-        benchmarks=tuple(args.benchmarks),
-        vms=tuple(args.vms),
-        platforms=tuple(args.platforms),
-        collectors=collectors,
-        heap_mbs=tuple(args.heaps),
-        seeds=tuple(args.seeds),
-        input_scale=args.input_scale,
-        derive_seeds=args.derive_seeds,
-    )
+    if args.spec:
+        if args.benchmarks:
+            print("repro campaign: give either --spec or --benchmarks, "
+                  "not both", file=sys.stderr)
+            return 2
+        spec = _load_spec(args.spec)
+        if spec is None:
+            return 2
+    else:
+        if not args.benchmarks:
+            print("repro campaign: name benchmarks with --benchmarks "
+                  "or pass --spec", file=sys.stderr)
+            return 2
+        collectors = tuple(
+            None if c in ("default", "none") else c
+            for c in args.collectors
+        )
+        spec = ScenarioSpec(
+            benchmarks=tuple(args.benchmarks),
+            vms=tuple(args.vms),
+            platforms=tuple(args.platforms),
+            collectors=collectors,
+            heap_mbs=tuple(args.heaps),
+            seeds=tuple(args.seeds),
+            input_scales=(args.input_scale,),
+            derive_seeds=args.derive_seeds,
+            version=1,
+        )
+    campaign = spec.campaign_config()
+    print(f"scenario {spec.name or '(unnamed)'} "
+          f"spec-hash {spec.spec_hash()[:16]} "
+          f"({len(campaign.cells())} cells)")
     cache_dir = None if args.no_cache else (
         args.cache_dir or default_cache_dir()
     )
@@ -308,24 +439,64 @@ def cmd_campaign(args):
         ))
     if args.output:
         path = args.output
+        report = result.as_dict()
+        report["scenario"] = {
+            "name": spec.name,
+            "spec_hash": spec.spec_hash(),
+            "spec": spec.to_dict(),
+        }
         with open(path, "w") as handle:
-            json.dump(result.as_dict(), handle, indent=2,
+            json.dump(report, handle, indent=2,
                       sort_keys=True, default=str)
         print(f"wrote {path} (machine-readable campaign report)")
     return 1 if result.failed_cells() else 0
 
 
+def cmd_spec(args):
+    import json
+
+    status = 0
+    for path in args.files:
+        try:
+            spec = ScenarioSpec.from_file(path)
+        except ConfigurationError as exc:
+            print(f"{path}: ERROR {exc}", file=sys.stderr)
+            status = 1
+            continue
+        problems = spec.problems()
+        if args.action == "validate":
+            if problems:
+                for problem in problems:
+                    print(f"{path}: INVALID {problem}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"{path}: ok ({len(spec.cells())} cells, "
+                      f"hash {spec.spec_hash()[:16]})")
+        elif args.action == "hash":
+            print(f"{spec.spec_hash()}  {path}")
+        elif args.action == "show":
+            print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+            if problems:
+                for problem in problems:
+                    print(f"{path}: INVALID {problem}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"# {len(spec.cells())} cells, "
+                      f"hash {spec.spec_hash()}")
+    return status
+
+
 def cmd_validate(args):
-
     from repro.analysis.validation import attribution_error
-    from repro.hardware.platform import make_platform
-    from repro.jvm.vm import make_vm
+    from repro.spec import build_platform, build_vm
 
-    platform = make_platform(args.platform)
-    vm = make_vm(args.vm, platform, collector=args.collector,
-                 heap_mb=args.heap, seed=args.seed,
-                 obs=Observability.create(trace=False, metrics=False))
-    run = vm.run(args.benchmark, input_scale=args.input_scale)
+    config = _single_cell_config(args, "validate")
+    if config is None:
+        return 2
+    platform = build_platform(config)
+    vm = build_vm(config, platform,
+                  obs=Observability.create(trace=False, metrics=False))
+    run = vm.run(config.benchmark, input_scale=config.input_scale)
     rows = []
     for period_us in args.periods:
         report = attribution_error(
@@ -374,22 +545,21 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks and platforms")
+    sub.add_parser(
+        "list",
+        help="list registered benchmarks, platforms, VMs, collectors",
+    )
 
     p_run = sub.add_parser("run", help="run one experiment")
-    p_run.add_argument("benchmark", nargs="?", default=None)
-    p_run.add_argument("-b", "--bench", default=None,
-                       help="benchmark name (alternative to the "
-                            "positional argument)")
     p_run.add_argument("--trace", default=None, metavar="PATH",
                        help="write a Chrome trace-event JSON of the "
                             "run (open in Perfetto)")
     p_run.add_argument("--metrics", action="store_true",
                        help="print the pipeline metrics registry")
     _add_experiment_args(p_run)
+    _add_spec_arg(p_run)
 
     p_sweep = sub.add_parser("sweep", help="EDP heap sweep")
-    p_sweep.add_argument("benchmark")
     _add_experiment_args(p_sweep)
     p_sweep.add_argument(
         "--heaps", type=int, nargs="+",
@@ -404,11 +574,11 @@ def build_parser():
         "campaign",
         help="run an experiment matrix in parallel with caching",
     )
-    p_campaign.add_argument("--benchmarks", nargs="+", required=True)
+    p_campaign.add_argument("--benchmarks", nargs="+", default=None)
     p_campaign.add_argument("--vms", nargs="+", default=["jikes"],
-                            choices=("jikes", "kaffe"))
+                            choices=tuple(registry.VMS.names()))
     p_campaign.add_argument("--platforms", nargs="+", default=["p6"],
-                            choices=("p6", "pxa255"))
+                            choices=tuple(registry.PLATFORMS.names()))
     p_campaign.add_argument(
         "--collectors", nargs="+", default=["default"],
         help="collector names; 'default' uses each VM's default "
@@ -423,6 +593,7 @@ def build_parser():
         "--derive-seeds", action="store_true",
         help="derive a unique, stable seed per cell from each base seed",
     )
+    _add_spec_arg(p_campaign)
     p_campaign.add_argument("--workers", type=int, default=1,
                             help="worker processes (1 = in-process)")
     p_campaign.add_argument(
@@ -444,6 +615,13 @@ def build_parser():
              "cells) plus one sim-clock trace per executed cell",
     )
 
+    p_spec = sub.add_parser(
+        "spec", help="validate, show, or hash scenario spec files"
+    )
+    p_spec.add_argument("action", choices=("validate", "show", "hash"))
+    p_spec.add_argument("files", nargs="+",
+                        help="TOML/JSON scenario spec files")
+
     p_thermal = sub.add_parser("thermal",
                                help="Figure 1 thermal experiment")
     p_thermal.add_argument("--benchmark", default="_222_mpegaudio")
@@ -454,21 +632,22 @@ def build_parser():
         "validate", help="attribution error vs sampling period"
     )
     p_val.add_argument("--benchmark", default="_202_jess")
-    _add_experiment_args(p_val)
+    _add_experiment_args(p_val, positional_benchmark=False)
+    _add_spec_arg(p_val)
     p_val.add_argument("--periods", type=float, nargs="+",
                        default=[40.0, 200.0, 1000.0, 10000.0])
 
     p_pauses = sub.add_parser(
         "pauses", help="GC pause statistics and MMU curve"
     )
-    p_pauses.add_argument("benchmark")
     _add_experiment_args(p_pauses)
+    _add_spec_arg(p_pauses)
 
     p_export = sub.add_parser(
         "export", help="run one experiment and export JSON + CSV"
     )
-    p_export.add_argument("benchmark")
     _add_experiment_args(p_export)
+    _add_spec_arg(p_export)
     p_export.add_argument("--output", default="experiment",
                           help="output path prefix")
 
@@ -494,6 +673,7 @@ COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
     "campaign": cmd_campaign,
+    "spec": cmd_spec,
     "thermal": cmd_thermal,
     "validate": cmd_validate,
     "pauses": cmd_pauses,

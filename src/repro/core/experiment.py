@@ -21,9 +21,8 @@ import numpy as np
 from repro.core.decomposition import component_profiles, decompose
 from repro.core.metrics import edp, perturbation_report
 from repro.errors import ConfigurationError
-from repro.hardware.platform import make_platform
+from repro.hardware.platform import validate_overrides
 from repro.jvm.components import Component
-from repro.jvm.vm import make_vm
 from repro.measurement.daq import DAQ
 from repro.measurement.hpm_sampler import HPMSampler
 from repro.obs import NULL_OBS
@@ -47,6 +46,11 @@ class ExperimentConfig:
     n_slices: int = 160
     daq_period_s: float = DAQ_SAMPLE_PERIOD_S
     dvfs_freq_scale: Optional[float] = None
+    #: Hardware-constant overrides for the cell's platform, as a
+    #: canonical tuple of ``(key, value)`` pairs (a mapping is accepted
+    #: and normalized); see
+    #: :data:`repro.hardware.platform.SUPPORTED_OVERRIDES`.
+    overrides: tuple = ()
 
     def __post_init__(self):
         if self.heap_mb <= 0:
@@ -55,6 +59,16 @@ class ExperimentConfig:
             raise ConfigurationError("input_scale must be positive")
         if self.repetitions < 1:
             raise ConfigurationError("repetitions must be >= 1")
+        if self.n_slices < 1:
+            raise ConfigurationError("n_slices must be >= 1")
+        if self.daq_period_s <= 0:
+            # A zero period would hang the DAQ sampler loop.
+            raise ConfigurationError("daq_period_s must be positive")
+        if self.seed < 0:
+            raise ConfigurationError("seed must be >= 0")
+        object.__setattr__(
+            self, "overrides", validate_overrides(self.overrides)
+        )
 
 
 @dataclass
@@ -161,18 +175,12 @@ class Experiment:
                               vm=cfg.vm, platform=cfg.platform,
                               seed=cfg.seed):
             with tracer.wall_span("setup"):
-                platform = make_platform(cfg.platform,
-                                         fan_enabled=cfg.fan_enabled)
-                vm = make_vm(
-                    cfg.vm,
-                    platform,
-                    collector=cfg.collector,
-                    heap_mb=cfg.heap_mb,
-                    seed=cfg.seed,
-                    n_slices=cfg.n_slices,
-                    dvfs_freq_scale=cfg.dvfs_freq_scale,
-                    obs=obs,
-                )
+                # Builders live in the scenario layer (imported lazily:
+                # repro.spec imports this module at its top level).
+                from repro.spec import build_platform, build_vm
+
+                platform = build_platform(cfg)
+                vm = build_vm(cfg, platform, obs=obs)
             # The paper's warm-up pass is modeled inside the VM run
             # (``warm=`` pre-heats OS caches), so execution is a single
             # phase here; see docs/OBSERVABILITY.md.

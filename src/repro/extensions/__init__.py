@@ -28,6 +28,48 @@ from repro.extensions.power_estimator import (
     fit_power_model,
 )
 from repro.extensions.thermal_policy import ThermalAwareVM
+from repro.jvm.gc import JIKES_COLLECTORS
+from repro.registry import register_extension, register_vm
+
+register_extension(
+    "power-estimator", fit_power_model, kind="model",
+    description="counter-driven runtime power estimation (ISLPED'05)",
+)
+register_extension(
+    "dvfs-governor", governed_vm, kind="scheduler",
+    description="memory-boundness DVFS governor (Process Cruise Control)",
+)
+register_extension(
+    "thermal-policy", ThermalAwareVM, kind="vm",
+    description="GC-as-cooldown thermal-aware VM (Section VI-C)",
+)
+register_extension(
+    "heap-sizing", AdaptiveHeapVM, kind="vm",
+    description="GC-overhead-driven adaptive heap growth",
+)
+
+# The two extension VMs are full VM-registry citizens: a scenario spec
+# can name them in its ``vms`` axis exactly like "jikes" or "kaffe".
+register_vm(
+    "thermal-aware",
+    ThermalAwareVM,
+    description="Jikes RVM scheduling GC as a cooling action",
+    style="jikes",
+    collectors=JIKES_COLLECTORS,
+    default_collector=ThermalAwareVM.default_collector,
+    platforms=("p6", "pxa255"),
+    extension=True,
+)
+register_vm(
+    "adaptive-heap",
+    AdaptiveHeapVM,
+    description="Jikes RVM with GC-overhead-driven heap growth",
+    style="jikes",
+    collectors=("SemiSpace", "MarkSweep"),
+    default_collector="SemiSpace",
+    platforms=("p6", "pxa255"),
+    extension=True,
+)
 
 __all__ = [
     "AdaptiveHeapVM",

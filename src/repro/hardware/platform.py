@@ -1,14 +1,21 @@
 """Platform bundles: CPU + memory + power + thermal + instrumentation.
 
 A :class:`Platform` groups everything the VM and the measurement
-infrastructure need about one hardware system.  Two factory configurations
-mirror the paper (Section IV-B):
+infrastructure need about one hardware system.  Two factory
+configurations mirror the paper (Section IV-B):
 
 * ``make_platform("p6")`` — the Pentium M development board,
 * ``make_platform("pxa255")`` — the Intel DBPXA255 development board.
+
+Both are entries in the platform registry
+(:data:`repro.registry.PLATFORMS`); new boards plug in through
+:func:`repro.registry.register_platform` without editing this module.
+Scenario specs can override a small set of hardware constants per run
+(:data:`SUPPORTED_OVERRIDES`): clock scale, memory latency, L2 size,
+thermal parameters, and the HPM sampling period.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 from repro.hardware import ioport
@@ -26,7 +33,8 @@ from repro.hardware.thermal import (
     PXA255_THERMAL,
     ThermalModel,
 )
-from repro.units import HPM_PERIOD_P6_S, HPM_PERIOD_PXA255_S
+from repro.registry import PLATFORMS, register_platform
+from repro.units import HPM_PERIOD_P6_S, HPM_PERIOD_PXA255_S, KB
 
 
 @dataclass
@@ -68,37 +76,139 @@ class Platform:
         self.counters.reset()
 
 
-def make_platform(name, fan_enabled=True):
-    """Build a fresh platform instance by name (``"p6"`` or ``"pxa255"``).
+#: Hardware constants a scenario spec may override, with validators.
+#: Keys absent here are rejected at config time, not at run time.
+SUPPORTED_OVERRIDES = {
+    "clock_scale": "CPU clock multiplier, in (0, 4]",
+    "mem_latency_cycles": "main-memory latency in core cycles (> 0)",
+    "l2_size_kb": "L2 capacity in KiB (platform must have an L2)",
+    "ambient_c": "ambient temperature in degrees Celsius",
+    "trip_c": "thermal-throttle trip point in degrees Celsius",
+    "hpm_period_s": "HPM sampling period in seconds (> 0)",
+}
+
+
+def validate_overrides(overrides):
+    """Check override keys and value shapes; raises ConfigurationError.
+
+    Accepts a mapping or an iterable of ``(key, value)`` pairs and
+    returns the canonical sorted tuple of pairs.
+    """
+    if overrides is None:
+        return ()
+    pairs = (
+        sorted(overrides.items()) if hasattr(overrides, "items")
+        else sorted(tuple(p) for p in overrides)
+    )
+    canonical = []
+    for key, value in pairs:
+        if key not in SUPPORTED_OVERRIDES:
+            raise ConfigurationError(
+                f"unknown hardware override {key!r}; supported: "
+                f"{sorted(SUPPORTED_OVERRIDES)}"
+            )
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigurationError(
+                f"override {key!r} must be a number, got {value!r}"
+            )
+        if key == "clock_scale" and not (0.0 < value <= 4.0):
+            raise ConfigurationError("clock_scale must be in (0, 4]")
+        if key in ("mem_latency_cycles", "l2_size_kb", "hpm_period_s") \
+                and value <= 0:
+            raise ConfigurationError(f"{key} must be positive")
+        canonical.append((key, value))
+    return tuple(canonical)
+
+
+def _apply_overrides(cpu_spec, thermal_spec, hpm_period_s, overrides):
+    """Fold validated overrides into the frozen hardware specs."""
+    ov = dict(validate_overrides(overrides))
+    if "clock_scale" in ov:
+        cpu_spec = replace(
+            cpu_spec, clock_hz=cpu_spec.clock_hz * ov["clock_scale"]
+        )
+    if "mem_latency_cycles" in ov:
+        cpu_spec = replace(
+            cpu_spec, mem_latency_cycles=int(ov["mem_latency_cycles"])
+        )
+    if "l2_size_kb" in ov:
+        if cpu_spec.l2 is None:
+            raise ConfigurationError(
+                f"{cpu_spec.name} has no L2 cache to resize"
+            )
+        cpu_spec = replace(
+            cpu_spec,
+            l2=replace(cpu_spec.l2,
+                       size_bytes=int(ov["l2_size_kb"]) * KB),
+        )
+    if "ambient_c" in ov:
+        thermal_spec = replace(thermal_spec, ambient_c=ov["ambient_c"])
+    if "trip_c" in ov:
+        thermal_spec = replace(
+            thermal_spec, trip_c=ov["trip_c"],
+            resume_c=min(thermal_spec.resume_c, ov["trip_c"] - 2.0),
+        )
+    return cpu_spec, thermal_spec, ov.get("hpm_period_s", hpm_period_s)
+
+
+@register_platform(
+    "p6",
+    aliases=("pentium-m", "pentium_m"),
+    description="Pentium M 1.6 GHz development board",
+    clock_hz=1.6e9,
+    hpm_period_s=HPM_PERIOD_P6_S,
+    port="parallel-port",
+    hpm_counters=4,
+    heap_ladder_mb=(32, 48, 64, 80, 96, 112, 128),
+)
+def _build_p6(fan_enabled=True, overrides=None):
+    cpu_spec, thermal_spec, hpm_period_s = _apply_overrides(
+        PENTIUM_M, PENTIUM_M_THERMAL, HPM_PERIOD_P6_S, overrides
+    )
+    return Platform(
+        name="p6",
+        cpu=CPU(cpu_spec),
+        memory=MemoryModel(P6_SDRAM),
+        power_model=CPUPowerModel(cpu_spec),
+        thermal=ThermalModel(thermal_spec, fan_enabled=fan_enabled),
+        port=ioport.parallel_port(),
+        counters=PerformanceCounters(max_programmable=4),
+        hpm_period_s=hpm_period_s,
+    )
+
+
+@register_platform(
+    "pxa255",
+    aliases=("dbpxa255", "xscale"),
+    description="Intel DBPXA255 (XScale, 400 MHz) development board",
+    clock_hz=400e6,
+    hpm_period_s=HPM_PERIOD_PXA255_S,
+    port="gpio",
+    hpm_counters=2,
+    heap_ladder_mb=(12, 16, 20, 24, 28, 32),
+)
+def _build_pxa255(fan_enabled=True, overrides=None):
+    cpu_spec, thermal_spec, hpm_period_s = _apply_overrides(
+        PXA255, PXA255_THERMAL, HPM_PERIOD_PXA255_S, overrides
+    )
+    return Platform(
+        name="pxa255",
+        cpu=CPU(cpu_spec),
+        memory=MemoryModel(PXA255_SDRAM),
+        power_model=CPUPowerModel(cpu_spec),
+        thermal=ThermalModel(thermal_spec, fan_enabled=fan_enabled),
+        port=ioport.gpio_pins(),
+        counters=PerformanceCounters(max_programmable=2),
+        hpm_period_s=hpm_period_s,
+    )
+
+
+def make_platform(name, fan_enabled=True, overrides=None):
+    """Build a fresh platform instance by registered name or alias.
 
     Each call returns independent state, so concurrent experiments never
-    share latches or thermal state.
+    share latches or thermal state.  ``overrides`` is an optional
+    mapping (or tuple of pairs) over :data:`SUPPORTED_OVERRIDES`.
     """
-    key = name.lower()
-    if key in ("p6", "pentium-m", "pentium_m"):
-        cpu = CPU(PENTIUM_M)
-        return Platform(
-            name="p6",
-            cpu=cpu,
-            memory=MemoryModel(P6_SDRAM),
-            power_model=CPUPowerModel(PENTIUM_M),
-            thermal=ThermalModel(PENTIUM_M_THERMAL, fan_enabled=fan_enabled),
-            port=ioport.parallel_port(),
-            counters=PerformanceCounters(max_programmable=4),
-            hpm_period_s=HPM_PERIOD_P6_S,
-        )
-    if key in ("pxa255", "dbpxa255", "xscale"):
-        cpu = CPU(PXA255)
-        return Platform(
-            name="pxa255",
-            cpu=cpu,
-            memory=MemoryModel(PXA255_SDRAM),
-            power_model=CPUPowerModel(PXA255),
-            thermal=ThermalModel(PXA255_THERMAL, fan_enabled=fan_enabled),
-            port=ioport.gpio_pins(),
-            counters=PerformanceCounters(max_programmable=2),
-            hpm_period_s=HPM_PERIOD_PXA255_S,
-        )
-    raise ConfigurationError(
-        f"unknown platform {name!r}; expected 'p6' or 'pxa255'"
-    )
+    return PLATFORMS.create(name, fan_enabled=fan_enabled,
+                            overrides=overrides)

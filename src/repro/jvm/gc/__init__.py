@@ -12,39 +12,63 @@ The paper's Figure 3 taxonomy:
 Kaffe's incremental tri-color conservative mark-sweep collector is in
 :class:`~repro.jvm.gc.kaffe_gc.KaffeGC`.
 
-Use :func:`make_collector` to instantiate by the names the paper uses.
+Every collector is an entry in the collector registry
+(:data:`repro.registry.COLLECTORS`) carrying which VMs implement it;
+use :func:`make_collector` to instantiate by the names the paper uses,
+or :func:`repro.registry.register_collector` to plug in a new one.
 """
 
-from repro.errors import UnknownCollectorError
+from repro.errors import ConfigurationError, UnknownCollectorError
 from repro.jvm.gc.base import CollectionReport, Collector, GCStats
 from repro.jvm.gc.generational import GenCopy, GenMS
 from repro.jvm.gc.kaffe_gc import KaffeGC
 from repro.jvm.gc.marksweep import MarkSweep
 from repro.jvm.gc.semispace import SemiSpace
+from repro.registry import COLLECTORS as COLLECTOR_REGISTRY
+from repro.registry import register_collector
 
-#: Collector registry keyed by the names used in the paper's figures.
+register_collector(
+    "SemiSpace", SemiSpace, vms=("jikes",), generational=False,
+    description="copying semispace collector",
+)
+register_collector(
+    "MarkSweep", MarkSweep, vms=("jikes",), generational=False,
+    description="non-moving mark-sweep collector",
+)
+register_collector(
+    "GenCopy", GenCopy, vms=("jikes",), generational=True,
+    description="copying nursery + semispace mature generation",
+)
+register_collector(
+    "GenMS", GenMS, vms=("jikes",), generational=True,
+    description="copying nursery + mark-sweep mature generation",
+)
+register_collector(
+    "KaffeGC", KaffeGC, vms=("kaffe",), generational=False,
+    description="incremental tri-color conservative mark-sweep",
+)
+
+#: Collector classes keyed by the names used in the paper's figures
+#: (a read-only view of the registry, kept for convenience).
 COLLECTORS = {
-    "SemiSpace": SemiSpace,
-    "MarkSweep": MarkSweep,
-    "GenCopy": GenCopy,
-    "GenMS": GenMS,
-    "KaffeGC": KaffeGC,
+    entry.name: entry.obj for entry in COLLECTOR_REGISTRY.entries()
 }
 
-#: The four Jikes RVM collectors studied in Figures 6-8.
+#: The four Jikes RVM collectors studied in Figures 6-8, in the
+#: figures' order.
 JIKES_COLLECTORS = ("SemiSpace", "MarkSweep", "GenCopy", "GenMS")
 
 
 def make_collector(name, heap_bytes, rng):
-    """Instantiate a collector by paper name over a ``heap_bytes`` heap."""
+    """Instantiate a collector by registered name over ``heap_bytes``."""
     try:
-        cls = COLLECTORS[name]
-    except KeyError:
+        entry = COLLECTOR_REGISTRY.get(name)
+    except ConfigurationError:
         raise UnknownCollectorError(
             f"unknown collector {name!r}; expected one of "
-            f"{sorted(COLLECTORS)}"
+            f"{COLLECTOR_REGISTRY.names()}"
         ) from None
-    return cls(heap_bytes, rng)
+    return entry.obj(heap_bytes, rng)
 
 
 __all__ = [

@@ -45,6 +45,8 @@ from repro.jvm.objects import ReferenceFactory, RootSet
 from repro.jvm.profiles import profile_for
 from repro.jvm.scheduler import InstrumentedScheduler
 from repro.obs import NULL_OBS
+from repro.registry import VMS as VM_REGISTRY
+from repro.registry import register_vm
 from repro.units import MB
 from repro.workloads import get_benchmark
 from repro.workloads.generator import WorkloadRun
@@ -628,22 +630,38 @@ class KaffeVM(BaseVM):
             method.tier = "interp"
 
 
-#: VM registry keyed by the names used throughout the package.
-VMS = {
-    "jikes": JikesRVM,
-    "kaffe": KaffeVM,
-}
+register_vm(
+    "jikes",
+    JikesRVM,
+    description="IBM Jikes RVM 2.4.1 (adaptive optimization, 4 GCs)",
+    style="jikes",
+    collectors=JIKES_COLLECTORS,
+    default_collector=JikesRVM.default_collector,
+    platforms=("p6", "pxa255"),
+)
+register_vm(
+    "kaffe",
+    KaffeVM,
+    description="Kaffe 1.1.4 (JIT, incremental mark-sweep GC)",
+    style="kaffe",
+    collectors=KaffeVM.supported_collectors,
+    default_collector=KaffeVM.default_collector,
+    platforms=("p6", "pxa255"),
+)
 
 
 def make_vm(vm_name, platform, collector=None, heap_mb=64, seed=42,
             n_slices=160, dvfs_freq_scale=None, obs=None):
-    """Instantiate a VM by name (``"jikes"`` or ``"kaffe"``)."""
-    try:
-        cls = VMS[vm_name.lower()]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown VM {vm_name!r}; expected one of {sorted(VMS)}"
-        ) from None
-    return cls(platform, collector=collector, heap_mb=heap_mb, seed=seed,
-               n_slices=n_slices, dvfs_freq_scale=dvfs_freq_scale,
-               obs=obs)
+    """Instantiate a VM by registered name (e.g. ``"jikes"``).
+
+    ``collector=None`` picks the registry's default for that VM (which
+    matches the VM class default for the built-in VMs but lets
+    registered extension VMs declare their own).
+    """
+    entry = VM_REGISTRY.get(vm_name)
+    if collector is None:
+        collector = entry.metadata.get("default_collector")
+    return entry.obj(
+        platform, collector=collector, heap_mb=heap_mb, seed=seed,
+        n_slices=n_slices, dvfs_freq_scale=dvfs_freq_scale, obs=obs,
+    )

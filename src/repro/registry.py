@@ -1,0 +1,236 @@
+"""Capability-aware component registries.
+
+Every pluggable component family — hardware platforms, virtual
+machines, garbage collectors, benchmark workloads, and the Section VII
+extensions — lives in one :class:`Registry`.  A registry maps canonical
+names (and aliases) to the registered object plus free-form metadata,
+so capability questions ("which VMs implement GenMS?", "what is the
+P6's HPM period?") are registry queries instead of hardcoded tables
+scattered across the package.
+
+Components register themselves at import time through the module-level
+entry points::
+
+    from repro.registry import register_platform
+
+    @register_platform("p6", aliases=("pentium-m",), clock_hz=1.6e9)
+    def _build_p6(fan_enabled=True, overrides=None):
+        ...
+
+Each registry lazily imports its default provider modules on first
+lookup, so ``repro.registry`` itself has no dependency on (and no
+import cycle with) the component packages.  Third-party code can call
+the same entry points to plug in new platforms, VMs, collectors, or
+workloads without editing anything in core.
+"""
+
+import importlib
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component: object, names, and capability metadata."""
+
+    name: str
+    obj: object
+    kind: str
+    aliases: tuple = ()
+    metadata: dict = field(default_factory=dict)
+
+    def describe(self):
+        return self.metadata.get("description", "")
+
+
+class Registry:
+    """Name -> :class:`RegistryEntry` map with aliases and lazy providers.
+
+    Lookup is case-insensitive over canonical names and aliases.
+    ``providers`` are module paths imported on first access; importing
+    them triggers their module-level ``register_*`` calls.
+    """
+
+    def __init__(self, kind, providers=()):
+        self.kind = kind
+        self.providers = tuple(providers)
+        self._entries = {}          # canonical name -> RegistryEntry
+        self._names = {}            # lowercase name/alias -> canonical
+        self._loaded = False
+
+    # -- registration -------------------------------------------------
+
+    def register(self, name, obj=None, *, aliases=(), replace=False,
+                 **metadata):
+        """Register *obj* under *name* (usable as a decorator).
+
+        ``aliases`` are alternative lookup names; ``metadata`` keywords
+        are stored on the entry for capability queries.  Registering an
+        already-taken name raises unless ``replace=True``.
+        """
+        if obj is None:
+            def _decorator(target):
+                self.register(name, target, aliases=aliases,
+                              replace=replace, **metadata)
+                return target
+            return _decorator
+        keys = [name.lower(), *(a.lower() for a in aliases)]
+        if not replace:
+            for key in keys:
+                if key in self._names:
+                    raise ConfigurationError(
+                        f"{self.kind} name {key!r} is already "
+                        f"registered (to {self._names[key]!r}); pass "
+                        "replace=True to override"
+                    )
+        entry = RegistryEntry(name=name, obj=obj, kind=self.kind,
+                              aliases=tuple(aliases), metadata=metadata)
+        self._entries[name] = entry
+        for key in keys:
+            self._names[key] = name
+        return obj
+
+    def unregister(self, name):
+        """Remove an entry (tests and plugin teardown)."""
+        self._ensure_loaded()
+        entry = self.get(name)
+        del self._entries[entry.name]
+        self._names = {
+            k: v for k, v in self._names.items() if v != entry.name
+        }
+        return entry
+
+    # -- lookup -------------------------------------------------------
+
+    def _ensure_loaded(self):
+        if not self._loaded:
+            self._loaded = True
+            for module in self.providers:
+                importlib.import_module(module)
+
+    def get(self, name):
+        """The :class:`RegistryEntry` for *name* (or an alias)."""
+        self._ensure_loaded()
+        try:
+            return self._entries[self._names[str(name).lower()]]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; expected one of "
+                f"{self.names()}"
+            ) from None
+
+    def create(self, name, *args, **kwargs):
+        """Instantiate the registered factory/class for *name*."""
+        return self.get(name).obj(*args, **kwargs)
+
+    def names(self):
+        """Sorted canonical names."""
+        self._ensure_loaded()
+        return sorted(self._entries)
+
+    def entries(self):
+        """All entries, in registration order (providers register in
+        their own canonical order, e.g. Figure 5 order for workloads)."""
+        self._ensure_loaded()
+        return list(self._entries.values())
+
+    def query(self, **metadata):
+        """Entries whose metadata matches every given key/value, where
+        a metadata value that is a tuple/list/set matches if it
+        *contains* the queried value."""
+        matches = []
+        for entry in self.entries():
+            for key, wanted in metadata.items():
+                have = entry.metadata.get(key)
+                if isinstance(have, (tuple, list, set, frozenset)):
+                    if wanted not in have:
+                        break
+                elif have != wanted:
+                    break
+            else:
+                matches.append(entry)
+        return matches
+
+    def __contains__(self, name):
+        self._ensure_loaded()
+        return str(name).lower() in self._names
+
+    def __iter__(self):
+        return iter(self.entries())
+
+    def __len__(self):
+        self._ensure_loaded()
+        return len(self._entries)
+
+    def __repr__(self):
+        return f"Registry({self.kind!r}, {len(self)} entries)"
+
+
+#: The five component families.  Provider modules self-register on
+#: import; looking anything up loads them on demand.
+PLATFORMS = Registry("platform", providers=("repro.hardware.platform",))
+VMS = Registry("vm", providers=("repro.jvm.vm", "repro.extensions"))
+COLLECTORS = Registry("collector", providers=("repro.jvm.gc",))
+WORKLOADS = Registry("workload", providers=("repro.workloads",))
+EXTENSIONS = Registry("extension", providers=("repro.extensions",))
+
+register_platform = PLATFORMS.register
+register_vm = VMS.register
+register_collector = COLLECTORS.register
+register_workload = WORKLOADS.register
+register_extension = EXTENSIONS.register
+
+
+# -- capability queries ----------------------------------------------
+
+def collectors_for_vm(vm):
+    """Collector names the named VM implements, in registry order."""
+    return tuple(VMS.get(vm).metadata.get("collectors", ()))
+
+
+def vms_for_collector(collector):
+    """Names of every registered VM that implements *collector*."""
+    return tuple(
+        entry.name for entry in VMS.query(collectors=collector)
+    )
+
+
+def collector_supported(vm, collector):
+    """Whether *vm* implements *collector* (``None`` = VM default)."""
+    if collector is None:
+        return True
+    if vm not in VMS:
+        return False
+    return collector in collectors_for_vm(vm)
+
+
+def default_collector(vm):
+    """The named VM's default collector."""
+    return VMS.get(vm).metadata.get("default_collector")
+
+
+def platform_traits(platform):
+    """The named platform's trait metadata (clock, periods, port...)."""
+    return dict(PLATFORMS.get(platform).metadata)
+
+
+__all__ = [
+    "COLLECTORS",
+    "EXTENSIONS",
+    "PLATFORMS",
+    "Registry",
+    "RegistryEntry",
+    "VMS",
+    "WORKLOADS",
+    "collector_supported",
+    "collectors_for_vm",
+    "default_collector",
+    "platform_traits",
+    "register_collector",
+    "register_extension",
+    "register_platform",
+    "register_vm",
+    "register_workload",
+    "vms_for_collector",
+]

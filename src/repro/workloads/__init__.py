@@ -12,7 +12,9 @@ microarchitectural character.
 Use :func:`get_benchmark` / :func:`all_benchmarks` to access the registry.
 """
 
-from repro.errors import UnknownBenchmarkError
+from repro.errors import ConfigurationError, UnknownBenchmarkError
+from repro.registry import WORKLOADS as WORKLOAD_REGISTRY
+from repro.registry import register_workload
 from repro.workloads.dacapo import DACAPO
 from repro.workloads.jgf import JGF
 from repro.workloads.server import SERVER
@@ -20,20 +22,29 @@ from repro.workloads.spec import BenchmarkSpec
 from repro.workloads.specjvm98 import SPECJVM98
 from repro.workloads.generator import Slice, WorkloadRun
 
-#: All benchmarks keyed by name — the paper's sixteen (Figure 5 order)
-#: plus the synthetic Server suite (Section VII future work).
-REGISTRY = {}
+#: All benchmarks — the paper's sixteen (Figure 5 order) plus the
+#: synthetic Server suite (Section VII future work) — registered into
+#: the workload registry.  ``REGISTRY`` is a convenience name->spec
+#: view; the registry itself is the source of truth, so specs added
+#: through :func:`repro.registry.register_workload` are visible to
+#: :func:`get_benchmark` without touching this module.
 for _spec in (*SPECJVM98, *DACAPO, *JGF, *SERVER):
-    REGISTRY[_spec.name] = _spec
+    register_workload(_spec.name, _spec, suite=_spec.suite,
+                      description=_spec.description)
+
+REGISTRY = {
+    entry.name: entry.obj for entry in WORKLOAD_REGISTRY.entries()
+}
 
 
 def get_benchmark(name):
     """Look up a benchmark spec by its paper name (e.g. ``"_213_javac"``)."""
     try:
-        return REGISTRY[name]
-    except KeyError:
+        return WORKLOAD_REGISTRY.get(name).obj
+    except ConfigurationError:
         raise UnknownBenchmarkError(
-            f"unknown benchmark {name!r}; known: {sorted(REGISTRY)}"
+            f"unknown benchmark {name!r}; known: "
+            f"{WORKLOAD_REGISTRY.names()}"
         ) from None
 
 
@@ -44,11 +55,10 @@ def all_benchmarks(suite=None):
     (Figure 5).  Pass ``"SpecJVM98"``, ``"DaCapo"``, ``"JGF"``, or
     ``"Server"`` (the Section VII extension suite) to select one.
     """
+    specs = [e.obj for e in WORKLOAD_REGISTRY.entries()]
     if suite is None:
-        return [
-            s for s in REGISTRY.values() if s.suite in suite_names()
-        ]
-    return [s for s in REGISTRY.values() if s.suite == suite]
+        return [s for s in specs if s.suite in suite_names()]
+    return [s for s in specs if s.suite == suite]
 
 
 def suite_names():
