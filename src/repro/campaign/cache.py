@@ -22,6 +22,57 @@ import pickle
 import tempfile
 from pathlib import Path
 
+#: Glob matching cache entries under a shard root (``ab/<hash>.<ext>``).
+_ENTRY_GLOB = "*/*"
+
+
+def scan_entries(root):
+    """All cache entry files under *root* as ``(path, size, mtime)``.
+
+    Entries that vanish mid-scan (a concurrent prune or clear) are
+    skipped rather than raised.
+    """
+    root = Path(root)
+    if not root.exists():
+        return []
+    out = []
+    for path in root.glob(_ENTRY_GLOB):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        if path.is_file() and not path.name.endswith(".tmp"):
+            out.append((path, stat.st_size, stat.st_mtime))
+    return out
+
+
+def prune_lru(root, max_bytes):
+    """Delete least-recently-used entries until *root* fits *max_bytes*.
+
+    Recency is mtime: readers are expected to ``os.utime`` entries they
+    serve (both :class:`ResultCache` and the serve-layer result store
+    do), so "least recently used" really means least recently *read or
+    written*, not just oldest.  Returns ``(n_removed, bytes_removed)``.
+    """
+    if max_bytes < 0:
+        raise ValueError("max_bytes cannot be negative")
+    entries = scan_entries(root)
+    total = sum(size for _, size, _ in entries)
+    n_removed = 0
+    bytes_removed = 0
+    # Oldest first; stop as soon as the directory fits.
+    for path, size, _ in sorted(entries, key=lambda e: e[2]):
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        n_removed += 1
+        bytes_removed += size
+    return n_removed, bytes_removed
+
 #: Bump when cached payloads become incompatible with current code.
 CACHE_VERSION = 1
 
@@ -94,6 +145,10 @@ class ResultCache:
                 pass
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # mark recently-used for LRU pruning
+        except OSError:
+            pass
         return payload
 
     def put(self, config, payload):
@@ -130,6 +185,31 @@ class ResultCache:
         """Fraction of lookups served from disk this session."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def total_bytes(self):
+        """Bytes on disk across every entry under this root."""
+        return sum(size for _, size, _ in scan_entries(self.root))
+
+    def stats(self):
+        """On-disk shape of the cache: entry count, bytes, age span."""
+        entries = scan_entries(self.root)
+        mtimes = [mtime for _, _, mtime in entries]
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(size for _, size, _ in entries),
+            "oldest_mtime": min(mtimes) if mtimes else None,
+            "newest_mtime": max(mtimes) if mtimes else None,
+        }
+
+    def prune(self, max_bytes):
+        """Evict least-recently-used entries until the cache fits
+        *max_bytes* on disk; returns ``(n_removed, bytes_removed)``.
+
+        A long-running service (``repro serve``) calls this
+        periodically; the CLI exposes it as ``repro cache prune``.
+        """
+        return prune_lru(self.root, max_bytes)
 
     def clear(self):
         """Delete every cached cell under this root."""

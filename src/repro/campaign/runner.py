@@ -25,6 +25,7 @@ import signal
 import threading
 import time
 import traceback
+from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -271,17 +272,26 @@ class CampaignRunner:
     """Executes campaigns: cache lookup, process pool, retry, metrics."""
 
     def __init__(self, workers=1, cache_dir=None, timeout_s=None,
-                 retries=1, progress=None, obs=None, trace_dir=None):
+                 retries=1, progress=None, obs=None, trace_dir=None,
+                 cache=None):
         if workers < 1:
             raise CampaignError("workers must be >= 1")
         if retries < 0:
             raise CampaignError("retries cannot be negative")
         if timeout_s is not None and timeout_s <= 0:
             raise CampaignError("timeout_s must be positive")
+        if cache is not None and cache_dir is not None:
+            raise CampaignError("give either cache or cache_dir, not both")
         self.workers = int(workers)
-        self.cache = (
-            ResultCache(cache_dir) if cache_dir is not None else None
-        )
+        if cache is not None:
+            # A shared ResultCache instance — the experiment service
+            # runs many campaigns against one cache so hit/miss counts
+            # aggregate across jobs.
+            self.cache = cache
+        else:
+            self.cache = (
+                ResultCache(cache_dir) if cache_dir is not None else None
+            )
         self.timeout_s = timeout_s
         self.retries = int(retries)
         self.progress = progress
@@ -392,14 +402,14 @@ class CampaignRunner:
 
     def _run_pool(self, cells, pending, results):
         attempts = {i: 0 for i in pending}
-        queue = list(pending)
+        queue = deque(pending)
         pool = ProcessPoolExecutor(max_workers=self.workers)
         futures = {}
         try:
             while queue or futures:
                 broken = False
                 while queue:
-                    i = queue.pop(0)
+                    i = queue.popleft()
                     attempts[i] += 1
                     try:
                         fut = pool.submit(
@@ -407,7 +417,7 @@ class CampaignRunner:
                             self._cell_trace_path(i),
                         )
                     except BrokenProcessPool:
-                        queue.insert(0, i)
+                        queue.appendleft(i)
                         attempts[i] -= 1
                         broken = True
                         break

@@ -20,6 +20,11 @@ day to day::
     repro workload _209_db
     repro export _202_jess --output results/jess
     repro trace out.json                   # summarize a recorded trace
+    repro serve --port 8642                # HTTP experiment service
+    repro submit my_scenario.toml --wait   # run a spec remotely
+    repro jobs                             # list the server's jobs
+    repro cache stats                      # cell cache + result store
+    repro cache prune --max-bytes 500M     # LRU-evict to a budget
 
 Flag-based experiment selection is a thin adapter over the scenario
 layer: flags build a single-cell :class:`~repro.spec.ScenarioSpec`, so
@@ -455,10 +460,18 @@ def cmd_campaign(args):
 def cmd_spec(args):
     import json
 
+    from repro.errors import SpecValidationError
+
     status = 0
     for path in args.files:
         try:
             spec = ScenarioSpec.from_file(path)
+        except SpecValidationError as exc:
+            # Collect-and-report: every problem, one line each.
+            for problem in exc.problems:
+                print(f"{path}: INVALID {problem}", file=sys.stderr)
+            status = 1
+            continue
         except ConfigurationError as exc:
             print(f"{path}: ERROR {exc}", file=sys.stderr)
             status = 1
@@ -526,6 +539,159 @@ def cmd_trace(args):
         return 2
     summary = summarize_trace(events, top=args.top)
     print(render_trace_summary(summary))
+    return 0
+
+
+def _parse_size(text):
+    """``500M``/``2G``/``1048576`` -> bytes (K/M/G/T suffixes, opt. B)."""
+    units = {"k": 2**10, "m": 2**20, "g": 2**30, "t": 2**40}
+    cleaned = text.strip().lower().rstrip("b")
+    scale = 1
+    if cleaned and cleaned[-1] in units:
+        scale = units[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = float(cleaned)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a size: {text!r} (use e.g. 1048576, 500M, 2G)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("size cannot be negative")
+    return int(value * scale)
+
+
+def _fmt_bytes(n):
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return (f"{n:.0f} {unit}" if unit == "B"
+                    else f"{n:.1f} {unit}")
+        n /= 1024
+
+
+def cmd_serve(args):
+    from repro.serve.server import serve_forever
+
+    def ready(server):
+        host, port = server.address
+        print(f"repro serve: listening on http://{host}:{port} "
+              f"(queue {args.queue_size}, {args.job_workers} job "
+              f"worker(s) x {args.cell_workers} cell worker(s))",
+              flush=True)
+
+    return serve_forever(
+        host=args.host,
+        port=args.port,
+        drain_timeout=args.drain_timeout,
+        ready=ready,
+        queue_size=args.queue_size,
+        job_workers=args.job_workers,
+        cell_workers=args.cell_workers,
+        cache_dir=args.cache_dir,
+        use_cell_cache=not args.no_cache,
+        result_dir=args.result_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+
+
+def _describe_job(job):
+    line = (f"{job['id']}  {job['state']:<8} "
+            f"attempts {job['attempts']}  cells {job['n_cells']}")
+    if job.get("name"):
+        line += f"  ({job['name']})"
+    if job["state"] == "done":
+        line += (f"  wall {job['wall_s']:.2f} s  "
+                 f"executed {job['n_executed']}  "
+                 f"cached {job['n_cached']}")
+    elif job["state"] == "failed":
+        line += f"  error: {job.get('error')}"
+    return line
+
+
+def cmd_submit(args):
+    from repro.serve.client import (
+        ServiceBusy,
+        ServiceClient,
+        ServiceError,
+    )
+
+    client = ServiceClient(args.server, timeout_s=30.0)
+    try:
+        job = client.submit_file(args.spec, retry=args.wait,
+                                 max_wait_s=args.timeout)
+        print(f"job {job['id']}: {job['outcome']} ({job['state']})")
+        if args.wait and job["state"] not in ("done", "failed"):
+            job = client.wait(job["id"], timeout_s=args.timeout)
+            print(_describe_job(job))
+        if job["state"] == "failed":
+            return 1
+        if args.output and job["state"] == "done":
+            data = client.result_bytes(job["id"])
+            with open(args.output, "wb") as handle:
+                handle.write(data)
+            print(f"wrote {args.output} ({_fmt_bytes(len(data))})")
+        return 0
+    except ServiceBusy as exc:
+        print(f"repro submit: {exc} (server suggests retrying in "
+              f"{exc.retry_after_s:.0f} s)", file=sys.stderr)
+        return 3
+    except (ServiceError, ConfigurationError, OSError) as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_jobs(args):
+    from repro.serve.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server, timeout_s=30.0)
+    try:
+        if args.id:
+            job = (client.wait(args.id, timeout_s=args.timeout)
+                   if args.wait else client.job(args.id))
+            print(_describe_job(job))
+            return 1 if job["state"] == "failed" else 0
+        jobs = client.jobs()
+        if not jobs:
+            print("(no jobs)")
+            return 0
+        for job in jobs:
+            print(_describe_job(job))
+        return 0
+    except ServiceError as exc:
+        print(f"repro jobs: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_cache(args):
+    from repro.campaign.cache import ResultCache
+    from repro.serve.store import ResultStore
+
+    stores = [
+        ("cell cache", ResultCache(args.cache_dir)),
+        ("result store", ResultStore(args.result_dir)),
+    ]
+    if args.action == "stats":
+        rows = []
+        for label, store in stores:
+            stats = store.stats()
+            rows.append([
+                label, stats["root"], stats["entries"],
+                _fmt_bytes(stats["total_bytes"]),
+            ])
+        print(render_table(["store", "root", "entries", "bytes"], rows))
+        return 0
+    if args.max_bytes is None:
+        print("repro cache prune: --max-bytes is required",
+              file=sys.stderr)
+        return 2
+    # prune: evict LRU entries until each store fits the budget.
+    for label, store in stores:
+        removed, freed = store.prune(args.max_bytes)
+        print(f"{label}: evicted {removed} entries "
+              f"({_fmt_bytes(freed)}); now "
+              f"{_fmt_bytes(store.total_bytes())} "
+              f"<= {_fmt_bytes(args.max_bytes)}")
     return 0
 
 
@@ -665,6 +831,81 @@ def build_parser():
     p_trace.add_argument("--top", type=int, default=10,
                          help="spans to show per clock, by self-time")
 
+    from repro.serve.server import DEFAULT_PORT
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP experiment service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help=f"TCP port (default {DEFAULT_PORT}; "
+                              "0 picks an ephemeral port)")
+    p_serve.add_argument("--queue-size", type=int, default=64,
+                         help="bounded submission queue; a full queue "
+                              "answers 429 + Retry-After")
+    p_serve.add_argument("--job-workers", type=int, default=2,
+                         help="concurrent jobs (executor threads)")
+    p_serve.add_argument("--cell-workers", type=int, default=1,
+                         help="worker processes per job's campaign "
+                              "(1 = in-thread)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="campaign cell cache (default: "
+                              "$REPRO_CACHE_DIR or "
+                              "~/.cache/repro/campaign)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the campaign cell cache")
+    p_serve.add_argument("--result-dir", default=None,
+                         help="content-addressed result store "
+                              "(default: $REPRO_RESULT_DIR or "
+                              "~/.cache/repro/results)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-cell wall-clock budget in seconds")
+    p_serve.add_argument("--retries", type=int, default=1,
+                         help="retries per failing cell")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         help="seconds to finish queued/in-flight "
+                              "jobs on SIGTERM/SIGINT")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a scenario spec to a repro serve"
+    )
+    p_submit.add_argument("spec", help="TOML/JSON scenario spec file")
+    p_submit.add_argument("--server", default=None,
+                          help="service URL (default: $REPRO_SERVER "
+                               f"or http://127.0.0.1:{DEFAULT_PORT})")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes (also "
+                               "retries 429s per Retry-After)")
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          help="overall --wait budget in seconds")
+    p_submit.add_argument("--output", default=None, metavar="PATH",
+                          help="write the fetched result JSON here "
+                               "(implies the job must complete)")
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a server's jobs, or show/await one"
+    )
+    p_jobs.add_argument("id", nargs="?", default=None,
+                        help="job id (spec hash); omit to list all")
+    p_jobs.add_argument("--server", default=None,
+                        help="service URL (default: $REPRO_SERVER "
+                             f"or http://127.0.0.1:{DEFAULT_PORT})")
+    p_jobs.add_argument("--wait", action="store_true",
+                        help="poll the named job to completion")
+    p_jobs.add_argument("--timeout", type=float, default=300.0,
+                        help="overall --wait budget in seconds")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or prune the on-disk caches"
+    )
+    p_cache.add_argument("action", choices=("stats", "prune"))
+    p_cache.add_argument("--max-bytes", type=_parse_size, default=None,
+                         help="prune target per store (e.g. 500M, 2G)")
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="campaign cell cache root override")
+    p_cache.add_argument("--result-dir", default=None,
+                         help="result store root override")
+
     return parser
 
 
@@ -680,6 +921,10 @@ COMMANDS = {
     "export": cmd_export,
     "workload": cmd_workload,
     "trace": cmd_trace,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "jobs": cmd_jobs,
+    "cache": cmd_cache,
 }
 
 

@@ -13,6 +13,22 @@ class ConfigurationError(ReproError):
     """An experiment, platform, or VM was configured inconsistently."""
 
 
+class SpecValidationError(ConfigurationError):
+    """A scenario spec failed validation.
+
+    Carries the *complete* list of problems found in one pass
+    (collect-and-report), so ``repro spec validate`` and the experiment
+    service's 400 responses can show everything wrong at once instead
+    of one error per attempt.
+    """
+
+    def __init__(self, problems, context=""):
+        self.problems = list(problems)
+        self.context = context
+        prefix = f"{context}: " if context else ""
+        super().__init__(prefix + "; ".join(self.problems))
+
+
 class OutOfMemoryError(ReproError):
     """The simulated heap cannot satisfy an allocation even after a full
     garbage collection.

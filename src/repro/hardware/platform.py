@@ -88,36 +88,62 @@ SUPPORTED_OVERRIDES = {
 }
 
 
+def override_problems(overrides):
+    """Everything wrong with *overrides*, as a list of strings.
+
+    Collect-and-report: a spec with three bad overrides gets all three
+    problems in one pass (``repro spec validate`` and the experiment
+    service's 400 responses list them together).  An empty list means
+    the overrides are valid.
+    """
+    problems = []
+    if overrides is None:
+        return problems
+    try:
+        pairs = (
+            sorted(overrides.items()) if hasattr(overrides, "items")
+            else sorted(tuple(p) for p in overrides)
+        )
+    except (TypeError, ValueError):
+        return [f"overrides must be a mapping or key/value pairs, "
+                f"got {overrides!r}"]
+    for key, value in pairs:
+        if key not in SUPPORTED_OVERRIDES:
+            problems.append(
+                f"unknown hardware override {key!r}; supported: "
+                f"{sorted(SUPPORTED_OVERRIDES)}"
+            )
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(
+                f"override {key!r} must be a number, got {value!r}"
+            )
+            continue
+        if key == "clock_scale" and not (0.0 < value <= 4.0):
+            problems.append("clock_scale must be in (0, 4]")
+        if key in ("mem_latency_cycles", "l2_size_kb", "hpm_period_s") \
+                and value <= 0:
+            problems.append(f"{key} must be positive")
+    return problems
+
+
 def validate_overrides(overrides):
-    """Check override keys and value shapes; raises ConfigurationError.
+    """Check override keys and value shapes; raises ConfigurationError
+    listing *every* problem.
 
     Accepts a mapping or an iterable of ``(key, value)`` pairs and
     returns the canonical sorted tuple of pairs.
     """
     if overrides is None:
         return ()
+    problems = override_problems(overrides)
+    if problems:
+        raise ConfigurationError("; ".join(problems))
     pairs = (
         sorted(overrides.items()) if hasattr(overrides, "items")
         else sorted(tuple(p) for p in overrides)
     )
-    canonical = []
-    for key, value in pairs:
-        if key not in SUPPORTED_OVERRIDES:
-            raise ConfigurationError(
-                f"unknown hardware override {key!r}; supported: "
-                f"{sorted(SUPPORTED_OVERRIDES)}"
-            )
-        if not isinstance(value, (int, float)) or isinstance(value, bool):
-            raise ConfigurationError(
-                f"override {key!r} must be a number, got {value!r}"
-            )
-        if key == "clock_scale" and not (0.0 < value <= 4.0):
-            raise ConfigurationError("clock_scale must be in (0, 4]")
-        if key in ("mem_latency_cycles", "l2_size_kb", "hpm_period_s") \
-                and value <= 0:
-            raise ConfigurationError(f"{key} must be positive")
-        canonical.append((key, value))
-    return tuple(canonical)
+    return tuple(tuple(p) for p in pairs)
 
 
 def _apply_overrides(cpu_spec, thermal_spec, hpm_period_s, overrides):

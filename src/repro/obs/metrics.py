@@ -16,6 +16,8 @@ unconditionally without allocating or recording anything.
 """
 
 import math
+import time
+from contextlib import contextmanager
 
 from repro.errors import ConfigurationError
 
@@ -69,6 +71,21 @@ class Histogram:
 
     def observe(self, value):
         self._samples.append(float(value))
+
+    @contextmanager
+    def time(self):
+        """Observe the wall seconds spent inside the ``with`` block.
+
+        The experiment service wraps request handling in
+        ``metrics.histogram("serve.request_s.<endpoint>").time()`` to
+        get per-endpoint latency histograms; the block's exception (if
+        any) still propagates and the sample is still recorded.
+        """
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(time.perf_counter() - start)
 
     @property
     def count(self):
@@ -141,6 +158,10 @@ class NullInstrument:
 
     def observe(self, value):
         pass
+
+    @contextmanager
+    def time(self):
+        yield self
 
     def quantile(self, q):
         return None

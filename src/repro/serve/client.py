@@ -1,0 +1,183 @@
+"""Thin stdlib client for the experiment service.
+
+Wraps ``urllib.request`` so campaign drivers and the CLI
+(``repro submit`` / ``repro jobs``) can talk to a ``repro serve``
+instance without any new dependencies.  Backpressure is first-class:
+a 429 raises :class:`ServiceBusy` carrying the server's ``Retry-After``
+hint, and :meth:`ServiceClient.submit` can optionally honor it
+(``retry=True``) with bounded waits.
+"""
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.serve.server import DEFAULT_PORT
+
+#: Environment variable naming the default server URL.
+SERVER_ENV = "REPRO_SERVER"
+
+
+def default_server_url():
+    return os.environ.get(
+        SERVER_ENV, f"http://127.0.0.1:{DEFAULT_PORT}"
+    )
+
+
+class ServiceError(ReproError):
+    """The service answered with an error status."""
+
+    def __init__(self, status, body, message=None):
+        self.status = status
+        self.body = body if isinstance(body, dict) else {}
+        detail = message or self.body.get("error") or str(body)
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServiceBusy(ServiceError):
+    """429 — the submission queue is full; retry after a delay."""
+
+    def __init__(self, status, body, retry_after_s):
+        self.retry_after_s = retry_after_s
+        super().__init__(status, body)
+
+
+class ServiceClient:
+    """One server endpoint, a request timeout, and the /v1 routes."""
+
+    def __init__(self, base_url=None, timeout_s=30.0):
+        self.base_url = (base_url or default_server_url()).rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing ---------------------------------------------------
+
+    def _request(self, path, data=None, content_type=None):
+        headers = {"Accept": "application/json"}
+        if content_type:
+            headers["Content-Type"] = content_type
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(
+                req, timeout=self.timeout_s
+            ) as resp:
+                return resp.status, resp.read(), resp.headers
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            headers = exc.headers
+            status = exc.code
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, {}, f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+        try:
+            parsed = json.loads(body)
+        except (ValueError, UnicodeDecodeError):
+            parsed = {"error": body.decode("utf-8", "replace")}
+        if status == 429:
+            retry_after = headers.get("Retry-After")
+            raise ServiceBusy(
+                status, parsed,
+                float(retry_after) if retry_after else 1.0,
+            )
+        raise ServiceError(status, parsed)
+
+    def _json(self, path, data=None, content_type=None):
+        _, body, _ = self._request(path, data, content_type)
+        return json.loads(body)
+
+    # -- routes -----------------------------------------------------
+
+    def submit_bytes(self, raw, fmt=None, retry=False,
+                     max_wait_s=60.0):
+        """POST a spec body; returns the job dict (with ``outcome``).
+
+        With ``retry=True`` a 429 is retried after the server's
+        ``Retry-After`` hint until *max_wait_s* is exhausted.
+        """
+        content_type = {
+            "json": "application/json",
+            "toml": "application/toml",
+        }.get(fmt)
+        if isinstance(raw, str):
+            raw = raw.encode("utf-8")
+        deadline = time.monotonic() + max_wait_s
+        while True:
+            try:
+                return self._json("/v1/jobs", data=raw,
+                                  content_type=content_type)
+            except ServiceBusy as exc:
+                if not retry:
+                    raise
+                wait = min(exc.retry_after_s,
+                           max(0.0, deadline - time.monotonic()))
+                if wait <= 0:
+                    raise
+                time.sleep(wait)
+
+    def submit_file(self, path, retry=False, max_wait_s=60.0):
+        """Submit a ``.toml``/``.json`` spec file."""
+        path = Path(path)
+        fmt = path.suffix.lower().lstrip(".") or None
+        return self.submit_bytes(path.read_bytes(), fmt=fmt,
+                                 retry=retry, max_wait_s=max_wait_s)
+
+    def job(self, job_id):
+        return self._json(f"/v1/jobs/{job_id}")
+
+    def jobs(self):
+        return self._json("/v1/jobs")["jobs"]
+
+    def result_bytes(self, key):
+        _, body, _ = self._request(f"/v1/results/{key}")
+        return body
+
+    def result(self, key):
+        return json.loads(self.result_bytes(key))
+
+    def healthz(self):
+        try:
+            return self._json("/v1/healthz")
+        except ServiceError as exc:
+            # A draining server reports 503 but still answers; the
+            # body (status/queue depth) is the interesting part.
+            if exc.status == 503 and exc.body.get("status"):
+                return exc.body
+            raise
+
+    def metrics(self):
+        return self._json("/v1/metrics")
+
+    # -- conveniences -----------------------------------------------
+
+    def wait(self, job_id, timeout_s=120.0, poll_s=0.2):
+        """Poll until the job reaches ``done``/``failed``; returns the
+        final job dict (raises :class:`ServiceError` on timeout)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0, job,
+                    f"job {job_id} still {job['state']} after "
+                    f"{timeout_s:.0f} s",
+                )
+            time.sleep(poll_s)
+
+    def run(self, path, timeout_s=120.0, retry=True):
+        """Submit a spec file, wait, and return ``(job, result)``."""
+        job = self.submit_file(path, retry=retry,
+                               max_wait_s=timeout_s)
+        job = self.wait(job["id"], timeout_s=timeout_s)
+        if job["state"] != "done":
+            raise ServiceError(0, job,
+                               f"job failed: {job.get('error')}")
+        return job, self.result(job["id"])

@@ -1,0 +1,98 @@
+"""Bounded submission queue with explicit backpressure.
+
+A hand-rolled deque + condition variable rather than ``queue.Queue``
+because the service needs three behaviors the stdlib class makes
+awkward together:
+
+* **reject, never block, on overflow** — ``POST /v1/jobs`` must turn a
+  full queue into an immediate ``429 Too Many Requests`` with a
+  ``Retry-After`` hint, so :meth:`BoundedJobQueue.put` raises
+  :class:`QueueFull` instead of blocking the HTTP handler thread;
+* **drainable close** — :meth:`close` stops intake but lets workers
+  keep :meth:`get`-ing until the backlog is empty (graceful SIGTERM
+  drain finishes queued work, it doesn't drop it);
+* **a retry hint** — :meth:`retry_after_s` scales with backlog depth,
+  so clients back off harder the fuller the queue is.
+"""
+
+import threading
+from collections import deque
+
+from repro.errors import ReproError
+
+
+class QueueFull(ReproError):
+    """The bounded submission queue rejected a job (backpressure)."""
+
+    def __init__(self, maxsize, retry_after_s):
+        self.maxsize = maxsize
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"submission queue is full ({maxsize} jobs); "
+            f"retry in {retry_after_s:.0f} s"
+        )
+
+
+class QueueClosed(ReproError):
+    """The queue stopped accepting work (service is draining)."""
+
+
+class BoundedJobQueue:
+    """FIFO of pending jobs with a hard size bound."""
+
+    def __init__(self, maxsize, base_retry_after_s=1.0):
+        if maxsize < 1:
+            raise ValueError("queue maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self.base_retry_after_s = float(base_retry_after_s)
+        self._items = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self):
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self):
+        with self._cond:
+            return self._closed
+
+    def retry_after_s(self, depth=None):
+        """Suggested client backoff: one base interval per queued job
+        ahead of the would-be submission, at least one."""
+        if depth is None:
+            depth = len(self)
+        return max(self.base_retry_after_s,
+                   self.base_retry_after_s * depth)
+
+    def put(self, item):
+        """Enqueue *item* or raise :class:`QueueFull`/:class:`QueueClosed`
+        immediately — submission never blocks."""
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("queue is closed (draining)")
+            if len(self._items) >= self.maxsize:
+                raise QueueFull(
+                    self.maxsize, self.retry_after_s(len(self._items))
+                )
+            self._items.append(item)
+            self._cond.notify()
+
+    def get(self, timeout=None):
+        """Next job, or ``None`` on timeout / when closed and empty."""
+        with self._cond:
+            while True:
+                if self._items:
+                    return self._items.popleft()
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    if not self._items:
+                        return None
+
+    def close(self):
+        """Stop intake; queued items remain retrievable until drained."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

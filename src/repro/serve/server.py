@@ -1,0 +1,624 @@
+"""The experiment service: HTTP job API over the campaign machinery.
+
+Architecture (stdlib only — ``http.server.ThreadingHTTPServer`` for
+transport, threads for execution)::
+
+    POST /v1/jobs ──► validate spec ──► single-flight dedup ──► queue
+                                              │                   │
+             429 + Retry-After ◄── full ──────┘        job workers ▼
+                                                   CampaignRunner(cache=...)
+    GET /v1/results/{hash} ◄── canonical JSON ◄── ResultStore.put_bytes
+
+Identity is content-addressed end to end: the job id *is* the spec
+hash, the result store key *is* the spec hash, and the campaign cell
+cache below it is keyed by config hash.  That yields three collapse
+points for repeated work:
+
+1. a spec whose result is already on disk is answered without queuing
+   anything (``"cached"``);
+2. a spec identical to one currently queued or running coalesces onto
+   that job — single-flight (``"coalesced"``);
+3. distinct specs sharing cells share them through the campaign cell
+   cache.
+
+The :class:`ExperimentService` is transport-free (tests drive it
+directly); :class:`ServiceServer` binds it to a socket;
+:func:`serve_forever` is the CLI entry point with SIGTERM/SIGINT
+graceful drain.
+"""
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import __version__
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import CampaignRunner
+from repro.errors import ConfigurationError, SpecValidationError
+from repro.obs import Observability
+from repro.serve.queue import BoundedJobQueue, QueueClosed, QueueFull
+from repro.serve.store import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobStore,
+    ResultStore,
+)
+from repro.spec import ScenarioSpec
+
+#: Default TCP port (unassigned range; override with ``--port``).
+DEFAULT_PORT = 8642
+
+#: Submission outcomes (the ``outcome`` field of POST responses).
+OUTCOME_QUEUED = "queued"
+OUTCOME_COALESCED = "coalesced"
+OUTCOME_CACHED = "cached"
+
+
+class ServiceDraining(ConfigurationError):
+    """The service is shutting down and no longer accepts jobs."""
+
+
+def build_result_payload(spec, campaign_result):
+    """The deterministic result document for one completed spec.
+
+    Contains only values that are pure functions of the spec (cell
+    payloads are simulator output; the simulator is seeded), so the
+    encoded bytes are identical no matter where or when the spec ran —
+    which is what makes the store content-addressed rather than merely
+    keyed.  Wall times, attempts, and worker counts live on the job
+    record instead.
+    """
+    return {
+        "schema": "repro-result-v1",
+        "spec_hash": spec.spec_hash(),
+        "spec": spec.to_dict(),
+        "cells": [cell.payload for cell in campaign_result.cells],
+    }
+
+
+def encode_result(payload):
+    """Canonical JSON bytes for a result payload (sorted keys, no
+    whitespace) — the exact bytes stored and served."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+class ExperimentService:
+    """Queue, dedup, execute, and store scenario jobs.
+
+    Transport-agnostic: :meth:`submit_spec` / :meth:`submit_body` are
+    called by the HTTP layer and by tests directly.  One service owns
+    one :class:`JobStore`, one :class:`ResultStore`, one bounded queue,
+    one shared campaign cell cache, and ``job_workers`` executor
+    threads, each of which drives a :class:`CampaignRunner` per job.
+    """
+
+    def __init__(self, queue_size=64, job_workers=2, cell_workers=1,
+                 cache_dir=None, use_cell_cache=True, result_dir=None,
+                 timeout_s=None, retries=1, obs=None):
+        self.jobs = JobStore()
+        self.results = ResultStore(result_dir)
+        self.queue = BoundedJobQueue(queue_size)
+        self.cell_cache = (
+            ResultCache(cache_dir) if use_cell_cache else None
+        )
+        self.cell_workers = int(cell_workers)
+        self.timeout_s = timeout_s
+        self.retries = int(retries)
+        self.obs = obs if obs is not None else Observability.create(
+            trace=False, metrics=True
+        )
+        self.job_workers = int(job_workers)
+        self._threads = []
+        self._draining = threading.Event()
+        self._inflight = 0
+        self._lock = threading.Lock()
+        self._started_wall = time.time()
+        self._started_perf = time.perf_counter()
+        self.obs.metrics.gauge("serve.queue_capacity").set(queue_size)
+        self.obs.metrics.gauge("serve.job_workers").set(self.job_workers)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self):
+        """Spawn the job-worker threads."""
+        for n in range(self.job_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{n}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self.obs.log.info(
+            "serve.start", job_workers=self.job_workers,
+            queue_size=self.queue.maxsize,
+            cell_cache=str(self.cell_cache.root)
+            if self.cell_cache else None,
+            result_dir=str(self.results.root),
+        )
+        return self
+
+    @property
+    def draining(self):
+        return self._draining.is_set()
+
+    def begin_drain(self):
+        """Stop accepting work; queued jobs will still be finished."""
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        self.queue.close()
+        self.obs.log.info("serve.drain_begin",
+                          queue_depth=len(self.queue))
+
+    def wait_drained(self, timeout=None):
+        """Block until every worker has exited (queue empty, jobs
+        finished); returns ``True`` if all finished in time."""
+        deadline = (
+            time.perf_counter() + timeout if timeout is not None else None
+        )
+        ok = True
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.perf_counter())
+            thread.join(remaining)
+            ok = ok and not thread.is_alive()
+        self.obs.log.info("serve.drain_done", clean=ok)
+        return ok
+
+    def drain(self, timeout=None):
+        """``begin_drain`` + ``wait_drained`` in one call."""
+        self.begin_drain()
+        return self.wait_drained(timeout)
+
+    # -- submission ----------------------------------------------------
+
+    def submit_body(self, raw, content_type=None):
+        """Parse + validate + submit raw request-body bytes.
+
+        Returns ``(outcome, job)``; raises
+        :class:`~repro.errors.SpecValidationError` /
+        :class:`~repro.errors.ConfigurationError` (bad spec, all
+        problems collected), :class:`~repro.serve.queue.QueueFull`
+        (backpressure), or :class:`ServiceDraining`.
+        """
+        fmt = None
+        if content_type:
+            base = content_type.split(";")[0].strip().lower()
+            if base.endswith("json"):
+                fmt = "json"
+            elif base.endswith("toml"):
+                fmt = "toml"
+        spec = ScenarioSpec.from_bytes(raw, fmt=fmt, source="request body")
+        spec.validate()
+        return self.submit_spec(spec)
+
+    def submit_spec(self, spec):
+        """Single-flight submission of a validated spec.
+
+        Outcomes:
+
+        * ``"cached"``    — the result payload is already in the store;
+          nothing is queued (job record reflects ``done``).
+        * ``"coalesced"`` — an identical spec is queued or running; the
+          caller shares that job.
+        * ``"queued"``    — a fresh (or retried) job entered the queue.
+        """
+        job_id = spec.spec_hash()
+        metrics = self.obs.metrics
+        with self._lock:
+            if self._draining.is_set():
+                raise ServiceDraining("service is draining")
+            job = self.jobs.get(job_id)
+            if job is not None and job.state not in TERMINAL_STATES:
+                metrics.counter("serve.jobs_coalesced").inc()
+                self.obs.log.debug("serve.coalesced", job=job_id)
+                return OUTCOME_COALESCED, job
+            if job_id in self.results:
+                if job is None:
+                    # Result survives from a previous process; conjure
+                    # the matching done record.
+                    job = self.jobs.create(job_id, spec)
+                if job.state != DONE:
+                    self.jobs.update(job, state=DONE, error=None)
+                metrics.counter("serve.result_cache_hits").inc()
+                return OUTCOME_CACHED, job
+            if job is None:
+                job = self.jobs.create(job_id, spec)
+            else:
+                self.jobs.requeue(job)
+            try:
+                self.queue.put(job)
+            except QueueClosed:
+                raise ServiceDraining("service is draining") from None
+            except QueueFull:
+                # Roll the record back so a later retry is a fresh
+                # submission, not a phantom queued job.
+                self.jobs.update(job, state=FAILED,
+                                 error="rejected: queue full")
+                metrics.counter("serve.jobs_rejected").inc()
+                raise
+            metrics.counter("serve.jobs_queued").inc()
+            metrics.gauge("serve.queue_depth").set(len(self.queue))
+            return OUTCOME_QUEUED, job
+
+    # -- execution -----------------------------------------------------
+
+    def _worker_loop(self):
+        while True:
+            job = self.queue.get(timeout=0.5)
+            if job is None:
+                if self.queue.closed and not len(self.queue):
+                    return
+                continue
+            with self._lock:
+                self._inflight += 1
+                self.obs.metrics.gauge("serve.inflight").set(
+                    self._inflight
+                )
+                self.obs.metrics.gauge("serve.queue_depth").set(
+                    len(self.queue)
+                )
+            try:
+                self._execute_job(job)
+            finally:
+                with self._lock:
+                    self._inflight -= 1
+                    self.obs.metrics.gauge("serve.inflight").set(
+                        self._inflight
+                    )
+
+    def _execute_job(self, job):
+        metrics = self.obs.metrics
+        start = time.perf_counter()
+        self.jobs.update(
+            job, state=RUNNING, attempts=job.attempts + 1,
+            started_s=time.time(),
+        )
+        self.obs.log.info("serve.job_start", job=job.id,
+                          n_cells=job.n_cells, attempt=job.attempts)
+        try:
+            with self.obs.tracer.wall_span(
+                f"job {job.id[:12]}", track="jobs", n_cells=job.n_cells
+            ):
+                runner = CampaignRunner(
+                    workers=self.cell_workers,
+                    cache=self.cell_cache,
+                    timeout_s=self.timeout_s,
+                    retries=self.retries,
+                    obs=self.obs,
+                )
+                result = runner.run(job.spec.campaign_config())
+            failed = result.failed_cells()
+            if failed:
+                first = failed[0]
+                raise ConfigurationError(
+                    f"{len(failed)}/{len(result)} cells failed; first: "
+                    f"[{first.error_type}] {first.error}"
+                )
+            payload = build_result_payload(job.spec, result)
+            self.results.put_bytes(job.id, encode_result(payload))
+            wall = time.perf_counter() - start
+            with self._lock:
+                metrics.counter("serve.jobs_executed").inc()
+                metrics.counter("serve.cells_executed").inc(
+                    result.summary.n_executed
+                )
+                metrics.counter("serve.cells_from_cache").inc(
+                    result.summary.n_cached
+                )
+            metrics.histogram("serve.job_wall_s").observe(wall)
+            self.jobs.update(
+                job, state=DONE, finished_s=time.time(), wall_s=wall,
+                n_executed=result.summary.n_executed,
+                n_cached=result.summary.n_cached,
+            )
+            self.obs.log.info("serve.job_done", job=job.id,
+                              wall_s=wall,
+                              n_executed=result.summary.n_executed)
+        except BaseException as exc:  # noqa: BLE001 - job isolation
+            wall = time.perf_counter() - start
+            with self._lock:
+                metrics.counter("serve.jobs_failed").inc()
+            self.jobs.update(
+                job, state=FAILED, finished_s=time.time(), wall_s=wall,
+                error=f"[{type(exc).__name__}] {exc}",
+            )
+            self.obs.log.warning("serve.job_failed", job=job.id,
+                                 error=str(exc),
+                                 error_type=type(exc).__name__)
+
+    # -- introspection -------------------------------------------------
+
+    def health(self):
+        counts = self.jobs.counts()
+        return {
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "uptime_s": time.perf_counter() - self._started_perf,
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.queue.maxsize,
+            "inflight": self._inflight,
+            "jobs": counts,
+        }
+
+    def metrics_snapshot(self):
+        """``/v1/metrics`` payload: raw registry + derived rates."""
+        uptime = time.perf_counter() - self._started_perf
+        data = self.obs.metrics.as_dict()
+        counters = data.get("counters", {})
+        executed = counters.get("serve.jobs_executed", 0)
+        coalesced = counters.get("serve.jobs_coalesced", 0)
+        result_hits = counters.get("serve.result_cache_hits", 0)
+        served = executed + coalesced + result_hits
+        data["derived"] = {
+            "uptime_s": uptime,
+            "queue_depth": len(self.queue),
+            "inflight": self._inflight,
+            "jobs_per_second": executed / uptime if uptime > 0 else 0.0,
+            "dedup_rate": (
+                (coalesced + result_hits) / served if served else 0.0
+            ),
+            "cell_cache_hit_rate": (
+                self.cell_cache.hit_rate if self.cell_cache else None
+            ),
+        }
+        return data
+
+
+# -- HTTP layer --------------------------------------------------------
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/v1/*`` onto the service attached to the server."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def log_message(self, fmt, *args):
+        self.service.obs.log.debug("serve.http", message=fmt % args)
+
+    # -- plumbing ---------------------------------------------------
+
+    def _send(self, status, body, content_type="application/json",
+              extra_headers=()):
+        if isinstance(body, (dict, list)):
+            body = (json.dumps(body, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _observe(self, endpoint, status):
+        metrics = self.service.obs.metrics
+        metrics.counter("serve.http_requests").inc()
+        metrics.counter(f"serve.http_requests.{endpoint}").inc()
+        if status >= 500:
+            metrics.counter("serve.http_5xx").inc()
+        elif status >= 400:
+            metrics.counter("serve.http_4xx").inc()
+
+    def _route(self, endpoint, fn):
+        metrics = self.service.obs.metrics
+        status = 500
+        with metrics.histogram(f"serve.request_s.{endpoint}").time():
+            try:
+                status = fn()
+            except Exception as exc:  # noqa: BLE001 - 500, not a crash
+                self.service.obs.log.warning(
+                    "serve.http_error", endpoint=endpoint,
+                    error=str(exc), error_type=type(exc).__name__,
+                )
+                self._send(500, {"error": str(exc),
+                                 "error_type": type(exc).__name__})
+        self._observe(endpoint, status)
+
+    # -- verbs ------------------------------------------------------
+
+    def do_POST(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path.rstrip("/") == "/v1/jobs":
+            self._route("jobs_post", self._post_job)
+        else:
+            self._send(404, {"error": f"no such endpoint {self.path}"})
+            self._observe("unknown", 404)
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.rstrip("/")
+        if path == "/v1/healthz":
+            self._route("healthz", self._get_health)
+        elif path == "/v1/metrics":
+            self._route("metrics", self._get_metrics)
+        elif path == "/v1/jobs":
+            self._route("jobs_list", self._get_jobs)
+        elif path.startswith("/v1/jobs/"):
+            self._route("jobs_get",
+                        lambda: self._get_job(path[len("/v1/jobs/"):]))
+        elif path.startswith("/v1/results/"):
+            self._route(
+                "results_get",
+                lambda: self._get_result(path[len("/v1/results/"):]),
+            )
+        else:
+            self._send(404, {"error": f"no such endpoint {self.path}"})
+            self._observe("unknown", 404)
+
+    # -- endpoints --------------------------------------------------
+
+    def _post_job(self):
+        service = self.service
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._send(400, {"error": "empty request body",
+                             "problems": ["empty request body"]})
+            return 400
+        raw = self.rfile.read(length)
+        try:
+            outcome, job = service.submit_body(
+                raw, self.headers.get("Content-Type")
+            )
+        except QueueFull as exc:
+            retry_after = max(1, int(round(exc.retry_after_s)))
+            self._send(
+                429,
+                {"error": str(exc), "retry_after_s": retry_after},
+                extra_headers=(("Retry-After", str(retry_after)),),
+            )
+            return 429
+        except ServiceDraining as exc:
+            self._send(503, {"error": str(exc)},
+                       extra_headers=(("Retry-After", "10"),))
+            return 503
+        except SpecValidationError as exc:
+            self._send(400, {"error": str(exc),
+                             "problems": exc.problems})
+            return 400
+        except ConfigurationError as exc:
+            self._send(400, {"error": str(exc),
+                             "problems": [str(exc)]})
+            return 400
+        body = service.jobs.view(job)
+        body["outcome"] = outcome
+        status = 200 if outcome == OUTCOME_CACHED else 202
+        self._send(status, body)
+        return status
+
+    def _get_jobs(self):
+        self._send(200, {"jobs": self.service.jobs.list()})
+        return 200
+
+    def _get_job(self, job_id):
+        job = self.service.jobs.get(job_id)
+        if job is None:
+            self._send(404, {"error": f"unknown job {job_id!r}"})
+            return 404
+        self._send(200, self.service.jobs.view(job))
+        return 200
+
+    def _get_result(self, key):
+        data = self.service.results.get_bytes(key)
+        if data is None:
+            self._send(404, {"error": f"no result for {key!r}"})
+            return 404
+        self._send(200, data)
+        return 200
+
+    def _get_health(self):
+        health = self.service.health()
+        status = 200 if health["status"] == "ok" else 503
+        self._send(status, health)
+        return status
+
+    def _get_metrics(self):
+        self._send(200, self.service.metrics_snapshot())
+        return 200
+
+
+class ServiceServer:
+    """An :class:`ExperimentService` bound to a listening socket."""
+
+    def __init__(self, service=None, host="127.0.0.1", port=DEFAULT_PORT,
+                 **service_kwargs):
+        self.service = (
+            service if service is not None
+            else ExperimentService(**service_kwargs)
+        )
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = self.service
+        self._serve_thread = None
+
+    @property
+    def address(self):
+        host, port = self.httpd.server_address[:2]
+        return host, port
+
+    @property
+    def url(self):
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self):
+        """Serve in a background thread (tests, embedding)."""
+        self.service.start()
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-http", daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self, drain_timeout=30.0):
+        """Graceful stop: drain the service, then close the socket."""
+        clean = self.service.drain(drain_timeout)
+        self.httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(5.0)
+        self.httpd.server_close()
+        return clean
+
+
+def serve_forever(host="127.0.0.1", port=DEFAULT_PORT,
+                  drain_timeout=30.0, ready=None, **service_kwargs):
+    """CLI entry: serve until SIGTERM/SIGINT, then drain gracefully.
+
+    On the first signal the service stops accepting (``POST`` answers
+    503), finishes queued and in-flight jobs (bounded by
+    *drain_timeout*), flushes a final metrics snapshot through the
+    structured log, and returns 0 (or 1 on a dirty drain).  A second
+    signal abandons the drain immediately.
+    """
+    server = ServiceServer(host=host, port=port, **service_kwargs)
+    service = server.service
+    signals_seen = []
+
+    def _on_signal(signum, frame):
+        signals_seen.append(signum)
+        if len(signals_seen) == 1:
+            service.begin_drain()
+            threading.Thread(
+                target=_drain_then_shutdown, daemon=True
+            ).start()
+        else:
+            server.httpd.shutdown()
+
+    def _drain_then_shutdown():
+        service.wait_drained(drain_timeout)
+        server.httpd.shutdown()
+
+    old_term = signal.signal(signal.SIGTERM, _on_signal)
+    old_int = signal.signal(signal.SIGINT, _on_signal)
+    service.start()
+    if ready is not None:
+        ready(server)
+    try:
+        server.httpd.serve_forever(poll_interval=0.1)
+    finally:
+        signal.signal(signal.SIGTERM, old_term)
+        signal.signal(signal.SIGINT, old_int)
+        server.httpd.server_close()
+    clean = service.wait_drained(
+        drain_timeout if not signals_seen else 0.0
+    )
+    snapshot = service.metrics_snapshot()
+    service.obs.log.info("serve.final_metrics", **{
+        key: value for key, value in snapshot["derived"].items()
+    })
+    service.obs.log.info("serve.stopped", clean=clean)
+    return 0 if clean else 1

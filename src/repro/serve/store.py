@@ -1,0 +1,242 @@
+"""Job records and the content-addressed result store.
+
+The serving layer keeps two kinds of state:
+
+* :class:`JobStore` — an in-memory, thread-safe table of
+  :class:`Job` records keyed by the job id (which *is* the scenario's
+  spec hash, so identity is content-addressed end to end).  Jobs move
+  ``queued -> running -> done | failed``; a failed job can be
+  resubmitted, which resets it to ``queued`` and bumps ``attempts``.
+* :class:`ResultStore` — an on-disk, content-addressed map from spec
+  hash to the canonical JSON result payload.  Writes are atomic
+  (tmp file + ``os.replace``), reads touch the entry's mtime, and the
+  store prunes LRU with the same helper as the campaign cell cache —
+  a long-running service keeps both directories bounded.
+
+Nothing here knows about HTTP; the server module builds on these.
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.campaign.cache import prune_lru, scan_entries
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: States a job can rest in (resubmission is meaningful).
+TERMINAL_STATES = (DONE, FAILED)
+
+#: Environment variable overriding the default result-store root.
+RESULT_DIR_ENV = "REPRO_RESULT_DIR"
+
+
+def default_result_dir():
+    """The result-store root: ``$REPRO_RESULT_DIR`` or
+    ``~/.cache/repro/results``."""
+    env = os.environ.get(RESULT_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "results"
+
+
+class Job:
+    """One submitted scenario, tracked through its lifecycle.
+
+    Mutated only while holding the owning :class:`JobStore`'s lock
+    (use :meth:`JobStore.update`); reads through :meth:`as_dict` take
+    the same lock so clients never see a half-applied transition.
+    """
+
+    __slots__ = (
+        "id", "spec", "state", "attempts", "error", "created_s",
+        "started_s", "finished_s", "wall_s", "n_cells", "n_executed",
+        "n_cached",
+    )
+
+    def __init__(self, job_id, spec):
+        self.id = job_id
+        self.spec = spec
+        self.state = QUEUED
+        self.attempts = 0
+        self.error = None
+        self.created_s = time.time()
+        self.started_s = None
+        self.finished_s = None
+        self.wall_s = 0.0
+        self.n_cells = len(spec.cells()) if spec is not None else 0
+        self.n_executed = 0
+        self.n_cached = 0
+
+    def snapshot(self):
+        """Plain-dict view of the job (call via :meth:`JobStore.view`)."""
+        return {
+            "id": self.id,
+            "name": self.spec.name if self.spec is not None else "",
+            "state": self.state,
+            "attempts": self.attempts,
+            "error": self.error,
+            "created_s": self.created_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "wall_s": self.wall_s,
+            "n_cells": self.n_cells,
+            "n_executed": self.n_executed,
+            "n_cached": self.n_cached,
+            "result": f"/v1/results/{self.id}"
+                      if self.state == DONE else None,
+        }
+
+
+class JobStore:
+    """Thread-safe in-memory table of jobs, keyed by spec hash."""
+
+    def __init__(self):
+        self._jobs = {}
+        self._lock = threading.RLock()
+
+    @property
+    def lock(self):
+        return self._lock
+
+    def get(self, job_id):
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def create(self, job_id, spec):
+        """Fresh queued record for *job_id* (replaces any old one)."""
+        with self._lock:
+            job = Job(job_id, spec)
+            self._jobs[job_id] = job
+            return job
+
+    def requeue(self, job):
+        """Reset a terminal job back to ``queued`` (resubmission)."""
+        with self._lock:
+            job.state = QUEUED
+            job.error = None
+            job.started_s = None
+            job.finished_s = None
+            return job
+
+    def update(self, job, **fields):
+        """Apply attribute updates atomically."""
+        with self._lock:
+            for key, value in fields.items():
+                setattr(job, key, value)
+            return job
+
+    def view(self, job):
+        """Consistent plain-dict snapshot of *job*."""
+        with self._lock:
+            return job.snapshot()
+
+    def list(self):
+        """Snapshots of every job, most recently created first."""
+        with self._lock:
+            jobs = sorted(
+                self._jobs.values(),
+                key=lambda j: j.created_s, reverse=True,
+            )
+            return [job.snapshot() for job in jobs]
+
+    def counts(self):
+        """Jobs per state (one pass, under the lock)."""
+        with self._lock:
+            counts = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
+
+    def __len__(self):
+        with self._lock:
+            return len(self._jobs)
+
+
+class ResultStore:
+    """Content-addressed on-disk store of canonical result payloads.
+
+    Keys are spec hashes (64 hex chars); values are the exact bytes
+    served by ``GET /v1/results/{hash}``.  Entries are immutable once
+    written — two writers racing on the same key write identical bytes
+    (the payload is a pure function of the spec), and ``os.replace``
+    makes the last one win atomically.
+    """
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root is not None else default_result_dir()
+
+    def path_for(self, key):
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key):
+        return self.path_for(key).exists()
+
+    def get_bytes(self, key):
+        """Stored payload bytes for *key*, or ``None``; touches the
+        entry's mtime so LRU pruning sees reads as use."""
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return data
+
+    def get_json(self, key):
+        """Decoded payload for *key*, or ``None``."""
+        data = self.get_bytes(key)
+        if data is None:
+            return None
+        return json.loads(data)
+
+    def put_bytes(self, key, data):
+        """Store *data* under *key* atomically; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self):
+        return len(scan_entries(self.root))
+
+    def total_bytes(self):
+        return sum(size for _, size, _ in scan_entries(self.root))
+
+    def stats(self):
+        entries = scan_entries(self.root)
+        mtimes = [mtime for _, _, mtime in entries]
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(size for _, size, _ in entries),
+            "oldest_mtime": min(mtimes) if mtimes else None,
+            "newest_mtime": max(mtimes) if mtimes else None,
+        }
+
+    def prune(self, max_bytes):
+        """LRU-evict until the store fits *max_bytes*; returns
+        ``(n_removed, bytes_removed)``."""
+        return prune_lru(self.root, max_bytes)

@@ -62,8 +62,12 @@ from pathlib import Path
 
 from repro import registry
 from repro.campaign.grid import CampaignConfig
-from repro.errors import ConfigurationError
-from repro.hardware.platform import make_platform, validate_overrides
+from repro.errors import ConfigurationError, SpecValidationError
+from repro.hardware.platform import (
+    make_platform,
+    override_problems,
+    validate_overrides,
+)
 from repro.jvm.vm import make_vm
 from repro.units import DAQ_SAMPLE_PERIOD_S
 
@@ -122,6 +126,7 @@ class ScenarioSpec:
     overrides: tuple = ()
 
     def __post_init__(self):
+        problems = []
         for axis, (_, coerce) in _AXES.items():
             value = getattr(self, axis)
             if isinstance(value, (str, int, float)) or value is None:
@@ -131,19 +136,33 @@ class ScenarioSpec:
                 else v
                 for v in value
             )
-            value = tuple(
-                v if v is None else coerce(v) for v in value
-            )
+            try:
+                value = tuple(
+                    v if v is None else coerce(v) for v in value
+                )
+            except (TypeError, ValueError):
+                problems.append(
+                    f"{axis} has a malformed value in "
+                    f"{tuple(value)!r}"
+                )
+                continue
             if not value:
-                raise ConfigurationError(f"{axis} cannot be empty")
+                problems.append(f"{axis} cannot be empty")
+                continue
             object.__setattr__(self, axis, value)
-        object.__setattr__(
-            self, "overrides", validate_overrides(self.overrides)
-        )
+        bad_overrides = override_problems(self.overrides)
+        if bad_overrides:
+            problems.extend(bad_overrides)
+        else:
+            object.__setattr__(
+                self, "overrides", validate_overrides(self.overrides)
+            )
         if self.version not in (1, 2):
-            raise ConfigurationError(
+            problems.append(
                 f"unknown spec version {self.version!r} (supported: 1, 2)"
             )
+        if problems:
+            raise SpecValidationError(problems)
 
     # -- construction --------------------------------------------------
 
@@ -182,6 +201,7 @@ class ScenarioSpec:
                 f"scenario spec must be a table/object, got "
                 f"{type(data).__name__}{f' in {source}' if source else ''}"
             )
+        problems = []
         flat = {}
         sections = dict(data)
         schema = sections.pop("schema", "repro-scenario")
@@ -193,9 +213,10 @@ class ScenarioSpec:
         for section in ("axes", "run"):
             content = sections.pop(section, {})
             if not isinstance(content, dict):
-                raise ConfigurationError(
+                problems.append(
                     f"[{section}] must be a table, got {content!r}"
                 )
+                continue
             flat.update(content)
         overrides = sections.pop("overrides", {})
         flat.update(sections)
@@ -210,37 +231,82 @@ class ScenarioSpec:
         )
         unknown = set(flat) - known
         if unknown:
-            raise ConfigurationError(
-                f"unknown scenario keys {sorted(unknown)}"
-                f"{f' in {source}' if source else ''}; known keys: "
+            problems.append(
+                f"unknown scenario keys {sorted(unknown)}; known keys: "
                 f"{sorted(known)}"
             )
         for key, value in flat.items():
+            if key in unknown:
+                continue
             axis = singular_to_axis.get(key)
             if axis is not None:
                 if axis in kwargs:
-                    raise ConfigurationError(
-                        f"both {key!r} and {axis!r} given"
-                        f"{f' in {source}' if source else ''}"
-                    )
+                    problems.append(f"both {key!r} and {axis!r} given")
+                    continue
                 kwargs[axis] = (value,)
             elif key in _AXES:
                 if key in kwargs:
-                    raise ConfigurationError(
+                    problems.append(
                         f"both {_AXES[key][0]!r} and {key!r} given"
-                        f"{f' in {source}' if source else ''}"
                     )
+                    continue
                 kwargs[key] = tuple(value) if isinstance(
                     value, (list, tuple)
                 ) else (value,)
             else:
                 kwargs[key] = value
         if "benchmarks" not in kwargs:
+            problems.append("scenario spec names no benchmarks")
+        if problems:
+            raise SpecValidationError(problems, context=source)
+        try:
+            return cls(**kwargs)
+        except SpecValidationError as exc:
+            if source and not exc.context:
+                raise SpecValidationError(
+                    exc.problems, context=source
+                ) from None
+            raise
+
+    @classmethod
+    def from_bytes(cls, raw, fmt=None, source=""):
+        """Parse a spec from raw TOML/JSON bytes (or text).
+
+        This is the experiment service's body-parsing entry point
+        (``POST /v1/jobs``) as well as the file loader's core.  *fmt*
+        is ``"toml"`` or ``"json"``; when ``None`` the format is
+        sniffed — bodies whose first non-whitespace byte is ``{`` parse
+        as JSON, everything else as TOML.
+        """
+        if isinstance(raw, str):
+            raw = raw.encode("utf-8")
+        if fmt is None:
+            head = raw.lstrip()[:1]
+            fmt = "json" if head in (b"{", b"[") else "toml"
+        fmt = fmt.lower()
+        where = f"{source}: " if source else ""
+        if fmt == "toml":
+            import tomllib
+
+            try:
+                data = tomllib.loads(raw.decode("utf-8"))
+            except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+                raise ConfigurationError(
+                    f"{where}invalid TOML: {exc}"
+                ) from None
+        elif fmt == "json":
+            try:
+                data = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise ConfigurationError(
+                    f"{where}invalid JSON: {exc}"
+                ) from None
+        else:
             raise ConfigurationError(
-                "scenario spec names no benchmarks"
-                f"{f' ({source})' if source else ''}"
+                f"{where}unsupported spec format {fmt!r} "
+                "(use toml or json)"
             )
-        return cls(**kwargs)
+        return cls.from_dict(data, source=source)
 
     @classmethod
     def from_file(cls, path):
@@ -251,28 +317,12 @@ class ScenarioSpec:
         except OSError as exc:
             raise ConfigurationError(f"cannot read spec: {exc}") from None
         suffix = path.suffix.lower()
-        if suffix == ".toml":
-            import tomllib
-
-            try:
-                data = tomllib.loads(raw.decode("utf-8"))
-            except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
-                raise ConfigurationError(
-                    f"{path}: invalid TOML: {exc}"
-                ) from None
-        elif suffix == ".json":
-            try:
-                data = json.loads(raw)
-            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                raise ConfigurationError(
-                    f"{path}: invalid JSON: {exc}"
-                ) from None
-        else:
+        if suffix not in (".toml", ".json"):
             raise ConfigurationError(
                 f"{path}: unsupported spec format {suffix!r} "
                 "(use .toml or .json)"
             )
-        return cls.from_dict(data, source=str(path))
+        return cls.from_bytes(raw, fmt=suffix[1:], source=str(path))
 
     # -- validation ----------------------------------------------------
 
@@ -336,12 +386,13 @@ class ScenarioSpec:
         return problems
 
     def validate(self):
-        """Raise :class:`ConfigurationError` listing every problem."""
+        """Raise :class:`SpecValidationError` listing every problem."""
         problems = self.problems()
         if problems:
-            raise ConfigurationError(
-                f"invalid scenario{f' {self.name!r}' if self.name else ''}: "
-                + "; ".join(problems)
+            raise SpecValidationError(
+                problems,
+                context=("invalid scenario"
+                         + (f" {self.name!r}" if self.name else "")),
             )
         return self
 
@@ -493,6 +544,7 @@ def canonical_experiment_dict(config):
 __all__ = [
     "SPEC_VERSION",
     "ScenarioSpec",
+    "SpecValidationError",
     "build_platform",
     "build_vm",
     "canonical_experiment_dict",

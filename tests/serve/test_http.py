@@ -1,0 +1,167 @@
+"""HTTP-layer tests: routes, status codes, headers, drain behavior.
+
+These bind a real socket (ephemeral port) and exercise the service
+through :class:`~repro.serve.client.ServiceClient`; execution is the
+real simulator on a reduced-input single-cell spec (~0.3 s per run).
+"""
+
+import json
+
+import pytest
+
+from repro.serve import ServiceBusy, ServiceClient, ServiceError
+from repro.serve.server import ServiceServer
+from repro.spec import ScenarioSpec
+
+SPEC_TOML = (
+    '[axes]\nbenchmark = "_202_jess"\ncollector = "SemiSpace"\n'
+    'heap_mb = 32\ninput_scale = 0.2\n'
+)
+
+
+def tiny_spec():
+    return ScenarioSpec.for_experiment(
+        "_202_jess", collector="SemiSpace", heap_mb=32,
+        input_scale=0.2,
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    server = ServiceServer(
+        host="127.0.0.1", port=0, queue_size=4, job_workers=1,
+        cache_dir=tmp_path / "cells", result_dir=tmp_path / "results",
+    )
+    server.start()
+    yield server
+    server.stop(drain_timeout=10.0)
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout_s=10.0)
+
+
+class TestRoutes:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["queue_capacity"] == 4
+        assert "uptime_s" in health
+
+    def test_unknown_endpoint_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("/v1/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("0" * 64)
+        assert excinfo.value.status == 404
+
+    def test_unknown_result_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.result("0" * 64)
+        assert excinfo.value.status == 404
+
+    def test_empty_body_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_bytes(b"")
+        assert excinfo.value.status == 400
+
+    def test_invalid_spec_400_lists_every_problem(self, client):
+        body = json.dumps({
+            "schema": "repro-scenario",
+            "benchmark": "bogus",
+            "vms": ["alien"],
+            "heap_mb": -1,
+        })
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_bytes(body, fmt="json")
+        assert excinfo.value.status == 400
+        problems = excinfo.value.body["problems"]
+        assert len(problems) == 3
+
+    def test_submit_poll_fetch_cycle(self, client):
+        job = client.submit_bytes(SPEC_TOML, fmt="toml")
+        assert job["outcome"] in ("queued", "cached")
+        final = client.wait(job["id"], timeout_s=60.0)
+        assert final["state"] == "done"
+        assert final["attempts"] >= 1
+        assert final["wall_s"] >= 0.0
+        assert final["result"] == f"/v1/results/{job['id']}"
+        result = client.result(job["id"])
+        assert result["schema"] == "repro-result-v1"
+        assert result["spec_hash"] == job["id"]
+        cell = result["cells"][0]
+        assert cell["config"]["benchmark"] == "_202_jess"
+
+    def test_job_id_is_spec_hash(self, client):
+        job = client.submit_bytes(SPEC_TOML, fmt="toml")
+        assert job["id"] == tiny_spec().spec_hash()
+
+    def test_jobs_listing(self, client):
+        job = client.submit_bytes(SPEC_TOML, fmt="toml")
+        client.wait(job["id"], timeout_s=60.0)
+        listed = client.jobs()
+        assert any(j["id"] == job["id"] for j in listed)
+
+    def test_resubmission_after_done_is_cached_200(self, client):
+        job = client.submit_bytes(SPEC_TOML, fmt="toml")
+        client.wait(job["id"], timeout_s=60.0)
+        again = client.submit_bytes(SPEC_TOML, fmt="toml")
+        assert again["outcome"] == "cached"
+        assert again["state"] == "done"
+
+    def test_metrics_endpoint(self, client):
+        job = client.submit_bytes(SPEC_TOML, fmt="toml")
+        client.wait(job["id"], timeout_s=60.0)
+        metrics = client.metrics()
+        assert metrics["counters"]["serve.jobs_executed"] >= 1
+        assert metrics["counters"]["serve.http_requests"] >= 2
+        assert "serve.request_s.jobs_post" in metrics["histograms"]
+        assert metrics["derived"]["queue_depth"] == 0
+
+
+class TestDrainOverHTTP:
+    def test_draining_rejects_posts_but_answers_gets(self, tmp_path):
+        server = ServiceServer(
+            host="127.0.0.1", port=0, queue_size=4, job_workers=1,
+            use_cell_cache=False, result_dir=tmp_path / "results",
+        )
+        server.start()
+        client = ServiceClient(server.url, timeout_s=10.0)
+        try:
+            job = client.submit_bytes(SPEC_TOML, fmt="toml")
+            client.wait(job["id"], timeout_s=60.0)
+            server.service.begin_drain()
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit_bytes(SPEC_TOML, fmt="toml")
+            assert excinfo.value.status == 503
+            # Reads still work while draining.
+            assert client.healthz()["status"] == "draining"
+            assert client.job(job["id"])["state"] == "done"
+            assert client.result(job["id"])["spec_hash"] == job["id"]
+        finally:
+            server.stop(drain_timeout=10.0)
+
+    def test_stop_is_clean_with_empty_queue(self, tmp_path):
+        server = ServiceServer(
+            host="127.0.0.1", port=0, queue_size=4, job_workers=2,
+            use_cell_cache=False, result_dir=tmp_path / "results",
+        )
+        server.start()
+        assert server.stop(drain_timeout=10.0) is True
+
+
+class TestClientErrors:
+    def test_unreachable_server(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout_s=2.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert "cannot reach" in str(excinfo.value)
+
+    def test_service_busy_carries_retry_hint(self):
+        err = ServiceBusy(429, {"error": "full"}, 3.0)
+        assert err.retry_after_s == 3.0
+        assert err.status == 429

@@ -1,0 +1,86 @@
+"""Tests for the bounded submission queue."""
+
+import threading
+
+import pytest
+
+from repro.serve.queue import BoundedJobQueue, QueueClosed, QueueFull
+
+
+class TestBounds:
+    def test_fifo_order(self):
+        q = BoundedJobQueue(4)
+        for item in ("a", "b", "c"):
+            q.put(item)
+        assert [q.get(0.01) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_put_raises_when_full(self):
+        q = BoundedJobQueue(2)
+        q.put(1)
+        q.put(2)
+        with pytest.raises(QueueFull) as excinfo:
+            q.put(3)
+        assert excinfo.value.maxsize == 2
+        assert excinfo.value.retry_after_s >= 1.0
+        assert len(q) == 2  # the rejected item was not enqueued
+
+    def test_retry_after_scales_with_depth(self):
+        q = BoundedJobQueue(100, base_retry_after_s=2.0)
+        assert q.retry_after_s(0) == 2.0
+        assert q.retry_after_s(5) == 10.0
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            BoundedJobQueue(0)
+
+
+class TestGet:
+    def test_get_times_out_empty(self):
+        q = BoundedJobQueue(2)
+        assert q.get(timeout=0.01) is None
+
+    def test_get_wakes_on_put(self):
+        q = BoundedJobQueue(2)
+        got = []
+
+        def consumer():
+            got.append(q.get(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        q.put("job")
+        thread.join(5.0)
+        assert got == ["job"]
+
+
+class TestClose:
+    def test_close_rejects_new_work(self):
+        q = BoundedJobQueue(2)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(1)
+
+    def test_close_drains_backlog_first(self):
+        """A closed queue still hands out queued items — graceful
+        drain finishes work, it doesn't drop it."""
+        q = BoundedJobQueue(4)
+        q.put("a")
+        q.put("b")
+        q.close()
+        assert q.get(0.01) == "a"
+        assert q.get(0.01) == "b"
+        assert q.get(0.01) is None  # now empty: workers can exit
+
+    def test_close_wakes_blocked_getters(self):
+        q = BoundedJobQueue(2)
+        results = []
+
+        def consumer():
+            results.append(q.get(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        q.close()
+        thread.join(5.0)
+        assert results == [None]
+        assert not thread.is_alive()

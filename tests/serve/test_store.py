@@ -1,0 +1,175 @@
+"""Tests for job records and the content-addressed result store."""
+
+import json
+import threading
+
+from repro.serve.store import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobStore,
+    ResultStore,
+    default_result_dir,
+)
+from repro.spec import ScenarioSpec
+
+
+def tiny_spec(**kw):
+    return ScenarioSpec.for_experiment(
+        "_202_jess", collector="SemiSpace", heap_mb=32,
+        input_scale=0.2, **kw
+    )
+
+
+class TestJobStore:
+    def test_create_and_get(self):
+        store = JobStore()
+        spec = tiny_spec()
+        job = store.create(spec.spec_hash(), spec)
+        assert store.get(spec.spec_hash()) is job
+        assert job.state == QUEUED
+        assert job.n_cells == 1
+        assert store.get("nope") is None
+
+    def test_snapshot_shape(self):
+        store = JobStore()
+        spec = tiny_spec()
+        job = store.create(spec.spec_hash(), spec)
+        view = store.view(job)
+        assert view["id"] == spec.spec_hash()
+        assert view["state"] == QUEUED
+        assert view["attempts"] == 0
+        assert view["result"] is None
+
+    def test_done_snapshot_links_result(self):
+        store = JobStore()
+        spec = tiny_spec()
+        job = store.create(spec.spec_hash(), spec)
+        store.update(job, state=DONE)
+        view = store.view(job)
+        assert view["result"] == f"/v1/results/{job.id}"
+
+    def test_requeue_resets_terminal_job(self):
+        store = JobStore()
+        spec = tiny_spec()
+        job = store.create(spec.spec_hash(), spec)
+        store.update(job, state=FAILED, error="boom", attempts=2)
+        store.requeue(job)
+        assert job.state == QUEUED
+        assert job.error is None
+        assert job.attempts == 2  # attempts survive resubmission
+
+    def test_list_newest_first_and_counts(self):
+        store = JobStore()
+        a = store.create("a" * 64, tiny_spec(seed=1))
+        b = store.create("b" * 64, tiny_spec(seed=2))
+        a.created_s -= 10.0
+        store.update(b, state=RUNNING)
+        listed = store.list()
+        assert [j["id"] for j in listed] == ["b" * 64, "a" * 64]
+        counts = store.counts()
+        assert counts[QUEUED] == 1
+        assert counts[RUNNING] == 1
+
+
+class TestResultStore:
+    def test_round_trip_bytes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" * 32
+        data = json.dumps({"x": 1}).encode()
+        store.put_bytes(key, data)
+        assert key in store
+        assert store.get_bytes(key) == data
+        assert store.get_json(key) == {"x": 1}
+
+    def test_missing_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get_bytes("ff" * 32) is None
+        assert ("ff" * 32) not in store
+
+    def test_sharded_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" * 32
+        path = store.put_bytes(key, b"{}")
+        assert path.parent.name == "cd"
+        assert path.name == f"{key}.json"
+
+    def test_stats_and_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert len(store) == 0
+        store.put_bytes("aa" * 32, b"x" * 100)
+        store.put_bytes("bb" * 32, b"y" * 50)
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] == 150
+        assert len(store) == 2
+
+    def test_prune_lru_by_mtime(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        old, new = "aa" * 32, "bb" * 32
+        store.put_bytes(old, b"x" * 100)
+        store.put_bytes(new, b"y" * 100)
+        os.utime(store.path_for(old), (1_000_000, 1_000_000))
+        removed, freed = store.prune(150)
+        assert removed == 1
+        assert freed == 100
+        assert old not in store
+        assert new in store
+
+    def test_read_refreshes_lru_rank(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        first, second = "aa" * 32, "bb" * 32
+        store.put_bytes(first, b"x" * 100)
+        store.put_bytes(second, b"y" * 100)
+        # Make both old, then read `first` — the read must protect it.
+        for key in (first, second):
+            os.utime(store.path_for(key), (1_000_000, 1_000_000))
+        store.get_bytes(first)
+        removed, _ = store.prune(150)
+        assert removed == 1
+        assert first in store
+        assert second not in store
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_bytes("aa" * 32, b"x")
+        store.put_bytes("bb" * 32, b"y")
+        removed, _ = store.prune(0)
+        assert removed == 2
+        assert len(store) == 0
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Racing writers on one key must leave one intact payload."""
+        store = ResultStore(tmp_path)
+        key = "ee" * 32
+        payloads = [
+            json.dumps({"writer": n, "pad": "z" * 4096}).encode()
+            for n in range(4)
+        ]
+        barrier = threading.Barrier(4)
+
+        def write(data):
+            barrier.wait()
+            for _ in range(50):
+                store.put_bytes(key, data)
+
+        threads = [
+            threading.Thread(target=write, args=(p,)) for p in payloads
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = store.get_bytes(key)
+        assert final in payloads
+        # No leaked tmp files from the raced writes.
+        assert not list(store.root.glob("*/*.tmp"))
+
+    def test_default_root_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULT_DIR", str(tmp_path / "r"))
+        assert default_result_dir() == tmp_path / "r"

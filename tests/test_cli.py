@@ -138,3 +138,70 @@ class TestObservabilityFlags:
         out = capsys.readouterr().out
         assert "simulated clock" in out
         assert "wall clock" in out
+
+
+class TestServiceParser:
+    def test_serve_defaults(self):
+        from repro.serve.server import DEFAULT_PORT
+
+        args = build_parser().parse_args(["serve"])
+        assert args.port == DEFAULT_PORT
+        assert args.queue_size == 64
+        assert args.job_workers == 2
+
+    def test_submit_and_jobs(self):
+        args = build_parser().parse_args(
+            ["submit", "spec.toml", "--wait",
+             "--server", "http://x:1"]
+        )
+        assert args.spec == "spec.toml"
+        assert args.wait
+        args = build_parser().parse_args(["jobs"])
+        assert args.id is None
+
+    def test_cache_size_suffixes(self):
+        from repro.cli import _parse_size
+
+        assert _parse_size("1024") == 1024
+        assert _parse_size("2K") == 2048
+        assert _parse_size("500M") == 500 * 1024**2
+        assert _parse_size("1G") == 1024**3
+        with pytest.raises(Exception):
+            _parse_size("lots")
+
+
+class TestCacheCommand:
+    def test_stats_lists_both_stores(self, tmp_path, capsys):
+        code = main([
+            "cache", "stats",
+            "--cache-dir", str(tmp_path / "cells"),
+            "--result-dir", str(tmp_path / "results"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cell cache" in out
+        assert "result store" in out
+
+    def test_prune_requires_budget(self, tmp_path, capsys):
+        code = main([
+            "cache", "prune",
+            "--cache-dir", str(tmp_path / "cells"),
+            "--result-dir", str(tmp_path / "results"),
+        ])
+        assert code == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_prune_evicts_to_budget(self, tmp_path, capsys):
+        from repro.serve.store import ResultStore
+
+        store = ResultStore(tmp_path / "results")
+        store.put_bytes("aa" * 32, b"x" * 1000)
+        store.put_bytes("bb" * 32, b"y" * 1000)
+        code = main([
+            "cache", "prune", "--max-bytes", "1K",
+            "--cache-dir", str(tmp_path / "cells"),
+            "--result-dir", str(tmp_path / "results"),
+        ])
+        assert code == 0
+        assert "evicted" in capsys.readouterr().out
+        assert len(store) == 1

@@ -354,3 +354,92 @@ class TestConfigValidation:
     def test_seed_must_be_non_negative(self):
         with pytest.raises(ConfigurationError, match="seed"):
             ExperimentConfig(benchmark="_202_jess", seed=-1)
+
+
+class TestCollectAndReport:
+    """Spec validation gathers every problem in one pass instead of
+    failing at the first (satellite: collect-and-report)."""
+
+    def test_from_dict_reports_all_problems_at_once(self):
+        from repro.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError) as excinfo:
+            ScenarioSpec.from_dict({
+                "benchmerks": ["_202_jess"],
+                "benchmark": "_202_jess",
+                "benchmarks": ["_209_db"],
+                "heap_mb": 32,
+                "heap_mbs": [64],
+            })
+        problems = excinfo.value.problems
+        assert len(problems) == 3
+        joined = " ".join(problems)
+        assert "benchmerks" in joined          # unknown key
+        assert "benchmark" in joined           # singular+plural clash
+        assert "heap_mb" in joined             # second clash, same pass
+
+    def test_post_init_collects_axis_and_override_problems(self):
+        from repro.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError) as excinfo:
+            ScenarioSpec(
+                benchmarks=("_202_jess",),
+                heap_mbs=("not-a-number",),
+                overrides={"warp_factor": 9, "clock_scale": 99.0},
+                version=7,
+            )
+        joined = " ".join(excinfo.value.problems)
+        assert "heap_mbs" in joined
+        assert "warp_factor" in joined
+        assert "clock_scale" in joined
+        assert "version" in joined
+        assert len(excinfo.value.problems) == 4
+
+    def test_validate_reports_all_semantic_problems(self):
+        from repro.errors import SpecValidationError
+
+        spec = ScenarioSpec(
+            benchmarks=("nope",),
+            vms=("alien",),
+            heap_mbs=(-4,),
+        )
+        with pytest.raises(SpecValidationError) as excinfo:
+            spec.validate()
+        problems = excinfo.value.problems
+        assert problems == spec.problems()
+        assert len(problems) >= 3
+
+    def test_validation_error_is_configuration_error(self):
+        from repro.errors import SpecValidationError
+
+        assert issubclass(SpecValidationError, ConfigurationError)
+        err = SpecValidationError(["a", "b"], context="spec.toml")
+        assert err.problems == ["a", "b"]
+        assert "spec.toml" in str(err)
+        assert "a; b" in str(err)
+
+    def test_from_bytes_sniffs_json_and_toml(self):
+        as_json = b'{"benchmark": "_202_jess", "heap_mb": 32}'
+        as_toml = b'benchmark = "_202_jess"\nheap_mb = 32\n'
+        spec_j = ScenarioSpec.from_bytes(as_json)
+        spec_t = ScenarioSpec.from_bytes(as_toml)
+        assert spec_j.spec_hash() == spec_t.spec_hash()
+
+    def test_from_bytes_parse_error(self):
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            ScenarioSpec.from_bytes(b"{not json", fmt="json")
+
+    def test_cli_spec_validate_prints_each_problem(self, tmp_path,
+                                                   capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.toml"
+        bad.write_text(
+            '[axes]\nbenchmark = "nope"\nvms = ["alien"]\n'
+            'heap_mb = -4\n'
+        )
+        assert main(["spec", "validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        lines = [l for l in err.splitlines() if "INVALID" in l]
+        assert len(lines) == 3
+        assert all(str(bad) in l for l in lines)
