@@ -1,16 +1,25 @@
-"""CI perf gate: fail when the engine's segments/sec regresses.
+"""CI perf gate for the checked-in benchmark artifacts.
 
-Reads a ``BENCH_engine.json`` produced by
-``benchmarks/perf/bench_engine.py`` and compares the batched engine's
-segments/sec against the ``gate`` section of the checked-in
-``benchmarks/perf/baseline.json``.  Exits non-zero when the measured
-rate falls more than the allowed fraction (default 30 %) below the
-baseline.
+Dispatches on the result file's ``schema`` field:
+
+* ``BENCH_engine.json`` (``benchmarks/perf/bench_engine.py``) — the
+  batched engine's segments/sec is compared against the ``gate``
+  section of ``benchmarks/perf/baseline.json``; exits non-zero when
+  the measured rate falls more than the allowed fraction (default
+  30 %) below the baseline.
+* ``BENCH_serve.json`` (``repro-bench-serve-v1``, from
+  ``benchmarks/perf/bench_serve.py``) — validates the serving layer's
+  correctness invariants, which hold at any load: byte-identical
+  serving, every distinct spec executed in every mode, exactly-once
+  execution across instances, and sane latency/dedup figures.
+  Throughput itself is not gated — shared CI runners make jobs/sec
+  too noisy for a hard floor.
 
 Usage::
 
     python scripts/check_perf.py BENCH_engine.json
     python scripts/check_perf.py BENCH_engine.json --max-regression 0.5
+    python scripts/check_perf.py BENCH_serve.json
 """
 
 import argparse
@@ -24,18 +33,76 @@ BASELINE_PATH = (
 )
 
 
+def check_serve(results):
+    """Validate a ``repro-bench-serve-v1`` document; returns exit code."""
+    failures = []
+
+    def expect(ok, what):
+        state = "ok" if ok else "FAIL"
+        print(f"  [{state}] {what}")
+        if not ok:
+            failures.append(what)
+
+    n_specs = results["config"]["specs"]
+    modes = results.get("modes", {})
+    expect(len(modes) >= 1, f"at least one worker mode stormed "
+                            f"(got {sorted(modes)})")
+    for mode, m in sorted(modes.items()):
+        lat = m["submit_latency_s"]
+        expect(m["executed"] == n_specs,
+               f"{mode}: executed == specs "
+               f"({m['executed']} == {n_specs})")
+        expect(m["jobs_per_sec"] > 0,
+               f"{mode}: jobs_per_sec > 0 ({m['jobs_per_sec']})")
+        expect(m["submits"] >= m["executed"],
+               f"{mode}: submits >= executed "
+               f"({m['submits']} >= {m['executed']})")
+        expect(lat["p99"] >= lat["p50"] >= 0,
+               f"{mode}: p99 >= p50 >= 0 "
+               f"({lat['p99']:.4f} >= {lat['p50']:.4f})")
+        expect(0.0 <= m["dedup_rate"] <= 1.0,
+               f"{mode}: dedup_rate in [0, 1] ({m['dedup_rate']})")
+        if m["submits"] > m["executed"]:
+            expect(m["dedup_rate"] > 0,
+                   f"{mode}: duplicate submits were deduplicated "
+                   f"(dedup_rate {m['dedup_rate']})")
+    expect(results.get("byte_identical") is True,
+           "served bytes identical to a direct in-process run")
+    fleet = results.get("multi_instance")
+    if fleet is not None:
+        expect(fleet["exactly_once"] is True,
+               f"two instances, one store: executed_total "
+               f"{fleet['executed_total']} == {fleet['specs']} specs")
+    if "thread" in modes and "process" in modes:
+        speedup = results.get("speedup_process_vs_thread", 0.0)
+        isolation = results.get("p99_isolation_thread_vs_process", 0.0)
+        cpus = results["config"].get("cpu_count")
+        print(f"  [info] process vs thread: {speedup}x jobs/s on "
+              f"{cpus} cpu(s), {isolation}x lower p99 submit latency "
+              "(informational, not gated)")
+    if failures:
+        print(f"FAIL: {len(failures)} serve invariant(s) violated")
+        return 1
+    print("OK: serving invariants hold")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("results", help="BENCH_engine.json to check")
+    parser.add_argument("results",
+                        help="BENCH_engine.json / BENCH_serve.json")
     parser.add_argument("--baseline", default=str(BASELINE_PATH))
     parser.add_argument(
         "--max-regression", type=float, default=None,
         help="allowed fractional drop vs. the gate baseline "
-             "(default: the baseline file's own max_regression)",
+             "(default: the baseline file's own max_regression; "
+             "engine schema only)",
     )
     args = parser.parse_args(argv)
 
     results = json.loads(Path(args.results).read_text())
+    if results.get("schema") == "repro-bench-serve-v1":
+        return check_serve(results)
     baseline = json.loads(Path(args.baseline).read_text())
     gate = baseline["gate"]
     allowed = (args.max_regression if args.max_regression is not None

@@ -20,33 +20,80 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 
-#: Glob matching cache entries under a shard root (``ab/<hash>.<ext>``).
-_ENTRY_GLOB = "*/*"
+#: Suffixes that mark real, completed entries.  Everything else under a
+#: store root — ``mkstemp`` temporaries from a crashed writer, lease
+#: files from the serving layer — is bookkeeping, not payload, and must
+#: never be counted by ``stats()`` or raced mid-write by ``prune_lru``.
+ENTRY_SUFFIXES = (".pkl.gz", ".json")
+
+#: Orphaned ``.tmp`` files younger than this are presumed to belong to
+#: a live writer and are left alone by :func:`sweep_orphans`.
+DEFAULT_ORPHAN_AGE_S = 3600.0
 
 
-def scan_entries(root):
-    """All cache entry files under *root* as ``(path, size, mtime)``.
+def scan_entries(root, suffixes=ENTRY_SUFFIXES):
+    """All real entry files under *root* as ``(path, size, mtime)``.
 
-    Entries that vanish mid-scan (a concurrent prune or clear) are
-    skipped rather than raised.
+    Only files matching *suffixes* count: temp files, leases, and any
+    other stray bookkeeping are invisible to size accounting and LRU
+    pruning.  Entries that vanish mid-scan (a concurrent prune or
+    clear) are skipped rather than raised.  The walk is recursive so
+    sharded layouts (``shard-NN/ab/<hash>.json``) scan the same way as
+    flat ones (``ab/<hash>.json``).
     """
     root = Path(root)
     if not root.exists():
         return []
     out = []
-    for path in root.glob(_ENTRY_GLOB):
-        try:
-            stat = path.stat()
-        except OSError:
-            continue
-        if path.is_file() and not path.name.endswith(".tmp"):
-            out.append((path, stat.st_size, stat.st_mtime))
+    for suffix in suffixes:
+        for path in root.rglob(f"*{suffix}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if path.is_file() and not path.name.endswith(".tmp"):
+                out.append((path, stat.st_size, stat.st_mtime))
     return out
 
 
-def prune_lru(root, max_bytes):
+def sweep_orphans(root, max_age_s=DEFAULT_ORPHAN_AGE_S,
+                  patterns=("*.tmp",)):
+    """Delete orphaned scratch files older than *max_age_s*.
+
+    A writer that crashes between ``mkstemp`` and ``os.replace`` leaves
+    a ``.tmp`` file behind forever — it is never an entry, so no cache
+    operation will ever remove it.  The sweep is age-gated: files
+    younger than *max_age_s* may belong to a writer that is mid-write
+    right now and are left alone.  Returns ``(n_removed,
+    bytes_removed)``.
+    """
+    root = Path(root)
+    if not root.exists():
+        return 0, 0
+    cutoff = time.time() - max_age_s
+    n_removed = 0
+    bytes_removed = 0
+    for pattern in patterns:
+        for path in root.rglob(pattern):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if not path.is_file() or stat.st_mtime > cutoff:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            n_removed += 1
+            bytes_removed += stat.st_size
+    return n_removed, bytes_removed
+
+
+def prune_lru(root, max_bytes, suffixes=ENTRY_SUFFIXES):
     """Delete least-recently-used entries until *root* fits *max_bytes*.
 
     Recency is mtime: readers are expected to ``os.utime`` entries they
@@ -56,7 +103,7 @@ def prune_lru(root, max_bytes):
     """
     if max_bytes < 0:
         raise ValueError("max_bytes cannot be negative")
-    entries = scan_entries(root)
+    entries = scan_entries(root, suffixes=suffixes)
     total = sum(size for _, size, _ in entries)
     n_removed = 0
     bytes_removed = 0
@@ -188,11 +235,13 @@ class ResultCache:
 
     def total_bytes(self):
         """Bytes on disk across every entry under this root."""
-        return sum(size for _, size, _ in scan_entries(self.root))
+        return sum(
+            size for _, size, _ in scan_entries(self.root, (".pkl.gz",))
+        )
 
     def stats(self):
         """On-disk shape of the cache: entry count, bytes, age span."""
-        entries = scan_entries(self.root)
+        entries = scan_entries(self.root, (".pkl.gz",))
         mtimes = [mtime for _, _, mtime in entries]
         return {
             "root": str(self.root),
@@ -202,14 +251,17 @@ class ResultCache:
             "newest_mtime": max(mtimes) if mtimes else None,
         }
 
-    def prune(self, max_bytes):
+    def prune(self, max_bytes, orphan_age_s=DEFAULT_ORPHAN_AGE_S):
         """Evict least-recently-used entries until the cache fits
         *max_bytes* on disk; returns ``(n_removed, bytes_removed)``.
 
-        A long-running service (``repro serve``) calls this
+        Also sweeps aged-out orphan ``.tmp`` files from crashed
+        writers (they are not entries, so nothing else ever deletes
+        them).  A long-running service (``repro serve``) calls this
         periodically; the CLI exposes it as ``repro cache prune``.
         """
-        return prune_lru(self.root, max_bytes)
+        sweep_orphans(self.root, max_age_s=orphan_age_s)
+        return prune_lru(self.root, max_bytes, (".pkl.gz",))
 
     def clear(self):
         """Delete every cached cell under this root."""

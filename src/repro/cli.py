@@ -575,8 +575,9 @@ def cmd_serve(args):
     def ready(server):
         host, port = server.address
         print(f"repro serve: listening on http://{host}:{port} "
-              f"(queue {args.queue_size}, {args.job_workers} job "
-              f"worker(s) x {args.cell_workers} cell worker(s))",
+              f"(queue {args.queue_size}, {args.job_workers} "
+              f"{args.worker_mode} worker(s) x {args.cell_workers} "
+              f"cell worker(s))",
               flush=True)
 
     return serve_forever(
@@ -586,12 +587,15 @@ def cmd_serve(args):
         ready=ready,
         queue_size=args.queue_size,
         job_workers=args.job_workers,
+        worker_mode=args.worker_mode,
         cell_workers=args.cell_workers,
         cache_dir=args.cache_dir,
         use_cell_cache=not args.no_cache,
         result_dir=args.result_dir,
         timeout_s=args.timeout,
         retries=args.retries,
+        store_shards=args.store_shards,
+        lease_ttl_s=args.lease_ttl,
     )
 
 
@@ -843,11 +847,25 @@ def build_parser():
     p_serve.add_argument("--queue-size", type=int, default=64,
                          help="bounded submission queue; a full queue "
                               "answers 429 + Retry-After")
-    p_serve.add_argument("--job-workers", type=int, default=2,
-                         help="concurrent jobs (executor threads)")
+    p_serve.add_argument("--job-workers", "--workers", type=int,
+                         default=2, dest="job_workers",
+                         help="concurrent jobs (worker slots)")
+    p_serve.add_argument("--worker-mode", default="thread",
+                         choices=("thread", "process"),
+                         help="where jobs execute: in-process threads "
+                              "(share one GIL) or a process pool that "
+                              "scales CPU-bound cells with cores")
     p_serve.add_argument("--cell-workers", type=int, default=1,
                          help="worker processes per job's campaign "
                               "(1 = in-thread)")
+    p_serve.add_argument("--store-shards", type=int, default=1,
+                         help="consistent-hash shards for the result "
+                              "store namespace (all instances sharing "
+                              "a store must agree)")
+    p_serve.add_argument("--lease-ttl", type=float, default=30.0,
+                         help="seconds before an unrefreshed "
+                              "single-flight lease counts as stale "
+                              "and is taken over")
     p_serve.add_argument("--cache-dir", default=None,
                          help="campaign cell cache (default: "
                               "$REPRO_CACHE_DIR or "

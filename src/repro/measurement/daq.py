@@ -109,14 +109,22 @@ class DAQ:
             + frac * seg_span_c
         ).astype(np.int64)
         port_cycles, port_values = port.history_arrays()
-        idx = np.searchsorted(port_cycles, cycles, side="right") - 1
         # Samples taken before the first latch update belong to the
         # port's power-on/idle value, not to whichever component happened
-        # to be latched first.
+        # to be latched first.  A port with an *empty* history (no
+        # power-on latch recorded at all — replayed traces, external
+        # port sources) attributes every sample to idle: the gather
+        # below is evaluated eagerly even where ``np.where`` would pick
+        # the idle branch, so indexing an empty history would raise.
         idle = np.int16(getattr(port, "idle_value", 0))
-        component = np.where(
-            idx >= 0, port_values[np.maximum(idx, 0)], idle
-        ).astype(np.int16)
+        if len(port_values) == 0:
+            idx = np.full(n, -1, dtype=np.int64)
+            component = np.full(n, idle, dtype=np.int16)
+        else:
+            idx = np.searchsorted(port_cycles, cycles, side="right") - 1
+            component = np.where(
+                idx >= 0, port_values[np.maximum(idx, 0)], idle
+            ).astype(np.int16)
 
         metrics = self.obs.metrics
         if metrics.enabled:

@@ -77,13 +77,20 @@ class HPMSampler:
         # view the OS has).
         cycles_at_tick = cum["cycles"].astype(np.int64)
         port_cycles, port_values = port.history_arrays()
-        idx = np.searchsorted(port_cycles, cycles_at_tick,
-                              side="right") - 1
         # Ticks before the first latch update see the port's idle value.
+        # Same guard as the DAQ: an empty latch history attributes every
+        # tick to idle instead of crashing on the eagerly-evaluated
+        # gather inside ``np.where``.
         idle = np.int16(getattr(port, "idle_value", 0))
-        component = np.where(
-            idx >= 0, port_values[np.maximum(idx, 0)], idle
-        ).astype(np.int16)
+        if len(port_values) == 0:
+            idx = np.full(n + 1, -1, dtype=np.int64)
+            component = np.full(n + 1, idle, dtype=np.int16)
+        else:
+            idx = np.searchsorted(port_cycles, cycles_at_tick,
+                                  side="right") - 1
+            component = np.where(
+                idx >= 0, port_values[np.maximum(idx, 0)], idle
+            ).astype(np.int16)
 
         # Attribute each inter-tick delta to the component at the tick's
         # *end* (the handler sees who is running when the timer fires).

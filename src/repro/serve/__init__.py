@@ -16,7 +16,11 @@ genuinely new specs enter the bounded submission queue (a full queue
 answers ``429`` with ``Retry-After`` instead of buffering without
 bound).  Execution reuses :class:`~repro.campaign.runner.CampaignRunner`
 and the on-disk cell cache, so the service inherits per-cell caching,
-timeouts, and retry.  See docs/SERVICE.md.
+timeouts, and retry.  Jobs run on a pluggable worker pool
+(:mod:`repro.serve.pool`): in-process threads, or a process pool for
+CPU-bound fleets — with file leases (:mod:`repro.serve.lease`) making
+single-flight hold across processes and across N service instances
+sharing one result store.  See docs/SERVICE.md.
 """
 
 from repro.serve.client import (
@@ -24,6 +28,19 @@ from repro.serve.client import (
     ServiceClient,
     ServiceError,
     default_server_url,
+)
+from repro.serve.lease import (
+    DEFAULT_LEASE_TTL_S,
+    Lease,
+    LeaseTimeout,
+    try_acquire,
+)
+from repro.serve.pool import (
+    WORKER_MODES,
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+    execute_spec_job,
+    make_worker_pool,
 )
 from repro.serve.queue import BoundedJobQueue, QueueClosed, QueueFull
 from repro.serve.server import (
@@ -39,9 +56,13 @@ from repro.serve.store import JobStore, ResultStore, default_result_dir
 
 __all__ = [
     "BoundedJobQueue",
+    "DEFAULT_LEASE_TTL_S",
     "DEFAULT_PORT",
     "ExperimentService",
     "JobStore",
+    "Lease",
+    "LeaseTimeout",
+    "ProcessWorkerPool",
     "QueueClosed",
     "QueueFull",
     "ResultStore",
@@ -50,9 +71,14 @@ __all__ = [
     "ServiceDraining",
     "ServiceError",
     "ServiceServer",
+    "ThreadWorkerPool",
+    "WORKER_MODES",
     "build_result_payload",
     "default_result_dir",
     "default_server_url",
     "encode_result",
+    "execute_spec_job",
+    "make_worker_pool",
     "serve_forever",
+    "try_acquire",
 ]

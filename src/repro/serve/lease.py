@@ -1,0 +1,157 @@
+"""File-based leases: cross-process single-flight on a result key.
+
+In-process single-flight is the :class:`~repro.serve.store.JobStore`'s
+job — one service instance never runs the same spec twice concurrently.
+This module extends that guarantee across *processes* and across *N
+service instances sharing one result store*: before executing a spec,
+a worker must hold the lease file that lives beside the spec's entry in
+the :class:`~repro.serve.store.ResultStore` (``<key>.lease`` next to
+``<key>.json``).  Whoever creates the lease file with
+``O_CREAT | O_EXCL`` — an atomic test-and-set on every POSIX filesystem
+— runs the spec; everyone else polls for the result to appear.
+
+Liveness is a TTL plus a keepalive: the holder touches the lease file
+every ``ttl / 3`` seconds from a background thread, so a lease whose
+mtime is older than the TTL means its holder died (killed worker,
+power loss, OOM) and the next contender *takes the lease over* —
+unlinks the stale file and retries the atomic create.  A crashed
+worker therefore delays duplicate-spec peers by at most one TTL; it
+never wedges the key forever.
+
+The takeover unlink is deliberately tolerant of races: two contenders
+that both judge the lease stale may both unlink and both retry the
+exclusive create, but exactly one create succeeds — the loser goes
+back to waiting.  The unlink can at worst remove a lease acquired a
+moment earlier by a third contender; that weakens single-flight to
+"at-least-once, usually-once" only in the narrow window after a
+holder's death, and the result store's atomic same-bytes writes make
+even a double execution harmless.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Default lease time-to-live.  The holder refreshes every ``ttl / 3``
+#: seconds, so a lease only goes stale when its holder stopped running.
+DEFAULT_LEASE_TTL_S = 30.0
+
+
+class LeaseTimeout(ReproError):
+    """Gave up waiting for a peer's lease to resolve."""
+
+
+class Lease:
+    """A held lease: keepalive refresh plus idempotent release.
+
+    Use as a context manager, or call :meth:`release` explicitly.  The
+    keepalive thread touches the lease file every ``ttl / 3`` seconds;
+    release stops the thread and unlinks the file.
+    """
+
+    def __init__(self, path, ttl_s, took_over=False):
+        self.path = Path(path)
+        self.ttl_s = float(ttl_s)
+        #: True when this lease was acquired by evicting a stale one.
+        self.took_over = took_over
+        self._stop = threading.Event()
+        self._keepalive = threading.Thread(
+            target=self._refresh_loop,
+            name=f"lease-keepalive-{self.path.name}", daemon=True,
+        )
+        self._keepalive.start()
+
+    def _refresh_loop(self):
+        interval = max(self.ttl_s / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            try:
+                os.utime(self.path)
+            except OSError:
+                # Lease vanished (external cleanup / takeover after a
+                # long stall); nothing left to keep alive.
+                return
+
+    def release(self):
+        """Stop the keepalive and remove the lease file (idempotent)."""
+        self._stop.set()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release()
+        return False
+
+    def __repr__(self):
+        return (f"Lease({str(self.path)!r}, ttl_s={self.ttl_s}, "
+                f"took_over={self.took_over})")
+
+
+def lease_age_s(path):
+    """Seconds since the lease was last refreshed, or ``None`` if the
+    file does not exist."""
+    try:
+        return max(0.0, time.time() - os.stat(path).st_mtime)
+    except OSError:
+        return None
+
+
+def try_acquire(path, ttl_s=DEFAULT_LEASE_TTL_S, owner=None):
+    """One non-blocking acquisition attempt on the lease at *path*.
+
+    Returns a held :class:`Lease`, or ``None`` when a *live* peer holds
+    it.  A stale lease (mtime older than *ttl_s*) is taken over:
+    unlinked, then re-contended through the same atomic
+    ``O_CREAT | O_EXCL`` create every contender uses.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    took_over = False
+    while True:
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            age = lease_age_s(path)
+            if age is None:
+                # Holder released between our create and our stat;
+                # contend again immediately.
+                continue
+            if age <= ttl_s:
+                return None
+            # Stale: the holder has not refreshed within the TTL.
+            # Unlink and retry the exclusive create; racing contenders
+            # are serialized by O_EXCL, not by this unlink.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            took_over = True
+            continue
+        body = {
+            "pid": os.getpid(),
+            "owner": owner or f"pid-{os.getpid()}",
+            "acquired_s": time.time(),
+            "ttl_s": float(ttl_s),
+        }
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(body, handle)
+        except OSError:
+            pass
+        return Lease(path, ttl_s, took_over=took_over)
+
+
+def read_lease(path):
+    """The lease file's owner document, or ``None`` (missing/torn)."""
+    try:
+        return json.loads(Path(path).read_bytes())
+    except (OSError, ValueError):
+        return None

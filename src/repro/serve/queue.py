@@ -12,10 +12,13 @@ awkward together:
   keep :meth:`get`-ing until the backlog is empty (graceful SIGTERM
   drain finishes queued work, it doesn't drop it);
 * **a retry hint** — :meth:`retry_after_s` scales with backlog depth,
-  so clients back off harder the fuller the queue is.
+  so clients back off harder the fuller the queue is, but is capped:
+  a deep queue must not tell clients to disappear for minutes (a
+  256-deep queue used to suggest a 256 s wait).
 """
 
 import threading
+import time
 from collections import deque
 
 from repro.errors import ReproError
@@ -40,11 +43,13 @@ class QueueClosed(ReproError):
 class BoundedJobQueue:
     """FIFO of pending jobs with a hard size bound."""
 
-    def __init__(self, maxsize, base_retry_after_s=1.0):
+    def __init__(self, maxsize, base_retry_after_s=1.0,
+                 max_retry_after_s=30.0):
         if maxsize < 1:
             raise ValueError("queue maxsize must be >= 1")
         self.maxsize = int(maxsize)
         self.base_retry_after_s = float(base_retry_after_s)
+        self.max_retry_after_s = float(max_retry_after_s)
         self._items = deque()
         self._cond = threading.Condition()
         self._closed = False
@@ -60,11 +65,16 @@ class BoundedJobQueue:
 
     def retry_after_s(self, depth=None):
         """Suggested client backoff: one base interval per queued job
-        ahead of the would-be submission, at least one."""
+        ahead of the would-be submission — at least one, and capped at
+        ``max_retry_after_s`` so a deep backlog suggests a bounded
+        wait instead of scaling without limit."""
         if depth is None:
             depth = len(self)
-        return max(self.base_retry_after_s,
-                   self.base_retry_after_s * depth)
+        return min(
+            self.max_retry_after_s,
+            max(self.base_retry_after_s,
+                self.base_retry_after_s * depth),
+        )
 
     def put(self, item):
         """Enqueue *item* or raise :class:`QueueFull`/:class:`QueueClosed`
@@ -80,16 +90,29 @@ class BoundedJobQueue:
             self._cond.notify()
 
     def get(self, timeout=None):
-        """Next job, or ``None`` on timeout / when closed and empty."""
+        """Next job, or ``None`` on timeout / when closed and empty.
+
+        *timeout* is a deadline, not a per-wakeup budget: wakeups that
+        lose the race for an item (or spurious ones) wait only for the
+        *remaining* time, so a worker can never block past its timeout
+        no matter how contended the queue is.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
         with self._cond:
             while True:
                 if self._items:
                     return self._items.popleft()
                 if self._closed:
                     return None
-                if not self._cond.wait(timeout):
-                    if not self._items:
-                        return None
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
 
     def close(self):
         """Stop intake; queued items remain retrievable until drained."""

@@ -1,25 +1,35 @@
 """The experiment service: HTTP job API over the campaign machinery.
 
 Architecture (stdlib only — ``http.server.ThreadingHTTPServer`` for
-transport, threads for execution)::
+transport, a worker pool for execution)::
 
     POST /v1/jobs ──► validate spec ──► single-flight dedup ──► queue
                                               │                   │
              429 + Retry-After ◄── full ──────┘        job workers ▼
-                                                   CampaignRunner(cache=...)
+                                               worker pool (thread/process)
+                                                   │  lease on result key
     GET /v1/results/{hash} ◄── canonical JSON ◄── ResultStore.put_bytes
 
 Identity is content-addressed end to end: the job id *is* the spec
 hash, the result store key *is* the spec hash, and the campaign cell
-cache below it is keyed by config hash.  That yields three collapse
+cache below it is keyed by config hash.  That yields four collapse
 points for repeated work:
 
 1. a spec whose result is already on disk is answered without queuing
    anything (``"cached"``);
 2. a spec identical to one currently queued or running coalesces onto
    that job — single-flight (``"coalesced"``);
-3. distinct specs sharing cells share them through the campaign cell
+3. a spec being executed *by another process* — a sibling worker or a
+   whole other service instance sharing the result store — is awaited
+   through its lease file rather than re-run
+   (:mod:`repro.serve.lease`);
+4. distinct specs sharing cells share them through the campaign cell
    cache.
+
+Execution is delegated to a worker pool (:mod:`repro.serve.pool`):
+``worker_mode="thread"`` runs campaigns on the worker threads
+themselves, ``worker_mode="process"`` on a persistent process pool
+that sidesteps the GIL for CPU-bound cells.
 
 The :class:`ExperimentService` is transport-free (tests drive it
 directly); :class:`ServiceServer` binds it to a socket;
@@ -38,6 +48,14 @@ from repro.campaign.cache import ResultCache
 from repro.campaign.runner import CampaignRunner
 from repro.errors import ConfigurationError, SpecValidationError
 from repro.obs import Observability
+from repro.serve.lease import DEFAULT_LEASE_TTL_S
+from repro.serve.pool import (
+    DEFAULT_LEASE_WAIT_S,
+    WORKER_MODES,
+    build_result_payload,
+    encode_result,
+    make_worker_pool,
+)
 from repro.serve.queue import BoundedJobQueue, QueueClosed, QueueFull
 from repro.serve.store import (
     DONE,
@@ -49,6 +67,16 @@ from repro.serve.store import (
     ResultStore,
 )
 from repro.spec import ScenarioSpec
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ExperimentService",
+    "ServiceDraining",
+    "ServiceServer",
+    "build_result_payload",
+    "encode_result",
+    "serve_forever",
+]
 
 #: Default TCP port (unassigned range; override with ``--port``).
 DEFAULT_PORT = 8642
@@ -63,47 +91,31 @@ class ServiceDraining(ConfigurationError):
     """The service is shutting down and no longer accepts jobs."""
 
 
-def build_result_payload(spec, campaign_result):
-    """The deterministic result document for one completed spec.
-
-    Contains only values that are pure functions of the spec (cell
-    payloads are simulator output; the simulator is seeded), so the
-    encoded bytes are identical no matter where or when the spec ran —
-    which is what makes the store content-addressed rather than merely
-    keyed.  Wall times, attempts, and worker counts live on the job
-    record instead.
-    """
-    return {
-        "schema": "repro-result-v1",
-        "spec_hash": spec.spec_hash(),
-        "spec": spec.to_dict(),
-        "cells": [cell.payload for cell in campaign_result.cells],
-    }
-
-
-def encode_result(payload):
-    """Canonical JSON bytes for a result payload (sorted keys, no
-    whitespace) — the exact bytes stored and served."""
-    return json.dumps(
-        payload, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-
-
 class ExperimentService:
     """Queue, dedup, execute, and store scenario jobs.
 
     Transport-agnostic: :meth:`submit_spec` / :meth:`submit_body` are
     called by the HTTP layer and by tests directly.  One service owns
     one :class:`JobStore`, one :class:`ResultStore`, one bounded queue,
-    one shared campaign cell cache, and ``job_workers`` executor
-    threads, each of which drives a :class:`CampaignRunner` per job.
+    one shared campaign cell cache, ``job_workers`` dispatcher threads,
+    and one worker pool (thread- or process-backed, see
+    :mod:`repro.serve.pool`) that actually runs each job under the
+    cross-process single-flight lease.
     """
 
     def __init__(self, queue_size=64, job_workers=2, cell_workers=1,
                  cache_dir=None, use_cell_cache=True, result_dir=None,
-                 timeout_s=None, retries=1, obs=None):
+                 timeout_s=None, retries=1, obs=None,
+                 worker_mode="thread", store_shards=1,
+                 lease_ttl_s=DEFAULT_LEASE_TTL_S,
+                 lease_wait_s=DEFAULT_LEASE_WAIT_S):
+        if worker_mode not in WORKER_MODES:
+            raise ConfigurationError(
+                f"unknown worker mode {worker_mode!r}; expected one "
+                f"of {WORKER_MODES}"
+            )
         self.jobs = JobStore()
-        self.results = ResultStore(result_dir)
+        self.results = ResultStore(result_dir, shards=store_shards)
         self.queue = BoundedJobQueue(queue_size)
         self.cell_cache = (
             ResultCache(cache_dir) if use_cell_cache else None
@@ -115,6 +127,19 @@ class ExperimentService:
             trace=False, metrics=True
         )
         self.job_workers = int(job_workers)
+        self.worker_mode = worker_mode
+        # In thread mode the runner resolves through this factory at
+        # call time (module-global lookup), so tests can monkeypatch
+        # ``repro.serve.server.CampaignRunner`` with a gated fake.
+        self.pool = make_worker_pool(
+            worker_mode, results=self.results,
+            job_workers=self.job_workers, cell_cache=self.cell_cache,
+            cell_workers=self.cell_workers, timeout_s=self.timeout_s,
+            retries=self.retries, lease_ttl_s=lease_ttl_s,
+            lease_wait_s=lease_wait_s,
+            runner_factory=lambda **kw: CampaignRunner(**kw),
+            obs=self.obs,
+        )
         self._threads = []
         self._draining = threading.Event()
         self._inflight = 0
@@ -127,7 +152,8 @@ class ExperimentService:
     # -- lifecycle -----------------------------------------------------
 
     def start(self):
-        """Spawn the job-worker threads."""
+        """Start the worker pool and spawn the job-worker threads."""
+        self.pool.start()
         for n in range(self.job_workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -137,10 +163,12 @@ class ExperimentService:
             self._threads.append(thread)
         self.obs.log.info(
             "serve.start", job_workers=self.job_workers,
+            worker_mode=self.worker_mode,
             queue_size=self.queue.maxsize,
             cell_cache=str(self.cell_cache.root)
             if self.cell_cache else None,
             result_dir=str(self.results.root),
+            store_shards=self.results.shards,
         )
         return self
 
@@ -170,6 +198,8 @@ class ExperimentService:
                 remaining = max(0.0, deadline - time.perf_counter())
             thread.join(remaining)
             ok = ok and not thread.is_alive()
+        if ok:
+            self.pool.shutdown()
         self.obs.log.info("serve.drain_done", clean=ok)
         return ok
 
@@ -288,41 +318,58 @@ class ExperimentService:
             with self.obs.tracer.wall_span(
                 f"job {job.id[:12]}", track="jobs", n_cells=job.n_cells
             ):
-                runner = CampaignRunner(
-                    workers=self.cell_workers,
-                    cache=self.cell_cache,
-                    timeout_s=self.timeout_s,
-                    retries=self.retries,
-                    obs=self.obs,
-                )
-                result = runner.run(job.spec.campaign_config())
-            failed = result.failed_cells()
-            if failed:
-                first = failed[0]
-                raise ConfigurationError(
-                    f"{len(failed)}/{len(result)} cells failed; first: "
-                    f"[{first.error_type}] {first.error}"
-                )
-            payload = build_result_payload(job.spec, result)
-            self.results.put_bytes(job.id, encode_result(payload))
+                outcome = self.pool.run_job(job.spec)
             wall = time.perf_counter() - start
+            if not outcome["ok"]:
+                with self._lock:
+                    metrics.counter("serve.jobs_failed").inc()
+                self.jobs.update(
+                    job, state=FAILED, finished_s=time.time(),
+                    wall_s=wall,
+                    error=f"[{outcome['error_type']}] "
+                          f"{outcome['error']}",
+                )
+                self.obs.log.warning(
+                    "serve.job_failed", job=job.id,
+                    error=outcome["error"],
+                    error_type=outcome["error_type"],
+                )
+                return
             with self._lock:
-                metrics.counter("serve.jobs_executed").inc()
-                metrics.counter("serve.cells_executed").inc(
-                    result.summary.n_executed
-                )
-                metrics.counter("serve.cells_from_cache").inc(
-                    result.summary.n_cached
-                )
+                if outcome["executed"]:
+                    metrics.counter("serve.jobs_executed").inc()
+                    metrics.counter("serve.cells_executed").inc(
+                        outcome["n_executed"]
+                    )
+                    metrics.counter("serve.cells_from_cache").inc(
+                        outcome["n_cached"]
+                    )
+                else:
+                    # A sibling process or another service instance
+                    # produced the result while this job waited — the
+                    # cross-process analogue of coalescing.
+                    metrics.counter("serve.jobs_lease_coalesced").inc()
+                if outcome.get("took_over"):
+                    metrics.counter("serve.lease_takeovers").inc()
+                if self.cell_cache is not None:
+                    # Process-mode workers count cache traffic in
+                    # their own short-lived ResultCache; fold it into
+                    # the service's aggregate hit rate.
+                    self.cell_cache.hits += outcome.get(
+                        "cache_hits", 0
+                    )
+                    self.cell_cache.misses += outcome.get(
+                        "cache_misses", 0
+                    )
             metrics.histogram("serve.job_wall_s").observe(wall)
             self.jobs.update(
                 job, state=DONE, finished_s=time.time(), wall_s=wall,
-                n_executed=result.summary.n_executed,
-                n_cached=result.summary.n_cached,
+                n_executed=outcome["n_executed"],
+                n_cached=outcome["n_cached"],
             )
             self.obs.log.info("serve.job_done", job=job.id,
-                              wall_s=wall,
-                              n_executed=result.summary.n_executed)
+                              wall_s=wall, via=outcome["via"],
+                              n_executed=outcome["n_executed"])
         except BaseException as exc:  # noqa: BLE001 - job isolation
             wall = time.perf_counter() - start
             with self._lock:
@@ -346,6 +393,9 @@ class ExperimentService:
             "queue_depth": len(self.queue),
             "queue_capacity": self.queue.maxsize,
             "inflight": self._inflight,
+            "worker_mode": self.worker_mode,
+            "job_workers": self.job_workers,
+            "store_shards": self.results.shards,
             "jobs": counts,
         }
 
@@ -357,15 +407,16 @@ class ExperimentService:
         executed = counters.get("serve.jobs_executed", 0)
         coalesced = counters.get("serve.jobs_coalesced", 0)
         result_hits = counters.get("serve.result_cache_hits", 0)
-        served = executed + coalesced + result_hits
+        lease_hits = counters.get("serve.jobs_lease_coalesced", 0)
+        deduped = coalesced + result_hits + lease_hits
+        served = executed + deduped
         data["derived"] = {
             "uptime_s": uptime,
             "queue_depth": len(self.queue),
             "inflight": self._inflight,
+            "worker_mode": self.worker_mode,
             "jobs_per_second": executed / uptime if uptime > 0 else 0.0,
-            "dedup_rate": (
-                (coalesced + result_hits) / served if served else 0.0
-            ),
+            "dedup_rate": deduped / served if served else 0.0,
             "cell_cache_hit_rate": (
                 self.cell_cache.hit_rate if self.cell_cache else None
             ),

@@ -23,7 +23,12 @@ import threading
 import time
 from pathlib import Path
 
-from repro.campaign.cache import prune_lru, scan_entries
+from repro.campaign.cache import (
+    DEFAULT_ORPHAN_AGE_S,
+    prune_lru,
+    scan_entries,
+    sweep_orphans,
+)
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -111,8 +116,21 @@ class JobStore:
             return self._jobs.get(job_id)
 
     def create(self, job_id, spec):
-        """Fresh queued record for *job_id* (replaces any old one)."""
+        """Queued record for *job_id*, never clobbering a live one.
+
+        A record that is still ``queued``/``running`` is returned
+        as-is (the caller coalesces onto the in-flight job — replacing
+        it would orphan the record a worker is mutating and reset its
+        ``attempts``).  A terminal record is requeued in place, so its
+        attempt count survives resubmission.  Only a genuinely unknown
+        id gets a fresh :class:`Job`.
+        """
         with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                if existing.state not in TERMINAL_STATES:
+                    return existing
+                return self.requeue(existing)
             job = Job(job_id, spec)
             self._jobs[job_id] = job
             return job
@@ -168,13 +186,42 @@ class ResultStore:
     written — two writers racing on the same key write identical bytes
     (the payload is a pure function of the spec), and ``os.replace``
     makes the last one win atomically.
+
+    **Shared namespace.**  N service instances (and their worker
+    processes) may point at one root: writes are atomic, reads are
+    lock-free, and single-flight across instances is enforced by lease
+    files living *beside* each entry (:meth:`lease_path_for`,
+    :mod:`repro.serve.lease`).  With ``shards > 1`` keys are spread
+    over ``shard-NNN/`` subdirectories by a consistent hash of the key
+    — every instance configured with the same shard count computes the
+    same placement, directories stay bounded under multi-million-entry
+    namespaces, and shards can be mounted on separate volumes.  The
+    shard count is part of the on-disk layout: changing it re-homes
+    keys (existing entries under other counts are simply not found).
     """
 
-    def __init__(self, root=None):
+    def __init__(self, root=None, shards=1):
         self.root = Path(root) if root is not None else default_result_dir()
+        if int(shards) < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = int(shards)
+
+    def shard_for(self, key):
+        """The shard index for *key*: a consistent hash over the key's
+        leading hex digits, identical on every instance."""
+        return int(key[:8], 16) % self.shards
 
     def path_for(self, key):
-        return self.root / key[:2] / f"{key}.json"
+        base = self.root
+        if self.shards > 1:
+            base = base / f"shard-{self.shard_for(key):03d}"
+        return base / key[:2] / f"{key}.json"
+
+    def lease_path_for(self, key):
+        """The single-flight lease file guarding *key* — beside the
+        entry, so the lease and the payload share a directory (and a
+        filesystem) no matter the shard layout."""
+        return self.path_for(key).with_suffix(".lease")
 
     def __contains__(self, key):
         return self.path_for(key).exists()
@@ -220,23 +267,33 @@ class ResultStore:
         return path
 
     def __len__(self):
-        return len(scan_entries(self.root))
+        return len(scan_entries(self.root, (".json",)))
 
     def total_bytes(self):
-        return sum(size for _, size, _ in scan_entries(self.root))
+        return sum(
+            size for _, size, _ in scan_entries(self.root, (".json",))
+        )
 
     def stats(self):
-        entries = scan_entries(self.root)
+        entries = scan_entries(self.root, (".json",))
         mtimes = [mtime for _, _, mtime in entries]
         return {
             "root": str(self.root),
+            "shards": self.shards,
             "entries": len(entries),
             "total_bytes": sum(size for _, size, _ in entries),
             "oldest_mtime": min(mtimes) if mtimes else None,
             "newest_mtime": max(mtimes) if mtimes else None,
         }
 
-    def prune(self, max_bytes):
+    def prune(self, max_bytes, orphan_age_s=DEFAULT_ORPHAN_AGE_S):
         """LRU-evict until the store fits *max_bytes*; returns
-        ``(n_removed, bytes_removed)``."""
-        return prune_lru(self.root, max_bytes)
+        ``(n_removed, bytes_removed)``.
+
+        Also sweeps aged-out orphans: ``.tmp`` files from crashed
+        writers and ``.lease`` files from crashed holders, both
+        age-gated so live writers and live leases are untouched.
+        """
+        sweep_orphans(self.root, max_age_s=orphan_age_s,
+                      patterns=("*.tmp", "*.lease"))
+        return prune_lru(self.root, max_bytes, (".json",))

@@ -90,6 +90,81 @@ class TestCache:
         assert cache.get(cfg(seed=43)) == {"who": "b"}
 
 
+class TestOrphanHygiene:
+    def put_one(self, cache):
+        cache.put(cfg(), {"schema": "repro-cell-v1", "n": 1})
+        return cache.path_for(cfg())
+
+    def aged(self, path, seconds):
+        import os
+        import time
+
+        past = time.time() - seconds
+        os.utime(path, (past, past))
+
+    def test_strays_invisible_to_stats_and_prune(self, tmp_path):
+        """``.tmp`` writer scratch and serve-layer ``.lease`` files are
+        bookkeeping, not entries: they must never be counted, and the
+        LRU pruner must never pick them as victims (deleting a live
+        writer's temp file mid-write corrupts the entry it is about
+        to become)."""
+        cache = ResultCache(tmp_path)
+        entry = self.put_one(cache)
+        (entry.parent / "crashed-writer.tmp").write_bytes(b"x" * 4096)
+        (entry.parent / f"{entry.stem}.lease").write_text("{}")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] == entry.stat().st_size
+        # Budget exactly one entry: nothing should be evicted, because
+        # the strays neither count against the budget nor rank as LRU.
+        removed, freed = cache.prune(entry.stat().st_size,
+                                     orphan_age_s=3600.0)
+        assert (removed, freed) == (0, 0)
+        assert entry.exists()
+
+    def test_prune_sweeps_aged_tmp_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = self.put_one(cache)
+        orphan = entry.parent / "crashed-writer.tmp"
+        orphan.write_bytes(b"x" * 100)
+        self.aged(orphan, 7200.0)
+        cache.prune(10_000_000, orphan_age_s=3600.0)
+        assert not orphan.exists()
+        assert entry.exists()
+
+    def test_young_tmp_presumed_live_and_kept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = self.put_one(cache)
+        inflight = entry.parent / "live-writer.tmp"
+        inflight.write_bytes(b"x")
+        cache.prune(10_000_000, orphan_age_s=3600.0)
+        assert inflight.exists()
+
+    def test_sweep_orphans_returns_accounting(self, tmp_path):
+        from repro.campaign.cache import sweep_orphans
+
+        (tmp_path / "ab").mkdir()
+        dead = tmp_path / "ab" / "dead.tmp"
+        dead.write_bytes(b"x" * 64)
+        self.aged(dead, 7200.0)
+        assert sweep_orphans(tmp_path, max_age_s=3600.0) == (1, 64)
+        assert sweep_orphans(tmp_path, max_age_s=3600.0) == (0, 0)
+        assert sweep_orphans(tmp_path / "missing") == (0, 0)
+
+    def test_scan_entries_recurses_sharded_layouts(self, tmp_path):
+        from repro.campaign.cache import scan_entries
+
+        deep = tmp_path / "shard-003" / "ab"
+        deep.mkdir(parents=True)
+        (deep / ("ab" * 32 + ".json")).write_text("{}")
+        flat = tmp_path / "cd"
+        flat.mkdir()
+        (flat / ("cd" * 32 + ".json")).write_text("{}")
+        (flat / "stray.tmp").write_text("x")
+        entries = scan_entries(tmp_path, (".json",))
+        assert len(entries) == 2
+
+
 class TestConfigHashability:
     def test_config_is_frozen_and_hashable(self):
         assert dataclasses.fields(ExperimentConfig)

@@ -227,6 +227,35 @@ class TestPreFirstLatch:
             0.005, abs=2 * 40e-6
         )
 
+    def test_empty_latch_history_attributes_all_to_idle(self, daq):
+        # A port with NO latch history at all (replayed trace,
+        # external port source) used to crash: the component gather
+        # inside np.where is evaluated eagerly, and indexing an empty
+        # values array raises even where idle would be selected.
+        timeline, _ = synthetic_timeline([(0, 0.01, 10.0)])
+        port = _DelayedLatchPort(first_cycle=0, value=0, idle_value=9)
+        port._cycles, port._values = [], []
+        trace = daq.acquire(timeline, port)
+        assert set(np.unique(trace.component)) == {9}
+        seconds = trace.component_seconds()
+        assert seconds[9] == pytest.approx(0.01, abs=2 * 40e-6)
+
+    def test_empty_history_samples_count_as_pre_latch(self, p6, rng):
+        from repro.obs import Observability
+
+        obs = Observability.create(trace=False, metrics=True)
+        daq = DAQ(p6, rng, obs=obs)
+        timeline, _ = synthetic_timeline([(0, 0.01, 10.0)])
+        port = _DelayedLatchPort(first_cycle=0, value=0, idle_value=9)
+        port._cycles, port._values = [], []
+        daq.acquire(timeline, port)
+        n = obs.metrics.counter("daq.samples").value
+        assert n > 0
+        assert obs.metrics.counter(
+            "daq.samples_pre_latch").value == n
+        assert obs.metrics.counter(
+            "daq.samples_attributed").value == 0
+
 
 class TestRelativeTolerance:
     """Window counting must tolerate ulp-level float shortfalls."""

@@ -92,3 +92,31 @@ class TestSampling:
         total_instr = sum(trace.component_instructions.values())
         truth = sum(s.instructions for s in timeline)
         assert total_instr == pytest.approx(truth, rel=0.01)
+
+
+class _EmptyHistoryPort:
+    """Port with no latch history at all (replayed trace, external
+    port source) — the sampler must fall back to the idle value, not
+    crash on the eager gather inside ``np.where``."""
+
+    idle_value = 9
+
+    def history_arrays(self):
+        import numpy as np
+
+        return (np.asarray([], dtype=np.int64),
+                np.asarray([], dtype=np.int16))
+
+
+class TestEmptyLatchHistory:
+    def test_all_ticks_attributed_to_idle(self, p6):
+        timeline, _ = synthetic([(0, 0.05, 0.8, 0.1)])
+        trace = HPMSampler(p6).sample(timeline, _EmptyHistoryPort())
+        assert list(trace.component_samples) == [9]
+        assert trace.component_samples[9] == trace.n_samples
+        # Counter totals are still conserved — they just all land on
+        # the idle component.
+        truth = sum(s.instructions for s in timeline)
+        assert trace.component_instructions[9] == pytest.approx(
+            truth, rel=0.01
+        )

@@ -1,0 +1,133 @@
+"""Tests for the file-based cross-process lease."""
+
+import os
+import threading
+import time
+
+from repro.serve.lease import (
+    Lease,
+    lease_age_s,
+    read_lease,
+    try_acquire,
+)
+
+
+class TestAcquireRelease:
+    def test_acquire_creates_file_with_owner_doc(self, tmp_path):
+        path = tmp_path / "aa.lease"
+        lease = try_acquire(path, ttl_s=30.0, owner="worker-7")
+        try:
+            assert isinstance(lease, Lease)
+            assert not lease.took_over
+            assert path.exists()
+            doc = read_lease(path)
+            assert doc["owner"] == "worker-7"
+            assert doc["pid"] == os.getpid()
+            assert doc["ttl_s"] == 30.0
+        finally:
+            lease.release()
+        assert not path.exists()
+
+    def test_release_is_idempotent(self, tmp_path):
+        lease = try_acquire(tmp_path / "aa.lease")
+        lease.release()
+        lease.release()  # second release must not raise
+        assert not (tmp_path / "aa.lease").exists()
+
+    def test_context_manager_releases(self, tmp_path):
+        path = tmp_path / "aa.lease"
+        with try_acquire(path) as lease:
+            assert lease is not None
+            assert path.exists()
+        assert not path.exists()
+
+    def test_acquire_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "shard-003" / "aa.lease"
+        with try_acquire(path):
+            assert path.exists()
+
+    def test_age_of_missing_lease_is_none(self, tmp_path):
+        assert lease_age_s(tmp_path / "nope.lease") is None
+        assert read_lease(tmp_path / "nope.lease") is None
+
+
+class TestContention:
+    def test_live_lease_blocks_second_contender(self, tmp_path):
+        path = tmp_path / "aa.lease"
+        with try_acquire(path, ttl_s=30.0):
+            assert try_acquire(path, ttl_s=30.0) is None
+        # Released: the key is contendable again.
+        with try_acquire(path, ttl_s=30.0) as second:
+            assert second is not None
+            assert not second.took_over
+
+    def test_exactly_one_winner_under_racing_creates(self, tmp_path):
+        path = tmp_path / "aa.lease"
+        won = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            lease = try_acquire(path, ttl_s=30.0)
+            if lease is not None:
+                with lock:
+                    won.append(lease)
+
+        threads = [
+            threading.Thread(target=contend) for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(won) == 1
+        won[0].release()
+
+    def test_stale_lease_is_taken_over(self, tmp_path):
+        path = tmp_path / "aa.lease"
+        # A dead holder: lease file exists but nothing refreshes it.
+        path.write_text("{}")
+        os.utime(path, (time.time() - 120.0, time.time() - 120.0))
+        with try_acquire(path, ttl_s=30.0) as lease:
+            assert lease is not None
+            assert lease.took_over
+            # The takeover rewrote the owner document.
+            assert read_lease(path)["pid"] == os.getpid()
+
+    def test_fresh_lease_is_not_stolen(self, tmp_path):
+        path = tmp_path / "aa.lease"
+        path.write_text("{}")  # held moments ago, mtime is now
+        assert try_acquire(path, ttl_s=30.0) is None
+        assert path.exists()
+
+
+class TestKeepalive:
+    def test_keepalive_refreshes_mtime(self, tmp_path):
+        path = tmp_path / "aa.lease"
+        with try_acquire(path, ttl_s=0.3):  # refresh every ~0.1 s
+            os.utime(path, (time.time() - 10.0, time.time() - 10.0))
+            deadline = time.monotonic() + 5.0
+            while lease_age_s(path) > 1.0:
+                assert time.monotonic() < deadline, (
+                    "keepalive never refreshed the lease"
+                )
+                time.sleep(0.02)
+
+    def test_held_lease_survives_longer_than_ttl(self, tmp_path):
+        """The keepalive keeps a *live* holder's lease un-stealable
+        well past the nominal TTL."""
+        path = tmp_path / "aa.lease"
+        with try_acquire(path, ttl_s=0.2):
+            time.sleep(0.5)  # 2.5 TTLs
+            assert try_acquire(path, ttl_s=0.2) is None
+
+    def test_keepalive_stops_after_external_unlink(self, tmp_path):
+        """A lease whose file was ripped away (takeover after a stall)
+        must not resurrect it through the keepalive."""
+        path = tmp_path / "aa.lease"
+        lease = try_acquire(path, ttl_s=0.3)
+        os.unlink(path)
+        time.sleep(0.3)  # a few refresh intervals
+        assert not path.exists()
+        lease.release()

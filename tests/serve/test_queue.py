@@ -29,6 +29,21 @@ class TestBounds:
         assert q.retry_after_s(0) == 2.0
         assert q.retry_after_s(5) == 10.0
 
+    def test_retry_after_is_capped(self):
+        """A deep backlog must suggest a bounded wait — a 256-deep
+        queue used to tell clients to disappear for 256 seconds."""
+        q = BoundedJobQueue(256)
+        assert q.retry_after_s(256) == 30.0
+        assert BoundedJobQueue(
+            256, max_retry_after_s=5.0
+        ).retry_after_s(100) == 5.0
+        full = BoundedJobQueue(256)
+        for n in range(256):
+            full.put(n)
+        with pytest.raises(QueueFull) as excinfo:
+            full.put("overflow")
+        assert excinfo.value.retry_after_s <= 30.0
+
     def test_rejects_zero_size(self):
         with pytest.raises(ValueError):
             BoundedJobQueue(0)
@@ -38,6 +53,36 @@ class TestGet:
     def test_get_times_out_empty(self):
         q = BoundedJobQueue(2)
         assert q.get(timeout=0.01) is None
+
+    def test_timeout_is_a_deadline_not_a_per_wakeup_budget(self):
+        """Wakeups that lose the race for an item must not restart the
+        clock: many contending getters on a trickle of items all
+        return within ~one timeout, not N stacked timeouts."""
+        import time
+
+        q = BoundedJobQueue(8)
+        done = []
+        lock = threading.Lock()
+
+        def consumer():
+            item = q.get(timeout=0.3)
+            with lock:
+                done.append(item)
+
+        threads = [threading.Thread(target=consumer) for _ in range(6)]
+        start = time.monotonic()
+        for t in threads:
+            t.start()
+        # One item feeds one getter; the other five keep being woken
+        # by each other's activity and must still time out on schedule.
+        q.put("only")
+        for t in threads:
+            t.join(5.0)
+        elapsed = time.monotonic() - start
+        assert sorted(done, key=str) == [None] * 5 + ["only"]
+        assert elapsed < 1.5, (
+            f"getters stacked their waits: {elapsed:.2f}s"
+        )
 
     def test_get_wakes_on_put(self):
         q = BoundedJobQueue(2)

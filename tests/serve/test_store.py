@@ -60,6 +60,31 @@ class TestJobStore:
         assert job.error is None
         assert job.attempts == 2  # attempts survive resubmission
 
+    def test_create_never_clobbers_a_live_record(self):
+        """Resubmitting an in-flight spec must coalesce onto the live
+        job — ``create`` used to silently replace the record, orphaning
+        the object the worker was mutating and resetting attempts."""
+        store = JobStore()
+        spec = tiny_spec()
+        job = store.create(spec.spec_hash(), spec)
+        store.update(job, state=RUNNING, attempts=3)
+        again = store.create(spec.spec_hash(), tiny_spec())
+        assert again is job          # same object, not a replacement
+        assert again.state == RUNNING
+        assert again.attempts == 3
+        assert len(store) == 1
+
+    def test_create_requeues_terminal_record_in_place(self):
+        store = JobStore()
+        spec = tiny_spec()
+        job = store.create(spec.spec_hash(), spec)
+        store.update(job, state=FAILED, error="boom", attempts=2)
+        again = store.create(spec.spec_hash(), tiny_spec())
+        assert again is job
+        assert again.state == QUEUED
+        assert again.error is None
+        assert again.attempts == 2   # history survives resubmission
+
     def test_list_newest_first_and_counts(self):
         store = JobStore()
         a = store.create("a" * 64, tiny_spec(seed=1))
@@ -94,6 +119,89 @@ class TestResultStore:
         path = store.put_bytes(key, b"{}")
         assert path.parent.name == "cd"
         assert path.name == f"{key}.json"
+
+    def test_shard_namespace_layout(self, tmp_path):
+        store = ResultStore(tmp_path, shards=8)
+        key = "cd" * 32
+        path = store.put_bytes(key, b"{}")
+        expected_shard = int(key[:8], 16) % 8
+        assert path.parts[-3] == f"shard-{expected_shard:03d}"
+        assert path.parent.name == "cd"
+        assert store.get_bytes(key) == b"{}"
+        assert key in store
+
+    def test_shard_placement_is_consistent_across_instances(
+            self, tmp_path):
+        """Every instance configured with the same shard count finds
+        entries written by any other."""
+        writer = ResultStore(tmp_path, shards=16)
+        reader = ResultStore(tmp_path, shards=16)
+        keys = [f"{n:02x}" * 32 for n in range(24)]
+        for key in keys:
+            writer.put_bytes(key, key.encode())
+        for key in keys:
+            assert reader.get_bytes(key) == key.encode()
+        assert len(reader) == 24
+        assert reader.stats()["shards"] == 16
+        # Keys actually spread over more than one shard directory.
+        shards_used = {
+            p.name for p in tmp_path.iterdir()
+            if p.name.startswith("shard-")
+        }
+        assert len(shards_used) > 1
+
+    def test_shards_must_be_positive(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, shards=0)
+
+    def test_lease_path_sits_beside_entry(self, tmp_path):
+        for shards in (1, 8):
+            store = ResultStore(tmp_path / str(shards), shards=shards)
+            key = "ab" * 32
+            lease = store.lease_path_for(key)
+            assert lease.parent == store.path_for(key).parent
+            assert lease.name == f"{key}.lease"
+
+    def test_stats_ignore_tmp_and_lease_files(self, tmp_path):
+        """Orphan ``.tmp`` and live ``.lease`` files are bookkeeping,
+        not entries: stats, len and LRU pruning must not see them."""
+        store = ResultStore(tmp_path)
+        store.put_bytes("aa" * 32, b"x" * 100)
+        entry_dir = store.path_for("aa" * 32).parent
+        (entry_dir / "orphan.tmp").write_bytes(b"t" * 999)
+        (entry_dir / f"{'aa' * 32}.lease").write_text("{}")
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] == 100
+        assert len(store) == 1
+        # Pruning to exactly the entry's size evicts nothing: the
+        # strays don't count against the budget, nor as LRU victims.
+        removed, _ = store.prune(100, orphan_age_s=3600.0)
+        assert removed == 0
+        assert ("aa" * 32) in store
+
+    def test_prune_sweeps_aged_orphans_only(self, tmp_path):
+        import os
+        import time
+
+        store = ResultStore(tmp_path)
+        store.put_bytes("aa" * 32, b"x")
+        entry_dir = store.path_for("aa" * 32).parent
+        old_tmp = entry_dir / "dead-writer.tmp"
+        old_lease = entry_dir / f"{'aa' * 32}.lease"
+        fresh_tmp = entry_dir / "live-writer.tmp"
+        for stray in (old_tmp, old_lease, fresh_tmp):
+            stray.write_bytes(b"s")
+        past = time.time() - 7200.0
+        os.utime(old_tmp, (past, past))
+        os.utime(old_lease, (past, past))
+        store.prune(10_000, orphan_age_s=3600.0)
+        assert not old_tmp.exists()
+        assert not old_lease.exists()
+        assert fresh_tmp.exists()      # young stray: maybe still live
+        assert ("aa" * 32) in store
 
     def test_stats_and_len(self, tmp_path):
         store = ResultStore(tmp_path)
