@@ -74,13 +74,14 @@ def percentile(values, q):
     return ordered[rank]
 
 
-def _start_server(mode, result_dir, workers, queue_size=256):
+def _start_server(mode, result_dir, workers, queue_size=256,
+                  job_trace=False):
     from repro.serve.server import ExperimentService, ServiceServer
 
     service = ExperimentService(
         queue_size=queue_size, job_workers=workers, cell_workers=1,
         use_cell_cache=False, result_dir=result_dir,
-        worker_mode=mode,
+        worker_mode=mode, job_trace=job_trace,
     )
     return ServiceServer(service=service, host="127.0.0.1",
                          port=0).start()
@@ -121,12 +122,14 @@ def _client_storm(url, bodies, clients, rounds, latencies):
         thread.join()
 
 
-def storm_mode(mode, bodies, ids, args):
+def storm_mode(mode, bodies, ids, args, job_trace=False):
     """One full storm against a fresh service in *mode*."""
     from repro.serve.client import ServiceClient
 
-    result_dir = Path(tempfile.mkdtemp(prefix=f"bench-serve-{mode}-"))
-    server = _start_server(mode, result_dir, args.workers)
+    prefix = f"bench-serve-{mode}{'-traced' if job_trace else ''}-"
+    result_dir = Path(tempfile.mkdtemp(prefix=prefix))
+    server = _start_server(mode, result_dir, args.workers,
+                           job_trace=job_trace)
     latencies = []
     try:
         start = time.perf_counter()
@@ -224,6 +227,37 @@ def multi_instance_storm(mode, bodies, ids, args):
     }
 
 
+def tracing_overhead(mode, bodies, ids, args):
+    """Self-overhead of distributed job tracing, measured.
+
+    Two back-to-back storms in the same mode into fresh result dirs —
+    tracing off, then tracing on — so the overhead number compares
+    like with like (same host state, same spec set).  Alongside the
+    jobs/sec ratio the traced store is checked for byte identity
+    against a direct run: tracing must never change result bytes.
+    """
+    baseline = storm_mode(mode, bodies, ids, args, job_trace=False)
+    traced = storm_mode(mode, bodies, ids, args, job_trace=True)
+    baseline.pop("result_dir", None)
+    traced_dir = traced.pop("result_dir")
+    base_rate = baseline["jobs_per_sec"]
+    overhead = (
+        round(1.0 - traced["jobs_per_sec"] / base_rate, 4)
+        if base_rate > 0 else 0.0
+    )
+    n_spools = len(list(Path(traced_dir).rglob("*.spans")))
+    return {
+        "worker_mode": mode,
+        "untraced": baseline,
+        "traced": traced,
+        "overhead_fraction": overhead,
+        "spool_files": n_spools,
+        "traced_byte_identical": verify_byte_identity(
+            bodies, ids, traced_dir
+        ),
+    }
+
+
 def verify_byte_identity(bodies, ids, result_dir):
     """Stored bytes for spec 0 equal a direct in-process run."""
     from repro.campaign.runner import CampaignRunner
@@ -256,6 +290,8 @@ def main(argv=None):
                         help="which modes to storm (default both)")
     parser.add_argument("--skip-multi-instance", action="store_true",
                         help="skip the two-instance exactly-once storm")
+    parser.add_argument("--skip-tracing-overhead", action="store_true",
+                        help="skip the traced-vs-untraced overhead storm")
     args = parser.parse_args(argv)
 
     bodies = build_spec_bodies(args.specs, args.input_scale)
@@ -314,6 +350,19 @@ def main(argv=None):
     )
     print(f"  byte-identical to direct run: "
           f"{results['byte_identical']}")
+
+    if not args.skip_tracing_overhead:
+        mode = modes[0]
+        print(f"storming traced vs untraced (worker_mode={mode}) ...")
+        results["tracing_overhead"] = tracing_overhead(
+            mode, bodies, ids, args
+        )
+        t = results["tracing_overhead"]
+        print(f"  untraced {t['untraced']['jobs_per_sec']:.2f} jobs/s,"
+              f" traced {t['traced']['jobs_per_sec']:.2f} jobs/s "
+              f"({100 * t['overhead_fraction']:.1f}% overhead, "
+              f"{t['spool_files']} spool files, byte-identical="
+              f"{t['traced_byte_identical']})")
 
     if not args.skip_multi_instance:
         mode = "process" if "process" in modes else modes[0]

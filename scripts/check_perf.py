@@ -68,6 +68,34 @@ def check_serve(results):
                    f"(dedup_rate {m['dedup_rate']})")
     expect(results.get("byte_identical") is True,
            "served bytes identical to a direct in-process run")
+    overhead = results.get("tracing_overhead")
+    if overhead is not None:
+        expect(overhead["traced_byte_identical"] is True,
+               "tracing on: result bytes still identical to a "
+               "direct run")
+        expect(overhead["traced"]["executed"] == n_specs,
+               f"tracing on: executed == specs "
+               f"({overhead['traced']['executed']} == {n_specs})")
+        expect(overhead["spool_files"] >= n_specs,
+               f"tracing on: one spool file per executed job "
+               f"({overhead['spool_files']} >= {n_specs})")
+        # The tracing-off storm is the PR 2 hot path; it must not pay
+        # for the feature.  The bound is deliberately loose (shared CI
+        # runners) — it catches "tracing-off got slow", not noise.
+        base = overhead["untraced"]["jobs_per_sec"]
+        traced_rate = overhead["traced"]["jobs_per_sec"]
+        expect(base > 0 and traced_rate > 0,
+               f"tracing storms made progress "
+               f"({base} / {traced_rate} jobs/s)")
+        if traced_rate > 0:
+            ratio = base / traced_rate
+            expect(ratio > 0.5,
+                   f"tracing-off jobs/sec not regressed vs traced "
+                   f"(untraced/traced {ratio:.2f}x > 0.5x)")
+        print(f"  [info] tracing overhead "
+              f"{100 * overhead['overhead_fraction']:.1f}% "
+              f"(untraced {base} vs traced {traced_rate} jobs/s, "
+              "informational)")
     fleet = results.get("multi_instance")
     if fleet is not None:
         expect(fleet["exactly_once"] is True,

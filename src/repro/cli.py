@@ -570,6 +570,14 @@ def _fmt_bytes(n):
 
 
 def cmd_serve(args):
+    if args.action == "top":
+        from repro.serve.top import run_top
+
+        return run_top(
+            server_url=args.server, interval_s=args.interval,
+            iterations=1 if args.once else None,
+        )
+
     from repro.serve.server import serve_forever
 
     def ready(server):
@@ -596,6 +604,7 @@ def cmd_serve(args):
         retries=args.retries,
         store_shards=args.store_shards,
         lease_ttl_s=args.lease_ttl,
+        job_trace=args.trace_jobs,
     )
 
 
@@ -650,6 +659,12 @@ def cmd_jobs(args):
 
     client = ServiceClient(args.server, timeout_s=30.0)
     try:
+        if args.trace is not None:
+            if not args.id:
+                print("repro jobs: --trace needs a job id",
+                      file=sys.stderr)
+                return 2
+            return _fetch_job_trace(client, args.id, args.trace)
         if args.id:
             job = (client.wait(args.id, timeout_s=args.timeout)
                    if args.wait else client.job(args.id))
@@ -665,6 +680,22 @@ def cmd_jobs(args):
     except ServiceError as exc:
         print(f"repro jobs: {exc}", file=sys.stderr)
         return 2
+
+
+def _fetch_job_trace(client, job_id, out_path):
+    """``repro jobs ID --trace``: fetch, save, and summarize the
+    merged per-job trace."""
+    import json as json_mod
+
+    from repro.obs.summary import render_trace_summary, summarize_trace
+
+    events = client.job_trace(job_id)
+    path = out_path or f"{job_id[:12]}.trace.json"
+    with open(path, "w") as handle:
+        json_mod.dump(events, handle, separators=(",", ":"))
+    print(f"wrote {path} ({len(events)} events)")
+    print(render_trace_summary(summarize_trace(events)))
+    return 0
 
 
 def cmd_cache(args):
@@ -838,8 +869,22 @@ def build_parser():
     from repro.serve.server import DEFAULT_PORT
 
     p_serve = sub.add_parser(
-        "serve", help="run the HTTP experiment service"
+        "serve", help="run the HTTP experiment service "
+                      "(or `serve top` to watch one live)"
     )
+    p_serve.add_argument("action", nargs="?", default=None,
+                         choices=("top",),
+                         help="'top': live metrics view of a running "
+                              "service instead of serving")
+    p_serve.add_argument("--server", default=None,
+                         help="service URL for `serve top` (default: "
+                              "$REPRO_SERVER or "
+                              f"http://127.0.0.1:{DEFAULT_PORT})")
+    p_serve.add_argument("--interval", type=float, default=2.0,
+                         help="`serve top` refresh period in seconds")
+    p_serve.add_argument("--once", action="store_true",
+                         help="`serve top`: print one snapshot and "
+                              "exit (scripts, smoke tests)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
                          help=f"TCP port (default {DEFAULT_PORT}; "
@@ -883,6 +928,10 @@ def build_parser():
     p_serve.add_argument("--drain-timeout", type=float, default=30.0,
                          help="seconds to finish queued/in-flight "
                               "jobs on SIGTERM/SIGINT")
+    p_serve.add_argument("--trace-jobs", action="store_true",
+                         help="record a distributed per-job trace "
+                              "(service + worker spans, merged at "
+                              "GET /v1/jobs/{id}/trace)")
 
     p_submit = sub.add_parser(
         "submit", help="submit a scenario spec to a repro serve"
@@ -912,6 +961,11 @@ def build_parser():
                         help="poll the named job to completion")
     p_jobs.add_argument("--timeout", type=float, default=300.0,
                         help="overall --wait budget in seconds")
+    p_jobs.add_argument("--trace", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="fetch the job's merged distributed "
+                             "trace, write it (default "
+                             "<id12>.trace.json), and summarize it")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or prune the on-disk caches"

@@ -1,0 +1,102 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot — plus
+the service's derived gauges — as the plain-text format every
+Prometheus-compatible scraper speaks::
+
+    # HELP serve_jobs_queued counter serve.jobs_queued
+    # TYPE serve_jobs_queued counter
+    serve_jobs_queued 42
+    # HELP serve_job_wall_s histogram serve.job_wall_s
+    # TYPE serve_job_wall_s summary
+    serve_job_wall_s{quantile="0.5"} 0.31
+    serve_job_wall_s_sum 12.4
+    serve_job_wall_s_count 40
+
+Dotted repro metric names become underscore-mangled Prometheus names
+(``serve.jobs_queued`` → ``serve_jobs_queued``); histograms are
+exposed as Prometheus *summaries* (pre-computed quantiles, which is
+what an exact/reservoir quantile sketch is) with the conventional
+``{quantile="q"}`` labels plus ``_sum``/``_count`` series.  Derived
+values that are not numbers (e.g. ``worker_mode``) are skipped — the
+text format carries numbers only; the JSON endpoint keeps the rest.
+
+The module depends only on the registry's public snapshot, so it
+renders worker-merged registries and test fixtures alike.
+"""
+
+import re
+
+from repro.obs.metrics import HISTOGRAM_QUANTILES
+
+#: Content type a conforming scrape response must carry.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def mangle_metric_name(name):
+    """Dotted repro metric name -> valid Prometheus metric name.
+
+    Every character outside ``[a-zA-Z0-9_:]`` becomes ``_``; a name
+    that would start with a digit gains a leading underscore.
+    """
+    mangled = _INVALID_CHARS.sub("_", name)
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def _format_value(value):
+    """Prometheus sample value: floats bare, bools as 0/1."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _header(lines, mangled, kind, prom_type, source):
+    lines.append(f"# HELP {mangled} {kind} {source}")
+    lines.append(f"# TYPE {mangled} {prom_type}")
+
+
+def render_prometheus(snapshot, derived=None):
+    """Render an ``as_dict`` metrics snapshot as exposition text.
+
+    ``snapshot`` is :meth:`MetricsRegistry.as_dict` output
+    (``{"counters": ..., "gauges": ..., "histograms": ...}``);
+    ``derived`` is an optional flat dict of computed gauges (the
+    service's queue depth, uptime, rates).  Returns the full text
+    including the trailing newline the format requires.
+    """
+    lines = []
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        mangled = mangle_metric_name(name)
+        _header(lines, mangled, "counter", "counter", name)
+        lines.append(f"{mangled} {_format_value(value)}")
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        mangled = mangle_metric_name(name)
+        _header(lines, mangled, "gauge", "gauge", name)
+        lines.append(f"{mangled} {_format_value(value)}")
+    for name, hist in sorted((snapshot.get("histograms") or {}).items()):
+        if not isinstance(hist, dict) or not hist:
+            continue
+        mangled = mangle_metric_name(name)
+        _header(lines, mangled, "histogram", "summary", name)
+        for q in HISTOGRAM_QUANTILES:
+            value = hist.get(f"p{int(q * 100)}")
+            if value is None:
+                continue
+            lines.append(
+                f'{mangled}{{quantile="{q}"}} {_format_value(value)}'
+            )
+        lines.append(f"{mangled}_sum {_format_value(hist.get('sum', 0.0))}")
+        lines.append(f"{mangled}_count {hist.get('count', 0)}")
+    for name, value in sorted((derived or {}).items()):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue  # text format is numeric-only; JSON keeps these
+        mangled = mangle_metric_name(f"serve.{name}")
+        _header(lines, mangled, "gauge (derived)", "gauge", name)
+        lines.append(f"{mangled} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

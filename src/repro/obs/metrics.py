@@ -16,6 +16,7 @@ unconditionally without allocating or recording anything.
 """
 
 import math
+import random
 import time
 from contextlib import contextmanager
 
@@ -23,6 +24,12 @@ from repro.errors import ConfigurationError
 
 #: Histogram quantiles reported by ``as_dict``/``render``.
 HISTOGRAM_QUANTILES = (0.5, 0.9, 0.99)
+
+#: Samples a histogram retains before switching to reservoir
+#: estimation.  Sized so a week-long ``repro serve`` holds at most
+#: ~32 KiB of floats per histogram while quantiles computed from the
+#: reservoir stay within ~1-2 % of exact at serving cardinalities.
+DEFAULT_RESERVOIR_SIZE = 4096
 
 
 class Counter:
@@ -57,20 +64,67 @@ class Gauge:
 class Histogram:
     """Sample distribution: count/sum/min/max/mean plus quantiles.
 
-    Samples are retained (pipeline cardinalities here are thousands,
-    not billions), so quantiles are exact.  The edge cases matter:
-    an empty histogram reports zeros and ``None`` bounds rather than
-    raising, and a single sample is its own min, max, mean, and every
-    quantile.
+    Up to ``reservoir_size`` observations every sample is retained and
+    quantiles are **exact** (count, sum — via ``math.fsum`` — min,
+    max, mean, and interpolated quantiles all match the full stream).
+    Beyond the cap the histogram switches to reservoir sampling
+    (Vitter's Algorithm R with a fixed per-instance seed, so repeated
+    runs are reproducible): each of the N observations so far has
+    equal probability ``reservoir_size / N`` of being retained, and
+    quantiles become unbiased *estimates* from that uniform subsample.
+    Count, sum, min, max, and mean remain exact at any cardinality —
+    they are tracked as running scalars — so a week-long
+    ``repro serve`` keeps O(reservoir_size) memory per histogram
+    instead of growing without bound.  ``exact`` reports which regime
+    the instrument is in; ``as_dict`` includes it.
+
+    The edge cases matter: an empty histogram reports zeros and
+    ``None`` bounds rather than raising, and a single sample is its
+    own min, max, mean, and every quantile.
     """
 
-    __slots__ = ("_samples",)
+    __slots__ = ("_samples", "reservoir_size", "_count", "_run_sum",
+                 "_min", "_max", "_rng")
 
-    def __init__(self):
+    #: Fixed Algorithm-R seed: reservoir contents are a deterministic
+    #: function of the observation stream, not of process entropy.
+    _SEED = 0x5EED
+
+    def __init__(self, reservoir_size=DEFAULT_RESERVOIR_SIZE):
+        if reservoir_size < 1:
+            raise ConfigurationError(
+                f"reservoir_size must be >= 1, got {reservoir_size}")
         self._samples = []
+        self.reservoir_size = reservoir_size
+        self._count = 0
+        self._run_sum = 0.0
+        self._min = None
+        self._max = None
+        self._rng = None  # created at the exact->reservoir transition
+
+    @property
+    def exact(self):
+        """True while every observation is still retained."""
+        return self._rng is None
 
     def observe(self, value):
-        self._samples.append(float(value))
+        value = float(value)
+        self._count += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self._rng is None:
+            if len(self._samples) < self.reservoir_size:
+                self._samples.append(value)
+                return
+            # Cap reached: snapshot the exact sum, then estimate.
+            self._run_sum = math.fsum(self._samples)
+            self._rng = random.Random(self._SEED)
+        self._run_sum += value
+        slot = self._rng.randrange(self._count)
+        if slot < self.reservoir_size:
+            self._samples[slot] = value
 
     @contextmanager
     def time(self):
@@ -89,28 +143,34 @@ class Histogram:
 
     @property
     def count(self):
-        return len(self._samples)
+        return self._count
 
     @property
     def sum(self):
-        return math.fsum(self._samples)
+        if self._rng is None:
+            return math.fsum(self._samples)
+        return self._run_sum
 
     @property
     def min(self):
-        return min(self._samples) if self._samples else None
+        return self._min
 
     @property
     def max(self):
-        return max(self._samples) if self._samples else None
+        return self._max
 
     @property
     def mean(self):
-        if not self._samples:
+        if not self._count:
             return 0.0
-        return self.sum / len(self._samples)
+        return self.sum / self._count
 
     def quantile(self, q):
-        """Exact q-quantile by linear interpolation; ``None`` if empty."""
+        """q-quantile by linear interpolation; ``None`` if empty.
+
+        Exact while ``exact`` holds; a reservoir estimate beyond the
+        cap (the interpolation runs over the uniform subsample).
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
         if not self._samples:
@@ -124,6 +184,32 @@ class Histogram:
         frac = pos - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
+    def merge_from(self, other):
+        """Fold another histogram's observations into this one.
+
+        An exact source replays its full sample list, preserving this
+        histogram's exactness while under the cap.  An overflowed
+        source replays its reservoir (for distribution shape), then
+        folds the unretained remainder's count and sum plus the exact
+        min/max scalars — so count/sum/min/max stay exact through any
+        chain of merges even when individual samples are gone.
+        """
+        for sample in other._samples:
+            self.observe(sample)
+        if other._rng is None:
+            return
+        extra_count = other._count - len(other._samples)
+        extra_sum = other._run_sum - math.fsum(other._samples)
+        if self._rng is None:
+            self._run_sum = math.fsum(self._samples)
+            self._rng = random.Random(self._SEED)
+        self._count += extra_count
+        self._run_sum += extra_sum
+        if other._min is not None and other._min < self._min:
+            self._min = other._min
+        if other._max is not None and other._max > self._max:
+            self._max = other._max
+
     def as_dict(self):
         out = {
             "count": self.count,
@@ -131,6 +217,7 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "exact": self.exact,
         }
         for q in HISTOGRAM_QUANTILES:
             out[f"p{int(q * 100)}"] = self.quantile(q)
@@ -146,6 +233,7 @@ class NullInstrument:
     min = None
     max = None
     mean = 0.0
+    exact = True
 
     def inc(self, n=1):
         pass
@@ -234,9 +322,7 @@ class MetricsRegistry(NullMetrics):
         for name, gauge in other._gauges.items():
             self.gauge(name).set(gauge.value)
         for name, histogram in other._histograms.items():
-            dest = self.histogram(name)
-            for sample in histogram._samples:
-                dest.observe(sample)
+            self.histogram(name).merge_from(histogram)
 
     def as_dict(self):
         """JSON-safe snapshot of every instrument, sorted by name."""

@@ -9,12 +9,24 @@ recovered from the trace alone).
 Self-time is total duration minus time covered by nested child spans
 on the same thread row, computed with the classic stack sweep over
 events sorted by start time.
+
+Two trace shapes arrive here: single-process traces from the PR 2
+exporter, where the two pids are the two *clocks*, and merged per-job
+traces from :mod:`repro.obs.distributed`, where each pid is a real OS
+process (``"service pid N"`` / ``"worker pid N"``).  The summarizer
+keys its rollups by each pid's ``process_name`` metadata — mapping the
+two classic clock labels back to their ``"wall"``/``"sim"`` keys for
+compatibility — so multi-process traces get one ranked table per
+process instead of being misattributed to a single clock.
 """
 
 from dataclasses import dataclass, field
 
-from repro.obs.chrome import CLOCK_PIDS
+from repro.obs.chrome import CLOCK_LABELS, CLOCK_PIDS
 from repro.obs.tracer import SIM_CLOCK, WALL_CLOCK
+
+#: process_name metadata -> summary key ("wall clock" -> "wall", ...).
+_LABEL_TO_CLOCK = {label: clock for clock, label in CLOCK_LABELS.items()}
 
 #: Track name the scheduler uses for port-write perturbation spans.
 PERTURBATION_TRACK = "perturbation"
@@ -46,6 +58,9 @@ class TraceSummary:
     perturbation_s: float = 0.0
     #: Embedded metrics snapshot, when the trace carries one.
     metrics: dict = None
+    #: ``repro_job_trace`` metadata (job_id/trace_id/...) from a
+    #: merged distributed trace, when present.
+    job: dict = None
 
 
 def _self_times(events):
@@ -74,7 +89,9 @@ def summarize_trace(events, top=10):
     """Build a :class:`TraceSummary` from a loaded event list."""
     pid_to_clock = {pid: clock for clock, pid in CLOCK_PIDS.items()}
     thread_names = {}
+    process_names = {}  # pid -> process_name metadata
     metrics = None
+    job = None
     rows = {}  # (pid, tid) -> [event, ...]
     for event in events:
         ph = event.get("ph")
@@ -83,19 +100,34 @@ def summarize_trace(events, top=10):
                 thread_names[(event.get("pid"), event.get("tid"))] = (
                     event.get("args", {}).get("name", "")
                 )
+            elif event.get("name") == "process_name":
+                process_names[event.get("pid")] = (
+                    event.get("args", {}).get("name", "")
+                )
             elif event.get("name") == "repro_metrics":
                 metrics = event.get("args")
+            elif event.get("name") == "repro_job_trace":
+                job = event.get("args")
             continue
         if ph != "X":
             continue
         key = (event.get("pid"), event.get("tid"))
         rows.setdefault(key, []).append(event)
 
+    def process_key(pid):
+        """Summary key for a pid: classic clock name or process row."""
+        label = process_names.get(pid)
+        if label in _LABEL_TO_CLOCK:
+            return _LABEL_TO_CLOCK[label]
+        if label:
+            return label
+        return pid_to_clock.get(pid, f"pid{pid}")
+
     aggregates = {}   # clock -> {(name, track): SpanAggregate}
     bounds = {}       # clock -> [min_ts, max_end]
     perturbation_us = 0.0
     for (pid, tid), row in rows.items():
-        clock = pid_to_clock.get(pid, f"pid{pid}")
+        clock = process_key(pid)
         track = thread_names.get((pid, tid), str(tid))
         self_us = _self_times(row)
         for event, self_time in zip(row, self_us):
@@ -115,7 +147,8 @@ def summarize_trace(events, top=10):
             if track == PERTURBATION_TRACK:
                 perturbation_us += float(event["dur"])
 
-    summary = TraceSummary(n_events=len(events), metrics=metrics)
+    summary = TraceSummary(n_events=len(events), metrics=metrics,
+                           job=job)
     for clock, table in aggregates.items():
         ranked = sorted(table.values(), key=lambda a: -a.self_s)
         summary.by_clock[clock] = ranked[:top] if top else ranked
@@ -135,7 +168,18 @@ def render_trace_summary(summary):
     from repro.core.report import render_table
 
     blocks = [f"{summary.n_events} events"]
-    for clock in (SIM_CLOCK, WALL_CLOCK):
+    if summary.job:
+        job_id = summary.job.get("job_id") or "?"
+        trace_id = summary.job.get("trace_id")
+        line = f"job {job_id[:12]}"
+        if trace_id:
+            line += f" (trace {trace_id})"
+        blocks[0] = f"{blocks[0]} — {line}"
+    # Classic clock rows first, then per-process rows from merged
+    # distributed traces ("service pid N", "worker pid N", ...).
+    extra = [key for key in summary.by_clock
+             if key not in (SIM_CLOCK, WALL_CLOCK)]
+    for clock in (SIM_CLOCK, WALL_CLOCK, *sorted(extra)):
         aggs = summary.by_clock.get(clock)
         if not aggs:
             continue
@@ -145,8 +189,8 @@ def render_trace_summary(summary):
             for a in aggs
         ]
         extent = summary.extent_s.get(clock, 0.0)
-        label = ("simulated clock" if clock == SIM_CLOCK
-                 else "wall clock")
+        label = {SIM_CLOCK: "simulated clock",
+                 WALL_CLOCK: "wall clock"}.get(clock, clock)
         blocks.append(render_table(
             ["span", "track", "n", "total ms", "self ms"], rows,
             title=f"{label} (extent {extent:.4f} s), top by self-time:",

@@ -71,6 +71,9 @@ class NullTracer:
     spans = ()
     instants = ()
 
+    #: Unix time of the wall epoch (0.0 = "no epoch"; see Tracer).
+    epoch_unix = 0.0
+
     def now_wall(self):
         return 0.0
 
@@ -107,6 +110,10 @@ class Tracer(NullTracer):
         self._spans = []
         self._instants = []
         self._epoch = time.perf_counter()
+        # Unix time of the same instant as the perf epoch, so wall
+        # spans can be re-based onto an absolute timeline when traces
+        # from several processes are merged (repro.obs.distributed).
+        self.epoch_unix = time.time()
 
     @property
     def spans(self):

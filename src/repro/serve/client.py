@@ -55,8 +55,9 @@ class ServiceClient:
 
     # -- plumbing ---------------------------------------------------
 
-    def _request(self, path, data=None, content_type=None):
-        headers = {"Accept": "application/json"}
+    def _request(self, path, data=None, content_type=None,
+                 accept="application/json"):
+        headers = {"Accept": accept}
         if content_type:
             headers["Content-Type"] = content_type
         req = urllib.request.Request(
@@ -153,6 +154,15 @@ class ServiceClient:
 
     def metrics(self):
         return self._json("/v1/metrics")
+
+    def metrics_text(self):
+        """The Prometheus text exposition of ``/v1/metrics``."""
+        _, body, _ = self._request("/v1/metrics", accept="text/plain")
+        return body.decode("utf-8")
+
+    def job_trace(self, job_id):
+        """The merged Chrome trace events for one job."""
+        return self._json(f"/v1/jobs/{job_id}/trace")
 
     # -- conveniences -----------------------------------------------
 

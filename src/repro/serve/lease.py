@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.obs.logging import get_logger
 
 #: Default lease time-to-live.  The holder refreshes every ``ttl / 3``
 #: seconds, so a lease only goes stale when its holder stopped running.
@@ -129,6 +130,14 @@ def try_acquire(path, ttl_s=DEFAULT_LEASE_TTL_S, owner=None):
             # Stale: the holder has not refreshed within the TTL.
             # Unlink and retry the exclusive create; racing contenders
             # are serialized by O_EXCL, not by this unlink.
+            stale = read_lease(path)
+            get_logger().warning(
+                "lease.stale_takeover",
+                job=path.name.split(".")[0][:12],
+                worker_pid=os.getpid(),
+                stale_age_s=round(age, 3),
+                stale_owner=(stale or {}).get("owner"),
+            )
             try:
                 os.unlink(path)
             except OSError:
@@ -146,6 +155,10 @@ def try_acquire(path, ttl_s=DEFAULT_LEASE_TTL_S, owner=None):
                 json.dump(body, handle)
         except OSError:
             pass
+        get_logger().debug(
+            "lease.acquired", job=path.name.split(".")[0][:12],
+            worker_pid=os.getpid(), took_over=took_over,
+        )
         return Lease(path, ttl_s, took_over=took_over)
 
 

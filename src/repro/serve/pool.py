@@ -31,14 +31,23 @@ Outcomes are plain dicts (never exceptions) so the same shape crosses
 the process boundary and the in-thread path identically.
 """
 
+import os
 import time
 import traceback
 
 from repro.campaign.runner import CampaignRunner
+from repro.obs.distributed import SpanRecorder, TraceContext, write_spool
+from repro.obs.logging import get_logger
 from repro.serve.lease import DEFAULT_LEASE_TTL_S, try_acquire
 
 #: How the service runs jobs; ``repro serve --worker-mode``.
 WORKER_MODES = ("thread", "process")
+
+#: Schema tag of the envelope that crosses the worker-process
+#: boundary: the spec dict plus the optional trace context.  Distinct
+#: from the spec's own ``schema`` field, so a legacy plain spec dict
+#: (older client, mixed-version fleet) is still recognized.
+ENVELOPE_SCHEMA = "repro-job-envelope-v1"
 
 #: Default bound on waiting for a peer's lease to resolve.
 DEFAULT_LEASE_WAIT_S = 600.0
@@ -90,11 +99,24 @@ def _failed(error, error_type, **extra):
     return out
 
 
+def _traced_runner_obs(obs, tracer):
+    """The runner's obs bundle when per-job tracing is on: the local
+    harvesting tracer plus whatever metrics/log the caller already
+    aggregates — so tracing adds spans without changing what the
+    service's metrics see."""
+    from repro.obs import Observability
+
+    if obs is None:
+        return Observability(tracer=tracer)
+    return Observability(tracer=tracer, metrics=obs.metrics,
+                         log=obs.log)
+
+
 def execute_spec_job(spec, results, cell_cache=None, cell_workers=1,
                      timeout_s=None, retries=1,
                      lease_ttl_s=DEFAULT_LEASE_TTL_S,
                      lease_wait_s=DEFAULT_LEASE_WAIT_S,
-                     runner_factory=None, obs=None):
+                     runner_factory=None, obs=None, trace_ctx=None):
     """Run *spec* to a stored result under the single-flight lease.
 
     Returns an outcome dict:
@@ -108,19 +130,61 @@ def execute_spec_job(spec, results, cell_cache=None, cell_workers=1,
     * ``{"ok": False, "error", "error_type", ...}`` — failed cells,
       a raised error, or a lease that never resolved within
       *lease_wait_s*.
+
+    With a :class:`~repro.obs.distributed.TraceContext` the executing
+    process also records worker-side spans — lease acquisition, the
+    campaign (with per-cell spans harvested from a local tracer), and
+    the store write — and spools them beside the result entry for the
+    service to merge into the per-job trace.  Tracing never touches
+    the result bytes: the payload is built from the campaign result
+    alone, and the spool is a separate file.
     """
     job_id = spec.spec_hash()
+    recorder = (SpanRecorder(trace_ctx) if trace_ctx is not None
+                else None)
+    log = get_logger().bind(job=job_id[:12], worker_pid=os.getpid())
+    try:
+        return _run_under_lease(
+            spec, job_id, results, cell_cache, cell_workers,
+            timeout_s, retries, lease_ttl_s, lease_wait_s,
+            runner_factory, obs, recorder, log,
+        )
+    finally:
+        if recorder is not None and recorder.records:
+            try:
+                write_spool(results.trace_spool_for(job_id),
+                            trace_ctx, recorder.records)
+            except OSError as exc:
+                # Losing the trace must never fail the job.
+                log.warning("serve.spool_write_failed", error=str(exc))
+
+
+def _run_under_lease(spec, job_id, results, cell_cache, cell_workers,
+                     timeout_s, retries, lease_ttl_s, lease_wait_s,
+                     runner_factory, obs, recorder, log):
     if job_id in results:
+        log.debug("serve.job_via_store")
         return _done(False, "store")
+    lease_start = time.time()
     deadline = time.monotonic() + lease_wait_s
     lease = None
     while lease is None:
         if job_id in results:
+            if recorder is not None:
+                recorder.add("lease wait", "lease", lease_start,
+                             time.time() - lease_start, via="lease")
+            log.debug("serve.job_via_lease")
             return _done(False, "lease")
         lease = try_acquire(results.lease_path_for(job_id),
                             ttl_s=lease_ttl_s)
         if lease is None:
             if time.monotonic() >= deadline:
+                if recorder is not None:
+                    recorder.add("lease wait", "lease", lease_start,
+                                 time.time() - lease_start,
+                                 error="LeaseTimeout")
+                log.warning("serve.lease_timeout",
+                            waited_s=round(lease_wait_s, 3))
                 return _failed(
                     f"gave up after {lease_wait_s:.0f} s waiting for "
                     f"the peer holding the lease on {job_id[:12]} "
@@ -128,10 +192,17 @@ def execute_spec_job(spec, results, cell_cache=None, cell_workers=1,
                     "LeaseTimeout",
                 )
             time.sleep(_LEASE_POLL_S)
+    if recorder is not None:
+        recorder.add("lease acquire", "lease", lease_start,
+                     time.time() - lease_start,
+                     took_over=lease.took_over)
+    if lease.took_over:
+        log.warning("serve.lease_takeover")
     try:
         # A peer may have finished in the takeover window between our
         # last store check and the acquisition.
         if job_id in results:
+            log.debug("serve.job_via_lease", took_over=lease.took_over)
             return _done(False, "lease", took_over=lease.took_over)
         make_runner = (
             runner_factory if runner_factory is not None
@@ -139,19 +210,35 @@ def execute_spec_job(spec, results, cell_cache=None, cell_workers=1,
         )
         kwargs = dict(workers=cell_workers, cache=cell_cache,
                       timeout_s=timeout_s, retries=retries)
-        if obs is not None:
+        local_tracer = None
+        if recorder is not None:
+            from repro.obs.tracer import Tracer
+
+            local_tracer = Tracer()
+            kwargs["obs"] = _traced_runner_obs(obs, local_tracer)
+        elif obs is not None:
             kwargs["obs"] = obs
         result = make_runner(**kwargs).run(spec.campaign_config())
+        if local_tracer is not None:
+            recorder.extend_from_tracer(local_tracer)
         failed = result.failed_cells()
         if failed:
             first = failed[0]
+            log.warning("serve.job_cells_failed", n_failed=len(failed))
             return _failed(
                 f"{len(failed)}/{len(result)} cells failed; first: "
                 f"[{first.error_type}] {first.error}",
                 "ConfigurationError",
             )
-        results.put_bytes(job_id,
-                          encode_result(build_result_payload(spec, result)))
+        data = encode_result(build_result_payload(spec, result))
+        if recorder is not None:
+            with recorder.span("store write", "store",
+                               n_bytes=len(data)):
+                results.put_bytes(job_id, data)
+        else:
+            results.put_bytes(job_id, data)
+        log.info("serve.job_executed", n_cells=len(result),
+                 took_over=lease.took_over)
         return _done(
             True, "run", took_over=lease.took_over,
             n_cells=len(result),
@@ -159,6 +246,8 @@ def execute_spec_job(spec, results, cell_cache=None, cell_workers=1,
             n_cached=result.summary.n_cached,
         )
     except BaseException as exc:  # noqa: BLE001 - folded, not raised
+        log.warning("serve.job_error", error=str(exc),
+                    error_type=type(exc).__name__)
         return _failed(str(exc), type(exc).__name__,
                        traceback=traceback.format_exc())
     finally:
@@ -194,28 +283,40 @@ class ThreadWorkerPool:
     def start(self):
         return self
 
-    def run_job(self, spec):
+    def run_job(self, spec, trace_ctx=None):
         return execute_spec_job(
             spec, self.results, cell_cache=self.cell_cache,
             cell_workers=self.cell_workers, timeout_s=self.timeout_s,
             retries=self.retries, lease_ttl_s=self.lease_ttl_s,
             lease_wait_s=self.lease_wait_s,
             runner_factory=self.runner_factory, obs=self.obs,
+            trace_ctx=trace_ctx,
         )
 
     def shutdown(self):
         pass
 
 
-def _process_job_main(spec_dict, opts):
+def _process_job_main(payload, opts):
     """Worker-process entry point: rebuild the spec and stores from
     plain data, execute under the lease, fold everything into the
-    outcome dict (no exception crosses the process boundary)."""
+    outcome dict (no exception crosses the process boundary).
+
+    *payload* is either a ``repro-job-envelope-v1`` dict (spec dict
+    plus optional trace context) or — for compatibility with anything
+    still submitting plain spec dicts — the spec dict itself.
+    """
     try:
         from repro.campaign.cache import ResultCache
         from repro.serve.store import ResultStore
         from repro.spec import ScenarioSpec
 
+        trace_ctx = None
+        spec_dict = payload
+        if (isinstance(payload, dict)
+                and payload.get("schema") == ENVELOPE_SCHEMA):
+            spec_dict = payload["spec"]
+            trace_ctx = TraceContext.from_dict(payload.get("trace"))
         spec = ScenarioSpec.from_dict(spec_dict, source="worker job")
         results = ResultStore(opts["result_dir"],
                               shards=opts["store_shards"])
@@ -227,6 +328,7 @@ def _process_job_main(spec_dict, opts):
             timeout_s=opts["timeout_s"], retries=opts["retries"],
             lease_ttl_s=opts["lease_ttl_s"],
             lease_wait_s=opts["lease_wait_s"],
+            trace_ctx=trace_ctx,
         )
         if cache is not None:
             # The worker's cache counters die with the call; ship them
@@ -282,7 +384,7 @@ class ProcessWorkerPool:
                 )
         return self
 
-    def run_job(self, spec):
+    def run_job(self, spec, trace_ctx=None):
         from concurrent.futures.process import BrokenProcessPool
 
         with self._lock:
@@ -290,8 +392,15 @@ class ProcessWorkerPool:
         if pool is None:
             return _failed("worker pool is not running",
                            "PoolShutdown")
+        payload = spec.to_dict()
+        if trace_ctx is not None:
+            # The trace context rides in an envelope *around* the spec
+            # dict — never inside it, so the spec hash (and therefore
+            # the result bytes) are identical traced or not.
+            payload = {"schema": ENVELOPE_SCHEMA, "spec": payload,
+                       "trace": trace_ctx.to_dict()}
         try:
-            future = pool.submit(_process_job_main, spec.to_dict(),
+            future = pool.submit(_process_job_main, payload,
                                  self._opts)
             return future.result()
         except BrokenProcessPool:

@@ -38,6 +38,7 @@ graceful drain.
 """
 
 import json
+import os
 import signal
 import threading
 import time
@@ -48,6 +49,17 @@ from repro.campaign.cache import ResultCache
 from repro.campaign.runner import CampaignRunner
 from repro.errors import ConfigurationError, SpecValidationError
 from repro.obs import Observability
+from repro.obs.distributed import (
+    ROLE_SERVICE,
+    TraceContext,
+    merge_job_trace,
+    read_spool,
+    span_record,
+)
+from repro.obs.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 from repro.serve.lease import DEFAULT_LEASE_TTL_S
 from repro.serve.pool import (
     DEFAULT_LEASE_WAIT_S,
@@ -108,7 +120,8 @@ class ExperimentService:
                  timeout_s=None, retries=1, obs=None,
                  worker_mode="thread", store_shards=1,
                  lease_ttl_s=DEFAULT_LEASE_TTL_S,
-                 lease_wait_s=DEFAULT_LEASE_WAIT_S):
+                 lease_wait_s=DEFAULT_LEASE_WAIT_S,
+                 job_trace=False):
         if worker_mode not in WORKER_MODES:
             raise ConfigurationError(
                 f"unknown worker mode {worker_mode!r}; expected one "
@@ -128,6 +141,11 @@ class ExperimentService:
         )
         self.job_workers = int(job_workers)
         self.worker_mode = worker_mode
+        # Per-job distributed tracing (repro.obs.distributed).  Off by
+        # default: with job_trace False no trace context is created,
+        # no span is recorded, and no spool file is written — the job
+        # path is byte-for-byte the pre-tracing behavior.
+        self.job_trace = bool(job_trace)
         # In thread mode the runner resolves through this factory at
         # call time (module-global lookup), so tests can monkeypatch
         # ``repro.serve.server.CampaignRunner`` with a gated fake.
@@ -226,11 +244,19 @@ class ExperimentService:
                 fmt = "json"
             elif base.endswith("toml"):
                 fmt = "toml"
+        validate_start = time.time() if self.job_trace else 0.0
         spec = ScenarioSpec.from_bytes(raw, fmt=fmt, source="request body")
         spec.validate()
-        return self.submit_spec(spec)
+        validate_span = None
+        if self.job_trace:
+            validate_span = span_record(
+                "validate", "service", validate_start,
+                time.time() - validate_start, role=ROLE_SERVICE,
+                n_bytes=len(raw),
+            )
+        return self.submit_spec(spec, validate_span=validate_span)
 
-    def submit_spec(self, spec):
+    def submit_spec(self, spec, validate_span=None):
         """Single-flight submission of a validated spec.
 
         Outcomes:
@@ -276,7 +302,12 @@ class ExperimentService:
                 metrics.counter("serve.jobs_rejected").inc()
                 raise
             metrics.counter("serve.jobs_queued").inc()
-            metrics.gauge("serve.queue_depth").set(len(self.queue))
+            if self.job_trace:
+                ctx = TraceContext.for_job(job_id)
+                self.jobs.update(job, trace_ctx=ctx,
+                                 enqueued_s=time.time(), spans=[])
+                if validate_span is not None:
+                    self.jobs.add_spans(job, [validate_span])
             return OUTCOME_QUEUED, job
 
     # -- execution -----------------------------------------------------
@@ -288,38 +319,48 @@ class ExperimentService:
                 if self.queue.closed and not len(self.queue):
                     return
                 continue
+            # Depth/inflight gauges are computed at scrape time in
+            # metrics_snapshot(), never set here: an update-time set
+            # goes stale the moment the queue drains between jobs.
             with self._lock:
                 self._inflight += 1
-                self.obs.metrics.gauge("serve.inflight").set(
-                    self._inflight
-                )
-                self.obs.metrics.gauge("serve.queue_depth").set(
-                    len(self.queue)
-                )
             try:
                 self._execute_job(job)
             finally:
                 with self._lock:
                     self._inflight -= 1
-                    self.obs.metrics.gauge("serve.inflight").set(
-                        self._inflight
-                    )
 
     def _execute_job(self, job):
         metrics = self.obs.metrics
         start = time.perf_counter()
+        ctx = job.trace_ctx
+        now = time.time()
+        if ctx is not None and job.enqueued_s is not None:
+            self.jobs.add_spans(job, [span_record(
+                "queue wait", "service", job.enqueued_s,
+                now - job.enqueued_s, role=ROLE_SERVICE,
+            )])
         self.jobs.update(
             job, state=RUNNING, attempts=job.attempts + 1,
-            started_s=time.time(),
+            started_s=now,
         )
         self.obs.log.info("serve.job_start", job=job.id,
+                          worker_pid=os.getpid(),
                           n_cells=job.n_cells, attempt=job.attempts)
         try:
+            run_start = time.time()
             with self.obs.tracer.wall_span(
                 f"job {job.id[:12]}", track="jobs", n_cells=job.n_cells
             ):
-                outcome = self.pool.run_job(job.spec)
+                outcome = self.pool.run_job(job.spec, trace_ctx=ctx)
             wall = time.perf_counter() - start
+            if ctx is not None:
+                self.jobs.add_spans(job, [span_record(
+                    f"job {job.id[:12]}", "service", run_start,
+                    time.time() - run_start, role=ROLE_SERVICE,
+                    via=outcome.get("via") if outcome["ok"] else None,
+                    ok=outcome["ok"],
+                )])
             if not outcome["ok"]:
                 with self._lock:
                     metrics.counter("serve.jobs_failed").inc()
@@ -331,6 +372,7 @@ class ExperimentService:
                 )
                 self.obs.log.warning(
                     "serve.job_failed", job=job.id,
+                    worker_pid=os.getpid(),
                     error=outcome["error"],
                     error_type=outcome["error_type"],
                 )
@@ -368,6 +410,7 @@ class ExperimentService:
                 n_cached=outcome["n_cached"],
             )
             self.obs.log.info("serve.job_done", job=job.id,
+                              worker_pid=os.getpid(),
                               wall_s=wall, via=outcome["via"],
                               n_executed=outcome["n_executed"])
         except BaseException as exc:  # noqa: BLE001 - job isolation
@@ -379,6 +422,7 @@ class ExperimentService:
                 error=f"[{type(exc).__name__}] {exc}",
             )
             self.obs.log.warning("serve.job_failed", job=job.id,
+                                 worker_pid=os.getpid(),
                                  error=str(exc),
                                  error_type=type(exc).__name__)
 
@@ -400,8 +444,20 @@ class ExperimentService:
         }
 
     def metrics_snapshot(self):
-        """``/v1/metrics`` payload: raw registry + derived rates."""
+        """``/v1/metrics`` payload: raw registry + derived rates.
+
+        Depth and inflight gauges are computed *here*, at scrape time,
+        from the live queue and worker state — never set from the job
+        path, where they would freeze at the last update and report a
+        stale depth on a drained or idle server.
+        """
         uptime = time.perf_counter() - self._started_perf
+        with self._lock:
+            inflight = self._inflight
+        depth = len(self.queue)
+        metrics = self.obs.metrics
+        metrics.gauge("serve.queue_depth").set(depth)
+        metrics.gauge("serve.inflight").set(inflight)
         data = self.obs.metrics.as_dict()
         counters = data.get("counters", {})
         executed = counters.get("serve.jobs_executed", 0)
@@ -412,8 +468,8 @@ class ExperimentService:
         served = executed + deduped
         data["derived"] = {
             "uptime_s": uptime,
-            "queue_depth": len(self.queue),
-            "inflight": self._inflight,
+            "queue_depth": depth,
+            "inflight": inflight,
             "worker_mode": self.worker_mode,
             "jobs_per_second": executed / uptime if uptime > 0 else 0.0,
             "dedup_rate": deduped / served if served else 0.0,
@@ -422,6 +478,28 @@ class ExperimentService:
             ),
         }
         return data
+
+    def job_trace_events(self, job_id):
+        """The merged Chrome trace for one job, or ``None``.
+
+        Service-side spans live on the job record; worker-side spans
+        are read from the spool file the executing process wrote
+        beside the result entry — which may have been a worker of
+        *another* service instance sharing the store.  ``None`` means
+        no spans exist from either side (job unknown, or tracing was
+        off when it ran).
+        """
+        job = self.jobs.get(job_id)
+        service_spans = []
+        trace_id = None
+        if job is not None:
+            with self.jobs.lock:
+                service_spans = list(job.spans or ())
+                trace_id = job.trace_id
+        worker_spans = read_spool(self.results.trace_spool_for(job_id))
+        events = merge_job_trace(job_id, service_spans, worker_spans,
+                                 trace_id=trace_id)
+        return events or None
 
 
 # -- HTTP layer --------------------------------------------------------
@@ -497,6 +575,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._route("metrics", self._get_metrics)
         elif path == "/v1/jobs":
             self._route("jobs_list", self._get_jobs)
+        elif (path.startswith("/v1/jobs/")
+              and path.endswith("/trace")):
+            job_id = path[len("/v1/jobs/"):-len("/trace")].rstrip("/")
+            self._route("jobs_trace",
+                        lambda: self._get_job_trace(job_id))
         elif path.startswith("/v1/jobs/"):
             self._route("jobs_get",
                         lambda: self._get_job(path[len("/v1/jobs/"):]))
@@ -561,6 +644,17 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(200, self.service.jobs.view(job))
         return 200
 
+    def _get_job_trace(self, job_id):
+        events = self.service.job_trace_events(job_id)
+        if events is None:
+            self._send(404, {
+                "error": f"no trace for job {job_id!r} (unknown job, "
+                         "or the service runs without --trace-jobs)",
+            })
+            return 404
+        self._send(200, events)
+        return 200
+
     def _get_result(self, key):
         data = self.service.results.get_bytes(key)
         if data is None:
@@ -576,7 +670,15 @@ class _Handler(BaseHTTPRequestHandler):
         return status
 
     def _get_metrics(self):
-        self._send(200, self.service.metrics_snapshot())
+        snapshot = self.service.metrics_snapshot()
+        accept = self.headers.get("Accept") or ""
+        if "text/plain" in accept:
+            text = render_prometheus(snapshot,
+                                     snapshot.get("derived"))
+            self._send(200, text.encode("utf-8"),
+                       content_type=PROMETHEUS_CONTENT_TYPE)
+            return 200
+        self._send(200, snapshot)
         return 200
 
 

@@ -63,7 +63,7 @@ class Job:
     __slots__ = (
         "id", "spec", "state", "attempts", "error", "created_s",
         "started_s", "finished_s", "wall_s", "n_cells", "n_executed",
-        "n_cached",
+        "n_cached", "enqueued_s", "trace_ctx", "spans",
     )
 
     def __init__(self, job_id, spec):
@@ -79,6 +79,16 @@ class Job:
         self.n_cells = len(spec.cells()) if spec is not None else 0
         self.n_executed = 0
         self.n_cached = 0
+        # Distributed-tracing state (repro.obs.distributed): only set
+        # when the service runs with per-job tracing enabled, so the
+        # disabled path carries three Nones and no extra work.
+        self.enqueued_s = None
+        self.trace_ctx = None
+        self.spans = None
+
+    @property
+    def trace_id(self):
+        return self.trace_ctx.trace_id if self.trace_ctx else None
 
     def snapshot(self):
         """Plain-dict view of the job (call via :meth:`JobStore.view`)."""
@@ -97,6 +107,8 @@ class Job:
             "n_cached": self.n_cached,
             "result": f"/v1/results/{self.id}"
                       if self.state == DONE else None,
+            "trace": f"/v1/jobs/{self.id}/trace"
+                     if self.trace_ctx is not None else None,
         }
 
 
@@ -136,12 +148,27 @@ class JobStore:
             return job
 
     def requeue(self, job):
-        """Reset a terminal job back to ``queued`` (resubmission)."""
+        """Reset a terminal job back to ``queued`` (resubmission).
+
+        Tracing state is cleared too: a requeued job is a fresh
+        execution and gets a fresh trace (new trace id, new spans).
+        """
         with self._lock:
             job.state = QUEUED
             job.error = None
             job.started_s = None
             job.finished_s = None
+            job.enqueued_s = None
+            job.trace_ctx = None
+            job.spans = None
+            return job
+
+    def add_spans(self, job, records):
+        """Append service-side span records to *job* (thread-safe)."""
+        with self._lock:
+            if job.spans is None:
+                job.spans = []
+            job.spans.extend(records)
             return job
 
     def update(self, job, **fields):
@@ -223,6 +250,13 @@ class ResultStore:
         filesystem) no matter the shard layout."""
         return self.path_for(key).with_suffix(".lease")
 
+    def trace_spool_for(self, key):
+        """The per-job span spool for *key* — written by whichever
+        worker process executed the job, beside the result entry, so
+        the merged trace is reachable from any service instance
+        sharing the store (:mod:`repro.obs.distributed`)."""
+        return self.path_for(key).with_suffix(".spans")
+
     def __contains__(self, key):
         return self.path_for(key).exists()
 
@@ -292,8 +326,22 @@ class ResultStore:
 
         Also sweeps aged-out orphans: ``.tmp`` files from crashed
         writers and ``.lease`` files from crashed holders, both
-        age-gated so live writers and live leases are untouched.
+        age-gated so live writers and live leases are untouched, plus
+        aged ``.spans`` trace spools whose result entry is gone
+        (pruned, or never written because the job failed) — recent
+        sibling-less spools survive so failed jobs stay debuggable.
         """
         sweep_orphans(self.root, max_age_s=orphan_age_s,
                       patterns=("*.tmp", "*.lease"))
-        return prune_lru(self.root, max_bytes, (".json",))
+        removed = prune_lru(self.root, max_bytes, (".json",))
+        now = time.time()
+        for spool in self.root.rglob("*.spans"):
+            try:
+                if spool.with_suffix(".json").exists():
+                    continue
+                if now - spool.stat().st_mtime < orphan_age_s:
+                    continue
+                spool.unlink()
+            except OSError:
+                continue
+        return removed

@@ -1,0 +1,141 @@
+"""Live terminal introspection for a running service (`serve top`).
+
+Polls ``GET /v1/metrics`` (the JSON snapshot) on an interval and
+renders a compact, full-screen view of the numbers an operator watches
+during a storm: queue depth against capacity, in-flight jobs,
+jobs/sec, job-wall and submit-latency quantiles, and the dedup /
+lease-coalesce rates that say how much work the content-addressed
+layers are absorbing.
+
+Rendering is a pure function of one snapshot (:func:`render_top`), so
+tests and ``--once`` runs exercise exactly what the live loop draws;
+the loop itself (:func:`run_top`) only adds the ANSI clear and the
+sleep.
+"""
+
+import sys
+import time
+
+from repro.serve.client import ServiceClient, ServiceError
+
+#: ANSI: cursor home + clear to end of screen (no flicker-prone full
+#: terminal reset).
+_CLEAR = "\x1b[H\x1b[J"
+
+
+def _fmt_s(value):
+    """Seconds, humanized (µs/ms/s) for latency cells."""
+    if value is None:
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _fmt_rate(value):
+    return "-" if value is None else f"{100.0 * value:.1f}%"
+
+
+def _bar(value, cap, width=20):
+    """A ``[####----]`` occupancy bar; degenerate caps render empty."""
+    if not cap or cap <= 0:
+        return "-" * width
+    filled = min(width, int(round(width * value / cap)))
+    return "#" * filled + "-" * (width - filled)
+
+
+def render_top(snapshot, url=""):
+    """One screenful of operator view from a ``/v1/metrics`` snapshot."""
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    derived = snapshot.get("derived") or {}
+
+    depth = derived.get("queue_depth", 0)
+    cap = gauges.get("serve.queue_capacity") or 0
+    inflight = derived.get("inflight", 0)
+    workers = gauges.get("serve.job_workers") or 0
+    uptime = derived.get("uptime_s", 0.0)
+
+    executed = counters.get("serve.jobs_executed", 0)
+    coalesced = counters.get("serve.jobs_coalesced", 0)
+    lease = counters.get("serve.jobs_lease_coalesced", 0)
+    store_hits = counters.get("serve.result_cache_hits", 0)
+    served = executed + coalesced + lease + store_hits
+    lease_rate = lease / served if served else None
+
+    job_wall = histograms.get("serve.job_wall_s") or {}
+    submit = histograms.get("serve.request_s.jobs_post") or {}
+
+    lines = [
+        f"repro serve top — {url}  "
+        f"(uptime {uptime:.0f}s, {derived.get('worker_mode', '?')} "
+        f"mode, {workers:.0f} workers)",
+        "",
+        f"  queue    [{_bar(depth, cap)}] {depth}/{cap:.0f}"
+        f"    inflight [{_bar(inflight, workers)}] "
+        f"{inflight}/{workers:.0f}",
+        "",
+        f"  jobs/sec {derived.get('jobs_per_second', 0.0):8.3f}"
+        f"    executed {executed:6d}"
+        f"    failed {counters.get('serve.jobs_failed', 0):6d}"
+        f"    rejected {counters.get('serve.jobs_rejected', 0):6d}",
+        f"  dedup    {_fmt_rate(derived.get('dedup_rate')):>8}"
+        f"    coalesced {coalesced:5d}"
+        f"    lease-coalesced {lease:4d} ({_fmt_rate(lease_rate)})"
+        f"    store hits {store_hits:4d}",
+        f"  cells    cache hit rate "
+        f"{_fmt_rate(derived.get('cell_cache_hit_rate')):>8}"
+        f"    executed {counters.get('serve.cells_executed', 0):6d}"
+        f"    cached {counters.get('serve.cells_from_cache', 0):6d}",
+        "",
+        f"  job wall   n {job_wall.get('count', 0):6d}"
+        f"   p50 {_fmt_s(job_wall.get('p50')):>8}"
+        f"   p99 {_fmt_s(job_wall.get('p99')):>8}"
+        f"   max {_fmt_s(job_wall.get('max')):>8}",
+        f"  submit     n {submit.get('count', 0):6d}"
+        f"   p50 {_fmt_s(submit.get('p50')):>8}"
+        f"   p99 {_fmt_s(submit.get('p99')):>8}"
+        f"   max {_fmt_s(submit.get('max')):>8}",
+    ]
+    requests = counters.get("serve.http_requests", 0)
+    errors_4xx = counters.get("serve.http_4xx", 0)
+    errors_5xx = counters.get("serve.http_5xx", 0)
+    lines.append(
+        f"  http       requests {requests:6d}"
+        f"   4xx {errors_4xx:5d}   5xx {errors_5xx:5d}"
+    )
+    return "\n".join(lines)
+
+
+def run_top(server_url=None, interval_s=2.0, iterations=None,
+            out=None, timeout_s=5.0):
+    """Poll and redraw until interrupted; returns the exit code.
+
+    *iterations* bounds the number of polls (``1`` is the ``--once``
+    mode used by scripts and tests); ``None`` runs until Ctrl-C.
+    """
+    out = out if out is not None else sys.stdout
+    client = ServiceClient(server_url, timeout_s=timeout_s)
+    n = 0
+    try:
+        while iterations is None or n < iterations:
+            try:
+                snapshot = client.metrics()
+            except ServiceError as exc:
+                out.write(f"cannot poll {client.base_url}: {exc}\n")
+                return 1
+            screen = render_top(snapshot, url=client.base_url)
+            if iterations == 1:
+                out.write(screen + "\n")
+            else:
+                out.write(_CLEAR + screen + "\n")
+            out.flush()
+            n += 1
+            if iterations is None or n < iterations:
+                time.sleep(interval_s)
+    except KeyboardInterrupt:
+        out.write("\n")
+    return 0

@@ -1,0 +1,136 @@
+"""Prometheus text exposition: mangling, HELP/TYPE, round-trip parse."""
+
+import math
+
+import pytest
+
+from repro.obs.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    mangle_metric_name,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def parse_exposition(text):
+    """Minimal exposition-format 0.0.4 checker/parser.
+
+    Validates the line grammar the format requires — ``# HELP`` and
+    ``# TYPE`` comments, ``name{labels} value`` samples, valid metric
+    names, float-parseable values — and returns
+    ``(samples, types)`` where samples maps ``name{labels}`` to the
+    parsed float and types maps metric name to its TYPE.
+    """
+    samples = {}
+    types = {}
+    helps = set()
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            name = line.split()[2]
+            helps.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            assert parts[3] in ("counter", "gauge", "summary",
+                                "histogram", "untyped"), line
+            types[parts[2]] = parts[3]
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        name_part, _, value_part = line.rpartition(" ")
+        assert name_part, f"sample without a value: {line!r}"
+        bare = name_part.split("{")[0]
+        assert bare[0].isalpha() or bare[0] == "_", bare
+        assert all(c.isalnum() or c in "_:" for c in bare), bare
+        if "{" in name_part:
+            assert name_part.endswith("}"), name_part
+        samples[name_part] = float(value_part)
+    # Every TYPE'd family must also carry a HELP line.
+    assert set(types) <= helps
+    return samples, types
+
+
+class TestMangling:
+    def test_dots_become_underscores(self):
+        assert (mangle_metric_name("serve.jobs_queued")
+                == "serve_jobs_queued")
+
+    def test_arbitrary_invalid_chars(self):
+        assert (mangle_metric_name("serve.request_s.jobs-post")
+                == "serve_request_s_jobs_post")
+
+    def test_leading_digit_gets_underscore(self):
+        assert mangle_metric_name("2xx.count") == "_2xx_count"
+
+    def test_colons_survive(self):
+        assert mangle_metric_name("ns:metric") == "ns:metric"
+
+
+class TestRender:
+    def registry(self):
+        metrics = MetricsRegistry()
+        metrics.counter("serve.jobs_queued").inc(42)
+        metrics.gauge("serve.queue_capacity").set(64)
+        hist = metrics.histogram("serve.job_wall_s")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            hist.observe(value)
+        return metrics
+
+    def test_help_and_type_lines(self):
+        text = render_prometheus(self.registry().as_dict())
+        assert "# HELP serve_jobs_queued counter serve.jobs_queued" in text
+        assert "# TYPE serve_jobs_queued counter" in text
+        assert "# TYPE serve_queue_capacity gauge" in text
+        assert "# TYPE serve_job_wall_s summary" in text
+
+    def test_counter_and_gauge_samples(self):
+        samples, types = parse_exposition(
+            render_prometheus(self.registry().as_dict())
+        )
+        assert samples["serve_jobs_queued"] == 42
+        assert types["serve_jobs_queued"] == "counter"
+        assert samples["serve_queue_capacity"] == 64
+        assert types["serve_queue_capacity"] == "gauge"
+
+    def test_histogram_quantile_labels_and_sum_count(self):
+        samples, types = parse_exposition(
+            render_prometheus(self.registry().as_dict())
+        )
+        assert types["serve_job_wall_s"] == "summary"
+        assert samples['serve_job_wall_s{quantile="0.5"}'] == \
+            pytest.approx(0.25)
+        assert 'serve_job_wall_s{quantile="0.9"}' in samples
+        assert 'serve_job_wall_s{quantile="0.99"}' in samples
+        assert samples["serve_job_wall_s_sum"] == pytest.approx(1.0)
+        assert samples["serve_job_wall_s_count"] == 4
+
+    def test_derived_values_rendered_as_gauges(self):
+        derived = {"queue_depth": 3, "inflight": 1,
+                   "jobs_per_second": 2.5,
+                   "worker_mode": "process",       # non-numeric: skip
+                   "cell_cache_hit_rate": None}    # None: skip
+        samples, types = parse_exposition(
+            render_prometheus(MetricsRegistry().as_dict(), derived)
+        )
+        assert samples["serve_queue_depth"] == 3
+        assert samples["serve_jobs_per_second"] == 2.5
+        assert types["serve_inflight"] == "gauge"
+        assert "serve_worker_mode" not in samples
+        assert "serve_cell_cache_hit_rate" not in samples
+
+    def test_empty_registry_renders_empty_document(self):
+        text = render_prometheus(MetricsRegistry().as_dict())
+        assert text == "\n"
+
+    def test_every_value_is_float_parseable(self):
+        metrics = self.registry()
+        metrics.gauge("weird.gauge").set(1e-9)
+        samples, _ = parse_exposition(
+            render_prometheus(metrics.as_dict())
+        )
+        assert all(math.isfinite(v) for v in samples.values())
+
+    def test_content_type_constant(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE

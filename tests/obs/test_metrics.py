@@ -137,3 +137,87 @@ class TestNullMetrics:
         assert m.as_dict() == {}
         # one shared instrument serves every name
         assert m.counter("a") is m.histogram("b")
+
+
+class TestHistogramReservoir:
+    def test_exact_below_cap(self):
+        h = Histogram(reservoir_size=100)
+        for i in range(100):
+            h.observe(float(i))
+        assert h.exact
+        assert h.count == 100
+        assert h.sum == pytest.approx(4950.0)
+        assert h.quantile(0.5) == pytest.approx(49.5)
+        assert h.as_dict()["exact"] is True
+
+    def test_scalars_stay_exact_past_cap(self):
+        h = Histogram(reservoir_size=16)
+        for i in range(1000):
+            h.observe(float(i))
+        assert not h.exact
+        assert h.count == 1000
+        assert h.sum == pytest.approx(sum(range(1000)))
+        assert h.min == 0.0
+        assert h.max == 999.0
+        assert h.mean == pytest.approx(499.5)
+        assert h.as_dict()["exact"] is False
+
+    def test_reservoir_holds_cap_samples(self):
+        h = Histogram(reservoir_size=16)
+        for i in range(1000):
+            h.observe(float(i))
+        assert len(h._samples) == 16
+        assert all(0.0 <= s <= 999.0 for s in h._samples)
+
+    def test_overflow_quantiles_are_reasonable_estimates(self):
+        h = Histogram(reservoir_size=512)
+        for i in range(20_000):
+            h.observe(float(i))
+        # uniform stream: the estimate should land near the true value
+        assert h.quantile(0.5) == pytest.approx(10_000, rel=0.15)
+        assert h.quantile(0.9) == pytest.approx(18_000, rel=0.15)
+
+    def test_fixed_seed_makes_overflow_deterministic(self):
+        def fill():
+            h = Histogram(reservoir_size=8)
+            for i in range(500):
+                h.observe(float(i))
+            return list(h._samples)
+
+        assert fill() == fill()
+
+    def test_rejects_degenerate_cap(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(reservoir_size=0)
+
+    def test_merge_from_exact_source_preserves_exactness(self):
+        a, b = Histogram(), Histogram()
+        for i in range(10):
+            b.observe(float(i))
+        a.merge_from(b)
+        assert a.exact
+        assert a.count == 10
+        assert a.sum == pytest.approx(45.0)
+
+    def test_merge_from_overflowed_source_keeps_exact_scalars(self):
+        a = Histogram(reservoir_size=1000)
+        b = Histogram(reservoir_size=16)
+        for i in range(1000):
+            b.observe(float(i))
+        a.merge_from(b)
+        # samples are estimates now, but the scalars fold exactly
+        assert not a.exact
+        assert a.count == 1000
+        assert a.sum == pytest.approx(sum(range(1000)))
+        assert a.min == 0.0
+        assert a.max == 999.0
+
+    def test_registry_merge_folds_overflowed_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        hist = Histogram(reservoir_size=16)
+        b._histograms["h"] = hist
+        for i in range(100):
+            hist.observe(float(i))
+        a.merge(b)
+        assert a.histogram("h").count == 100
+        assert a.histogram("h").sum == pytest.approx(sum(range(100)))

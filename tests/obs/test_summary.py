@@ -94,3 +94,38 @@ class TestSummarize:
         assert "wall clock" in text
         assert "instrumentation perturbation" in text
         assert "App" in text
+
+
+class TestMultiProcessSummary:
+    """Merged distributed traces carry per-pid process rows."""
+
+    def make_events(self):
+        from repro.obs.distributed import (
+            ROLE_SERVICE,
+            ROLE_WORKER,
+            merge_job_trace,
+            span_record,
+        )
+
+        job = "f" * 64
+        service = [
+            span_record("queue wait", "service", 100.0, 0.5,
+                        role=ROLE_SERVICE, pid=10),
+        ]
+        worker = [
+            span_record("engine", "phases", 100.5, 2.0,
+                        role=ROLE_WORKER, pid=20),
+        ]
+        return merge_job_trace(job, service, worker, trace_id="t-9")
+
+    def test_per_pid_rows_in_summary(self):
+        summary = summarize_trace(self.make_events())
+        assert "service pid 10" in summary.by_clock
+        assert "worker pid 20" in summary.by_clock
+
+    def test_job_header_in_render(self):
+        text = render_trace_summary(summarize_trace(self.make_events()))
+        assert "job " + "f" * 12 in text
+        assert "trace t-9" in text
+        assert "service pid 10" in text
+        assert "worker pid 20" in text

@@ -1,0 +1,106 @@
+"""`repro serve top`: pure rendering plus one real-server poll."""
+
+import io
+
+from repro.serve.server import ServiceServer
+from repro.serve.top import _bar, _fmt_rate, _fmt_s, render_top, run_top
+
+SNAPSHOT = {
+    "counters": {
+        "serve.jobs_executed": 12,
+        "serve.jobs_failed": 1,
+        "serve.jobs_rejected": 3,
+        "serve.jobs_coalesced": 4,
+        "serve.jobs_lease_coalesced": 2,
+        "serve.result_cache_hits": 6,
+        "serve.cells_executed": 40,
+        "serve.cells_from_cache": 10,
+        "serve.http_requests": 99,
+        "serve.http_4xx": 2,
+        "serve.http_5xx": 0,
+    },
+    "gauges": {
+        "serve.queue_capacity": 8,
+        "serve.job_workers": 4,
+    },
+    "histograms": {
+        "serve.job_wall_s": {"count": 12, "p50": 0.31, "p99": 1.2,
+                             "max": 1.5},
+        "serve.request_s.jobs_post": {"count": 20, "p50": 0.002,
+                                      "p99": 0.01, "max": 0.02},
+    },
+    "derived": {
+        "uptime_s": 120.0,
+        "queue_depth": 4,
+        "inflight": 2,
+        "worker_mode": "process",
+        "jobs_per_second": 0.1,
+        "dedup_rate": 0.5,
+        "cell_cache_hit_rate": 0.2,
+    },
+}
+
+
+class TestFormatters:
+    def test_fmt_s_humanizes(self):
+        assert _fmt_s(None) == "-"
+        assert _fmt_s(5e-6) == "5µs"
+        assert _fmt_s(0.0031) == "3.1ms"
+        assert _fmt_s(1.25) == "1.25s"
+
+    def test_fmt_rate(self):
+        assert _fmt_rate(None) == "-"
+        assert _fmt_rate(0.5) == "50.0%"
+
+    def test_bar_occupancy(self):
+        assert _bar(4, 8, width=8) == "####----"
+        assert _bar(0, 8, width=8) == "--------"
+        assert _bar(8, 8, width=8) == "########"
+        assert _bar(16, 8, width=8) == "########"  # clamps at full
+
+    def test_bar_degenerate_cap(self):
+        assert _bar(3, 0, width=4) == "----"
+
+
+class TestRenderTop:
+    def test_one_screen_from_one_snapshot(self):
+        text = render_top(SNAPSHOT, url="http://example:8321")
+        assert "http://example:8321" in text
+        assert "process mode" in text
+        assert "4/8" in text          # queue depth/capacity
+        assert "2/4" in text          # inflight/workers
+        assert "50.0%" in text        # dedup rate
+        assert "310.0ms" in text      # job wall p50
+        assert "requests     99" in text
+
+    def test_empty_snapshot_renders_without_error(self):
+        text = render_top({})
+        assert "jobs/sec" in text
+        assert "queue" in text
+
+
+class TestRunTop:
+    def test_once_against_real_server(self, tmp_path):
+        server = ServiceServer(
+            host="127.0.0.1", port=0, queue_size=4, job_workers=1,
+            cache_dir=tmp_path / "cells",
+            result_dir=tmp_path / "results",
+        )
+        server.start()
+        try:
+            out = io.StringIO()
+            rc = run_top(server_url=server.url, iterations=1, out=out)
+            assert rc == 0
+            screen = out.getvalue()
+            assert server.url in screen
+            assert "\x1b" not in screen  # --once: no ANSI clear
+            assert "thread mode" in screen
+        finally:
+            server.stop(drain_timeout=10.0)
+
+    def test_unreachable_server_reports_and_fails(self):
+        out = io.StringIO()
+        rc = run_top(server_url="http://127.0.0.1:1",
+                     iterations=1, out=out, timeout_s=2.0)
+        assert rc == 1
+        assert "cannot poll" in out.getvalue()
