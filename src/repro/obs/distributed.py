@@ -123,6 +123,13 @@ class SpanRecorder:
         self.ctx = ctx
         self.role = role
         self.records = []
+        #: Set by the job path once this process actually runs the
+        #: campaign.  Guards the spool write: a lease-coalesced waiter
+        #: records spans too (its lease wait), but only the executor
+        #: may write ``<key>.spans`` — a waiter's ``os.replace`` would
+        #: destroy the executor's engine/store spans for the same
+        #: content-addressed key.
+        self.executed = False
 
     def add(self, name, track, start_unix, dur_s, **args):
         self.records.append(span_record(

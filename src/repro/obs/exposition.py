@@ -20,11 +20,15 @@ what an exact/reservoir quantile sketch is) with the conventional
 ``{quantile="q"}`` labels plus ``_sum``/``_count`` series.  Derived
 values that are not numbers (e.g. ``worker_mode``) are skipped — the
 text format carries numbers only; the JSON endpoint keeps the rest.
+A derived value whose mangled name collides with a registry family
+(``queue_depth``/``inflight`` mirror the scrape-time registry gauges)
+is skipped too: one scrape must never emit the same name twice.
 
 The module depends only on the registry's public snapshot, so it
 renders worker-merged registries and test fixtures alike.
 """
 
+import math
 import re
 
 from repro.obs.metrics import HISTOGRAM_QUANTILES
@@ -48,10 +52,19 @@ def mangle_metric_name(name):
 
 
 def _format_value(value):
-    """Prometheus sample value: floats bare, bools as 0/1."""
+    """Prometheus sample value: floats bare, bools as 0/1.
+
+    Non-finite floats use the exposition format's spellings —
+    ``+Inf``/``-Inf``/``NaN`` — not Python's ``inf``/``nan``, which
+    scrapers reject.
+    """
     if isinstance(value, bool):
         return "1" if value else "0"
     if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
         return repr(value)
     return str(value)
 
@@ -71,18 +84,22 @@ def render_prometheus(snapshot, derived=None):
     including the trailing newline the format requires.
     """
     lines = []
+    emitted = set()
     for name, value in sorted((snapshot.get("counters") or {}).items()):
         mangled = mangle_metric_name(name)
+        emitted.add(mangled)
         _header(lines, mangled, "counter", "counter", name)
         lines.append(f"{mangled} {_format_value(value)}")
     for name, value in sorted((snapshot.get("gauges") or {}).items()):
         mangled = mangle_metric_name(name)
+        emitted.add(mangled)
         _header(lines, mangled, "gauge", "gauge", name)
         lines.append(f"{mangled} {_format_value(value)}")
     for name, hist in sorted((snapshot.get("histograms") or {}).items()):
         if not isinstance(hist, dict) or not hist:
             continue
         mangled = mangle_metric_name(name)
+        emitted.add(mangled)
         _header(lines, mangled, "histogram", "summary", name)
         for q in HISTOGRAM_QUANTILES:
             value = hist.get(f"p{int(q * 100)}")
@@ -97,6 +114,12 @@ def render_prometheus(snapshot, derived=None):
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             continue  # text format is numeric-only; JSON keeps these
         mangled = mangle_metric_name(f"serve.{name}")
+        if mangled in emitted:
+            # A registry instrument already carries this family (the
+            # service sets serve.queue_depth/serve.inflight at scrape
+            # time); a second HELP/TYPE block plus a duplicate
+            # unlabeled sample would make the scrape unparseable.
+            continue
         _header(lines, mangled, "gauge (derived)", "gauge", name)
         lines.append(f"{mangled} {_format_value(value)}")
     return "\n".join(lines) + "\n"

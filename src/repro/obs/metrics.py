@@ -123,8 +123,13 @@ class Histogram:
             self._rng = random.Random(self._SEED)
         self._run_sum += value
         slot = self._rng.randrange(self._count)
-        if slot < self.reservoir_size:
+        if slot < len(self._samples):
             self._samples[slot] = value
+        elif slot < self.reservoir_size:
+            # The reservoir can be shorter than its cap after merging
+            # an overflowed source with a smaller reservoir: grow it
+            # back toward the cap instead of indexing past the end.
+            self._samples.append(value)
 
     @contextmanager
     def time(self):

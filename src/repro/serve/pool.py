@@ -150,7 +150,12 @@ def execute_spec_job(spec, results, cell_cache=None, cell_workers=1,
             runner_factory, obs, recorder, log,
         )
     finally:
-        if recorder is not None and recorder.records:
+        # Only the process that actually ran the campaign writes the
+        # spool: a lease-coalesced waiter holds spans too (its lease
+        # wait), and replacing the executor's spool for the same
+        # content-addressed key would destroy the engine/store spans.
+        if (recorder is not None and recorder.executed
+                and recorder.records):
             try:
                 write_spool(results.trace_spool_for(job_id),
                             trace_ctx, recorder.records)
@@ -208,6 +213,11 @@ def _run_under_lease(spec, job_id, results, cell_cache, cell_workers,
             runner_factory if runner_factory is not None
             else CampaignRunner
         )
+        if recorder is not None:
+            # From here on this process is the executor; its spool may
+            # be written (even on failure — a failed run leaves no
+            # result, so no peer spool exists to clobber).
+            recorder.executed = True
         kwargs = dict(workers=cell_workers, cache=cell_cache,
                       timeout_s=timeout_s, retries=retries)
         local_tracer = None

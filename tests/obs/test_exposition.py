@@ -35,6 +35,8 @@ def parse_exposition(text):
             parts = line.split()
             assert parts[3] in ("counter", "gauge", "summary",
                                 "histogram", "untyped"), line
+            assert parts[2] not in types, \
+                f"duplicate TYPE for {parts[2]}"
             types[parts[2]] = parts[3]
             continue
         assert not line.startswith("#"), f"unknown comment: {line!r}"
@@ -45,6 +47,9 @@ def parse_exposition(text):
         assert all(c.isalnum() or c in "_:" for c in bare), bare
         if "{" in name_part:
             assert name_part.endswith("}"), name_part
+        # Prometheus rejects a scrape carrying the same series twice.
+        assert name_part not in samples, \
+            f"duplicate sample: {name_part}"
         samples[name_part] = float(value_part)
     # Every TYPE'd family must also carry a HELP line.
     assert set(types) <= helps
@@ -118,6 +123,36 @@ class TestRender:
         assert types["serve_inflight"] == "gauge"
         assert "serve_worker_mode" not in samples
         assert "serve_cell_cache_hit_rate" not in samples
+
+    def test_derived_colliding_with_registry_family_skipped(self):
+        """The service sets serve.queue_depth/serve.inflight registry
+        gauges at scrape time *and* reports them under ``derived`` —
+        the scrape must carry each family exactly once."""
+        metrics = MetricsRegistry()
+        metrics.gauge("serve.queue_depth").set(3)
+        metrics.gauge("serve.inflight").set(1)
+        derived = {"queue_depth": 3, "inflight": 1, "uptime_s": 5.0}
+        text = render_prometheus(metrics.as_dict(), derived)
+        samples, types = parse_exposition(text)  # rejects duplicates
+        assert samples["serve_queue_depth"] == 3
+        assert samples["serve_inflight"] == 1
+        assert samples["serve_uptime_s"] == 5.0
+        assert text.count("# TYPE serve_queue_depth ") == 1
+        assert text.count("# TYPE serve_inflight ") == 1
+
+    def test_non_finite_values_use_exposition_spellings(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("weird.pos_inf").set(float("inf"))
+        metrics.gauge("weird.neg_inf").set(float("-inf"))
+        metrics.gauge("weird.nan").set(float("nan"))
+        text = render_prometheus(metrics.as_dict())
+        assert "weird_pos_inf +Inf" in text
+        assert "weird_neg_inf -Inf" in text
+        assert "weird_nan NaN" in text
+        samples, _ = parse_exposition(text)
+        assert samples["weird_pos_inf"] == math.inf
+        assert samples["weird_neg_inf"] == -math.inf
+        assert math.isnan(samples["weird_nan"])
 
     def test_empty_registry_renders_empty_document(self):
         text = render_prometheus(MetricsRegistry().as_dict())

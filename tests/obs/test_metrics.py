@@ -212,6 +212,29 @@ class TestHistogramReservoir:
         assert a.min == 0.0
         assert a.max == 999.0
 
+    def test_observe_after_merging_smaller_reservoir_source(self):
+        """Merging an overflowed source with a smaller reservoir
+        leaves the destination in reservoir mode while its sample
+        list is still shorter than its own cap; later observations
+        must grow the list, not index past its end."""
+        a = Histogram()  # default cap, far from full
+        for i in range(10):
+            a.observe(float(i))
+        b = Histogram(reservoir_size=8)
+        for i in range(100):
+            b.observe(float(i))
+        a.merge_from(b)
+        assert not a.exact
+        assert len(a._samples) < a.reservoir_size
+        for i in range(5000):  # would IndexError without the append
+            a.observe(float(i))
+        assert a.count == 10 + 100 + 5000
+        assert a.sum == pytest.approx(
+            sum(range(10)) + sum(range(100)) + sum(range(5000))
+        )
+        assert len(a._samples) <= a.reservoir_size
+        assert a.quantile(0.5) is not None
+
     def test_registry_merge_folds_overflowed_histograms(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         hist = Histogram(reservoir_size=16)

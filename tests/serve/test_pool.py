@@ -14,6 +14,13 @@ import pytest
 
 from repro.campaign.runner import CampaignRunner
 from repro.errors import ConfigurationError
+from repro.obs.distributed import (
+    TraceContext,
+    read_spool,
+    span_record,
+    write_spool,
+)
+from repro.serve.lease import try_acquire
 from repro.serve.pool import (
     execute_spec_job,
     make_worker_pool,
@@ -207,6 +214,41 @@ class TestExecuteSpecJob:
         assert "kaboom" in outcome["traceback"]
         # The lease was released despite the failure.
         assert not results.lease_path_for(spec.spec_hash()).exists()
+
+    def test_lease_waiter_does_not_clobber_executor_spool(
+            self, tmp_path):
+        """A lease-coalesced waiter records a span of its own (the
+        lease wait) but must never replace the executor's spool for
+        the same content-addressed key."""
+        spec = tiny_spec()
+        results = ResultStore(tmp_path)
+        job_id = spec.spec_hash()
+        spool = results.trace_spool_for(job_id)
+        write_spool(spool, TraceContext.for_job(job_id), [
+            span_record("campaign", "engine", 1000.0, 1.0,
+                        role="worker"),
+        ])
+        executor_bytes = spool.read_bytes()
+        # A live "peer" holds the lease and finishes while we wait.
+        lease = try_acquire(results.lease_path_for(job_id))
+        assert lease is not None
+        publish = threading.Timer(
+            0.2, lambda: results.put_bytes(job_id, b"{}")
+        )
+        publish.start()
+        try:
+            outcome = execute_spec_job(
+                spec, results, lease_wait_s=10.0,
+                trace_ctx=TraceContext.for_job(job_id),
+            )
+        finally:
+            publish.join()
+            lease.release()
+        assert outcome["ok"] and not outcome["executed"]
+        assert outcome["via"] == "lease"
+        # The executor's spans survived the waiter.
+        assert spool.read_bytes() == executor_bytes
+        assert [s["name"] for s in read_spool(spool)] == ["campaign"]
 
 
 class TestProcessMode:
