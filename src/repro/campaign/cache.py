@@ -103,6 +103,8 @@ def prune_lru(root, max_bytes, suffixes=ENTRY_SUFFIXES):
     """
     if max_bytes < 0:
         raise ValueError("max_bytes cannot be negative")
+    from repro.provenance import remove_envelope
+
     entries = scan_entries(root, suffixes=suffixes)
     total = sum(size for _, size, _ in entries)
     n_removed = 0
@@ -115,6 +117,7 @@ def prune_lru(root, max_bytes, suffixes=ENTRY_SUFFIXES):
             path.unlink()
         except OSError:
             continue
+        remove_envelope(path)  # the sidecar goes with its entry
         total -= size
         n_removed += 1
         bytes_removed += size
@@ -146,26 +149,44 @@ def config_key(config):
     their defaults, so configs predating them keep their historical
     keys, and a scenario spec's hash and its cells' cache keys derive
     from the same identity.
+
+    Keys are load-bearing (provenance envelopes record them), so the
+    serialization is strict: a config value outside the canonical JSON
+    types raises a clear error instead of being silently type-erased
+    through ``str()`` — two distinct objects must never share a key
+    because their string forms happened to collide.
     """
     from repro import __version__
-    from repro.spec import canonical_experiment_dict
+    from repro.spec import canonical_experiment_dict, strict_canonical_json
 
     payload = {
         "config": canonical_experiment_dict(config),
         "repro_version": __version__,
         "cache_version": CACHE_VERSION,
     }
-    canonical = json.dumps(payload, sort_keys=True, default=str)
+    canonical = strict_canonical_json(payload, what="experiment config")
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
     """Directory-backed map from experiment configs to cell payloads."""
 
+    #: Exception classes that mean "the file itself is damaged", as
+    #: opposed to "the pickle is fine but was written by code whose
+    #: classes no longer unpickle here" (renamed/moved attributes raise
+    #: ``AttributeError``/``ModuleNotFoundError``, schema growth can
+    #: raise ``TypeError``/``KeyError``...).  Both evict and count as a
+    #: miss; only the latter counts in :attr:`stale_evictions`.
+    _CORRUPTION_ERRORS = (OSError, EOFError, pickle.UnpicklingError)
+
     def __init__(self, root=None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Entries evicted because unpickling raised a code-mismatch
+        #: error (stale payload from an older code version), not plain
+        #: file corruption.
+        self.stale_evictions = 0
 
     def path_for(self, config):
         key = config_key(config)
@@ -174,8 +195,13 @@ class ResultCache:
     def get(self, config):
         """Cached payload for *config*, or ``None``.
 
-        Unreadable/corrupt entries count as misses and are removed so
-        the campaign re-runs the cell instead of failing.
+        Unreadable entries count as misses and are removed so the
+        campaign re-runs the cell instead of failing — whether the file
+        is corrupt (truncated gzip, bad pickle stream) or merely stale
+        (written by an older code version whose classes no longer
+        unpickle: ``AttributeError``/``ModuleNotFoundError`` and
+        friends).  A thousand-cell campaign must never crash on one
+        bad cache file.
         """
         path = self.path_for(config)
         try:
@@ -184,12 +210,17 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, EOFError, pickle.UnpicklingError):
+        except Exception as exc:  # noqa: BLE001 - anything unpickling raises
             self.misses += 1
+            if not isinstance(exc, self._CORRUPTION_ERRORS):
+                self.stale_evictions += 1
             try:
                 path.unlink()
             except OSError:
                 pass
+            from repro.provenance import remove_envelope
+
+            remove_envelope(path)
             return None
         self.hits += 1
         try:
@@ -199,7 +230,12 @@ class ResultCache:
         return payload
 
     def put(self, config, payload):
-        """Store *payload* for *config* atomically."""
+        """Store *payload* for *config* atomically, with a provenance
+        envelope beside it recording which code produced the bytes
+        (package version, cache schema, seed derivation, code digest —
+        see :mod:`repro.provenance`)."""
+        from repro.provenance import build_envelope, write_envelope
+
         path = self.path_for(config)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -217,15 +253,16 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        write_envelope(path, build_envelope("cell", path.name.split(".")[0]))
         return path
 
     def __contains__(self, config):
         return self.path_for(config).exists()
 
     def __len__(self):
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.pkl.gz"))
+        # Same recursive, suffix-based scan as stats()/total_bytes()/
+        # prune(): counts must agree no matter how entries are nested.
+        return len(scan_entries(self.root, (".pkl.gz",)))
 
     @property
     def hit_rate(self):
@@ -257,17 +294,44 @@ class ResultCache:
 
         Also sweeps aged-out orphan ``.tmp`` files from crashed
         writers (they are not entries, so nothing else ever deletes
-        them).  A long-running service (``repro serve``) calls this
+        them) and ``.prov`` envelope sidecars whose entry is gone.  A
+        long-running service (``repro serve``) calls this
         periodically; the CLI exposes it as ``repro cache prune``.
         """
+        from repro.provenance import sweep_orphan_envelopes
+
         sweep_orphans(self.root, max_age_s=orphan_age_s)
-        return prune_lru(self.root, max_bytes, (".pkl.gz",))
+        removed = prune_lru(self.root, max_bytes, (".pkl.gz",))
+        sweep_orphan_envelopes(self.root, max_age_s=orphan_age_s)
+        return removed
+
+    def prune_stale(self):
+        """Evict entries written by a different code version (stale or
+        missing provenance envelope); ``repro cache prune --stale``.
+        Returns ``(n_removed, bytes_removed)``."""
+        from repro.provenance import prune_stale
+
+        return prune_stale(self.root, (".pkl.gz",))
+
+    def lineage(self):
+        """Entries grouped by producing code digest / engine version
+        (see :func:`repro.provenance.lineage`)."""
+        from repro.provenance import lineage
+
+        return lineage(self.root, (".pkl.gz",))
 
     def clear(self):
-        """Delete every cached cell under this root."""
+        """Delete every cached cell (and its envelope) under this
+        root — the same recursive scan as ``len()``/``stats()``, so a
+        nested layout cannot strand entries."""
+        from repro.provenance import remove_envelope
+
         removed = 0
-        if self.root.exists():
-            for entry in self.root.glob("*/*.pkl.gz"):
+        for entry, _, _ in scan_entries(self.root, (".pkl.gz",)):
+            try:
                 entry.unlink()
-                removed += 1
+            except OSError:
+                continue
+            remove_envelope(entry)
+            removed += 1
         return removed

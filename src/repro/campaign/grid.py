@@ -28,8 +28,17 @@ from repro.hardware.platform import validate_overrides
 from repro.registry import collector_supported
 from repro.units import DAQ_SAMPLE_PERIOD_S
 
+#: Newest seed-derivation schema :func:`derive_cell_seed` implements.
+#: Version 1 hashes the legacy axes only; version 2 (the scenario-spec
+#: default) extends the identity with input scale, DAQ period, DVFS
+#: point, and hardware overrides.  Recorded in provenance envelopes
+#: (:mod:`repro.provenance`) so a stored result remembers which
+#: derivation rules produced its cells.
+SEED_DERIVATION_VERSION = 2
+
 __all__ = [
     "CampaignConfig",
+    "SEED_DERIVATION_VERSION",
     "collector_supported",
     "derive_cell_seed",
     "expand_grid",

@@ -25,6 +25,10 @@ day to day::
     repro jobs                             # list the server's jobs
     repro cache stats                      # cell cache + result store
     repro cache prune --max-bytes 500M     # LRU-evict to a budget
+    repro cache lineage --stale            # entries by producing code
+    repro cache prune --stale              # evict other-code entries
+    repro replay <hash|spec.toml>          # re-run + byte-diff a result
+    repro replay --all                     # sweep the whole store
 
 Flag-based experiment selection is a thin adapter over the scenario
 layer: flags build a single-cell :class:`~repro.spec.ScenarioSpec`, so
@@ -699,6 +703,8 @@ def _fetch_job_trace(client, job_id, out_path):
 
 
 def cmd_cache(args):
+    import time as time_mod
+
     from repro.campaign.cache import ResultCache
     from repro.serve.store import ResultStore
 
@@ -716,11 +722,51 @@ def cmd_cache(args):
             ])
         print(render_table(["store", "root", "entries", "bytes"], rows))
         return 0
+    if args.action == "lineage":
+        rows = []
+        for label, store in stores:
+            groups = store.lineage()
+            if args.stale:
+                groups = [g for g in groups if g["stale"]]
+            for group in groups:
+                written = group["newest_unix"]
+                rows.append([
+                    label,
+                    (group["code_digest"] or "(none)")[:12],
+                    group["repro_version"] or "-",
+                    group["cache_version"]
+                    if group["cache_version"] is not None else "-",
+                    group["entries"],
+                    _fmt_bytes(group["total_bytes"]),
+                    "stale" if group["stale"] else "current",
+                    time_mod.strftime("%Y-%m-%d %H:%M",
+                                      time_mod.localtime(written))
+                    if written else "-",
+                ])
+        if not rows:
+            print("(no stale entries)" if args.stale
+                  else "(no entries)")
+            return 0
+        print(render_table(
+            ["store", "code digest", "version", "cache v", "entries",
+             "bytes", "status", "newest"],
+            rows,
+            title="Entries by producing code"
+                  + (" (stale only)" if args.stale else "") + ":",
+        ))
+        return 0
+    # prune: --stale evicts entries written by different code (or with
+    # no envelope at all); --max-bytes LRU-evicts to a size budget.
+    if args.stale:
+        for label, store in stores:
+            removed, freed = store.prune_stale()
+            print(f"{label}: evicted {removed} stale entries "
+                  f"({_fmt_bytes(freed)})")
+        return 0
     if args.max_bytes is None:
-        print("repro cache prune: --max-bytes is required",
+        print("repro cache prune: pass --max-bytes or --stale",
               file=sys.stderr)
         return 2
-    # prune: evict LRU entries until each store fits the budget.
     for label, store in stores:
         removed, freed = store.prune(args.max_bytes)
         print(f"{label}: evicted {removed} entries "
@@ -728,6 +774,86 @@ def cmd_cache(args):
               f"{_fmt_bytes(store.total_bytes())} "
               f"<= {_fmt_bytes(args.max_bytes)}")
     return 0
+
+
+def cmd_replay(args):
+    from repro.provenance import (
+        DRIFTED,
+        IDENTICAL,
+        UNREPLAYABLE,
+        replay_store_entry,
+        store_keys,
+    )
+    from repro.serve.store import ResultStore
+
+    store = ResultStore(args.result_dir, shards=args.store_shards)
+    reports = []
+
+    def run_one(key):
+        report = replay_store_entry(store, key, workers=args.workers)
+        reports.append(report)
+        print(report.describe())
+        for line in report.diffs[:args.diff_limit]:
+            print(f"    {line}")
+        hidden = len(report.diffs) - args.diff_limit
+        if hidden > 0:
+            print(f"    ... ({hidden} more; raise --diff-limit)")
+
+    if args.all:
+        keys = store_keys(store)
+        if not keys:
+            print(f"repro replay: no stored results under "
+                  f"{store.root}", file=sys.stderr)
+            return 2
+        for key in keys:
+            run_one(key)
+    elif args.target is None:
+        print("repro replay: name a result hash or a spec file, or "
+              "pass --all", file=sys.stderr)
+        return 2
+    else:
+        key = _resolve_replay_target(args.target, store)
+        if key is None:
+            return 2
+        run_one(key)
+
+    counts = {IDENTICAL: 0, DRIFTED: 0, UNREPLAYABLE: 0}
+    for report in reports:
+        counts[report.status] += 1
+    print(f"replayed {len(reports)}: {counts[IDENTICAL]} identical, "
+          f"{counts[DRIFTED]} drifted, "
+          f"{counts[UNREPLAYABLE]} unreplayable")
+    if counts[DRIFTED]:
+        return 1
+    if counts[UNREPLAYABLE]:
+        return 2
+    return 0
+
+
+def _resolve_replay_target(target, store):
+    """A replay target is a result hash (full or unique prefix) or a
+    spec file whose hash names the stored artifact; returns the full
+    key, or None after printing an error."""
+    from repro.provenance import store_keys
+
+    lowered = target.lower()
+    if all(c in "0123456789abcdef" for c in lowered) and len(lowered) >= 8:
+        if len(lowered) == 64:
+            return lowered
+        matches = [k for k in store_keys(store)
+                   if k.startswith(lowered)]
+        if len(matches) == 1:
+            return matches[0]
+        what = "ambiguous" if matches else "unknown"
+        print(f"repro replay: {what} result hash prefix {target!r}",
+              file=sys.stderr)
+        return None
+    spec = _load_spec(target)
+    if spec is None:
+        return None
+    key = spec.spec_hash()
+    print(f"{target}: spec-hash {key[:16]}")
+    return key
 
 
 def build_parser():
@@ -968,15 +1094,44 @@ def build_parser():
                              "<id12>.trace.json), and summarize it")
 
     p_cache = sub.add_parser(
-        "cache", help="inspect or prune the on-disk caches"
+        "cache", help="inspect, prune, or trace the on-disk caches"
     )
-    p_cache.add_argument("action", choices=("stats", "prune"))
+    p_cache.add_argument("action",
+                         choices=("stats", "prune", "lineage"))
     p_cache.add_argument("--max-bytes", type=_parse_size, default=None,
                          help="prune target per store (e.g. 500M, 2G)")
+    p_cache.add_argument(
+        "--stale", action="store_true",
+        help="lineage: show only groups written by different code; "
+             "prune: evict those entries (missing envelopes included)",
+    )
     p_cache.add_argument("--cache-dir", default=None,
                          help="campaign cell cache root override")
     p_cache.add_argument("--result-dir", default=None,
                          help="result store root override")
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-execute a stored result and byte-diff the replay",
+    )
+    p_replay.add_argument(
+        "target", nargs="?", default=None,
+        help="result hash (full or unique prefix) or a scenario spec "
+             "file whose hash names the stored artifact",
+    )
+    p_replay.add_argument("--all", action="store_true",
+                          help="replay every result in the store")
+    p_replay.add_argument("--result-dir", default=None,
+                          help="result store root (default: "
+                               "$REPRO_RESULT_DIR or "
+                               "~/.cache/repro/results)")
+    p_replay.add_argument("--store-shards", type=int, default=1,
+                          help="shard count the store was written with")
+    p_replay.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the replay run")
+    p_replay.add_argument("--diff-limit", type=int, default=16,
+                          help="differing fields to print per drifted "
+                               "result")
 
     return parser
 
@@ -997,6 +1152,7 @@ COMMANDS = {
     "submit": cmd_submit,
     "jobs": cmd_jobs,
     "cache": cmd_cache,
+    "replay": cmd_replay,
 }
 
 

@@ -21,11 +21,56 @@ from repro.serve.server import DEFAULT_PORT
 #: Environment variable naming the default server URL.
 SERVER_ENV = "REPRO_SERVER"
 
+#: Fallback backoff when a 429's Retry-After hint is absent or
+#: unintelligible.
+DEFAULT_RETRY_AFTER_S = 1.0
+
 
 def default_server_url():
     return os.environ.get(
         SERVER_ENV, f"http://127.0.0.1:{DEFAULT_PORT}"
     )
+
+
+def parse_retry_after(value, now=None):
+    """Seconds to wait from a raw ``Retry-After`` header, defensively.
+
+    RFC 9110 allows both delta-seconds (``"3"``) and an HTTP-date
+    (``"Fri, 01 Aug 2025 12:00:00 GMT"``).  This repo's own server
+    always sends delta-seconds, but a client may be talking through a
+    proxy (or to a future server) that uses the date form — which must
+    map to a backoff, not an uncaught ``ValueError``.  Anything
+    unparseable falls back to :data:`DEFAULT_RETRY_AFTER_S`; negative
+    results (a date in the past) clamp to zero.
+    """
+    if value is None:
+        return DEFAULT_RETRY_AFTER_S
+    text = str(value).strip()
+    if not text:
+        return DEFAULT_RETRY_AFTER_S
+    try:
+        return max(0.0, float(text))
+    except ValueError:
+        pass
+    from email.utils import parsedate_to_datetime
+
+    try:
+        when = parsedate_to_datetime(text)
+    except (TypeError, ValueError):
+        return DEFAULT_RETRY_AFTER_S
+    if when is None:
+        return DEFAULT_RETRY_AFTER_S
+    if when.tzinfo is None:
+        # RFC 5322 parsing can yield a naive datetime for obsolete
+        # zone spellings; HTTP-dates are GMT by definition.
+        from datetime import timezone
+
+        when = when.replace(tzinfo=timezone.utc)
+    if now is None:
+        import datetime
+
+        now = datetime.datetime.now(datetime.timezone.utc)
+    return max(0.0, (when - now).total_seconds())
 
 
 class ServiceError(ReproError):
@@ -82,10 +127,9 @@ class ServiceClient:
         except (ValueError, UnicodeDecodeError):
             parsed = {"error": body.decode("utf-8", "replace")}
         if status == 429:
-            retry_after = headers.get("Retry-After")
             raise ServiceBusy(
                 status, parsed,
-                float(retry_after) if retry_after else 1.0,
+                parse_retry_after(headers.get("Retry-After")),
             )
         raise ServiceError(status, parsed)
 

@@ -38,6 +38,7 @@ import traceback
 from repro.campaign.runner import CampaignRunner
 from repro.obs.distributed import SpanRecorder, TraceContext, write_spool
 from repro.obs.logging import get_logger
+from repro.provenance import build_envelope
 from repro.serve.lease import DEFAULT_LEASE_TTL_S, try_acquire
 
 #: How the service runs jobs; ``repro serve --worker-mode``.
@@ -241,12 +242,16 @@ def _run_under_lease(spec, job_id, results, cell_cache, cell_workers,
                 "ConfigurationError",
             )
         data = encode_result(build_result_payload(spec, result))
+        envelope = build_envelope(
+            "result", job_id, spec_hash=job_id,
+            spec_name=spec.name or None, n_cells=len(result),
+        )
         if recorder is not None:
             with recorder.span("store write", "store",
                                n_bytes=len(data)):
-                results.put_bytes(job_id, data)
+                results.put_bytes(job_id, data, envelope=envelope)
         else:
-            results.put_bytes(job_id, data)
+            results.put_bytes(job_id, data, envelope=envelope)
         log.info("serve.job_executed", n_cells=len(result),
                  took_over=lease.took_over)
         return _done(

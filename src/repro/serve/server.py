@@ -99,6 +99,18 @@ OUTCOME_COALESCED = "coalesced"
 OUTCOME_CACHED = "cached"
 
 
+def _provenance_summary(envelope):
+    """The envelope fields worth surfacing on job snapshots (None for
+    legacy envelope-less entries)."""
+    if envelope is None:
+        return None
+    return {
+        key: envelope.get(key)
+        for key in ("code_digest", "repro_version", "cache_version",
+                    "seed_derivation", "written_unix")
+    }
+
+
 class ServiceDraining(ConfigurationError):
     """The service is shutting down and no longer accepts jobs."""
 
@@ -284,6 +296,9 @@ class ExperimentService:
                     job = self.jobs.create(job_id, spec)
                 if job.state != DONE:
                     self.jobs.update(job, state=DONE, error=None)
+                if job.provenance is None:
+                    self.jobs.update(job, provenance=_provenance_summary(
+                        self.results.envelope_for(job_id)))
                 metrics.counter("serve.result_cache_hits").inc()
                 return OUTCOME_CACHED, job
             if job is None:
@@ -408,6 +423,8 @@ class ExperimentService:
                 job, state=DONE, finished_s=time.time(), wall_s=wall,
                 n_executed=outcome["n_executed"],
                 n_cached=outcome["n_cached"],
+                provenance=_provenance_summary(
+                    self.results.envelope_for(job.id)),
             )
             self.obs.log.info("serve.job_done", job=job.id,
                               worker_pid=os.getpid(),
@@ -660,7 +677,18 @@ class _Handler(BaseHTTPRequestHandler):
         if data is None:
             self._send(404, {"error": f"no result for {key!r}"})
             return 404
-        self._send(200, data)
+        # Provenance travels in headers only — the body must stay
+        # byte-identical to the stored (content-addressed) payload.
+        headers = []
+        envelope = self.service.results.envelope_for(key)
+        if envelope is not None:
+            if envelope.get("code_digest"):
+                headers.append(("X-Repro-Code-Digest",
+                                str(envelope["code_digest"])))
+            if envelope.get("repro_version"):
+                headers.append(("X-Repro-Version",
+                                str(envelope["repro_version"])))
+        self._send(200, data, extra_headers=headers)
         return 200
 
     def _get_health(self):

@@ -63,7 +63,7 @@ class Job:
     __slots__ = (
         "id", "spec", "state", "attempts", "error", "created_s",
         "started_s", "finished_s", "wall_s", "n_cells", "n_executed",
-        "n_cached", "enqueued_s", "trace_ctx", "spans",
+        "n_cached", "enqueued_s", "trace_ctx", "spans", "provenance",
     )
 
     def __init__(self, job_id, spec):
@@ -85,6 +85,10 @@ class Job:
         self.enqueued_s = None
         self.trace_ctx = None
         self.spans = None
+        # Summary of the result entry's provenance envelope (set when
+        # the job reaches ``done`` and the store entry has one; None
+        # for legacy envelope-less entries).
+        self.provenance = None
 
     @property
     def trace_id(self):
@@ -109,6 +113,7 @@ class Job:
                       if self.state == DONE else None,
             "trace": f"/v1/jobs/{self.id}/trace"
                      if self.trace_ctx is not None else None,
+            "provenance": self.provenance,
         }
 
 
@@ -161,6 +166,7 @@ class JobStore:
             job.enqueued_s = None
             job.trace_ctx = None
             job.spans = None
+            job.provenance = None
             return job
 
     def add_spans(self, job, records):
@@ -281,8 +287,15 @@ class ResultStore:
             return None
         return json.loads(data)
 
-    def put_bytes(self, key, data):
-        """Store *data* under *key* atomically; returns the path."""
+    def put_bytes(self, key, data, envelope=None):
+        """Store *data* under *key* atomically; returns the path.
+
+        With *envelope* (a dict from
+        :func:`repro.provenance.build_envelope`) a provenance sidecar
+        is written beside the entry — its own atomic rename, never
+        touching the payload bytes, so served results stay
+        byte-identical with or without provenance.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -298,7 +311,33 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        if envelope is not None:
+            from repro.provenance import write_envelope
+
+            write_envelope(path, envelope)
         return path
+
+    def envelope_for(self, key):
+        """The provenance envelope beside *key*'s entry, or ``None``
+        (legacy entries have none and still serve byte-identically)."""
+        from repro.provenance import read_envelope
+
+        return read_envelope(self.path_for(key))
+
+    def prune_stale(self):
+        """Evict entries whose envelope does not match the running
+        code (missing envelopes included); returns ``(n_removed,
+        bytes_removed)``."""
+        from repro.provenance import prune_stale
+
+        return prune_stale(self.root, (".json",))
+
+    def lineage(self):
+        """Entries grouped by producing code digest / engine version
+        (see :func:`repro.provenance.lineage`)."""
+        from repro.provenance import lineage
+
+        return lineage(self.root, (".json",))
 
     def __len__(self):
         return len(scan_entries(self.root, (".json",)))
@@ -327,13 +366,17 @@ class ResultStore:
         Also sweeps aged-out orphans: ``.tmp`` files from crashed
         writers and ``.lease`` files from crashed holders, both
         age-gated so live writers and live leases are untouched, plus
-        aged ``.spans`` trace spools whose result entry is gone
-        (pruned, or never written because the job failed) — recent
-        sibling-less spools survive so failed jobs stay debuggable.
+        aged ``.spans`` trace spools and ``.prov`` envelopes whose
+        result entry is gone (pruned, or never written because the job
+        failed) — recent sibling-less spools survive so failed jobs
+        stay debuggable.
         """
+        from repro.provenance import sweep_orphan_envelopes
+
         sweep_orphans(self.root, max_age_s=orphan_age_s,
                       patterns=("*.tmp", "*.lease"))
         removed = prune_lru(self.root, max_bytes, (".json",))
+        sweep_orphan_envelopes(self.root, max_age_s=orphan_age_s)
         now = time.time()
         for spool in self.root.rglob("*.spans"):
             try:

@@ -541,6 +541,28 @@ def canonical_experiment_dict(config):
     return data
 
 
+def strict_canonical_json(obj, what="config"):
+    """Deterministic JSON for hash material — no silent coercions.
+
+    Cache keys and provenance envelopes are load-bearing identities: a
+    value that only serializes through ``default=str`` would be
+    type-erased into whatever its ``repr``/``str`` happens to be, a
+    hash-stability hazard (two distinct objects can stringify alike,
+    and one object's string can change across versions).  Any value
+    outside the canonical JSON types therefore raises a
+    :class:`~repro.errors.ConfigurationError` naming the offender
+    instead of being coerced.
+    """
+    def reject(value):
+        raise ConfigurationError(
+            f"{what} value {value!r} of type {type(value).__name__} "
+            "is not canonically JSON-serializable (allowed: str, int, "
+            "float, bool, None, and lists/dicts of them)"
+        )
+
+    return json.dumps(obj, sort_keys=True, default=reject)
+
+
 __all__ = [
     "SPEC_VERSION",
     "ScenarioSpec",
@@ -548,4 +570,5 @@ __all__ = [
     "build_platform",
     "build_vm",
     "canonical_experiment_dict",
+    "strict_canonical_json",
 ]

@@ -3,6 +3,8 @@
 import dataclasses
 import gzip
 
+import pytest
+
 from repro.campaign import ResultCache, config_key
 from repro import ExperimentConfig
 
@@ -170,3 +172,159 @@ class TestConfigHashability:
         assert dataclasses.fields(ExperimentConfig)
         d = {cfg(): 1, cfg(heap_mb=32): 2}
         assert d[cfg()] == 1
+
+
+class TestStaleEviction:
+    """Pickles written by older code raise lookup errors (not
+    ``UnpicklingError``) when the classes they reference moved or
+    vanished; the cache must evict and re-run, never crash."""
+
+    def test_stale_pickle_evicted_and_counted(self, tmp_path):
+        import sys
+
+        module = sys.modules[__name__]
+
+        class Ghost:
+            pass
+
+        # Make the class picklable by reference, then delete it to
+        # simulate "written by code whose classes no longer exist".
+        Ghost.__qualname__ = "Ghost"
+        module.Ghost = Ghost
+        cache = ResultCache(tmp_path)
+        try:
+            cache.put(cfg(), {"obj": Ghost()})
+        finally:
+            del module.Ghost
+        assert cache.get(cfg()) is None  # AttributeError inside load
+        assert cache.stale_evictions == 1
+        assert cache.misses == 1
+        assert not cache.path_for(cfg()).exists()
+        # The next campaign pass re-runs and re-populates cleanly.
+        cache.put(cfg(), {"obj": "fresh"})
+        assert cache.get(cfg()) == {"obj": "fresh"}
+
+    def test_corruption_is_a_miss_but_not_a_stale_eviction(
+            self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        cache.path_for(cfg()).write_bytes(b"not a gzip pickle")
+        assert cache.get(cfg()) is None
+        assert cache.misses == 1
+        assert cache.stale_evictions == 0
+
+    def test_eviction_takes_the_envelope_too(self, tmp_path):
+        from repro.provenance import read_envelope
+
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        path = cache.path_for(cfg())
+        assert read_envelope(path) is not None
+        path.write_bytes(b"garbage")
+        cache.get(cfg())
+        assert read_envelope(path) is None
+
+
+class TestNestedLayouts:
+    """len()/clear() must see exactly what stats()/prune() see, no
+    matter how deeply entries nest under the root."""
+
+    def put_nested(self, root):
+        deep = root / "shard-007" / "ab"
+        deep.mkdir(parents=True)
+        entry = deep / ("ab" * 32 + ".pkl.gz")
+        entry.write_bytes(b"x" * 32)
+        return entry
+
+    def test_len_counts_nested_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        nested = self.put_nested(tmp_path)
+        assert len(cache) == 2
+        assert cache.stats()["entries"] == 2
+        assert nested.exists()
+
+    def test_clear_removes_nested_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        nested = self.put_nested(tmp_path)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert not nested.exists()
+
+    def test_clear_removes_envelopes(self, tmp_path):
+        from repro.provenance import envelope_path
+
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        sidecar = envelope_path(cache.path_for(cfg()))
+        assert sidecar.exists()
+        cache.clear()
+        assert not sidecar.exists()
+
+
+class TestStrictKeySerialization:
+    def test_non_canonical_value_raises(self):
+        import pathlib
+
+        from repro.errors import ConfigurationError
+
+        bad = cfg(benchmark=pathlib.Path("_202_jess"))
+        with pytest.raises(ConfigurationError) as excinfo:
+            config_key(bad)
+        assert "PosixPath" in str(excinfo.value)
+        assert "not canonically JSON-serializable" in str(excinfo.value)
+
+    def test_canonical_types_still_hash_stably(self):
+        assert config_key(cfg()) == config_key(cfg())
+
+
+class TestCacheProvenance:
+    def test_put_writes_cell_envelope(self, tmp_path):
+        from repro.provenance import code_digest, read_envelope
+
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        path = cache.path_for(cfg())
+        envelope = read_envelope(path)
+        assert envelope["kind"] == "cell"
+        assert envelope["key"] == config_key(cfg())
+        assert envelope["code_digest"] == code_digest()
+
+    def test_legacy_entry_still_served(self, tmp_path):
+        from repro.provenance import envelope_path
+
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        envelope_path(cache.path_for(cfg())).unlink()
+        assert cache.get(cfg()) == {"x": 1}  # byte-identical service
+
+    def test_prune_stale_and_lineage(self, tmp_path):
+        from repro.provenance import envelope_path
+
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"who": "current"})
+        cache.put(cfg(seed=43), {"who": "legacy"})
+        envelope_path(cache.path_for(cfg(seed=43))).unlink()
+        groups = cache.lineage()
+        assert {g["stale"] for g in groups} == {True, False}
+        removed, _ = cache.prune_stale()
+        assert removed == 1
+        assert cache.get(cfg()) == {"who": "current"}
+        assert cfg(seed=43) not in cache
+
+    def test_lru_prune_removes_envelopes_with_entries(self, tmp_path):
+        import os
+        import time
+
+        from repro.provenance import envelope_path
+
+        cache = ResultCache(tmp_path)
+        cache.put(cfg(), {"x": 1})
+        cache.put(cfg(seed=43), {"x": 2})
+        old = cache.path_for(cfg())
+        past = time.time() - 3600.0
+        os.utime(old, (past, past))
+        cache.prune(cache.path_for(cfg(seed=43)).stat().st_size)
+        assert not old.exists()
+        assert not envelope_path(old).exists()

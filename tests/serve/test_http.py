@@ -165,3 +165,99 @@ class TestClientErrors:
         err = ServiceBusy(429, {"error": "full"}, 3.0)
         assert err.retry_after_s == 3.0
         assert err.status == 429
+
+
+class TestRetryAfterParsing:
+    """``Retry-After`` may be delta-seconds or an HTTP-date (RFC 9110);
+    neither form may crash the client."""
+
+    def parse(self, value, **kw):
+        from repro.serve.client import parse_retry_after
+
+        return parse_retry_after(value, **kw)
+
+    def test_delta_seconds(self):
+        assert self.parse("3") == 3.0
+        assert self.parse("0") == 0.0
+        assert self.parse(" 2.5 ") == 2.5
+
+    def test_negative_delta_clamps_to_zero(self):
+        assert self.parse("-7") == 0.0
+
+    def test_http_date_in_the_future(self):
+        from datetime import datetime, timedelta, timezone
+
+        now = datetime(2025, 8, 1, 12, 0, 0, tzinfo=timezone.utc)
+        when = now + timedelta(seconds=90)
+        header = when.strftime("%a, %d %b %Y %H:%M:%S GMT")
+        assert self.parse(header, now=now) == pytest.approx(90.0)
+
+    def test_http_date_in_the_past_clamps_to_zero(self):
+        assert self.parse("Fri, 01 Aug 2025 12:00:00 GMT") == 0.0
+
+    def test_garbage_falls_back_to_default(self):
+        from repro.serve.client import DEFAULT_RETRY_AFTER_S
+
+        for value in ("soon", "", None, "Fri, 99 Zzz", "1e"):
+            assert self.parse(value) == DEFAULT_RETRY_AFTER_S
+
+    def test_429_with_http_date_raises_busy_not_valueerror(
+            self, monkeypatch):
+        """The original bug: ``float("Fri, ...")`` raised an uncaught
+        ``ValueError`` out of ``_request`` instead of ServiceBusy."""
+        import io
+        import urllib.error
+        import urllib.request
+
+        def fake_urlopen(req, timeout=None):
+            raise urllib.error.HTTPError(
+                req.full_url, 429, "Too Many Requests",
+                {"Retry-After": "Fri, 01 Aug 2025 12:00:00 GMT"},
+                io.BytesIO(b'{"error": "queue full"}'),
+            )
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        client = ServiceClient("http://127.0.0.1:9", timeout_s=1.0)
+        with pytest.raises(ServiceBusy) as excinfo:
+            client.healthz()
+        assert excinfo.value.retry_after_s == 0.0  # date is long past
+
+
+class TestProvenanceOverHttp:
+    def test_done_job_carries_provenance_summary(self, client):
+        from repro.provenance import code_digest
+
+        job = client.submit_bytes(SPEC_TOML, fmt="toml")
+        job = client.wait(job["id"], timeout_s=60.0)
+        prov = job["provenance"]
+        assert prov["code_digest"] == code_digest()
+        assert prov["cache_version"] is not None
+        assert prov["written_unix"] > 0
+
+    def test_cached_resubmission_carries_provenance(self, client):
+        job = client.submit_bytes(SPEC_TOML, fmt="toml")
+        client.wait(job["id"], timeout_s=60.0)
+        again = client.submit_bytes(SPEC_TOML, fmt="toml")
+        assert again["outcome"] == "cached"
+        assert again["provenance"]["code_digest"]
+
+    def test_result_headers_expose_code_digest(self, server, client):
+        from repro import __version__
+        from repro.provenance import code_digest
+
+        job = client.submit_bytes(SPEC_TOML, fmt="toml")
+        client.wait(job["id"], timeout_s=60.0)
+        _, body, headers = client._request(f"/v1/results/{job['id']}")
+        assert headers["X-Repro-Code-Digest"] == code_digest()
+        assert headers["X-Repro-Version"] == __version__
+        # Headers are metadata only: the body is the stored bytes.
+        assert body == server.service.results.get_bytes(job["id"])
+
+    def test_legacy_result_serves_without_headers(self, server,
+                                                  client):
+        key = "ab" * 32
+        server.service.results.put_bytes(key, b'{"legacy": true}')
+        _, body, headers = client._request(f"/v1/results/{key}")
+        assert body == b'{"legacy": true}'
+        assert headers.get("X-Repro-Code-Digest") is None
+        assert headers.get("X-Repro-Version") is None

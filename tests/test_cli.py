@@ -205,3 +205,122 @@ class TestCacheCommand:
         assert code == 0
         assert "evicted" in capsys.readouterr().out
         assert len(store) == 1
+
+
+class TestReplayCommand:
+    def populate(self, tmp_path):
+        """Record one tiny scenario into a result store; returns the
+        store dir and the result key."""
+        from repro.campaign.runner import CampaignRunner
+        from repro.provenance import build_envelope
+        from repro.serve.pool import build_result_payload, encode_result
+        from repro.serve.store import ResultStore
+        from repro.spec import ScenarioSpec
+
+        spec = ScenarioSpec.for_experiment(
+            "_202_jess", collector="SemiSpace", heap_mb=32,
+            input_scale=0.2,
+        )
+        result = CampaignRunner(workers=1).run(spec.campaign_config())
+        data = encode_result(build_result_payload(spec, result))
+        key = spec.spec_hash()
+        ResultStore(tmp_path).put_bytes(
+            key, data, envelope=build_envelope("result", key)
+        )
+        return key
+
+    def test_replay_by_hash_is_identical(self, tmp_path, capsys):
+        key = self.populate(tmp_path)
+        assert main(["replay", key,
+                     "--result-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+        assert "1 identical, 0 drifted, 0 unreplayable" in out
+
+    def test_replay_by_unique_prefix(self, tmp_path, capsys):
+        key = self.populate(tmp_path)
+        assert main(["replay", key[:12],
+                     "--result-dir", str(tmp_path)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_replay_all_sweeps_the_store(self, tmp_path, capsys):
+        self.populate(tmp_path)
+        assert main(["replay", "--all",
+                     "--result-dir", str(tmp_path)]) == 0
+        assert "1 identical" in capsys.readouterr().out
+
+    def test_drifted_store_entry_exits_one(self, tmp_path, capsys):
+        import json
+
+        from repro.serve.store import ResultStore
+
+        key = self.populate(tmp_path)
+        store = ResultStore(tmp_path)
+        payload = json.loads(store.get_bytes(key))
+        payload["cells"][0]["totals"]["cpu_energy_j"] += 5.0
+        store.put_bytes(key, (json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ) + "\n").encode())
+        assert main(["replay", key,
+                     "--result-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "drifted" in out
+        assert "cpu_energy_j" in out
+
+    def test_unknown_hash_exits_two(self, tmp_path, capsys):
+        assert main(["replay", "ab" * 32,
+                     "--result-dir", str(tmp_path)]) == 2
+        assert "unreplayable" in capsys.readouterr().out
+
+    def test_empty_store_with_all_exits_two(self, tmp_path, capsys):
+        assert main(["replay", "--all",
+                     "--result-dir", str(tmp_path)]) == 2
+        assert "no stored results" in capsys.readouterr().err
+
+    def test_no_target_errors(self, tmp_path, capsys):
+        assert main(["replay", "--result-dir", str(tmp_path)]) == 2
+        assert "name a result hash" in capsys.readouterr().err
+
+
+class TestCacheLineageCommand:
+    def test_lineage_lists_groups_and_stale_filter(self, tmp_path,
+                                                   capsys):
+        from repro.provenance import build_envelope
+        from repro.serve.store import ResultStore
+
+        store = ResultStore(tmp_path / "results")
+        store.put_bytes("aa" * 32, b'{"n": 1}',
+                        envelope=build_envelope("result", "aa" * 32))
+        store.put_bytes("bb" * 32, b'{"n": 2}')  # legacy, no envelope
+        args = ["--cache-dir", str(tmp_path / "cells"),
+                "--result-dir", str(tmp_path / "results")]
+        assert main(["cache", "lineage", *args]) == 0
+        out = capsys.readouterr().out
+        assert "current" in out
+        assert "stale" in out
+        assert "(none)" in out  # the legacy group has no digest
+        assert main(["cache", "lineage", "--stale", *args]) == 0
+        out = capsys.readouterr().out
+        assert "current" not in out.replace("(stale only)", "")
+
+    def test_prune_stale_evicts_only_foreign(self, tmp_path, capsys):
+        from repro.provenance import build_envelope
+        from repro.serve.store import ResultStore
+
+        store = ResultStore(tmp_path / "results")
+        store.put_bytes("aa" * 32, b'{"n": 1}',
+                        envelope=build_envelope("result", "aa" * 32))
+        store.put_bytes("bb" * 32, b'{"n": 2}')
+        assert main(["cache", "prune", "--stale",
+                     "--cache-dir", str(tmp_path / "cells"),
+                     "--result-dir", str(tmp_path / "results")]) == 0
+        out = capsys.readouterr().out
+        assert "result store: evicted 1 stale entries" in out
+        assert store.get_bytes("aa" * 32) is not None
+        assert store.get_bytes("bb" * 32) is None
+
+    def test_prune_requires_a_mode(self, tmp_path, capsys):
+        assert main(["cache", "prune",
+                     "--cache-dir", str(tmp_path / "cells"),
+                     "--result-dir", str(tmp_path / "results")]) == 2
+        assert "--max-bytes or --stale" in capsys.readouterr().err
