@@ -9,6 +9,11 @@ writes them to ``BENCH_engine.json``:
 * **end-to-end wall time** — a full ``repro run`` equivalent
   (``_213_javac`` on jikes/p6 at half input scale) under the default
   (batched) engine.
+* **amortized sweep speedup** — a 4-point DAQ-period sweep run both
+  ways: fused (every point re-simulates, the pre-split behavior) and
+  split (one simulate phase, N measure phases off its artifact).  The
+  ratio is the split pipeline's accountability number; it is a
+  same-machine ratio, so it gates robustly on shared runners.
 
 Both are compared against ``baseline.json``, which carries two kinds of
 reference values:
@@ -41,6 +46,11 @@ E2E_CONFIG = dict(
     benchmark="_213_javac", vm="jikes", platform="p6",
     heap_mb=32, input_scale=0.5, seed=42,
 )
+
+#: DAQ periods of the amortized-sweep benchmark (the `repro overhead`
+#: defaults): 40 us is the paper's DAQ, the rest walk the
+#: accuracy-vs-overhead frontier.
+SWEEP_PERIODS_S = (40e-6, 200e-6, 1e-3, 1e-2)
 
 
 def _microbench_once(engine):
@@ -94,6 +104,46 @@ def e2e(repeats):
     return {"config": E2E_CONFIG, "wall_s": round(best, 4)}
 
 
+def sweep(repeats):
+    """Best wall time for a DAQ-period sweep, fused vs split.
+
+    Fused runs ``Experiment.run()`` once per period (simulate + measure
+    every time); split simulates once, snapshots the artifact, and
+    measures it once per period.  Both produce byte-identical cell
+    exports (tests/campaign/test_sim_sharing.py), so the ratio is pure
+    overhead, not a fidelity trade.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.core.experiment import Experiment, ExperimentConfig
+    from repro.core.simulation import MeasurementConfig
+
+    config = ExperimentConfig(**E2E_CONFIG)
+    fused = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for period_s in SWEEP_PERIODS_S:
+            Experiment(dc_replace(config, daq_period_s=period_s)).run()
+        fused = min(fused, time.perf_counter() - start)
+    split = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        experiment = Experiment(config)
+        artifact = experiment.simulate().artifact()
+        for period_s in SWEEP_PERIODS_S:
+            experiment.measure(
+                artifact, MeasurementConfig(daq_period_s=period_s)
+            )
+        split = min(split, time.perf_counter() - start)
+    return {
+        "periods_us": [round(p * 1e6, 1) for p in SWEEP_PERIODS_S],
+        "config": E2E_CONFIG,
+        "fused_wall_s": round(fused, 4),
+        "split_wall_s": round(split, 4),
+        "amortized_speedup": round(fused / split, 2),
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_engine.json",
@@ -117,6 +167,7 @@ def main(argv=None):
             "legacy": microbench("legacy", args.repeats),
         },
         "e2e": {"repeats": args.repeats, **e2e(args.repeats)},
+        "sweep": {"repeats": args.repeats, **sweep(args.repeats)},
     }
     rate = results["microbench"]["batched"]["segments_per_sec"]
     wall = results["e2e"]["wall_s"]
@@ -139,6 +190,11 @@ def main(argv=None):
     print(f"e2e wall      current: {wall:>9.3f} s")
     print(f"e2e wall      pre-PR : {pre['e2e_wall_s']:>9.3f} s  "
           f"(speedup {results['vs_pre_pr']['e2e_speedup']}x)")
+    sw = results["sweep"]
+    print(f"sweep ({len(SWEEP_PERIODS_S)} DAQ periods)  "
+          f"fused: {sw['fused_wall_s']:>7.3f} s  "
+          f"split: {sw['split_wall_s']:>7.3f} s  "
+          f"(amortized {sw['amortized_speedup']}x)")
     print(f"wrote {out}")
     return 0
 

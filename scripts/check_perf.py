@@ -6,7 +6,10 @@ Dispatches on the result file's ``schema`` field:
   batched engine's segments/sec is compared against the ``gate``
   section of ``benchmarks/perf/baseline.json``; exits non-zero when
   the measured rate falls more than the allowed fraction (default
-  30 %) below the baseline.
+  30 %) below the baseline.  When the document carries a ``sweep``
+  section, its amortized fused/split speedup is additionally gated
+  against the baseline's ``sweep_amortized_speedup_min`` — a
+  same-machine ratio, so it is robust on shared runners.
 * ``BENCH_serve.json`` (``repro-bench-serve-v1``, from
   ``benchmarks/perf/bench_serve.py``) — validates the serving layer's
   correctness invariants, which hold at any load: byte-identical
@@ -148,6 +151,20 @@ def main(argv=None):
         print(f"FAIL: regression exceeds {allowed:.0%} "
               f"(measured {1.0 - ratio:.0%} below the gate baseline)")
         return 1
+
+    sweep = results.get("sweep")
+    min_speedup = gate.get("sweep_amortized_speedup_min")
+    if sweep is not None and min_speedup is not None:
+        speedup = sweep["amortized_speedup"]
+        print(f"sweep amortized speedup: {speedup}x over "
+              f"{len(sweep['periods_us'])} DAQ periods "
+              f"(floor {min_speedup}x)")
+        if speedup < min_speedup:
+            print(f"FAIL: split pipeline amortization fell below "
+                  f"{min_speedup}x — the simulate phase is being "
+                  "re-paid per measurement point")
+            return 1
+
     print("OK: within the allowed regression budget")
     return 0
 

@@ -22,6 +22,7 @@ Quickstart::
     print(result.summary.describe())
 """
 
+from repro.campaign.artifacts import ArtifactStore, sim_key
 from repro.campaign.cache import ResultCache, config_key
 from repro.campaign.grid import (
     CampaignConfig,
@@ -37,6 +38,7 @@ from repro.campaign.runner import (
 )
 
 __all__ = [
+    "ArtifactStore",
     "CampaignConfig",
     "CampaignResult",
     "CampaignRunner",
@@ -47,4 +49,5 @@ __all__ = [
     "derive_cell_seed",
     "expand_grid",
     "run_campaign",
+    "sim_key",
 ]

@@ -4,10 +4,18 @@ The runner takes the expanded cell list and drives it to completion:
 
 * cells whose payload is already in the on-disk cache are served
   without simulating anything;
-* the rest run on a ``concurrent.futures.ProcessPoolExecutor`` (or
-  in-process when ``workers <= 1``), each under a per-cell wall-clock
-  budget enforced *inside* the worker with an interval timer, with a
-  bounded number of retries;
+* the rest are grouped by *sim-key* (the content hash of their
+  simulation-only config subset — see
+  :func:`repro.campaign.artifacts.sim_key`): each group executes the
+  simulate phase once and fans out one measurement pass per cell, so a
+  DAQ-period sweep pays for one execution instead of N.  With an
+  ``artifact_dir`` the recorded execution also persists across
+  campaign runs through the content-addressed
+  :class:`~repro.campaign.artifacts.ArtifactStore`;
+* groups run on a ``concurrent.futures.ProcessPoolExecutor`` (or
+  in-process when ``workers <= 1``), each cell under a per-cell
+  wall-clock budget enforced *inside* the worker with an interval
+  timer, with a bounded number of retries;
 * a cell that still fails records a structured error entry and the
   campaign continues — one poisoned configuration cannot abort a
   thousand-cell matrix;
@@ -46,8 +54,69 @@ from repro.errors import (
 from repro.obs import NULL_OBS
 
 
+def _oom_payload(config, error):
+    """The structured payload for a cell whose simulation ran out of
+    heap — a *legitimate* outcome (the paper's tables have OOM cells),
+    shared by the fused and the artifact-sharing execution paths so
+    both produce identical bytes."""
+    return {
+        "schema": "repro-cell-v1",
+        "oom": True,
+        "config": {
+            "benchmark": config.benchmark,
+            "vm": config.vm,
+            "platform": config.platform,
+            "collector": config.collector,
+            "heap_mb": config.heap_mb,
+            "seed": config.seed,
+            "input_scale": config.input_scale,
+        },
+        "error": error,
+    }
+
+
+class _CellTimer:
+    """Per-cell wall-clock budget via SIGALRM (worker main thread only)."""
+
+    def __init__(self, timeout_s):
+        self.timeout_s = timeout_s
+        self.armed = False
+
+    def __enter__(self):
+        if self.timeout_s and (
+            threading.current_thread() is threading.main_thread()
+        ):
+            timeout_s = self.timeout_s
+
+            def _on_alarm(signum, frame):
+                raise CellTimeoutError(
+                    f"cell exceeded its {timeout_s:.1f} s budget"
+                )
+
+            signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout_s)
+            self.armed = True
+        return self
+
+    def __exit__(self, *exc_info):
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, signal.SIG_DFL)
+            self.armed = False
+        return False
+
+
+def _cell_obs(trace_path):
+    if trace_path is None:
+        return None
+    from repro.obs import Observability
+
+    return Observability.create(trace=True, metrics=True)
+
+
 def _execute_cell(config, timeout_s, trace_path=None):
-    """Worker entry point: run one cell, return a plain-dict outcome.
+    """Worker entry point: run one cell fused, return a plain-dict
+    outcome.
 
     Everything that can go wrong is folded into the returned dict (no
     exception ever crosses the process boundary), and simulated OOM is
@@ -56,30 +125,21 @@ def _execute_cell(config, timeout_s, trace_path=None):
     When ``trace_path`` is given the cell runs fully instrumented and
     its Chrome trace (with embedded metrics) is written there by the
     worker itself, so per-cell traces work under any worker count.
+
+    This is the fused reference path; campaign execution goes through
+    :func:`_execute_group`, which shares one simulation across cells
+    with the same sim-key and is byte-identical to this path (the
+    golden equivalence gate asserts it).
     """
     from repro.core.experiment import Experiment
     from repro.export import result_to_cell_dict
 
-    obs = None
-    if trace_path is not None:
-        from repro.obs import Observability
-
-        obs = Observability.create(trace=True, metrics=True)
-
+    obs = _cell_obs(trace_path)
     start = time.perf_counter()
-    timer_armed = False
-    if timeout_s and threading.current_thread() is threading.main_thread():
-        def _on_alarm(signum, frame):
-            raise CellTimeoutError(
-                f"cell exceeded its {timeout_s:.1f} s budget"
-            )
-
-        signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, timeout_s)
-        timer_armed = True
     try:
-        result = Experiment(config, obs=obs).run()
-        payload = result_to_cell_dict(result)
+        with _CellTimer(timeout_s):
+            result = Experiment(config, obs=obs).run()
+            payload = result_to_cell_dict(result)
         if obs is not None:
             from repro.obs.chrome import write_chrome_trace
 
@@ -87,21 +147,7 @@ def _execute_cell(config, timeout_s, trace_path=None):
         return {"ok": True, "payload": payload,
                 "wall_s": time.perf_counter() - start}
     except OutOfMemoryError as exc:
-        payload = {
-            "schema": "repro-cell-v1",
-            "oom": True,
-            "config": {
-                "benchmark": config.benchmark,
-                "vm": config.vm,
-                "platform": config.platform,
-                "collector": config.collector,
-                "heap_mb": config.heap_mb,
-                "seed": config.seed,
-                "input_scale": config.input_scale,
-            },
-            "error": str(exc),
-        }
-        return {"ok": True, "payload": payload,
+        return {"ok": True, "payload": _oom_payload(config, str(exc)),
                 "wall_s": time.perf_counter() - start}
     except BaseException as exc:  # noqa: BLE001 - reported, not hidden
         return {
@@ -111,10 +157,95 @@ def _execute_cell(config, timeout_s, trace_path=None):
             "traceback": traceback.format_exc(),
             "wall_s": time.perf_counter() - start,
         }
-    finally:
-        if timer_armed:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, signal.SIG_DFL)
+
+
+def _execute_group(configs, timeout_s, trace_paths=None,
+                   artifact_dir=None):
+    """Worker entry point: run a group of cells that share one sim-key.
+
+    The first cell simulates (or loads the persisted artifact when
+    ``artifact_dir`` is given) and every cell measures from the shared
+    :class:`~repro.core.simulation.SimulationArtifact` — this is how a
+    DAQ-period sweep pays for one execution instead of N.  Outcomes
+    come back in *configs* order, one plain dict per cell, each marked
+    with the group's ``sim_key`` and whether this cell ran the
+    simulation (``simulated``) or found it on disk (``artifact_hit``).
+
+    Failure isolation matches the per-cell path: a cell that fails
+    (timeout included) folds into its own outcome dict and the rest of
+    the group continues.  A simulated OOM is shared ground truth — the
+    simulation config is identical across the group, so the first
+    cell's OOM is replicated to the others without re-running it.
+    """
+    from repro.campaign.artifacts import ArtifactStore, sim_key
+    from repro.core.experiment import Experiment
+    from repro.export import result_to_cell_dict
+
+    store = ArtifactStore(artifact_dir) if artifact_dir else None
+    outcomes = []
+    artifact = None
+    oom_error = None
+    try:
+        key = sim_key(configs[0])
+    except BaseException as exc:  # noqa: BLE001 - fold into outcomes
+        error = {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "traceback": traceback.format_exc(),
+            "wall_s": 0.0,
+        }
+        return [dict(error) for _ in configs]
+    for pos, config in enumerate(configs):
+        trace_path = trace_paths[pos] if trace_paths else None
+        obs = _cell_obs(trace_path)
+        start = time.perf_counter()
+        simulated = False
+        artifact_hit = False
+        try:
+            with _CellTimer(timeout_s):
+                if oom_error is not None:
+                    payload = _oom_payload(config, oom_error)
+                else:
+                    experiment = Experiment(config, obs=obs)
+                    if artifact is None and store is not None:
+                        artifact = store.get_key(key)
+                        artifact_hit = artifact is not None
+                    if artifact is None:
+                        artifact = experiment.simulate().artifact()
+                        simulated = True
+                        if store is not None:
+                            store.put(config, artifact)
+                    result = experiment.measure(artifact)
+                    payload = result_to_cell_dict(result)
+            if obs is not None:
+                from repro.obs.chrome import write_chrome_trace
+
+                write_chrome_trace(trace_path, obs.tracer, obs.metrics)
+            outcomes.append({
+                "ok": True, "payload": payload,
+                "wall_s": time.perf_counter() - start,
+                "sim_key": key, "simulated": simulated,
+                "artifact_hit": artifact_hit,
+            })
+        except OutOfMemoryError as exc:
+            oom_error = str(exc)
+            outcomes.append({
+                "ok": True, "payload": _oom_payload(config, oom_error),
+                "wall_s": time.perf_counter() - start,
+                "sim_key": key, "simulated": False,
+                "artifact_hit": False,
+            })
+        except BaseException as exc:  # noqa: BLE001 - reported, not hidden
+            outcomes.append({
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+                "traceback": traceback.format_exc(),
+                "wall_s": time.perf_counter() - start,
+                "sim_key": key,
+            })
+    return outcomes
 
 
 @dataclass
@@ -129,6 +260,16 @@ class CellResult:
     attempts: int = 1
     wall_s: float = 0.0
     from_cache: bool = False
+    #: Content hash of the cell's simulation-only config subset; cells
+    #: sharing it shared one recorded execution (``None`` for cached
+    #: cells, which never reached the executor).
+    sim_key: Optional[str] = None
+    #: True when this cell actually ran the simulate phase (at most one
+    #: per sim-key per campaign run).
+    simulated: bool = False
+    #: True when this cell loaded its simulation from the artifact
+    #: store instead of executing it.
+    artifact_hit: bool = False
 
     @property
     def oom(self):
@@ -157,6 +298,9 @@ class CampaignSummary:
     n_retried: int = 0        # cells that needed more than one attempt
     n_retries: int = 0        # extra attempts summed over those cells
     n_timeouts: int = 0       # cells whose final outcome was a timeout
+    n_simulations: int = 0    # simulate phases actually executed
+    n_sim_keys: int = 0       # distinct sim-keys among executed cells
+    n_artifact_hits: int = 0  # cells served from the artifact store
 
     @property
     def cache_hit_rate(self):
@@ -190,6 +334,9 @@ class CampaignSummary:
             "n_retried": self.n_retried,
             "n_retries": self.n_retries,
             "n_timeouts": self.n_timeouts,
+            "n_simulations": self.n_simulations,
+            "n_sim_keys": self.n_sim_keys,
+            "n_artifact_hits": self.n_artifact_hits,
             "wall_s": self.wall_s,
             "workers": self.workers,
             "cells_per_second": self.cells_per_second,
@@ -219,6 +366,13 @@ class CampaignSummary:
             )
         if self.n_timeouts:
             text += f"; {self.n_timeouts} timeout(s)"
+        if self.n_executed and self.n_sim_keys:
+            text += (
+                f"; {self.n_simulations} simulation(s) across "
+                f"{self.n_sim_keys} sim-key(s)"
+            )
+            if self.n_artifact_hits:
+                text += f", {self.n_artifact_hits} artifact hit(s)"
         return text
 
 
@@ -273,7 +427,7 @@ class CampaignRunner:
 
     def __init__(self, workers=1, cache_dir=None, timeout_s=None,
                  retries=1, progress=None, obs=None, trace_dir=None,
-                 cache=None):
+                 cache=None, artifact_dir=None):
         if workers < 1:
             raise CampaignError("workers must be >= 1")
         if retries < 0:
@@ -283,6 +437,13 @@ class CampaignRunner:
         if cache is not None and cache_dir is not None:
             raise CampaignError("give either cache or cache_dir, not both")
         self.workers = int(workers)
+        #: When set, simulation artifacts persist under this directory
+        #: (content-addressed by sim-key) and are shared across
+        #: campaign runs; without it, sharing is in-memory within one
+        #: run only.
+        self.artifact_dir = (
+            str(artifact_dir) if artifact_dir is not None else None
+        )
         if cache is not None:
             # A shared ResultCache instance — the experiment service
             # runs many campaigns against one cache so hit/miss counts
@@ -357,6 +518,7 @@ class CampaignRunner:
             1 for r in results
             if not r.ok and r.error_type == "CellTimeoutError"
         )
+        sim_keys = {r.sim_key for r in results if r.sim_key}
         summary = CampaignSummary(
             n_cells=len(cells),
             n_ok=n_ok,
@@ -369,6 +531,9 @@ class CampaignRunner:
             n_retried=len(retried),
             n_retries=sum(r.attempts - 1 for r in retried),
             n_timeouts=n_timeouts,
+            n_simulations=sum(1 for r in results if r.simulated),
+            n_sim_keys=len(sim_keys),
+            n_artifact_hits=sum(1 for r in results if r.artifact_hit),
         )
         if metrics.enabled:
             metrics.counter("campaign.cells").inc(len(cells))
@@ -388,87 +553,132 @@ class CampaignRunner:
 
     # -- execution backends -------------------------------------------
 
-    def _run_serial(self, cells, pending, results):
+    def _sim_groups(self, cells, pending):
+        """Partition pending cell indices by simulation identity.
+
+        Cells sharing a sim-key form one group and pay for one
+        simulate phase; grid order is preserved both across groups
+        (first-appearance order) and within each group.  A config
+        whose sim-key cannot be computed gets a private group — it
+        will fail inside the worker with a structured error, like any
+        other poisoned cell.
+        """
+        from repro.campaign.artifacts import sim_key
+
+        groups = {}
+        order = []
         for i in pending:
-            outcome, attempts = None, 0
-            while attempts <= self.retries:
-                attempts += 1
-                outcome = _execute_cell(cells[i], self.timeout_s,
-                                        self._cell_trace_path(i))
-                if outcome["ok"]:
-                    break
-            results[i] = self._finish_cell(cells[i], outcome, attempts)
-            self._report(i, len(cells), results[i])
+            try:
+                key = sim_key(cells[i])
+            except Exception:  # noqa: BLE001 - fail inside the worker
+                key = f"ungrouped-{i}"
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(i)
+        return [groups[key] for key in order]
+
+    def _submit_group(self, cells, indices):
+        """The ``_execute_group`` argument tuple for *indices*."""
+        return (
+            [cells[i] for i in indices],
+            self.timeout_s,
+            [self._cell_trace_path(i) for i in indices],
+            self.artifact_dir,
+        )
+
+    def _run_serial(self, cells, pending, results):
+        for indices in self._sim_groups(cells, pending):
+            outcomes = _execute_group(*self._submit_group(cells, indices))
+            for i, outcome in zip(indices, outcomes):
+                attempts = 1
+                while not outcome["ok"] and attempts <= self.retries:
+                    attempts += 1
+                    # Retries run as singleton groups: with an artifact
+                    # store the recorded execution is reused, without
+                    # one the cell re-simulates in isolation.
+                    outcome = _execute_group(
+                        *self._submit_group(cells, [i])
+                    )[0]
+                results[i] = self._finish_cell(cells[i], outcome, attempts)
+                self._report(i, len(cells), results[i])
 
     def _run_pool(self, cells, pending, results):
         attempts = {i: 0 for i in pending}
-        queue = deque(pending)
+        queue = deque(self._sim_groups(cells, pending))
         pool = ProcessPoolExecutor(max_workers=self.workers)
         futures = {}
         try:
             while queue or futures:
                 broken = False
                 while queue:
-                    i = queue.popleft()
-                    attempts[i] += 1
+                    indices = queue.popleft()
+                    for i in indices:
+                        attempts[i] += 1
                     try:
                         fut = pool.submit(
-                            _execute_cell, cells[i], self.timeout_s,
-                            self._cell_trace_path(i),
+                            _execute_group,
+                            *self._submit_group(cells, indices),
                         )
                     except BrokenProcessPool:
-                        queue.appendleft(i)
-                        attempts[i] -= 1
+                        queue.appendleft(indices)
+                        for i in indices:
+                            attempts[i] -= 1
                         broken = True
                         break
-                    futures[fut] = i
+                    futures[fut] = indices
                 if futures and not broken:
                     done, _ = wait(
                         futures, return_when=FIRST_COMPLETED
                     )
                     for fut in done:
-                        i = futures.pop(fut)
+                        indices = futures.pop(fut)
                         exc = fut.exception()
                         if isinstance(exc, BrokenProcessPool):
                             broken = True
-                            outcome = {
+                            outcomes = [{
                                 "ok": False,
                                 "error": "worker process died",
                                 "error_type": "BrokenProcessPool",
                                 "wall_s": 0.0,
-                            }
+                            } for _ in indices]
                         elif exc is not None:
-                            outcome = {
+                            outcomes = [{
                                 "ok": False,
                                 "error": str(exc),
                                 "error_type": type(exc).__name__,
                                 "wall_s": 0.0,
-                            }
+                            } for _ in indices]
                         else:
-                            outcome = fut.result()
-                        if (not outcome["ok"]
-                                and attempts[i] <= self.retries):
-                            queue.append(i)
-                            continue
-                        results[i] = self._finish_cell(
-                            cells[i], outcome, attempts[i]
-                        )
-                        self._report(i, len(cells), results[i])
+                            outcomes = fut.result()
+                        for i, outcome in zip(indices, outcomes):
+                            if (not outcome["ok"]
+                                    and attempts[i] <= self.retries):
+                                queue.append([i])
+                                continue
+                            results[i] = self._finish_cell(
+                                cells[i], outcome, attempts[i]
+                            )
+                            self._report(i, len(cells), results[i])
                 if broken:
                     # The pool died: every outstanding future fails the
                     # same way.  Requeue cells with attempts left, fail
                     # the rest, and start a fresh pool.
-                    for fut, i in list(futures.items()):
-                        if attempts[i] <= self.retries:
-                            queue.append(i)
-                        else:
-                            results[i] = CellResult(
-                                config=cells[i], ok=False,
-                                error="worker pool broke",
-                                error_type="BrokenProcessPool",
-                                attempts=attempts[i],
-                            )
-                            self._report(i, len(cells), results[i])
+                    for fut, indices in list(futures.items()):
+                        requeue = []
+                        for i in indices:
+                            if attempts[i] <= self.retries:
+                                requeue.append(i)
+                            else:
+                                results[i] = CellResult(
+                                    config=cells[i], ok=False,
+                                    error="worker pool broke",
+                                    error_type="BrokenProcessPool",
+                                    attempts=attempts[i],
+                                )
+                                self._report(i, len(cells), results[i])
+                        if requeue:
+                            queue.append(requeue)
                     futures.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = ProcessPoolExecutor(max_workers=self.workers)
@@ -484,6 +694,9 @@ class CampaignRunner:
             cell = CellResult(
                 config=config, ok=True, payload=outcome["payload"],
                 attempts=attempts, wall_s=outcome["wall_s"],
+                sim_key=outcome.get("sim_key"),
+                simulated=outcome.get("simulated", False),
+                artifact_hit=outcome.get("artifact_hit", False),
             )
         else:
             cell = CellResult(
@@ -491,6 +704,7 @@ class CampaignRunner:
                 error=outcome.get("error"),
                 error_type=outcome.get("error_type"),
                 attempts=attempts, wall_s=outcome["wall_s"],
+                sim_key=outcome.get("sim_key"),
             )
             self.obs.log.warning(
                 "campaign.cell_failed", benchmark=config.benchmark,
@@ -522,10 +736,11 @@ class CampaignRunner:
 
 
 def run_campaign(campaign, workers=1, cache_dir=None, timeout_s=None,
-                 retries=1, progress=None, obs=None, trace_dir=None):
+                 retries=1, progress=None, obs=None, trace_dir=None,
+                 artifact_dir=None):
     """One-call convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(
         workers=workers, cache_dir=cache_dir, timeout_s=timeout_s,
         retries=retries, progress=progress, obs=obs,
-        trace_dir=trace_dir,
+        trace_dir=trace_dir, artifact_dir=artifact_dir,
     ).run(campaign)

@@ -16,6 +16,7 @@ day to day::
     repro spec hash my_scenario.toml       # stable SHA-256 identity
     repro thermal --fan-off --repetitions 40
     repro validate --periods 40 200 1000
+    repro overhead --periods 40 200 1000    # simulate once, measure N
     repro pauses _213_javac --heap 48
     repro workload _209_db
     repro export _202_jess --output results/jess
@@ -414,12 +415,15 @@ def cmd_campaign(args):
         progress=progress,
         obs=obs,
         trace_dir=args.trace_dir,
+        artifact_dir=args.artifact_dir,
     )
     result = runner.run(campaign)
     print()
     print(result.summary.describe())
     if cache_dir is not None:
         print(f"cell cache: {cache_dir}")
+    if args.artifact_dir:
+        print(f"artifact store: {args.artifact_dir}")
     if args.trace_dir:
         from repro.obs.chrome import write_chrome_trace
 
@@ -528,6 +532,110 @@ def cmd_validate(args):
         ["period us", "misattributed %", "GC error %"], rows,
         title="Attribution error vs DAQ sampling period:",
     ))
+    return 0
+
+
+def cmd_overhead(args):
+    import json
+    import time as time_mod
+
+    from repro.analysis.validation import attribution_error
+    from repro.campaign.artifacts import ArtifactStore
+    from repro.core.simulation import MeasurementConfig
+
+    config = _single_cell_config(args, "overhead")
+    if config is None:
+        return 2
+
+    store = None if args.no_artifacts else ArtifactStore(args.artifact_dir)
+    experiment = Experiment(config)
+    artifact = store.get(config) if store is not None else None
+    if artifact is not None:
+        sim_wall_s = 0.0
+        source = "store"
+    else:
+        started = time_mod.perf_counter()
+        artifact = experiment.simulate().artifact()
+        sim_wall_s = time_mod.perf_counter() - started
+        source = "simulated"
+        if store is not None:
+            store.put(config, artifact)
+    run = artifact.run_result()
+    target = artifact.measurement_target()
+    true_cpu_j = sum(run.timeline.component_cpu_energy_j().values())
+
+    rows = []
+    records = []
+    measure_wall_total = 0.0
+    for period_us in args.periods:
+        period_s = period_us * 1e-6
+        started = time_mod.perf_counter()
+        result = experiment.measure(
+            artifact, MeasurementConfig(daq_period_s=period_s)
+        )
+        measure_s = time_mod.perf_counter() - started
+        measure_wall_total += measure_s
+        report = attribution_error(run, target, sample_period_s=period_s)
+        energy_err = (
+            abs(result.cpu_energy_j - true_cpu_j) / true_cpu_j
+            if true_cpu_j else 0.0
+        )
+        record = {
+            "period_us": period_us,
+            "daq_samples": result.power.n_samples,
+            "cpu_energy_j": result.cpu_energy_j,
+            "energy_error_pct": 100 * energy_err,
+            "misattributed_pct":
+                100 * report.total_misattribution_fraction(),
+            "gc_error_pct": 100 * report.relative_error(Component.GC),
+            "measure_wall_s": measure_s,
+        }
+        records.append(record)
+        rows.append([
+            f"{period_us:.0f}", record["daq_samples"],
+            f"{record['cpu_energy_j']:.3f}",
+            record["energy_error_pct"],
+            record["misattributed_pct"],
+            record["gc_error_pct"],
+            f"{measure_s:.4f}",
+        ])
+
+    print(f"{config.benchmark} | {config.vm}/{config.platform}: "
+          f"artifact {artifact.sim_key[:12]} ({source}, "
+          f"{artifact.n_segments} segments)")
+    print(render_table(
+        ["period us", "DAQ samples", "CPU J", "energy err %",
+         "misattributed %", "GC error %", "measure s"],
+        rows,
+        title="Measurement accuracy vs overhead (one simulation, "
+              "many measurements):",
+    ))
+    n = len(args.periods)
+    fused_s = n * (sim_wall_s + measure_wall_total / n) \
+        if source == "simulated" else None
+    split_s = sim_wall_s + measure_wall_total
+    line = (f"simulate {sim_wall_s:.3f} s ({source}) + "
+            f"{n} measurements {measure_wall_total:.3f} s "
+            f"= {split_s:.3f} s")
+    if fused_s and split_s > 0:
+        line += (f"; fused would re-simulate every point: "
+                 f"~{fused_s:.3f} s ({fused_s / split_s:.1f}x)")
+    print(line)
+    if store is not None:
+        print(f"artifact store: {store.root}")
+    if args.output:
+        payload = {
+            "benchmark": config.benchmark,
+            "vm": config.vm,
+            "platform": config.platform,
+            "sim_key": artifact.sim_key,
+            "artifact_source": source,
+            "simulate_wall_s": sim_wall_s,
+            "points": records,
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output} (accuracy-vs-overhead frontier)")
     return 0
 
 
@@ -705,12 +813,14 @@ def _fetch_job_trace(client, job_id, out_path):
 def cmd_cache(args):
     import time as time_mod
 
+    from repro.campaign.artifacts import ArtifactStore
     from repro.campaign.cache import ResultCache
     from repro.serve.store import ResultStore
 
     stores = [
         ("cell cache", ResultCache(args.cache_dir)),
         ("result store", ResultStore(args.result_dir)),
+        ("artifact store", ArtifactStore(args.artifact_dir)),
     ]
     if args.action == "stats":
         rows = []
@@ -941,6 +1051,12 @@ def build_parser():
         help="write Chrome traces here: campaign.json (wall-clock "
              "cells) plus one sim-clock trace per executed cell",
     )
+    p_campaign.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="content-addressed simulation artifact store; cells "
+             "sharing a simulation identity reuse one recorded "
+             "execution across runs",
+    )
 
     p_spec = sub.add_parser(
         "spec", help="validate, show, or hash scenario spec files"
@@ -963,6 +1079,28 @@ def build_parser():
     _add_spec_arg(p_val)
     p_val.add_argument("--periods", type=float, nargs="+",
                        default=[40.0, 200.0, 1000.0, 10000.0])
+
+    p_overhead = sub.add_parser(
+        "overhead",
+        help="accuracy-vs-overhead frontier from one simulation "
+             "(simulate once, measure at many DAQ periods)",
+    )
+    p_overhead.add_argument("--benchmark", default="_202_jess")
+    _add_experiment_args(p_overhead, positional_benchmark=False)
+    _add_spec_arg(p_overhead)
+    p_overhead.add_argument("--periods", type=float, nargs="+",
+                            default=[40.0, 200.0, 1000.0, 10000.0],
+                            help="DAQ sampling periods in microseconds")
+    p_overhead.add_argument(
+        "--artifact-dir", default=None,
+        help="simulation artifact store (default: "
+             "$REPRO_ARTIFACT_DIR or ~/.cache/repro/artifacts)",
+    )
+    p_overhead.add_argument("--no-artifacts", action="store_true",
+                            help="skip the artifact store (always "
+                                 "simulate, never persist)")
+    p_overhead.add_argument("--output", default=None, metavar="PATH",
+                            help="write the frontier as JSON here")
 
     p_pauses = sub.add_parser(
         "pauses", help="GC pause statistics and MMU curve"
@@ -1109,6 +1247,8 @@ def build_parser():
                          help="campaign cell cache root override")
     p_cache.add_argument("--result-dir", default=None,
                          help="result store root override")
+    p_cache.add_argument("--artifact-dir", default=None,
+                         help="simulation artifact store root override")
 
     p_replay = sub.add_parser(
         "replay",
@@ -1144,6 +1284,7 @@ COMMANDS = {
     "spec": cmd_spec,
     "thermal": cmd_thermal,
     "validate": cmd_validate,
+    "overhead": cmd_overhead,
     "pauses": cmd_pauses,
     "export": cmd_export,
     "workload": cmd_workload,

@@ -3,6 +3,9 @@
 * :mod:`repro.core.experiment` — the end-to-end experiment runner
   (configure platform + VM, warm up, execute, acquire power and
   performance traces, decompose);
+* :mod:`repro.core.simulation` — the explicit simulate phase and its
+  serialized :class:`SimulationArtifact` (one recorded execution,
+  measured under any number of measurement configurations);
 * :mod:`repro.core.decomposition` — per-component energy/power/time
   decomposition from acquired traces;
 * :mod:`repro.core.metrics` — energy, average/peak power, and the
@@ -18,13 +21,23 @@ from repro.core.experiment import (
     run_experiment,
 )
 from repro.core.metrics import EnergyBreakdown, edp
+from repro.core.simulation import (
+    MeasurementConfig,
+    SimulationArtifact,
+    SimulationResult,
+    simulate,
+)
 
 __all__ = [
     "EnergyBreakdown",
     "Experiment",
     "ExperimentConfig",
     "ExperimentResult",
+    "MeasurementConfig",
+    "SimulationArtifact",
+    "SimulationResult",
     "decompose",
     "edp",
     "run_experiment",
+    "simulate",
 ]

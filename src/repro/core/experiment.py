@@ -14,12 +14,18 @@ variation without changing what either instrument observes.
 """
 
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from typing import Optional
 
 import numpy as np
 
 from repro.core.decomposition import component_profiles, decompose
 from repro.core.metrics import edp, perturbation_report
+from repro.core.simulation import (
+    SimulationArtifact,
+    SimulationResult,
+    simulate as _simulate_phase,
+)
 from repro.errors import ConfigurationError
 from repro.hardware.platform import validate_overrides
 from repro.jvm.components import Component
@@ -80,6 +86,13 @@ class ExperimentResult:
     power: object            # PowerTrace (measured)
     perf: object             # PerfTrace (measured)
     breakdown: object        # EnergyBreakdown (measured)
+    #: Memoized :class:`~repro.core.metrics.PerturbationReport`; a
+    #: declared field (excluded from repr/equality) rather than an
+    #: attribute conjured inside the property, so dataclass tooling
+    #: (``replace``, ``asdict``, pickling) sees the whole object.
+    _perturbation: Optional[object] = dataclass_field(
+        default=None, repr=False, compare=False
+    )
 
     # -- headline metrics (measured) ---------------------------------
 
@@ -110,13 +123,11 @@ class ExperimentResult:
         :class:`~repro.core.metrics.PerturbationReport` — the paper's
         Section IV-C "perturbation of the measurement itself" number,
         surfaced first-class instead of buried in timeline segments."""
-        report = getattr(self, "_perturbation", None)
-        if report is None:
-            report = perturbation_report(
+        if self._perturbation is None:
+            self._perturbation = perturbation_report(
                 self.run.timeline, self.run.port_writes
             )
-            self._perturbation = report
-        return report
+        return self._perturbation
 
     def gc_energy_fraction(self):
         return self.breakdown.fraction(Component.GC)
@@ -145,7 +156,16 @@ class ExperimentResult:
 
 
 class Experiment:
-    """Runs one configured measurement end to end.
+    """Runs one configured measurement, in one or two phases.
+
+    The pipeline is explicitly split along the paper's own protocol
+    boundary: :meth:`simulate` executes the workload and produces the
+    ground truth (timeline + port latch history), :meth:`measure` runs
+    the samplers and decomposition over a finished simulation — either
+    the live :class:`~repro.core.simulation.SimulationResult` or a
+    deserialized :class:`~repro.core.simulation.SimulationArtifact`.
+    :meth:`run` is the fused convenience path (simulate then measure
+    under one trace span), bit-identical to phase-at-a-time execution.
 
     ``obs`` is an optional :class:`~repro.obs.Observability` bundle;
     when given, the runner records wall-clock phase spans (setup, VM
@@ -159,54 +179,66 @@ class Experiment:
         self.config = config
         self.obs = obs if obs is not None else NULL_OBS
 
-    def run(self):
-        """Execute the experiment; returns an :class:`ExperimentResult`."""
-        cfg = self.config
+    def _bound_obs(self):
         obs = self.obs
         if obs.enabled:
+            cfg = self.config
             obs = obs.bind(
                 benchmark=cfg.benchmark, vm=cfg.vm,
                 platform=cfg.platform, seed=cfg.seed,
             )
+        return obs
+
+    # -- phases ---------------------------------------------------------
+
+    def simulate(self):
+        """Run only the simulate phase; returns a
+        :class:`~repro.core.simulation.SimulationResult` whose
+        ``artifact()`` snapshot can be stored and measured later (or
+        elsewhere)."""
+        cfg = self.config
+        obs = self._bound_obs()
+        with obs.tracer.wall_span("simulate", benchmark=cfg.benchmark,
+                                  vm=cfg.vm, platform=cfg.platform,
+                                  seed=cfg.seed):
+            sim = _simulate_phase(cfg, obs=obs)
+        if obs.metrics.enabled:
+            obs.metrics.counter("experiment.simulations").inc()
+        return sim
+
+    def measure(self, sim, measurement=None):
+        """Run only the measurement phase over *sim* (a
+        :class:`SimulationResult` or :class:`SimulationArtifact`);
+        returns an :class:`ExperimentResult`.
+
+        ``measurement`` is an optional
+        :class:`~repro.core.simulation.MeasurementConfig` overriding
+        the config's DAQ period (and the platform's HPM period) — the
+        hook that lets one artifact fan out into a whole
+        accuracy-vs-overhead frontier.
+        """
+        obs = self._bound_obs()
+        with obs.tracer.wall_span("measure",
+                                  benchmark=self.config.benchmark,
+                                  vm=self.config.vm,
+                                  platform=self.config.platform):
+            result = self._measure_phase(sim, obs, measurement)
+        if obs.metrics.enabled:
+            obs.metrics.counter("experiment.measurements").inc()
+        return result
+
+    def run(self):
+        """Execute the experiment; returns an :class:`ExperimentResult`."""
+        cfg = self.config
+        obs = self._bound_obs()
         tracer = obs.tracer
         obs.log.info("experiment.start", collector=cfg.collector,
                      heap_mb=cfg.heap_mb)
         with tracer.wall_span("experiment", benchmark=cfg.benchmark,
                               vm=cfg.vm, platform=cfg.platform,
                               seed=cfg.seed):
-            with tracer.wall_span("setup"):
-                # Builders live in the scenario layer (imported lazily:
-                # repro.spec imports this module at its top level).
-                from repro.spec import build_platform, build_vm
-
-                platform = build_platform(cfg)
-                vm = build_vm(cfg, platform, obs=obs)
-            # The paper's warm-up pass is modeled inside the VM run
-            # (``warm=`` pre-heats OS caches), so execution is a single
-            # phase here; see docs/OBSERVABILITY.md.
-            with tracer.wall_span("vm-run", warmup=cfg.warmup):
-                run = vm.run(
-                    cfg.benchmark,
-                    input_scale=cfg.input_scale,
-                    warm=cfg.warmup,
-                    repetitions=cfg.repetitions,
-                )
-            measurement_rng = np.random.default_rng(cfg.seed + 7919)
-            with tracer.wall_span("daq-acquire"):
-                daq = DAQ(platform, measurement_rng,
-                          sample_period_s=cfg.daq_period_s, obs=obs)
-                power = daq.acquire(run.timeline)
-            with tracer.wall_span("hpm-sample"):
-                perf = HPMSampler(platform, obs=obs).sample(run.timeline)
-            with tracer.wall_span("decompose"):
-                breakdown = decompose(power, cfg.vm)
-        result = ExperimentResult(
-            config=cfg,
-            run=run,
-            power=power,
-            perf=perf,
-            breakdown=breakdown,
-        )
+            sim = _simulate_phase(cfg, obs=obs)
+            result = self._measure_phase(sim, obs, None)
         if obs.metrics.enabled:
             obs.metrics.counter("experiment.runs").inc()
         if obs.log.enabled:
@@ -220,6 +252,71 @@ class Experiment:
                 ),
             )
         return result
+
+    # -- internals ------------------------------------------------------
+
+    def _measure_phase(self, sim, obs, measurement):
+        """The sampler + decomposition passes over a finished simulation.
+
+        Both sources resolve to the same
+        :class:`~repro.core.simulation.MeasurementTarget` surface
+        (platform name, effective HPM period, component-ID port), so
+        the artifact path and the live path run byte-identical code.
+        """
+        cfg = self.config
+        if isinstance(sim, SimulationArtifact):
+            self._check_artifact(sim)
+            run = sim.run_result()
+            target = sim.measurement_target()
+        elif isinstance(sim, SimulationResult):
+            run = sim.run
+            target = sim.measurement_target()
+        else:
+            raise ConfigurationError(
+                "measure() takes a SimulationResult or "
+                f"SimulationArtifact, got {type(sim).__name__}"
+            )
+        daq_period_s = (
+            measurement.daq_period_s if measurement is not None
+            else cfg.daq_period_s
+        )
+        hpm_period_s = target.hpm_period_s
+        if measurement is not None and measurement.hpm_period_s:
+            hpm_period_s = measurement.hpm_period_s
+        tracer = obs.tracer
+        measurement_rng = np.random.default_rng(cfg.seed + 7919)
+        with tracer.wall_span("daq-acquire"):
+            daq = DAQ(target, measurement_rng,
+                      sample_period_s=daq_period_s, obs=obs)
+            power = daq.acquire(run.timeline, port=target.port)
+        with tracer.wall_span("hpm-sample"):
+            perf = HPMSampler(
+                target, period_s=hpm_period_s, obs=obs
+            ).sample(run.timeline, port=target.port)
+        with tracer.wall_span("decompose"):
+            breakdown = decompose(power, cfg.vm)
+        return ExperimentResult(
+            config=cfg,
+            run=run,
+            power=power,
+            perf=perf,
+            breakdown=breakdown,
+        )
+
+    def _check_artifact(self, artifact):
+        """Refuse to measure an artifact recorded for a different
+        simulation identity — silently wrong numbers are worse than a
+        loud re-simulation."""
+        from repro.campaign.artifacts import sim_key
+
+        expected = sim_key(self.config)
+        if artifact.sim_key != expected:
+            raise ConfigurationError(
+                f"artifact {artifact.sim_key[:12]} does not match this "
+                f"config's simulation identity {expected[:12]} "
+                f"(benchmark {artifact.benchmark!r} on "
+                f"{artifact.vm_name}/{artifact.platform_name})"
+            )
 
 
 def run_experiment(benchmark, obs=None, **kwargs):

@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import MeasurementError
 from repro.measurement.hpm_sampler import HPMSampler
 from repro.measurement.traces import PerfTrace
+from repro.obs import NULL_OBS
 
 #: Event-name groups rotated through the programmable counters.
 DEFAULT_ROTATION = (
@@ -40,7 +41,7 @@ class MultiplexedHPMSampler:
     """
 
     def __init__(self, platform, rotation=DEFAULT_ROTATION,
-                 period_s=None):
+                 period_s=None, obs=None):
         if not rotation:
             raise MeasurementError("rotation cannot be empty")
         width = platform.counters.max_programmable
@@ -53,10 +54,15 @@ class MultiplexedHPMSampler:
         self.platform = platform
         self.rotation = tuple(tuple(g) for g in rotation)
         self.period_s = period_s or platform.hpm_period_s
+        self.obs = obs if obs is not None else NULL_OBS
 
     def sample(self, timeline, port=None):
         """Sample *timeline*, rotating event groups between ticks."""
-        base = HPMSampler(self.platform, period_s=self.period_s)
+        # The base sampler carries the observability handle so a
+        # multiplexed run emits the same sampler spans and counters a
+        # single-pass run does.
+        base = HPMSampler(self.platform, period_s=self.period_s,
+                          obs=self.obs)
         full = base.sample(timeline, port)
         # Re-derive per-tick deltas so each tick can be assigned to the
         # group that was programmed during it.  We reuse the base

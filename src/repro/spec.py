@@ -541,6 +541,53 @@ def canonical_experiment_dict(config):
     return data
 
 
+# -- simulation vs measurement axis classification ---------------------
+
+#: :class:`~repro.core.experiment.ExperimentConfig` fields that shape
+#: the simulated execution itself (the VM run and its ground-truth
+#: timeline).  Two configs that agree on these produce bit-identical
+#: timelines and port histories, whatever their measurement knobs say.
+#: ``n_slices`` is a simulation field — it sets how many workload
+#: slices the generator emits, so it changes the timeline (the issue
+#: text groups it with measurement knobs, but excluding it would let
+#: two different executions share one artifact).  ``overrides`` is
+#: classified as simulation wholesale: most supported overrides alter
+#: the hardware model, and the one that does not (``hpm_period_s``)
+#: merely makes the key conservative, never wrong.
+SIMULATION_CONFIG_FIELDS = (
+    "benchmark", "vm", "platform", "collector", "heap_mb", "seed",
+    "input_scale", "warmup", "repetitions", "fan_enabled", "n_slices",
+    "dvfs_freq_scale", "overrides",
+)
+
+#: Fields that only configure how the finished run is *observed*.
+#: Changing them re-runs the measurement pass over the same artifact.
+MEASUREMENT_CONFIG_FIELDS = ("daq_period_s",)
+
+#: :class:`ScenarioSpec` axes by phase, for docs and CLI surfacing.
+SIMULATION_AXES = (
+    "benchmarks", "vms", "platforms", "collectors", "heap_mbs",
+    "seeds", "input_scales", "dvfs_freq_scales",
+)
+MEASUREMENT_AXES = ("daq_periods_s",)
+
+
+def canonical_sim_dict(config):
+    """Simulation-only subset of :func:`canonical_experiment_dict`.
+
+    This is the artifact cache's key material: every field that affects
+    the simulated execution, none that only affects measurement.  It is
+    a *projection* of the full canonical dict (same omission rules for
+    post-v1 defaults), so existing full-config cache keys are untouched
+    and the two identities can never disagree about a shared field.
+    """
+    data = canonical_experiment_dict(config)
+    return {
+        key: value for key, value in data.items()
+        if key not in MEASUREMENT_CONFIG_FIELDS
+    }
+
+
 def strict_canonical_json(obj, what="config"):
     """Deterministic JSON for hash material — no silent coercions.
 
@@ -564,11 +611,16 @@ def strict_canonical_json(obj, what="config"):
 
 
 __all__ = [
+    "MEASUREMENT_AXES",
+    "MEASUREMENT_CONFIG_FIELDS",
+    "SIMULATION_AXES",
+    "SIMULATION_CONFIG_FIELDS",
     "SPEC_VERSION",
     "ScenarioSpec",
     "SpecValidationError",
     "build_platform",
     "build_vm",
     "canonical_experiment_dict",
+    "canonical_sim_dict",
     "strict_canonical_json",
 ]

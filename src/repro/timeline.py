@@ -122,6 +122,9 @@ class TimelineArrays:
 #: Initial column-buffer capacity (segments); doubled on exhaustion.
 _INITIAL_CAPACITY = 1024
 
+#: Schema tag on :meth:`ExecutionTimeline.to_columns` snapshots.
+COLUMNS_SCHEMA = "repro-timeline-columns-v1"
+
 
 class ExecutionTimeline:
     """Append-only, gap-free sequence of execution segments.
@@ -410,6 +413,87 @@ class ExecutionTimeline:
             mem_accesses=self._mem_accesses[:n],
             clock_hz=self.clock_hz,
         )
+
+    # -- columnar serialization ----------------------------------------
+
+    def to_columns(self):
+        """Column snapshot of the timeline for serialization.
+
+        Returns a plain dict — clock, segment count, one trimmed *copy*
+        per column buffer (exact dtypes preserved), and the tag list —
+        that :meth:`from_columns` reconstructs exactly.  Copies are
+        deliberate: a snapshot must not alias the live buffers, which
+        keep growing (and get reallocated) as the VM appends.
+        """
+        n = self._n
+        return {
+            "schema": COLUMNS_SCHEMA,
+            "clock_hz": self.clock_hz,
+            "n": n,
+            "columns": {
+                name: getattr(self, name)[:n].copy()
+                for name in self._columns()
+            },
+            "tags": list(self._tags),
+        }
+
+    @classmethod
+    def from_columns(cls, data):
+        """Rebuild a timeline from a :meth:`to_columns` snapshot.
+
+        The round-trip is exact: every column comes back with the same
+        dtype and bit-identical values, so derived quantities
+        (``duration_s``, ``to_arrays()`` cumulative bounds, energies)
+        are bit-identical too.  Dtype or length mismatches raise
+        :class:`~repro.errors.TimelineError` instead of being silently
+        coerced — a snapshot that drifted is not a timeline.
+        """
+        if not isinstance(data, dict):
+            raise TimelineError(
+                f"timeline snapshot must be a dict, got "
+                f"{type(data).__name__}"
+            )
+        schema = data.get("schema")
+        if schema != COLUMNS_SCHEMA:
+            raise TimelineError(
+                f"unknown timeline snapshot schema {schema!r} "
+                f"(expected {COLUMNS_SCHEMA!r})"
+            )
+        timeline = cls(data["clock_hz"])
+        n = int(data["n"])
+        if n < 0:
+            raise TimelineError(f"negative segment count {n}")
+        columns = data.get("columns", {})
+        missing = set(timeline._columns()) - set(columns)
+        if missing:
+            raise TimelineError(
+                f"snapshot is missing columns {sorted(missing)}"
+            )
+        # Keep the initial capacity floor so an empty or tiny restored
+        # timeline can still grow by doubling (capacity zero cannot).
+        timeline._alloc(max(n, _INITIAL_CAPACITY))
+        for name in timeline._columns():
+            buf = getattr(timeline, name)
+            col = np.asarray(columns[name])
+            if col.dtype != buf.dtype:
+                raise TimelineError(
+                    f"column {name} has dtype {col.dtype}, "
+                    f"expected {buf.dtype}"
+                )
+            if col.shape != (n,):
+                raise TimelineError(
+                    f"column {name} has shape {col.shape}, "
+                    f"expected ({n},)"
+                )
+            buf[:n] = col
+        tags = list(data.get("tags", ()))
+        if len(tags) != n:
+            raise TimelineError(
+                f"snapshot has {len(tags)} tags for {n} segments"
+            )
+        timeline._n = n
+        timeline._tags = tags
+        return timeline
 
     def validate(self):
         """Re-check all invariants over the whole timeline (for tests)."""

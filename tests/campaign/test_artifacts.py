@@ -1,0 +1,171 @@
+"""Tests for the sim-key and the content-addressed artifact store.
+
+The key contract: measurement-only fields never change a config's
+simulation identity, every simulation-shaping field does, and the store
+degrades to a miss (never a crash, never a wrong artifact) on damaged
+or mismatched entries.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.campaign.artifacts import (
+    ARTIFACT_DIR_ENV,
+    ArtifactStore,
+    default_artifact_dir,
+    sim_key,
+)
+from repro.core.experiment import Experiment, ExperimentConfig
+from repro.spec import (
+    MEASUREMENT_CONFIG_FIELDS,
+    SIMULATION_CONFIG_FIELDS,
+    canonical_experiment_dict,
+    canonical_sim_dict,
+)
+
+BASE = ExperimentConfig(
+    "_202_jess", vm="jikes", platform="p6", collector="SemiSpace",
+    heap_mb=24, seed=99, input_scale=0.1, n_slices=40,
+)
+
+# One representative change per simulation-shaping field; each must
+# produce a distinct sim-key.
+SIM_CHANGES = {
+    "benchmark": dict(benchmark="_209_db"),
+    "vm": dict(vm="kaffe", collector=None),
+    "platform": dict(platform="pxa255"),
+    "collector": dict(collector="GenCopy"),
+    "heap_mb": dict(heap_mb=32),
+    "seed": dict(seed=100),
+    "input_scale": dict(input_scale=0.2),
+    "warmup": dict(warmup=False),
+    "repetitions": dict(repetitions=2),
+    "fan_enabled": dict(fan_enabled=False),
+    "n_slices": dict(n_slices=41),
+    "dvfs_freq_scale": dict(dvfs_freq_scale=0.7),
+    "overrides": dict(overrides=(("hpm_period_s", 0.005),)),
+}
+
+
+class TestSimKey:
+    def test_stable_across_calls(self):
+        assert sim_key(BASE) == sim_key(BASE)
+        assert len(sim_key(BASE)) == 64
+
+    def test_measurement_fields_do_not_change_key(self):
+        for period in (40e-6, 200e-6, 1e-3, 1e-2):
+            assert sim_key(replace(BASE, daq_period_s=period)) == \
+                sim_key(BASE)
+
+    @pytest.mark.parametrize("field", sorted(SIM_CHANGES))
+    def test_every_simulation_field_changes_key(self, field):
+        changed = replace(BASE, **SIM_CHANGES[field])
+        assert sim_key(changed) != sim_key(BASE)
+
+    def test_field_partition_is_total(self):
+        """Every ExperimentConfig field is classified exactly once.
+
+        Post-v1 fields (``overrides``) are elided from the canonical
+        dict at their defaults, so probe with one set.
+        """
+        probed = replace(BASE, **SIM_CHANGES["overrides"])
+        fields = set(canonical_experiment_dict(probed))
+        classified = set(SIMULATION_CONFIG_FIELDS) | \
+            set(MEASUREMENT_CONFIG_FIELDS)
+        assert fields == classified
+        assert not set(SIMULATION_CONFIG_FIELDS) & \
+            set(MEASUREMENT_CONFIG_FIELDS)
+
+    def test_sim_dict_drops_only_measurement_fields(self):
+        full = canonical_experiment_dict(BASE)
+        sim = canonical_sim_dict(BASE)
+        assert set(full) - set(sim) == set(MEASUREMENT_CONFIG_FIELDS)
+        for key, value in sim.items():
+            assert full[key] == value
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return Experiment(BASE).simulate().artifact()
+
+
+class TestArtifactStore:
+    def test_miss_then_hit(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        assert store.get(BASE) is None
+        assert store.misses == 1
+        store.put(BASE, artifact)
+        assert BASE in store
+        assert len(store) == 1
+        loaded = store.get(BASE)
+        assert loaded is not None
+        assert loaded.sim_key == artifact.sim_key
+        assert loaded.n_segments == artifact.n_segments
+        assert store.hits == 1
+        assert store.hit_rate == 0.5
+
+    def test_roundtrip_measures_identically(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        store.put(BASE, artifact)
+        experiment = Experiment(BASE)
+        from_store = experiment.measure(store.get(BASE))
+        from_memory = experiment.measure(artifact)
+        assert from_store.cpu_energy_j == from_memory.cpu_energy_j
+        assert from_store.mem_energy_j == from_memory.mem_energy_j
+
+    def test_corrupt_entry_evicted(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        path = store.put(BASE, artifact)
+        path.write_bytes(b"not a gzip pickle")
+        assert store.get(BASE) is None
+        assert not path.exists()
+
+    def test_wrong_key_entry_evicted(self, tmp_path, artifact):
+        """A moved/hand-renamed entry must not serve a wrong
+        execution."""
+        store = ArtifactStore(tmp_path)
+        path = store.put(BASE, artifact)
+        other = "f" * 64
+        target = store.path_for_key(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        path.rename(target)
+        assert store.get_key(other) is None
+        assert not target.exists()
+
+    def test_stats_and_prune(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        store.put(BASE, artifact)
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] == store.total_bytes() > 0
+        removed, freed = store.prune(max_bytes=0)
+        assert removed == 1
+        assert freed > 0
+        assert len(store) == 0
+
+    def test_prune_stale_keeps_current_code(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        store.put(BASE, artifact)
+        removed, _ = store.prune_stale()
+        assert removed == 0
+        assert len(store) == 1
+
+    def test_lineage_reports_entry(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        store.put(BASE, artifact)
+        groups = store.lineage()
+        assert len(groups) == 1
+        assert groups[0]["entries"] == 1
+        assert not groups[0]["stale"]
+
+    def test_clear(self, tmp_path, artifact):
+        store = ArtifactStore(tmp_path)
+        store.put(BASE, artifact)
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path / "arts"))
+        assert default_artifact_dir() == tmp_path / "arts"
+        assert ArtifactStore().root == tmp_path / "arts"

@@ -50,3 +50,54 @@ class TestWorkloadCommand:
         assert "_202_jess" in out
         assert "nursery survival" in out
         assert "live set" in out
+
+
+class TestOverheadCommand:
+    def test_frontier_table_and_artifact_reuse(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        argv = [
+            "overhead", "--heap", "24", "--input-scale", "0.1",
+            "--periods", "40", "400", "2000",
+            "--artifact-dir", store,
+            "--output", str(tmp_path / "frontier.json"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(simulated," in out
+        assert "misattributed %" in out
+        assert "3 measurements" in out
+
+        frontier = json.loads((tmp_path / "frontier.json").read_text())
+        assert len(frontier["points"]) == 3
+        assert frontier["artifact_source"] == "simulated"
+        periods = [p["period_us"] for p in frontier["points"]]
+        assert periods == [40.0, 400.0, 2000.0]
+        # Coarser sampling takes fewer DAQ samples.
+        samples = [p["daq_samples"] for p in frontier["points"]]
+        assert samples == sorted(samples, reverse=True)
+
+        # Second invocation measures off the stored artifact.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(store," in out
+
+    def test_no_artifacts_flag(self, capsys):
+        assert main([
+            "overhead", "--heap", "24", "--input-scale", "0.1",
+            "--periods", "40",  "--no-artifacts",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(simulated," in out
+        assert "artifact store:" not in out
+
+
+class TestCacheArtifactStore:
+    def test_stats_includes_artifact_store(self, tmp_path, capsys):
+        assert main([
+            "cache", "stats",
+            "--cache-dir", str(tmp_path / "cells"),
+            "--result-dir", str(tmp_path / "results"),
+            "--artifact-dir", str(tmp_path / "artifacts"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "artifact store" in out
