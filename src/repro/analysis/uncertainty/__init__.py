@@ -1,0 +1,52 @@
+"""Uncertainty quantification: every energy number as a distribution.
+
+The paper reports per-component energies as point estimates while its
+own Section IV-C perturbation analysis concedes the apparatus injects
+error it cannot bound.  This subsystem closes that gap the way
+probabilistic energy profilers do (Nyholm et al., PAPERS.md): seeded
+noise models for the measurement chain
+(:mod:`repro.measurement.noise`), a bootstrap engine that re-measures
+one recorded execution N times under independent noise realizations
+(:mod:`repro.analysis.uncertainty.bootstrap`), and per-quantity
+:class:`EnergyDistribution` summaries with percentile confidence
+intervals and ground-truth coverage
+(:mod:`repro.analysis.uncertainty.distribution`).
+
+Everything is opt-in: with no noise model attached, the measurement
+path is byte-identical to the pre-uncertainty pipeline (pinned by
+golden tests), and ``ExperimentResult.uncertainty`` stays ``None``.
+"""
+
+from repro.analysis.uncertainty.bootstrap import (
+    BootstrapEngine,
+    REPLICATE_SEED_VERSION,
+    UncertaintyReport,
+    bootstrap_uncertainty,
+    derive_replicate_seed,
+)
+from repro.analysis.uncertainty.distribution import (
+    EnergyDistribution,
+    OnlineStats,
+)
+from repro.measurement.noise import (
+    ADCQuantizer,
+    DEFAULT_NOISE,
+    NOISE_SEED_OFFSET,
+    NoiseConfig,
+    NoiseModel,
+)
+
+__all__ = [
+    "ADCQuantizer",
+    "BootstrapEngine",
+    "DEFAULT_NOISE",
+    "EnergyDistribution",
+    "NOISE_SEED_OFFSET",
+    "NoiseConfig",
+    "NoiseModel",
+    "OnlineStats",
+    "REPLICATE_SEED_VERSION",
+    "UncertaintyReport",
+    "bootstrap_uncertainty",
+    "derive_replicate_seed",
+]

@@ -25,6 +25,7 @@ from typing import Optional
 from repro.core.experiment import ExperimentConfig
 from repro.errors import ConfigurationError
 from repro.hardware.platform import validate_overrides
+from repro.measurement.multiplexing import resolve_rotation
 from repro.registry import collector_supported
 from repro.units import DAQ_SAMPLE_PERIOD_S
 
@@ -49,6 +50,7 @@ def derive_cell_seed(base_seed, benchmark, vm, platform, collector,
                      heap_mb, input_scale=1.0,
                      daq_period_s=DAQ_SAMPLE_PERIOD_S,
                      dvfs_freq_scale=None, overrides=(),
+                     hpm_period_s=None, hpm_rotation=None,
                      spec_version=1):
     """Stable per-cell seed derived from the cell's identity.
 
@@ -61,7 +63,11 @@ def derive_cell_seed(base_seed, benchmark, vm, platform, collector,
     heap) so existing cache entries keep their keys; version 2 (the
     scenario-spec default) extends it with the newly sweepable axes —
     input scale, DAQ period, DVFS point, hardware overrides — so cells
-    differing only in those never share a derived seed.
+    differing only in those never share a derived seed.  The HPM
+    measurement axes (``hpm_period_s``/``hpm_rotation``) joined v2
+    later, so their parts are appended only away from their ``None``
+    defaults — cells that don't sweep them keep their existing derived
+    seeds.
     """
     parts = [
         str(base_seed), benchmark, vm, platform, str(collector),
@@ -75,6 +81,13 @@ def derive_cell_seed(base_seed, benchmark, vm, platform, collector,
                  else float(dvfs_freq_scale)),
             repr(tuple(overrides)),
         ]
+        if hpm_period_s is not None:
+            parts.append("hpm_period_s=" + repr(float(hpm_period_s)))
+        if hpm_rotation is not None:
+            parts.append(
+                "hpm_rotation="
+                + repr(tuple(tuple(g) for g in hpm_rotation))
+            )
     digest = hashlib.sha256("|".join(parts).encode("utf-8")).digest()
     return int.from_bytes(digest[:4], "big")
 
@@ -104,6 +117,10 @@ class CampaignConfig:
     n_slices: int = 160
     daq_period_s: float = DAQ_SAMPLE_PERIOD_S
     dvfs_freq_scale: Optional[float] = None
+    #: Measurement-side HPM knobs (``None`` = platform default period /
+    #: single-pass sampler); sweepable via the plural axes below.
+    hpm_period_s: Optional[float] = None
+    hpm_rotation: Optional[tuple] = None
     #: Derive a unique, stable seed per cell from each base seed instead
     #: of running every cell with the base seed itself.
     derive_seeds: bool = False
@@ -112,6 +129,8 @@ class CampaignConfig:
     input_scales: Optional[tuple] = None
     daq_periods_s: Optional[tuple] = None
     dvfs_freq_scales: Optional[tuple] = None
+    hpm_periods_s: Optional[tuple] = None
+    hpm_rotations: Optional[tuple] = None
     #: Hardware-constant overrides applied to every cell's platform
     #: (canonical tuple of pairs; see
     #: :data:`repro.hardware.platform.SUPPORTED_OVERRIDES`).
@@ -132,7 +151,8 @@ class CampaignConfig:
             object.__setattr__(self, axis, value)
         for axis, scalar in (("input_scales", self.input_scale),
                              ("daq_periods_s", self.daq_period_s),
-                             ("dvfs_freq_scales", self.dvfs_freq_scale)):
+                             ("dvfs_freq_scales", self.dvfs_freq_scale),
+                             ("hpm_periods_s", self.hpm_period_s)):
             value = getattr(self, axis)
             if value is None:
                 value = (scalar,)
@@ -142,6 +162,21 @@ class CampaignConfig:
             if not value:
                 raise ConfigurationError(f"{axis} cannot be empty")
             object.__setattr__(self, axis, value)
+        # The rotation axis can't share the loop above: a rotation value
+        # is itself a tuple (of event groups), so tuple(value) would
+        # shred a bare schedule into its groups.  Only None (wrap the
+        # scalar) and explicit sequences of rotation values are
+        # accepted; each value canonicalizes through resolve_rotation.
+        rotations = self.hpm_rotations
+        if rotations is None:
+            rotations = (self.hpm_rotation,)
+        rotations = tuple(resolve_rotation(r) for r in rotations)
+        if not rotations:
+            raise ConfigurationError("hpm_rotations cannot be empty")
+        object.__setattr__(self, "hpm_rotations", rotations)
+        object.__setattr__(
+            self, "hpm_rotation", resolve_rotation(self.hpm_rotation)
+        )
         object.__setattr__(
             self, "overrides", validate_overrides(self.overrides)
         )
@@ -169,11 +204,12 @@ def expand_grid(campaign):
     """
     cells = []
     for (bench, vm, platform, collector, heap, seed, input_scale,
-         daq_period, dvfs) in product(
+         daq_period, dvfs, hpm_period, hpm_rotation) in product(
         campaign.benchmarks, campaign.vms, campaign.platforms,
         campaign.collectors, campaign.heap_mbs, campaign.seeds,
         campaign.input_scales, campaign.daq_periods_s,
-        campaign.dvfs_freq_scales,
+        campaign.dvfs_freq_scales, campaign.hpm_periods_s,
+        campaign.hpm_rotations,
     ):
         if not collector_supported(vm, collector):
             continue
@@ -182,6 +218,7 @@ def expand_grid(campaign):
                 seed, bench, vm, platform, collector, heap,
                 input_scale=input_scale, daq_period_s=daq_period,
                 dvfs_freq_scale=dvfs, overrides=campaign.overrides,
+                hpm_period_s=hpm_period, hpm_rotation=hpm_rotation,
                 spec_version=campaign.spec_version,
             )
         cells.append(ExperimentConfig(
@@ -199,6 +236,8 @@ def expand_grid(campaign):
             daq_period_s=daq_period,
             dvfs_freq_scale=dvfs,
             overrides=campaign.overrides,
+            hpm_period_s=hpm_period,
+            hpm_rotation=hpm_rotation,
         ))
     if not cells:
         raise ConfigurationError(

@@ -569,10 +569,9 @@ def cmd_overhead(args):
     measure_wall_total = 0.0
     for period_us in args.periods:
         period_s = period_us * 1e-6
+        measurement = MeasurementConfig(daq_period_s=period_s)
         started = time_mod.perf_counter()
-        result = experiment.measure(
-            artifact, MeasurementConfig(daq_period_s=period_s)
-        )
+        result = experiment.measure(artifact, measurement)
         measure_s = time_mod.perf_counter() - started
         measure_wall_total += measure_s
         report = attribution_error(run, target, sample_period_s=period_s)
@@ -580,6 +579,10 @@ def cmd_overhead(args):
             abs(result.cpu_energy_j - true_cpu_j) / true_cpu_j
             if true_cpu_j else 0.0
         )
+        # The Section IV-C perturbation report — what the port-write
+        # instrumentation itself cost this measurement point — folded
+        # into the frontier instead of needing a separate `repro run`.
+        perturb = result.perturbation
         record = {
             "period_us": period_us,
             "daq_samples": result.power.n_samples,
@@ -588,24 +591,48 @@ def cmd_overhead(args):
             "misattributed_pct":
                 100 * report.total_misattribution_fraction(),
             "gc_error_pct": 100 * report.relative_error(Component.GC),
+            "perturbation_energy_pct": 100 * perturb.energy_fraction,
+            "perturbation_time_pct": 100 * perturb.time_fraction,
             "measure_wall_s": measure_s,
         }
+        ci_cell = ""
+        if args.replicates:
+            from repro.analysis.uncertainty import BootstrapEngine
+
+            engine = BootstrapEngine(
+                config, replicates=args.replicates,
+                measurement=measurement,
+            )
+            dist = engine.run(artifact).totals["cpu_energy_j"]
+            record["cpu_energy_ci"] = dist.as_dict()
+            ci_cell = (f"±{dist.ci_half_width:.3f} "
+                       f"[{dist.ci_low:.3f}, {dist.ci_high:.3f}]")
         records.append(record)
-        rows.append([
+        row = [
             f"{period_us:.0f}", record["daq_samples"],
             f"{record['cpu_energy_j']:.3f}",
+        ]
+        if args.replicates:
+            row.append(ci_cell)
+        row += [
             record["energy_error_pct"],
             record["misattributed_pct"],
             record["gc_error_pct"],
+            record["perturbation_energy_pct"],
             f"{measure_s:.4f}",
-        ])
+        ]
+        rows.append(row)
 
     print(f"{config.benchmark} | {config.vm}/{config.platform}: "
           f"artifact {artifact.sim_key[:12]} ({source}, "
           f"{artifact.n_segments} segments)")
+    headers = ["period us", "DAQ samples", "CPU J"]
+    if args.replicates:
+        headers.append(f"95% CI (n={args.replicates})")
+    headers += ["energy err %", "misattributed %", "GC error %",
+                "perturb %", "measure s"]
     print(render_table(
-        ["period us", "DAQ samples", "CPU J", "energy err %",
-         "misattributed %", "GC error %", "measure s"],
+        headers,
         rows,
         title="Measurement accuracy vs overhead (one simulation, "
               "many measurements):",
@@ -636,6 +663,85 @@ def cmd_overhead(args):
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.output} (accuracy-vs-overhead frontier)")
+    return 0
+
+
+def cmd_uncertainty(args):
+    import json
+    import time as time_mod
+
+    from repro.analysis.uncertainty import BootstrapEngine, NoiseConfig
+    from repro.campaign.artifacts import ArtifactStore
+    from repro.errors import ConfigurationError as ConfigError
+
+    config = _single_cell_config(args, "uncertainty")
+    if config is None:
+        return 2
+    try:
+        noise = NoiseConfig(
+            adc_bits=args.adc_bits if args.adc_bits > 0 else None,
+            daq_jitter_frac=args.daq_jitter,
+            hpm_jitter_frac=args.hpm_jitter,
+        )
+        engine = BootstrapEngine(
+            config, noise=noise, replicates=args.replicates,
+            ci_level=args.ci,
+        )
+    except ConfigError as exc:
+        print(f"repro uncertainty: {exc}", file=sys.stderr)
+        return 2
+
+    store = None if args.no_artifacts else ArtifactStore(args.artifact_dir)
+    artifact = store.get(config) if store is not None else None
+    n_simulations = 0
+    if artifact is not None:
+        sim_wall_s = 0.0
+        source = "store"
+    else:
+        started = time_mod.perf_counter()
+        artifact = Experiment(config).simulate().artifact()
+        sim_wall_s = time_mod.perf_counter() - started
+        n_simulations = 1
+        source = "simulated"
+        if store is not None:
+            store.put(config, artifact)
+
+    started = time_mod.perf_counter()
+    report = engine.run(artifact)
+    measure_wall_s = time_mod.perf_counter() - started
+
+    print(f"{config.benchmark} | {config.vm}/{config.platform}: "
+          f"artifact {artifact.sim_key[:12]} ({source}, "
+          f"{artifact.n_segments} segments)")
+    print(report.describe())
+    print(f"{args.replicates} measurement replicates over "
+          f"{n_simulations} simulation(s): simulate {sim_wall_s:.3f} s "
+          f"+ bootstrap {measure_wall_s:.3f} s")
+    if store is not None:
+        print(f"artifact store: {store.root}")
+    if args.output:
+        # The report section is a pure function of (config, noise,
+        # seed, replicates) — byte-identical across invocations; the
+        # counters section records what *this* invocation did (first
+        # run simulates, the next hits the store), so tooling diffs
+        # the two sections separately.
+        payload = {
+            "schema": "repro-uncertainty-v1",
+            "benchmark": config.benchmark,
+            "vm": config.vm,
+            "platform": config.platform,
+            "sim_key": artifact.sim_key,
+            "report": report.as_dict(),
+            "counters": {
+                "n_simulations": n_simulations,
+                "artifact_source": source,
+                "simulate_wall_s": sim_wall_s,
+                "bootstrap_wall_s": measure_wall_s,
+            },
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output} (uncertainty report)")
     return 0
 
 
@@ -1101,6 +1207,55 @@ def build_parser():
                                  "simulate, never persist)")
     p_overhead.add_argument("--output", default=None, metavar="PATH",
                             help="write the frontier as JSON here")
+    p_overhead.add_argument(
+        "--replicates", type=int, default=0, metavar="N",
+        help="bootstrap N noisy re-measurements per period and add a "
+             "95%% CI error bar to the CPU-energy column (0 = off)",
+    )
+
+    p_uncertainty = sub.add_parser(
+        "uncertainty",
+        help="bootstrap measurement uncertainty: N noisy "
+             "re-measurements of one recorded execution, reported as "
+             "per-component energy distributions with CIs",
+    )
+    p_uncertainty.add_argument("--benchmark", default="_202_jess")
+    _add_experiment_args(p_uncertainty, positional_benchmark=False)
+    _add_spec_arg(p_uncertainty)
+    p_uncertainty.add_argument(
+        "--replicates", type=int, default=32, metavar="N",
+        help="bootstrap replicate count (default 32)",
+    )
+    p_uncertainty.add_argument(
+        "--ci", type=float, default=0.95, metavar="LEVEL",
+        help="confidence level for the percentile intervals "
+             "(default 0.95)",
+    )
+    p_uncertainty.add_argument(
+        "--adc-bits", type=int, default=12, metavar="BITS",
+        help="sense-channel ADC resolution (0 disables quantization)",
+    )
+    p_uncertainty.add_argument(
+        "--daq-jitter", type=float, default=0.05, metavar="FRAC",
+        help="DAQ sample-clock jitter, one sigma, as a fraction of "
+             "the period (default 0.05)",
+    )
+    p_uncertainty.add_argument(
+        "--hpm-jitter", type=float, default=0.10, metavar="FRAC",
+        help="HPM timer-interrupt latency, one sigma, as a fraction "
+             "of the period (default 0.10)",
+    )
+    p_uncertainty.add_argument(
+        "--artifact-dir", default=None,
+        help="simulation artifact store (default: "
+             "$REPRO_ARTIFACT_DIR or ~/.cache/repro/artifacts)",
+    )
+    p_uncertainty.add_argument(
+        "--no-artifacts", action="store_true",
+        help="skip the artifact store (always simulate, never persist)",
+    )
+    p_uncertainty.add_argument("--output", default=None, metavar="PATH",
+                               help="write the report as JSON here")
 
     p_pauses = sub.add_parser(
         "pauses", help="GC pause statistics and MMU curve"
@@ -1285,6 +1440,7 @@ COMMANDS = {
     "thermal": cmd_thermal,
     "validate": cmd_validate,
     "overhead": cmd_overhead,
+    "uncertainty": cmd_uncertainty,
     "pauses": cmd_pauses,
     "export": cmd_export,
     "workload": cmd_workload,

@@ -31,6 +31,11 @@ from repro.hardware.platform import validate_overrides
 from repro.jvm.components import Component
 from repro.measurement.daq import DAQ
 from repro.measurement.hpm_sampler import HPMSampler
+from repro.measurement.multiplexing import (
+    MultiplexedHPMSampler,
+    resolve_rotation,
+)
+from repro.measurement.noise import NOISE_SEED_OFFSET, NoiseModel
 from repro.obs import NULL_OBS
 from repro.units import DAQ_SAMPLE_PERIOD_S
 
@@ -57,6 +62,18 @@ class ExperimentConfig:
     #: and normalized); see
     #: :data:`repro.hardware.platform.SUPPORTED_OVERRIDES`.
     overrides: tuple = ()
+    #: Measurement-side HPM sampling period (``None`` = the platform's
+    #: default).  A measurement knob like ``daq_period_s``: it changes
+    #: how the execution is observed, never the execution itself, so it
+    #: is excluded from the simulation identity (sim-key) and sweeps
+    #: share one artifact.
+    hpm_period_s: Optional[float] = None
+    #: Counter-rotation schedule for multiplexed HPM sampling: ``None``
+    #: (single-pass sampler), a preset name from
+    #: :data:`repro.measurement.multiplexing.ROTATIONS`, or an explicit
+    #: sequence of event-name groups (normalized to a tuple of tuples).
+    #: Also measurement-side.
+    hpm_rotation: Optional[tuple] = None
 
     def __post_init__(self):
         if self.heap_mb <= 0:
@@ -72,8 +89,13 @@ class ExperimentConfig:
             raise ConfigurationError("daq_period_s must be positive")
         if self.seed < 0:
             raise ConfigurationError("seed must be >= 0")
+        if self.hpm_period_s is not None and self.hpm_period_s <= 0:
+            raise ConfigurationError("hpm_period_s must be positive")
         object.__setattr__(
             self, "overrides", validate_overrides(self.overrides)
+        )
+        object.__setattr__(
+            self, "hpm_rotation", resolve_rotation(self.hpm_rotation)
         )
 
 
@@ -91,6 +113,14 @@ class ExperimentResult:
     #: attribute conjured inside the property, so dataclass tooling
     #: (``replace``, ``asdict``, pickling) sees the whole object.
     _perturbation: Optional[object] = dataclass_field(
+        default=None, repr=False, compare=False
+    )
+    #: Optional :class:`repro.analysis.uncertainty.UncertaintyReport`
+    #: attached by the bootstrap engine: the same result, with every
+    #: energy number carrying a distribution.  ``None`` (the default)
+    #: for ordinary single-measurement runs; excluded from equality so
+    #: attaching a report never changes result identity.
+    uncertainty: Optional[object] = dataclass_field(
         default=None, repr=False, compare=False
     )
 
@@ -281,18 +311,55 @@ class Experiment:
             else cfg.daq_period_s
         )
         hpm_period_s = target.hpm_period_s
+        if cfg.hpm_period_s is not None:
+            hpm_period_s = cfg.hpm_period_s
         if measurement is not None and measurement.hpm_period_s:
             hpm_period_s = measurement.hpm_period_s
+        rotation = cfg.hpm_rotation
+        if measurement is not None and measurement.hpm_rotation:
+            rotation = measurement.hpm_rotation
+        # The measurement-side seed: the experiment seed by default, a
+        # per-replicate derived seed when the uncertainty subsystem
+        # re-measures one artifact many times.  All measurement RNG
+        # streams (sense channels, noise model, multiplexing phase)
+        # derive from it with distinct offsets.
+        base_seed = cfg.seed
+        noise_cfg = None
+        if measurement is not None:
+            if measurement.measurement_seed is not None:
+                base_seed = measurement.measurement_seed
+            noise_cfg = measurement.noise
+        noise = None
+        if noise_cfg is not None and noise_cfg.enabled:
+            noise = NoiseModel.for_seed(
+                noise_cfg, base_seed + NOISE_SEED_OFFSET
+            )
         tracer = obs.tracer
-        measurement_rng = np.random.default_rng(cfg.seed + 7919)
+        measurement_rng = np.random.default_rng(base_seed + 7919)
         with tracer.wall_span("daq-acquire"):
             daq = DAQ(target, measurement_rng,
-                      sample_period_s=daq_period_s, obs=obs)
+                      sample_period_s=daq_period_s, obs=obs,
+                      noise=noise)
             power = daq.acquire(run.timeline, port=target.port)
         with tracer.wall_span("hpm-sample"):
-            perf = HPMSampler(
-                target, period_s=hpm_period_s, obs=obs
-            ).sample(run.timeline, port=target.port)
+            if rotation:
+                # A noisy replicate draws its multiplexing phase
+                # alignment from the replicate's own stream; without a
+                # noise model the sampler keeps its historical
+                # timeline-derived determinism.
+                mux_rng = (
+                    np.random.default_rng(base_seed + 6700417)
+                    if noise is not None else None
+                )
+                sampler = MultiplexedHPMSampler(
+                    target, rotation=rotation, period_s=hpm_period_s,
+                    obs=obs, rng=mux_rng, noise=noise,
+                )
+            else:
+                sampler = HPMSampler(
+                    target, period_s=hpm_period_s, obs=obs, noise=noise
+                )
+            perf = sampler.sample(run.timeline, port=target.port)
         with tracer.wall_span("decompose"):
             breakdown = decompose(power, cfg.vm)
         return ExperimentResult(

@@ -71,11 +71,28 @@ def power_trace_from_csv(path):
     )
 
 
+def format_with_ci(value, distribution, unit="J"):
+    """``value ± half-width unit`` when a distribution is known,
+    ``value unit`` otherwise — the shared rendering for reports that
+    may or may not carry an uncertainty section."""
+    if distribution is None:
+        return f"{value:.6g} {unit}"
+    return (
+        f"{value:.6g} ± {distribution.ci_half_width:.3g} {unit}"
+    )
+
+
 def result_to_dict(result):
-    """JSON-serializable summary of an ExperimentResult."""
+    """JSON-serializable summary of an ExperimentResult.
+
+    When the bootstrap engine attached an uncertainty report
+    (``result.uncertainty``), its distributions are exported under an
+    ``uncertainty`` key; a plain single-measurement result produces
+    exactly the historical schema, byte for byte.
+    """
     cfg = result.config
     profiles = result.profiles()
-    return {
+    out = {
         "schema": "repro-experiment-v1",
         "config": {
             "benchmark": cfg.benchmark,
@@ -120,6 +137,10 @@ def result_to_dict(result):
             "perturbation": result.perturbation.as_dict(),
         },
     }
+    uncertainty = getattr(result, "uncertainty", None)
+    if uncertainty is not None:
+        out["uncertainty"] = uncertainty.as_dict()
+    return out
 
 
 def result_to_cell_dict(result):

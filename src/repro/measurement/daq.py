@@ -33,15 +33,22 @@ class DAQ:
     """Samples power channels plus the component-ID register."""
 
     def __init__(self, platform, rng, sample_period_s=DAQ_SAMPLE_PERIOD_S,
-                 obs=None):
+                 obs=None, noise=None):
         if sample_period_s <= 0:
             raise MeasurementError("sample period must be positive")
         self.platform = platform
         self.sample_period_s = sample_period_s
         self.rng = rng
         self.obs = obs if obs is not None else NULL_OBS
+        # ``noise`` is the uncertainty subsystem's hook (a seeded
+        # NoiseModel or None): it supplies the sense channels' ADC
+        # quantizer and jitters the instants the sample clock actually
+        # fires at.  None leaves acquisition byte-identical to the
+        # hook-free path.
+        self.noise = noise
+        adc = noise.quantizer() if noise is not None else None
         self.cpu_channel, self.mem_channel = channels_for(
-            platform.name, rng
+            platform.name, rng, adc=adc
         )
 
     def acquire(self, timeline, port=None):
@@ -81,9 +88,19 @@ class DAQ:
         if tail_s:
             window_s[-1] = tail_s
         times = np.cumsum(window_s) - 0.5 * window_s
+        # The instants the DAQ *actually* reads the timeline at: with a
+        # noise model attached these carry the sample clock's jitter,
+        # while the trace keeps nominal timestamps — the real instrument
+        # reports its own clock, not its true fire times.
+        if self.noise is not None:
+            read_times = self.noise.daq_sample_times(
+                times, period, duration
+            )
+        else:
+            read_times = times
 
         # Locate each sample's segment.
-        seg = np.searchsorted(arrays.ends_s, times, side="right")
+        seg = np.searchsorted(arrays.ends_s, read_times, side="right")
         seg = np.minimum(seg, len(arrays.ends_s) - 1)
 
         true_cpu = arrays.cpu_power[seg]
@@ -99,7 +116,7 @@ class DAQ:
         ).astype(np.float64)
         frac = np.where(
             seg_span_s > 0,
-            (times - arrays.starts_s[seg]) / np.where(
+            (read_times - arrays.starts_s[seg]) / np.where(
                 seg_span_s > 0, seg_span_s, 1.0
             ),
             0.0,

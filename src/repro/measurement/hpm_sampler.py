@@ -25,10 +25,14 @@ from repro.obs import NULL_OBS
 class HPMSampler:
     """Samples performance counters along a completed timeline."""
 
-    def __init__(self, platform, period_s=None, obs=None):
+    def __init__(self, platform, period_s=None, obs=None, noise=None):
         self.platform = platform
         self.period_s = period_s or platform.hpm_period_s
         self.obs = obs if obs is not None else NULL_OBS
+        # Uncertainty hook: a seeded NoiseModel delays the timer ticks
+        # by interrupt latency before the counters are read.  None keeps
+        # sampling byte-identical to the hook-free path.
+        self.noise = noise
         if self.period_s <= 0:
             raise MeasurementError("HPM period must be positive")
 
@@ -47,6 +51,10 @@ class HPMSampler:
             raise MeasurementError("run shorter than one HPM period")
         ticks = (np.arange(n + 1, dtype=np.float64)) * self.period_s
         ticks[-1] = min(ticks[-1], duration)
+        if self.noise is not None:
+            ticks = self.noise.hpm_tick_times(
+                ticks, self.period_s, duration
+            )
 
         seg = np.searchsorted(arrays.ends_s, ticks, side="right")
         seg = np.minimum(seg, len(arrays.ends_s) - 1)

@@ -30,6 +30,83 @@ DEFAULT_ROTATION = (
     ("instructions", "l2_misses"),
 )
 
+#: Named rotation schedules a spec/CLI can refer to by string.  Each
+#: value is a tuple of event-name groups; a group must fit the target
+#: PMU's programmable width (validated at sampler construction).
+ROTATIONS = {
+    # The paper's two-at-a-time XScale protocol: instructions stay
+    # resident, the L2 events alternate.
+    "xscale-pairs": DEFAULT_ROTATION,
+    # Every event in its own window — maximal rotation, worst
+    # undersampling, fits even a single-counter PMU.
+    "round-robin": (
+        ("instructions",),
+        ("l2_accesses",),
+        ("l2_misses",),
+    ),
+    # All three events resident at once — no multiplexing error, needs
+    # a PMU at least three counters wide (the P6 qualifies).
+    "resident": (("instructions", "l2_accesses", "l2_misses"),),
+}
+
+
+def resolve_rotation(value):
+    """Canonicalize a rotation schedule.
+
+    Accepts ``None`` (no multiplexing — the single-pass sampler), a
+    preset name from :data:`ROTATIONS`, or an explicit sequence of
+    event-name groups.  Returns ``None`` or a tuple of tuples of str.
+    Bare strings inside the schedule are rejected — ``("instructions",
+    "l2_misses")`` is ambiguous between one two-event group and two
+    one-event groups, so each group must itself be a sequence.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        try:
+            return ROTATIONS[value]
+        except KeyError:
+            raise MeasurementError(
+                f"unknown rotation preset {value!r}; known: "
+                f"{', '.join(sorted(ROTATIONS))}"
+            ) from None
+    groups = []
+    for group in value:
+        if isinstance(group, str) or not hasattr(group, "__iter__"):
+            raise MeasurementError(
+                f"rotation group {group!r} must be a sequence of "
+                "event names (a bare string is ambiguous)"
+            )
+        events = tuple(str(e) for e in group)
+        if not events:
+            raise MeasurementError("rotation group cannot be empty")
+        groups.append(events)
+    if not groups:
+        raise MeasurementError("rotation cannot be empty")
+    return tuple(groups)
+
+
+def _pmu_width(platform):
+    """Programmable-counter width of *platform*.
+
+    A live platform carries its PMU model; a replayed
+    :class:`~repro.core.simulation.MeasurementTarget` carries only the
+    platform *name*, so the width comes from the registry's trait
+    metadata instead (the same number, declared once per platform).
+    """
+    counters = getattr(platform, "counters", None)
+    if counters is not None:
+        return counters.max_programmable
+    from repro.registry import platform_traits
+
+    width = platform_traits(platform.name).get("hpm_counters")
+    if width is None:
+        raise MeasurementError(
+            f"platform {platform.name!r} declares no hpm_counters "
+            "trait; cannot validate a rotation schedule against it"
+        )
+    return int(width)
+
 
 class MultiplexedHPMSampler:
     """Timer-driven sampler that rotates event groups between ticks.
@@ -41,10 +118,10 @@ class MultiplexedHPMSampler:
     """
 
     def __init__(self, platform, rotation=DEFAULT_ROTATION,
-                 period_s=None, obs=None):
+                 period_s=None, obs=None, rng=None, noise=None):
         if not rotation:
             raise MeasurementError("rotation cannot be empty")
-        width = platform.counters.max_programmable
+        width = _pmu_width(platform)
         for group in rotation:
             if len(group) > width:
                 raise MeasurementError(
@@ -55,6 +132,15 @@ class MultiplexedHPMSampler:
         self.rotation = tuple(tuple(g) for g in rotation)
         self.period_s = period_s or platform.hpm_period_s
         self.obs = obs if obs is not None else NULL_OBS
+        # ``rng`` drives the phase-alignment noise of the duty-cycle
+        # extrapolation.  When None, it is derived from the timeline
+        # length at sample time — deterministic for a given recording,
+        # matching the historical behavior.  The uncertainty subsystem
+        # injects a per-replicate stream instead, so replicates see
+        # independent alignment realizations.  ``noise`` is forwarded
+        # to the underlying single-pass sampler.
+        self._rng = rng
+        self.noise = noise
 
     def sample(self, timeline, port=None):
         """Sample *timeline*, rotating event groups between ticks."""
@@ -62,7 +148,7 @@ class MultiplexedHPMSampler:
         # multiplexed run emits the same sampler spans and counters a
         # single-pass run does.
         base = HPMSampler(self.platform, period_s=self.period_s,
-                          obs=self.obs)
+                          obs=self.obs, noise=self.noise)
         full = base.sample(timeline, port)
         # Re-derive per-tick deltas so each tick can be assigned to the
         # group that was programmed during it.  We reuse the base
@@ -80,7 +166,11 @@ class MultiplexedHPMSampler:
             "l2_accesses": {},
             "l2_misses": {},
         }
-        rng = np.random.default_rng(len(timeline))
+        rng = (
+            self._rng
+            if self._rng is not None
+            else np.random.default_rng(len(timeline))
+        )
         # Visibility mask per tick: tick i observes rotation[i % n].
         # Approximate per-component scaling: each component's deltas
         # are spread across ticks, so observing 1/n of ticks observes

@@ -36,10 +36,18 @@ class SenseResistor:
 
 
 class SenseChannel:
-    """One instrumented supply rail (CPU core or memory)."""
+    """One instrumented supply rail (CPU core or memory).
+
+    ``adc`` is the uncertainty subsystem's quantization hook (an
+    :class:`~repro.measurement.noise.ADCQuantizer` or ``None``): when
+    set, the digitized voltage drop saturates at the converter's full
+    scale and snaps to its LSB grid before power is reconstructed.
+    ``None`` (the default) leaves the measurement path byte-identical
+    to the hook-free code.
+    """
 
     def __init__(self, name, rail_voltage_v, resistor, vdrop_noise_v,
-                 rng):
+                 rng, adc=None):
         if rail_voltage_v <= 0:
             raise ConfigurationError("rail voltage must be positive")
         self.name = name
@@ -47,6 +55,7 @@ class SenseChannel:
         self.resistor = resistor
         self.vdrop_noise_v = vdrop_noise_v
         self.rng = rng
+        self.adc = adc
         # Fixed per-channel gain error drawn once, within tolerance —
         # a real resistor's actual value is constant but unknown.
         self._actual_r = resistor.resistance_ohm * (
@@ -76,6 +85,8 @@ class SenseChannel:
         vdrop_read = vdrop + self.rng.normal(
             0.0, self.vdrop_noise_v, size=true_power_w.shape
         )
+        if self.adc is not None:
+            vdrop_read = self.adc.quantize(vdrop_read)
         current_est = vdrop_read / self.resistor.resistance_ohm
         return self.rail_voltage_v * current_est
 
@@ -93,7 +104,7 @@ class SenseChannel:
         return self._actual_r / self.resistor.resistance_ohm - 1.0
 
 
-def p6_cpu_channel(rng):
+def p6_cpu_channel(rng, adc=None):
     """CPU-rail channel of the P6 platform (two parallel 2 mOhm shunts on
     the core supply, read differentially)."""
     return SenseChannel(
@@ -102,10 +113,11 @@ def p6_cpu_channel(rng):
         resistor=SenseResistor(resistance_ohm=0.002),
         vdrop_noise_v=0.00009,
         rng=rng,
+        adc=adc,
     )
 
 
-def p6_mem_channel(rng):
+def p6_mem_channel(rng, adc=None):
     """Memory-rail channel of the P6 platform."""
     return SenseChannel(
         name="p6-mem",
@@ -113,10 +125,11 @@ def p6_mem_channel(rng):
         resistor=SenseResistor(resistance_ohm=0.010),
         vdrop_noise_v=0.00006,
         rng=rng,
+        adc=adc,
     )
 
 
-def pxa255_cpu_channel(rng):
+def pxa255_cpu_channel(rng, adc=None):
     """CPU channel of the DBPXA255 board ("system voltages, including the
     processor's power lines, are exposed" — direct measurement, larger
     shunt because currents are tiny)."""
@@ -126,10 +139,11 @@ def pxa255_cpu_channel(rng):
         resistor=SenseResistor(resistance_ohm=0.100),
         vdrop_noise_v=0.00012,
         rng=rng,
+        adc=adc,
     )
 
 
-def pxa255_mem_channel(rng):
+def pxa255_mem_channel(rng, adc=None):
     """Memory channel of the DBPXA255 board."""
     return SenseChannel(
         name="pxa255-mem",
@@ -137,13 +151,17 @@ def pxa255_mem_channel(rng):
         resistor=SenseResistor(resistance_ohm=0.250),
         vdrop_noise_v=0.00010,
         rng=rng,
+        adc=adc,
     )
 
 
-def channels_for(platform_name, rng):
+def channels_for(platform_name, rng, adc=None):
     """(cpu_channel, mem_channel) for a platform name."""
     if platform_name == "p6":
-        return p6_cpu_channel(rng), p6_mem_channel(rng)
+        return p6_cpu_channel(rng, adc=adc), p6_mem_channel(rng, adc=adc)
     if platform_name == "pxa255":
-        return pxa255_cpu_channel(rng), pxa255_mem_channel(rng)
+        return (
+            pxa255_cpu_channel(rng, adc=adc),
+            pxa255_mem_channel(rng, adc=adc),
+        )
     raise ConfigurationError(f"no sense channels for {platform_name!r}")

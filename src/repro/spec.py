@@ -39,6 +39,9 @@ TOML schema (every key optional except one benchmark axis)::
     input_scales = [1.0]
     daq_periods_s = [40e-6]
     dvfs_freq_scales = ["default"]          # "default" = no DVFS pin
+    hpm_periods_s = ["default"]             # "default" = platform period
+    hpm_rotations = ["default"]             # or presets: "xscale-pairs",
+                                            # "round-robin", "resident"
 
     [run]
     warmup = true
@@ -69,6 +72,7 @@ from repro.hardware.platform import (
     validate_overrides,
 )
 from repro.jvm.vm import make_vm
+from repro.measurement.multiplexing import resolve_rotation
 from repro.units import DAQ_SAMPLE_PERIOD_S
 
 #: Current scenario schema version.  Version 1 keeps the legacy
@@ -76,6 +80,21 @@ from repro.units import DAQ_SAMPLE_PERIOD_S
 #: :func:`repro.campaign.grid.derive_cell_seed`); version 2 hashes the
 #: full cell identity.
 SPEC_VERSION = 2
+
+def _coerce_rotation(value):
+    """Canonicalize one rotation-axis element.
+
+    Delegates to
+    :func:`repro.measurement.multiplexing.resolve_rotation` but raises
+    ``ValueError`` so the axis-coercion loop reports it as a malformed
+    value like any other axis."""
+    from repro.errors import MeasurementError
+
+    try:
+        return resolve_rotation(value)
+    except MeasurementError as exc:
+        raise ValueError(str(exc)) from None
+
 
 #: Axis fields, their singular spellings, and element coercions.
 _AXES = {
@@ -88,6 +107,18 @@ _AXES = {
     "input_scales": ("input_scale", float),
     "daq_periods_s": ("daq_period_s", float),
     "dvfs_freq_scales": ("dvfs_freq_scale", lambda v: v),
+    "hpm_periods_s": ("hpm_period_s", float),
+    "hpm_rotations": ("hpm_rotation", _coerce_rotation),
+}
+
+#: Axes added after the v2 spec schema shipped, with the defaults under
+#: which they are omitted from :meth:`ScenarioSpec.canonical_dict` —
+#: specs that don't sweep them keep their historical hashes (the replay
+#: goldens pin those), exactly like :data:`_POST_V1_CONFIG_DEFAULTS`
+#: does for cache keys.
+_POST_V2_AXIS_DEFAULTS = {
+    "hpm_periods_s": (None,),
+    "hpm_rotations": (None,),
 }
 
 #: Scalar run-parameter fields.
@@ -118,6 +149,11 @@ class ScenarioSpec:
     input_scales: tuple = (1.0,)
     daq_periods_s: tuple = (DAQ_SAMPLE_PERIOD_S,)
     dvfs_freq_scales: tuple = (None,)
+    #: Measurement-side axes (``None`` = platform default / single-pass
+    #: sampler): excluded from the sim-key, so sweeping them shares one
+    #: recorded artifact per simulation identity.
+    hpm_periods_s: tuple = (None,)
+    hpm_rotations: tuple = (None,)
     warmup: bool = True
     repetitions: int = 1
     fan_enabled: bool = True
@@ -170,7 +206,8 @@ class ScenarioSpec:
     def for_experiment(cls, benchmark, vm="jikes", platform="p6",
                        collector=None, heap_mb=64, seed=42,
                        input_scale=1.0, daq_period_s=DAQ_SAMPLE_PERIOD_S,
-                       dvfs_freq_scale=None, warmup=True, repetitions=1,
+                       dvfs_freq_scale=None, hpm_period_s=None,
+                       hpm_rotation=None, warmup=True, repetitions=1,
                        fan_enabled=True, n_slices=160, overrides=(),
                        name=""):
         """Single-cell spec — the adapter the CLI flag path goes
@@ -182,6 +219,8 @@ class ScenarioSpec:
             input_scales=(input_scale,),
             daq_periods_s=(daq_period_s,),
             dvfs_freq_scales=(dvfs_freq_scale,),
+            hpm_periods_s=(hpm_period_s,),
+            hpm_rotations=(hpm_rotation,),
             warmup=warmup, repetitions=repetitions,
             fan_enabled=fan_enabled, n_slices=n_slices,
             overrides=overrides,
@@ -374,6 +413,11 @@ class ScenarioSpec:
                 problems.append(
                     f"dvfs_freq_scale {dvfs} must be in (0.1, 1]"
                 )
+        for period in self.hpm_periods_s:
+            if period is not None and period <= 0:
+                problems.append(
+                    f"hpm_period_s {period} must be positive"
+                )
         if self.repetitions < 1:
             problems.append("repetitions must be >= 1")
         if self.n_slices < 1:
@@ -410,6 +454,10 @@ class ScenarioSpec:
             "version": self.version,
             "axes": {
                 axis: list(getattr(self, axis)) for axis in _AXES
+                # Post-v2 axes at their defaults are omitted so specs
+                # that predate them keep their pinned hashes.
+                if _POST_V2_AXIS_DEFAULTS.get(axis)
+                != getattr(self, axis)
             },
             "run": {
                 field: getattr(self, field) for field in _RUN_FIELDS
@@ -461,6 +509,10 @@ class ScenarioSpec:
             input_scales=self.input_scales,
             daq_periods_s=self.daq_periods_s,
             dvfs_freq_scales=self.dvfs_freq_scales,
+            hpm_period_s=self.hpm_periods_s[0],
+            hpm_rotation=self.hpm_rotations[0],
+            hpm_periods_s=self.hpm_periods_s,
+            hpm_rotations=self.hpm_rotations,
             overrides=self.overrides,
             spec_version=self.version,
         )
@@ -524,7 +576,11 @@ def build_vm(config, platform=None, obs=None):
 #: Fields added after the v1 cache schema, with the default values
 #: under which they are omitted from the canonical dict — so configs
 #: that don't use them keep their historical cache keys byte-for-byte.
-_POST_V1_CONFIG_DEFAULTS = {"overrides": ()}
+_POST_V1_CONFIG_DEFAULTS = {
+    "overrides": (),
+    "hpm_period_s": None,
+    "hpm_rotation": None,
+}
 
 
 def canonical_experiment_dict(config):
@@ -536,7 +592,18 @@ def canonical_experiment_dict(config):
     """
     data = asdict(config)
     for key, default in _POST_V1_CONFIG_DEFAULTS.items():
-        if key in data and tuple(data[key] or ()) == default:
+        if key not in data:
+            continue
+        value = data[key]
+        # Tuple-valued fields normalize falsy spellings (None, (),
+        # empty list) to their empty-tuple default; scalar fields
+        # compare plainly so a legitimate falsy *value* (0) is never
+        # conflated with an unset None.
+        if isinstance(default, tuple):
+            matches = tuple(value or ()) == default
+        else:
+            matches = value == default
+        if matches:
             del data[key]
     return data
 
@@ -562,14 +629,16 @@ SIMULATION_CONFIG_FIELDS = (
 
 #: Fields that only configure how the finished run is *observed*.
 #: Changing them re-runs the measurement pass over the same artifact.
-MEASUREMENT_CONFIG_FIELDS = ("daq_period_s",)
+MEASUREMENT_CONFIG_FIELDS = (
+    "daq_period_s", "hpm_period_s", "hpm_rotation",
+)
 
 #: :class:`ScenarioSpec` axes by phase, for docs and CLI surfacing.
 SIMULATION_AXES = (
     "benchmarks", "vms", "platforms", "collectors", "heap_mbs",
     "seeds", "input_scales", "dvfs_freq_scales",
 )
-MEASUREMENT_AXES = ("daq_periods_s",)
+MEASUREMENT_AXES = ("daq_periods_s", "hpm_periods_s", "hpm_rotations")
 
 
 def canonical_sim_dict(config):

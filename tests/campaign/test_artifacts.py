@@ -58,6 +58,15 @@ class TestSimKey:
             assert sim_key(replace(BASE, daq_period_s=period)) == \
                 sim_key(BASE)
 
+    def test_hpm_measurement_fields_do_not_change_key(self):
+        """The HPM knobs are measurement-side: sweeping them shares
+        one artifact, exactly like DAQ-period sweeps."""
+        assert sim_key(replace(BASE, hpm_period_s=0.002)) == \
+            sim_key(BASE)
+        assert sim_key(
+            replace(BASE, hpm_rotation="xscale-pairs")
+        ) == sim_key(BASE)
+
     @pytest.mark.parametrize("field", sorted(SIM_CHANGES))
     def test_every_simulation_field_changes_key(self, field):
         changed = replace(BASE, **SIM_CHANGES[field])
@@ -66,10 +75,14 @@ class TestSimKey:
     def test_field_partition_is_total(self):
         """Every ExperimentConfig field is classified exactly once.
 
-        Post-v1 fields (``overrides``) are elided from the canonical
-        dict at their defaults, so probe with one set.
+        Post-v1 fields (``overrides``, ``hpm_period_s``,
+        ``hpm_rotation``) are elided from the canonical dict at their
+        defaults, so probe with all of them set.
         """
-        probed = replace(BASE, **SIM_CHANGES["overrides"])
+        probed = replace(
+            BASE, hpm_period_s=0.002, hpm_rotation="xscale-pairs",
+            **SIM_CHANGES["overrides"],
+        )
         fields = set(canonical_experiment_dict(probed))
         classified = set(SIMULATION_CONFIG_FIELDS) | \
             set(MEASUREMENT_CONFIG_FIELDS)
@@ -78,8 +91,11 @@ class TestSimKey:
             set(MEASUREMENT_CONFIG_FIELDS)
 
     def test_sim_dict_drops_only_measurement_fields(self):
-        full = canonical_experiment_dict(BASE)
-        sim = canonical_sim_dict(BASE)
+        probed = replace(
+            BASE, hpm_period_s=0.002, hpm_rotation="xscale-pairs",
+        )
+        full = canonical_experiment_dict(probed)
+        sim = canonical_sim_dict(probed)
         assert set(full) - set(sim) == set(MEASUREMENT_CONFIG_FIELDS)
         for key, value in sim.items():
             assert full[key] == value

@@ -1,0 +1,179 @@
+"""Unit tests for the seeded measurement-chain noise models.
+
+The contracts that matter downstream: every knob validates, a given
+seed reproduces its draws exactly, disabled error sources pass arrays
+through untouched, and the physical invariants hold (quantization
+saturates at full scale, DAQ instants stay inside the run, HPM ticks
+stay monotonic and tick 0 never moves).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.measurement.noise import (
+    ADCQuantizer,
+    DEFAULT_NOISE,
+    NoiseConfig,
+    NoiseModel,
+)
+
+QUIET = NoiseConfig(adc_bits=None, daq_jitter_frac=0.0,
+                    hpm_jitter_frac=0.0)
+
+
+class TestNoiseConfig:
+    def test_defaults_describe_an_enabled_apparatus(self):
+        assert DEFAULT_NOISE.enabled
+        assert DEFAULT_NOISE.adc_bits == 12
+
+    def test_all_sources_off_is_disabled(self):
+        assert not QUIET.enabled
+
+    @pytest.mark.parametrize("source", [
+        dict(adc_bits=8),
+        dict(daq_jitter_frac=0.01),
+        dict(hpm_jitter_frac=0.01),
+    ])
+    def test_any_single_source_enables(self, source):
+        base = dict(adc_bits=None, daq_jitter_frac=0.0,
+                    hpm_jitter_frac=0.0)
+        base.update(source)
+        assert NoiseConfig(**base).enabled
+
+    @pytest.mark.parametrize("bad", [
+        dict(adc_bits=1),
+        dict(adc_bits=33),
+        dict(adc_range_v=0.0),
+        dict(adc_range_v=-1.0),
+        dict(daq_jitter_frac=-0.1),
+        dict(daq_jitter_frac=1.0),
+        dict(hpm_jitter_frac=-0.1),
+        dict(hpm_jitter_frac=1.0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ConfigurationError):
+            NoiseConfig(**bad)
+
+    def test_as_dict_is_complete_and_stable(self):
+        d = DEFAULT_NOISE.as_dict()
+        assert d == {
+            "adc_bits": 12,
+            "adc_range_v": 0.25,
+            "daq_jitter_frac": 0.05,
+            "hpm_jitter_frac": 0.10,
+        }
+        # Hashable: a report can carry the config as a dict key.
+        assert hash(DEFAULT_NOISE) == hash(NoiseConfig())
+
+
+class TestADCQuantizer:
+    def test_lsb_spans_the_bipolar_range(self):
+        adc = ADCQuantizer(bits=12, range_v=0.25)
+        assert adc.lsb_v == pytest.approx(0.5 / 4096)
+
+    def test_quantize_snaps_to_codes(self):
+        adc = ADCQuantizer(bits=4, range_v=1.0)
+        lsb = adc.lsb_v
+        v = np.array([0.0, 0.4 * lsb, 0.6 * lsb, -0.6 * lsb])
+        q = adc.quantize(v)
+        np.testing.assert_allclose(
+            q, [0.0, 0.0, lsb, -lsb], atol=1e-15
+        )
+        # Every output is an integer multiple of the LSB.
+        np.testing.assert_allclose(
+            q / lsb, np.round(q / lsb), atol=1e-9
+        )
+
+    def test_quantize_saturates_at_full_scale(self):
+        adc = ADCQuantizer(bits=8, range_v=0.25)
+        v = np.array([10.0, -10.0])
+        q = adc.quantize(v)
+        assert q[0] == pytest.approx(0.25)
+        assert q[1] == pytest.approx(-0.25)
+
+    def test_more_bits_means_less_error(self):
+        rng = np.random.default_rng(0)
+        v = rng.uniform(-0.2, 0.2, size=512)
+        err = {
+            bits: np.abs(
+                ADCQuantizer(bits=bits, range_v=0.25).quantize(v) - v
+            ).max()
+            for bits in (6, 12)
+        }
+        assert err[12] < err[6] / 32
+
+    @pytest.mark.parametrize("bad", [
+        dict(bits=1, range_v=0.25),
+        dict(bits=33, range_v=0.25),
+        dict(bits=12, range_v=0.0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ConfigurationError):
+            ADCQuantizer(**bad)
+
+
+@pytest.fixture
+def times():
+    return np.arange(0.0, 1.0, 40e-6)
+
+
+class TestNoiseModel:
+    def test_rejects_non_config(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel("not a config", np.random.default_rng(0))
+
+    def test_quantizer_hook_tracks_config(self):
+        assert NoiseModel.for_seed(QUIET, 1).quantizer() is None
+        adc = NoiseModel.for_seed(DEFAULT_NOISE, 1).quantizer()
+        assert isinstance(adc, ADCQuantizer)
+        assert adc.bits == 12
+
+    def test_same_seed_same_draws(self, times):
+        a = NoiseModel.for_seed(DEFAULT_NOISE, 77)
+        b = NoiseModel.for_seed(DEFAULT_NOISE, 77)
+        np.testing.assert_array_equal(
+            a.daq_sample_times(times, 40e-6, 1.0),
+            b.daq_sample_times(times, 40e-6, 1.0),
+        )
+
+    def test_different_seeds_differ(self, times):
+        a = NoiseModel.for_seed(DEFAULT_NOISE, 77)
+        b = NoiseModel.for_seed(DEFAULT_NOISE, 78)
+        assert not np.array_equal(
+            a.daq_sample_times(times, 40e-6, 1.0),
+            b.daq_sample_times(times, 40e-6, 1.0),
+        )
+
+    def test_daq_jitter_stays_inside_the_run(self, times):
+        model = NoiseModel.for_seed(DEFAULT_NOISE, 5)
+        jittered = model.daq_sample_times(times, 40e-6, 1.0)
+        assert jittered.shape == times.shape
+        assert jittered.min() >= 0.0
+        assert jittered.max() <= 1.0
+        # Displacements are on the order of the configured sigma.
+        assert np.abs(jittered - times).max() < 10 * 0.05 * 40e-6
+
+    def test_daq_jitter_disabled_is_passthrough(self, times):
+        model = NoiseModel.for_seed(
+            NoiseConfig(daq_jitter_frac=0.0), 5
+        )
+        assert model.daq_sample_times(times, 40e-6, 1.0) is times
+
+    def test_hpm_ticks_delayed_monotonic_clamped(self):
+        ticks = np.arange(0.0, 1.0 + 1e-12, 1e-3)
+        model = NoiseModel.for_seed(DEFAULT_NOISE, 9)
+        delayed = model.hpm_tick_times(ticks, 1e-3, 1.0)
+        # Tick 0 is the sampling start, not a timer fire.
+        assert delayed[0] == ticks[0]
+        # Interrupt latency defers, never delivers early.
+        assert np.all(delayed[1:] >= ticks[1:])
+        assert np.all(np.diff(delayed) >= 0.0)
+        assert delayed.max() <= 1.0
+
+    def test_hpm_jitter_disabled_is_passthrough(self):
+        ticks = np.arange(0.0, 1.0, 1e-3)
+        model = NoiseModel.for_seed(
+            NoiseConfig(hpm_jitter_frac=0.0), 9
+        )
+        assert model.hpm_tick_times(ticks, 1e-3, 1.0) is ticks

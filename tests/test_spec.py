@@ -316,8 +316,12 @@ class TestCacheKeyCompatibility:
 
         config = ExperimentConfig(benchmark="_202_jess",
                                   collector="SemiSpace", heap_mb=32)
+        # The pre-refactor asdict had none of the post-v1 fields
+        # (overrides, hpm_period_s, hpm_rotation), so the legacy
+        # reconstruction excludes all of them.
         legacy_config_dict = {
-            k: v for k, v in asdict(config).items() if k != "overrides"
+            k: v for k, v in asdict(config).items()
+            if k not in ("overrides", "hpm_period_s", "hpm_rotation")
         }
         legacy_payload = {
             "config": legacy_config_dict,
